@@ -1,0 +1,49 @@
+"""Ablation over the streaming chunk size used by the estimators.
+
+The chunk size trades Python/per-chunk overhead against peak resident memory;
+the simulated runtime is insensitive to it (the same bytes move either way),
+which is itself the result worth recording — the knob is about memory
+footprint, not speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench.ablations import run_chunk_size_ablation
+from repro.bench.reporting import format_table
+from repro.data.synthetic import make_classification
+from repro.ml import LogisticRegression
+
+GIB = 1024 ** 3
+
+
+@pytest.mark.benchmark(group="ablation-chunking")
+def test_chunk_size_simulated_ablation(benchmark):
+    def run():
+        return run_chunk_size_ablation(
+            size_gb=8, chunk_rows_options=(256, 1024, 4096, 16384), ram_bytes=4 * GIB
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Ablation — streaming chunk size (simulated 8 GB workload)",
+        format_table(rows, columns=["setting", "runtime_s", "major_faults"]),
+    )
+    runtimes = [row.runtime_s for row in rows]
+    assert max(runtimes) / min(runtimes) < 1.2
+
+
+@pytest.mark.benchmark(group="ablation-chunking")
+@pytest.mark.parametrize("chunk_size", [128, 1024, 8192])
+def test_chunk_size_real_training_time(benchmark, chunk_size):
+    """Measured (not simulated) training time as a function of chunk size."""
+    X, y = make_classification(n_samples=4000, n_features=64, seed=0)
+
+    def train():
+        return LogisticRegression(max_iterations=5, chunk_size=chunk_size).fit(X, y)
+
+    model = benchmark(train)
+    assert model.score(X, y) > 0.9

@@ -1,0 +1,62 @@
+"""Figure 1a: M3 runtime vs dataset size (10–190 GB, RAM = 32 GB).
+
+Regenerates the paper's scaling series for logistic regression (10 iterations
+of L-BFGS) and checks the claims the figure makes: linear scaling on both
+sides of the RAM boundary, with a steeper slope out of core.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench.figure1a import run_figure1a
+from repro.bench.reporting import format_table
+from repro.bench.workloads import FIGURE_1A_SIZES_GB
+
+
+@pytest.mark.benchmark(group="figure1a")
+def test_figure1a_scaling_series(benchmark, m3_runtime_model, lr_workload):
+    """Full 10–190 GB sweep on the simulated 32 GB machine."""
+
+    def run():
+        return run_figure1a(
+            sizes_gb=FIGURE_1A_SIZES_GB, model=m3_runtime_model, workload=lr_workload
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    emit(
+        "Figure 1a — M3 runtime of 10 iterations of L-BFGS (logistic regression)",
+        format_table(
+            result.rows,
+            columns=["size_gb", "runtime_s", "fits_in_ram", "disk_utilization", "cpu_utilization"],
+        )
+        + (
+            f"\nin-RAM slope {result.model.in_ram_slope * 1e9:.2f} s/GB | "
+            f"out-of-core slope {result.model.out_of_core_slope * 1e9:.2f} s/GB | "
+            f"slowdown {result.model.slowdown_factor:.2f}x | R^2 {result.linearity_r2():.4f}"
+        ),
+    )
+
+    # Paper claims: linear in both regimes, steeper out of core.
+    assert result.linearity_r2() > 0.95
+    assert result.model.out_of_core_slope > result.model.in_ram_slope
+    runtimes = [row.runtime_s for row in result.rows]
+    assert all(b > a for a, b in zip(runtimes, runtimes[1:]))
+
+
+@pytest.mark.benchmark(group="figure1a")
+def test_figure1a_out_of_core_point_190gb(benchmark, m3_runtime_model, lr_workload):
+    """The single 190 GB point (the paper's headline M3 runtime, ≈1950 s)."""
+
+    def run():
+        return m3_runtime_model.estimate(lr_workload, 190 * 1000 ** 3)
+
+    estimate = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Figure 1a — 190 GB point",
+        f"runtime {estimate.wall_time_s:.0f}s (paper: 1950s), "
+        f"disk {estimate.disk_utilization * 100:.0f}%, cpu {estimate.cpu_utilization * 100:.0f}%",
+    )
+    assert 1950 / 2 < estimate.wall_time_s < 1950 * 2

@@ -1,0 +1,45 @@
+"""Figure 1b (left group): logistic regression — M3 vs 4x and 8x Spark.
+
+Regenerates the three logistic-regression bars of Figure 1b at the paper's
+190 GB scale and checks the paper's comparative claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench.figure1b import run_figure1b
+from repro.bench.reporting import format_table
+
+
+@pytest.mark.benchmark(group="figure1b-logreg")
+def test_figure1b_logistic_regression(benchmark, m3_runtime_model, lr_workload, kmeans_workload):
+    def run():
+        return run_figure1b(
+            dataset_gb=190,
+            m3_model=m3_runtime_model,
+            lr_workload=lr_workload,
+            kmeans_workload=kmeans_workload,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [row for row in result.rows if row.workload == "logistic_regression"]
+    emit(
+        "Figure 1b — logistic regression (10 iterations of L-BFGS, 190 GB)",
+        format_table(rows, columns=["system", "runtime_s", "paper_runtime_s"])
+        + (
+            f"\n4x Spark / M3 = {result.speedup_over('logistic_regression', '4x Spark'):.2f} "
+            f"(paper 4.2) | 8x Spark / M3 = "
+            f"{result.speedup_over('logistic_regression', '8x Spark'):.2f} (paper ~1.47)"
+        ),
+    )
+
+    # Paper: M3 significantly faster than 4-instance Spark, comparable to 8-instance.
+    assert result.speedup_over("logistic_regression", "4x Spark") > 2.5
+    assert 1.0 < result.speedup_over("logistic_regression", "8x Spark") < 2.2
+    m3 = result.runtime("logistic_regression", "M3")
+    assert result.runtime("logistic_regression", "8x Spark") > m3
+    assert result.runtime("logistic_regression", "4x Spark") > result.runtime(
+        "logistic_regression", "8x Spark"
+    )

@@ -1,0 +1,81 @@
+"""Performance prediction and energy estimation (the paper's ongoing work).
+
+Fits the piecewise-linear runtime predictor on the small half of the
+Figure 1a sweep, extrapolates to 130–190 GB, and estimates the energy of the
+190 GB job on the M3 desktop vs the Spark clusters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench.figure1a import run_figure1a
+from repro.bench.figure1b import run_figure1b
+from repro.bench.workloads import FIGURE_1A_SIZES_GB, PAPER_RAM_BYTES
+from repro.profiling.energy import DESKTOP_I7, EC2_M3_2XLARGE_POWER, EnergyModel
+from repro.profiling.predictor import PerformancePredictor
+
+
+@pytest.mark.benchmark(group="prediction")
+def test_runtime_prediction_extrapolates_across_ram_boundary(
+    benchmark, m3_runtime_model, lr_workload
+):
+    def run():
+        sweep = run_figure1a(
+            sizes_gb=FIGURE_1A_SIZES_GB, model=m3_runtime_model, workload=lr_workload
+        )
+        train = [(r.dataset_bytes, r.runtime_s) for r in sweep.rows if r.size_gb <= 100]
+        test = [(r.dataset_bytes, r.runtime_s) for r in sweep.rows if r.size_gb > 100]
+        predictor = PerformancePredictor(ram_bytes=PAPER_RAM_BYTES)
+        model = predictor.fit(train)
+        return model, predictor.relative_error(model, test), test
+
+    model, error, test = benchmark.pedantic(run, rounds=1, iterations=1)
+    predictions = "\n".join(
+        f"  {size / 1e9:6.0f} GB: predicted {model.predict(size):7.0f}s, measured {measured:7.0f}s"
+        for size, measured in test
+    )
+    emit(
+        "Performance prediction — fitted on <=100 GB, extrapolated beyond",
+        predictions + f"\nmean relative error {error * 100:.1f}%",
+    )
+    assert error < 0.15
+
+
+@pytest.mark.benchmark(group="prediction")
+def test_energy_comparison_m3_vs_clusters(benchmark, m3_runtime_model, lr_workload, kmeans_workload):
+    def run():
+        figure1b = run_figure1b(
+            dataset_gb=190,
+            m3_model=m3_runtime_model,
+            lr_workload=lr_workload,
+            kmeans_workload=kmeans_workload,
+        )
+        m3_estimate = m3_runtime_model.estimate(lr_workload, 190 * 1000 ** 3)
+        desktop = EnergyModel(DESKTOP_I7).estimate(
+            figure1b.runtime("logistic_regression", "M3"),
+            cpu_utilization=m3_estimate.cpu_utilization,
+            disk_utilization=m3_estimate.disk_utilization,
+        )
+        clusters = {
+            instances: EnergyModel(EC2_M3_2XLARGE_POWER, machines=instances).estimate(
+                figure1b.runtime("logistic_regression", f"{instances}x Spark"),
+                cpu_utilization=0.7,
+                disk_utilization=0.3,
+            )
+            for instances in (4, 8)
+        }
+        return desktop, clusters
+
+    desktop, clusters = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Energy — 190 GB logistic regression",
+        (
+            f"M3 desktop: {desktop.watt_hours:.0f} Wh\n"
+            f"4x Spark:   {clusters[4].watt_hours:.0f} Wh\n"
+            f"8x Spark:   {clusters[8].watt_hours:.0f} Wh"
+        ),
+    )
+    assert desktop.joules < clusters[4].joules
+    assert desktop.joules < clusters[8].joules

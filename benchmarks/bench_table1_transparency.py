@@ -1,0 +1,72 @@
+"""Table 1: transparency of M3 — minimal code change, identical results, low overhead.
+
+Two benchmarks:
+
+* the Table 1 experiment itself (train the same estimator on in-memory and
+  memory-mapped copies of a dataset, count changed lines, compare models);
+* a direct measurement of M3's runtime overhead at laptop scale — the same
+  training run timed on an in-memory array and on the memory-mapped file
+  (with a warm page cache the two should be close; this is the measurable
+  content of "minimal modifications to existing code" having no hidden cost).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core as m3
+from benchmarks.conftest import emit
+from repro.bench.table1 import run_table1
+from repro.data.writers import write_infimnist_dataset
+from repro.ml import LogisticRegression
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_transparency(benchmark, tmp_path):
+    result = benchmark.pedantic(
+        lambda: run_table1(tmp_path, n_samples=3000, n_features=64), rounds=1, iterations=1
+    )
+    emit(
+        "Table 1 — code change and model equality",
+        (
+            f"lines changed: {result.lines_changed} of {result.total_lines}\n"
+            f"max |coef delta|: {result.max_coef_difference:.2e}\n"
+            f"predictions identical: {result.predictions_identical}\n"
+            f"accuracy in-memory {result.in_memory_accuracy:.4f} vs "
+            f"memory-mapped {result.mmap_accuracy:.4f}"
+        ),
+    )
+    assert result.transparent
+    assert result.lines_changed == 1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_inmemory_training_baseline(benchmark, tmp_path):
+    """Wall time of training on an in-memory array (baseline for the overhead check)."""
+    path = tmp_path / "table1_overhead.m3"
+    write_infimnist_dataset(path, num_examples=2000, seed=0)
+    X_map, y_map = m3.open_dataset(path)
+    X = np.asarray(X_map).copy()
+    y = (np.asarray(y_map) >= 5).astype(np.int64)
+
+    def train():
+        return LogisticRegression(max_iterations=5).fit(X, y)
+
+    model = benchmark(train)
+    assert model.score(X, y) > 0.7
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_memory_mapped_training(benchmark, tmp_path):
+    """Wall time of the identical training run through the memory map."""
+    path = tmp_path / "table1_overhead_mmap.m3"
+    write_infimnist_dataset(path, num_examples=2000, seed=0)
+    X_map, y_map = m3.open_dataset(path)
+    y = (np.asarray(y_map) >= 5).astype(np.int64)
+
+    def train():
+        return LogisticRegression(max_iterations=5).fit(X_map, y)
+
+    model = benchmark(train)
+    assert model.score(X_map, y) > 0.7

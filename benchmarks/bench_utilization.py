@@ -1,0 +1,33 @@
+"""§3.1 finding 1: M3 is I/O bound out of core (disk ≈100 %, CPU ≈13 %)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench.reporting import format_table
+from repro.bench.utilization import run_utilization_experiment
+
+
+@pytest.mark.benchmark(group="utilization")
+def test_utilization_in_ram_vs_out_of_core(benchmark, m3_runtime_model, lr_workload):
+    def run():
+        return run_utilization_experiment(
+            sizes_gb=[10, 40, 190], model=m3_runtime_model, workload=lr_workload
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Resource utilisation of the simulated M3 machine (paper: disk 100%, CPU ~13%)",
+        format_table(
+            rows,
+            columns=["size_gb", "disk_utilization", "cpu_utilization", "io_bound", "wall_time_s"],
+        ),
+    )
+
+    out_of_core = rows[-1]
+    assert out_of_core.io_bound
+    assert out_of_core.disk_utilization > 0.8
+    assert out_of_core.cpu_utilization < 0.25
+    # The in-RAM run is relatively more CPU-bound than the out-of-core run.
+    assert rows[0].cpu_utilization > out_of_core.cpu_utilization

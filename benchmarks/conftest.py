@@ -1,0 +1,37 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's result artifacts and prints the
+corresponding rows/series (run ``pytest benchmarks/ --benchmark-only -s`` to
+see them).  The heavy simulations are executed exactly once per benchmark via
+``benchmark.pedantic`` so the suite stays fast while still recording timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.m3_model import M3RuntimeModel
+
+
+def emit(title: str, body: str) -> None:
+    """Print a benchmark's reproduced table under a clear heading."""
+    print(f"\n=== {title} ===")
+    print(body)
+
+
+@pytest.fixture(scope="session")
+def m3_runtime_model() -> M3RuntimeModel:
+    """The paper-scale M3 machine model (32 GB RAM, PCIe SSD), shared."""
+    return M3RuntimeModel()
+
+
+@pytest.fixture(scope="session")
+def lr_workload(m3_runtime_model):
+    """The calibrated L-BFGS logistic-regression workload (calibrated once)."""
+    return m3_runtime_model.logistic_regression_workload()
+
+
+@pytest.fixture(scope="session")
+def kmeans_workload(m3_runtime_model):
+    """The calibrated k-means workload."""
+    return m3_runtime_model.kmeans_workload()

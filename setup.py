@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The offline environment used for the reproduction ships setuptools without the
+``wheel`` package, so PEP 660 editable installs (``pip install -e .`` with
+build isolation) cannot build the editable wheel.  Providing a ``setup.py``
+lets ``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) fall back to the legacy editable install, which
+needs nothing beyond setuptools.  All project metadata lives in
+``pyproject.toml``; this file is intentionally empty glue.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — a reproduction of *M3: Scaling Up Machine Learning via Memory Mapping*.
+
+M3 (Fang & Chau, SIGMOD 2016) shows that memory-mapping a dataset lets
+unmodified machine learning code scale to datasets that exceed RAM, at speeds
+competitive with small Spark clusters.  This package reproduces the system and
+its evaluation:
+
+* :mod:`repro.core` — the M3 API (memory-mapped matrices, ``mmap_alloc``,
+  access advice, the transparent-dataset facade).
+* :mod:`repro.ml` — the machine learning library being scaled (L-BFGS logistic
+  regression, k-means, and friends), written against the plain row-slicing
+  protocol so in-memory and memory-mapped data are interchangeable.
+* :mod:`repro.vmem` — a virtual-memory / page-cache simulator substituting for
+  the paper's 32 GB desktop and PCIe SSD.
+* :mod:`repro.distributed` — a Spark-style baseline (mini RDD engine + EC2
+  cluster cost model) substituting for the paper's EMR clusters.
+* :mod:`repro.data` — an Infimnist-style infinite digit-image generator and
+  the on-disk formats.
+* :mod:`repro.profiling` / :mod:`repro.bench` — utilisation reporting,
+  performance prediction and the harness that regenerates every figure and
+  table of the paper.
+"""
+
+from repro import bench, core, data, distributed, ml, profiling, vmem
+from repro.core import (
+    M3,
+    M3Config,
+    MmapMatrix,
+    create_dataset,
+    load_matrix,
+    mmap_alloc,
+    open_dataset,
+)
+from repro.ml import KMeans, LogisticRegression, SoftmaxRegression
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "core",
+    "ml",
+    "vmem",
+    "distributed",
+    "data",
+    "profiling",
+    "bench",
+    "M3",
+    "M3Config",
+    "MmapMatrix",
+    "mmap_alloc",
+    "create_dataset",
+    "open_dataset",
+    "load_matrix",
+    "LogisticRegression",
+    "SoftmaxRegression",
+    "KMeans",
+]

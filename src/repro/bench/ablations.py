@@ -1,0 +1,178 @@
+"""Ablation sweeps over the design choices DESIGN.md calls out.
+
+Not part of the paper's evaluation, but they quantify the knobs the paper's
+prose appeals to: the OS's LRU caching and read-ahead, the chunked access
+granularity, and the "faster disks or RAID 0" suggestion in §3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.m3_model import M3RuntimeModel, M3Workload
+from repro.bench.workloads import PAPER_RAM_BYTES, dataset_bytes_for_gb
+from repro.core.chunking import ChunkPlan
+from repro.vmem.disk import NVME_SSD
+from repro.vmem.readahead import FixedReadAhead, NoReadAhead
+from repro.vmem.vm_simulator import VirtualMemoryConfig, VirtualMemorySimulator
+
+
+@dataclass
+class AblationRow:
+    """One configuration of an ablation sweep."""
+
+    setting: str
+    runtime_s: float
+    major_faults: int
+    hit_rate: float
+    extra: Dict[str, float]
+
+
+def _default_workload(model: M3RuntimeModel) -> M3Workload:
+    return M3Workload(name="logistic_regression", passes=12, cpu_bytes_per_s=12e9)
+
+
+def run_replacement_policy_ablation(
+    size_gb: float = 64,
+    policies: Sequence[str] = ("lru", "clock", "fifo"),
+    model: Optional[M3RuntimeModel] = None,
+) -> List[AblationRow]:
+    """Compare page replacement policies on an out-of-core workload."""
+    rows: List[AblationRow] = []
+    for policy in policies:
+        runtime_model = model or M3RuntimeModel()
+        runtime_model = M3RuntimeModel(
+            ram_bytes=runtime_model.ram_bytes,
+            disk_profile=runtime_model.disk_profile,
+            page_size=runtime_model.page_size,
+            chunk_rows=runtime_model.chunk_rows,
+        )
+        workload = _default_workload(runtime_model)
+        plan = ChunkPlan(
+            n_rows=dataset_bytes_for_gb(size_gb) // (784 * 8),
+            n_cols=784,
+            itemsize=8,
+            chunk_rows=runtime_model.chunk_rows,
+        )
+        trace = plan.to_trace(passes=int(workload.passes),
+                              cpu_seconds_per_byte=1.0 / workload.cpu_bytes_per_s)
+        config = VirtualMemoryConfig(
+            ram_bytes=runtime_model.ram_bytes,
+            page_size=runtime_model.page_size,
+            replacement=policy,
+            readahead=FixedReadAhead(window=8),
+            disk_profile=NVME_SSD,
+        )
+        simulator = VirtualMemorySimulator(config)
+        result = simulator.run_trace(trace, file_bytes=plan.total_bytes)
+        rows.append(
+            AblationRow(
+                setting=policy,
+                runtime_s=result.wall_time_s,
+                major_faults=int(result.cache_stats_dict["major_faults"]),
+                hit_rate=float(result.cache_stats_dict["hit_rate"]),
+                extra={"evictions": float(result.cache_stats_dict["evictions"])},
+            )
+        )
+    return rows
+
+
+def run_readahead_ablation(
+    size_gb: float = 64,
+    windows: Sequence[int] = (0, 2, 8, 32),
+    ram_bytes: int = PAPER_RAM_BYTES,
+    page_size: int = 4 * 1024 * 1024,
+) -> List[AblationRow]:
+    """Compare read-ahead window sizes (0 disables read-ahead)."""
+    rows: List[AblationRow] = []
+    plan = ChunkPlan(
+        n_rows=dataset_bytes_for_gb(size_gb) // (784 * 8),
+        n_cols=784,
+        itemsize=8,
+        chunk_rows=4096,
+    )
+    trace = plan.to_trace(passes=10, cpu_seconds_per_byte=1.0 / 12e9)
+    for window in windows:
+        readahead = NoReadAhead() if window == 0 else FixedReadAhead(window=window)
+        config = VirtualMemoryConfig(
+            ram_bytes=ram_bytes,
+            page_size=page_size,
+            replacement="lru",
+            readahead=readahead,
+            disk_profile=NVME_SSD,
+        )
+        simulator = VirtualMemorySimulator(config)
+        result = simulator.run_trace(trace, file_bytes=plan.total_bytes)
+        rows.append(
+            AblationRow(
+                setting=f"window={window}",
+                runtime_s=result.wall_time_s,
+                major_faults=int(result.cache_stats_dict["major_faults"]),
+                hit_rate=float(result.cache_stats_dict["hit_rate"]),
+                extra={"prefetched": float(result.cache_stats_dict["prefetched_pages"])},
+            )
+        )
+    return rows
+
+
+def run_chunk_size_ablation(
+    size_gb: float = 48,
+    chunk_rows_options: Sequence[int] = (256, 1024, 4096, 16384),
+    ram_bytes: int = PAPER_RAM_BYTES,
+    page_size: int = 4 * 1024 * 1024,
+) -> List[AblationRow]:
+    """Compare streaming chunk sizes for the same total work."""
+    rows: List[AblationRow] = []
+    for chunk_rows in chunk_rows_options:
+        plan = ChunkPlan(
+            n_rows=dataset_bytes_for_gb(size_gb) // (784 * 8),
+            n_cols=784,
+            itemsize=8,
+            chunk_rows=chunk_rows,
+        )
+        trace = plan.to_trace(passes=10, cpu_seconds_per_byte=1.0 / 12e9)
+        config = VirtualMemoryConfig(
+            ram_bytes=ram_bytes,
+            page_size=page_size,
+            replacement="lru",
+            readahead=FixedReadAhead(window=8),
+            disk_profile=NVME_SSD,
+        )
+        simulator = VirtualMemorySimulator(config)
+        result = simulator.run_trace(trace, file_bytes=plan.total_bytes)
+        rows.append(
+            AblationRow(
+                setting=f"chunk_rows={chunk_rows}",
+                runtime_s=result.wall_time_s,
+                major_faults=int(result.cache_stats_dict["major_faults"]),
+                hit_rate=float(result.cache_stats_dict["hit_rate"]),
+                extra={"num_chunks": float(plan.num_chunks)},
+            )
+        )
+    return rows
+
+
+def run_raid_ablation(
+    size_gb: float = 190,
+    raid_factors: Sequence[int] = (1, 2, 4),
+) -> List[AblationRow]:
+    """Quantify the paper's suggestion that faster disks / RAID 0 would help."""
+    rows: List[AblationRow] = []
+    for factor in raid_factors:
+        runtime_model = M3RuntimeModel(raid_factor=factor)
+        workload = _default_workload(runtime_model)
+        estimate = runtime_model.estimate(workload, dataset_bytes_for_gb(size_gb))
+        rows.append(
+            AblationRow(
+                setting=f"raid0_x{factor}",
+                runtime_s=estimate.wall_time_s,
+                major_faults=int(estimate.cache_stats.get("major_faults", 0)),
+                hit_rate=float(estimate.cache_stats.get("hit_rate", 0.0)),
+                extra={
+                    "disk_utilization": estimate.disk_utilization,
+                    "cpu_utilization": estimate.cpu_utilization,
+                },
+            )
+        )
+    return rows

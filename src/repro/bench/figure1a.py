@@ -1,0 +1,107 @@
+"""Figure 1a: M3 runtime vs dataset size (logistic regression, 10 L-BFGS iterations).
+
+The paper sweeps Infimnist subsets from 10 GB to 190 GB on a 32 GB machine and
+shows that runtime grows linearly with dataset size, with a steeper slope once
+the dataset no longer fits in RAM.  This module regenerates that series with
+the M3 runtime model and also fits the two slopes so tests (and EXPERIMENTS.md)
+can assert the paper's qualitative claims:
+
+* runtime is (approximately) linear on each side of the RAM boundary, and
+* the out-of-core slope is strictly steeper than the in-RAM slope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.m3_model import M3RuntimeModel, M3Workload
+from repro.bench.workloads import FIGURE_1A_SIZES_GB, PAPER_RAM_BYTES, dataset_bytes_for_gb
+from repro.profiling.predictor import PerformancePredictor, PredictionModel
+
+
+@dataclass
+class Figure1aRow:
+    """One point of the Figure 1a series."""
+
+    size_gb: float
+    dataset_bytes: int
+    runtime_s: float
+    fits_in_ram: bool
+    disk_utilization: float
+    cpu_utilization: float
+
+
+@dataclass
+class Figure1aResult:
+    """The full regenerated figure plus the fitted piecewise-linear model."""
+
+    rows: List[Figure1aRow]
+    model: PredictionModel
+
+    @property
+    def in_ram_rows(self) -> List[Figure1aRow]:
+        """Rows whose dataset fits in the simulated RAM."""
+        return [row for row in self.rows if row.fits_in_ram]
+
+    @property
+    def out_of_core_rows(self) -> List[Figure1aRow]:
+        """Rows whose dataset exceeds the simulated RAM."""
+        return [row for row in self.rows if not row.fits_in_ram]
+
+    def linearity_r2(self) -> float:
+        """R² of the piecewise-linear fit over all rows (1.0 = perfectly linear)."""
+        sizes = np.array([row.dataset_bytes for row in self.rows], dtype=np.float64)
+        runtimes = np.array([row.runtime_s for row in self.rows], dtype=np.float64)
+        predicted = np.array([self.model.predict(int(size)) for size in sizes])
+        residual = float(np.sum((runtimes - predicted) ** 2))
+        total = float(np.sum((runtimes - runtimes.mean()) ** 2))
+        if total == 0.0:
+            return 1.0
+        return 1.0 - residual / total
+
+
+def run_figure1a(
+    sizes_gb: Sequence[float] = FIGURE_1A_SIZES_GB,
+    ram_bytes: int = PAPER_RAM_BYTES,
+    model: Optional[M3RuntimeModel] = None,
+    workload: Optional[M3Workload] = None,
+) -> Figure1aResult:
+    """Regenerate the Figure 1a sweep.
+
+    Parameters
+    ----------
+    sizes_gb:
+        Dataset sizes (decimal GB) to sweep; defaults to the paper's ticks.
+    ram_bytes:
+        Simulated RAM size (defaults to the paper's 32 GB).
+    model:
+        Optional pre-configured :class:`M3RuntimeModel` (lets callers use a
+        smaller page size, a different disk, etc.).
+    workload:
+        Optional workload; defaults to the calibrated L-BFGS logistic
+        regression workload.
+    """
+    runtime_model = model or M3RuntimeModel(ram_bytes=ram_bytes)
+    lr_workload = workload or runtime_model.logistic_regression_workload()
+
+    rows: List[Figure1aRow] = []
+    for size_gb in sizes_gb:
+        dataset_bytes = dataset_bytes_for_gb(size_gb)
+        estimate = runtime_model.estimate(lr_workload, dataset_bytes)
+        rows.append(
+            Figure1aRow(
+                size_gb=float(size_gb),
+                dataset_bytes=dataset_bytes,
+                runtime_s=estimate.wall_time_s,
+                fits_in_ram=dataset_bytes <= runtime_model.ram_bytes,
+                disk_utilization=estimate.disk_utilization,
+                cpu_utilization=estimate.cpu_utilization,
+            )
+        )
+
+    predictor = PerformancePredictor(ram_bytes=runtime_model.ram_bytes)
+    fitted = predictor.fit([(row.dataset_bytes, row.runtime_s) for row in rows])
+    return Figure1aResult(rows=rows, model=fitted)

@@ -1,0 +1,115 @@
+"""Cluster-size scaling study: how many Spark instances match one M3 PC?
+
+Not a figure in the paper, but the question its discussion raises directly:
+"Certainly, using more Spark instances will increase speed, but that may also
+incur additional overhead".  This harness sweeps the number of EC2 instances,
+predicts the Spark runtime for each cluster size with the cost model, and
+reports the *crossover point* — the smallest cluster that beats the single
+memory-mapped machine — together with the marginal speed-up of each doubling
+(which shrinks as coordination overheads grow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bench.m3_model import M3RuntimeModel, M3Workload
+from repro.bench.workloads import dataset_bytes_for_gb
+from repro.distributed.cluster import make_emr_cluster
+from repro.distributed.cost_model import SparkCostModel, SparkWorkload
+
+
+@dataclass
+class ScalingRow:
+    """Predicted runtime for one cluster size (or for M3)."""
+
+    system: str
+    instances: int
+    runtime_s: float
+    relative_to_m3: float
+    cached_fraction: float
+
+
+@dataclass
+class ScalingResult:
+    """The full sweep plus the crossover summary."""
+
+    rows: List[ScalingRow]
+    m3_runtime_s: float
+    crossover_instances: Optional[int]
+
+    def runtime_for(self, instances: int) -> float:
+        """Predicted Spark runtime for a given cluster size."""
+        for row in self.rows:
+            if row.system == "spark" and row.instances == instances:
+                return row.runtime_s
+        raise KeyError(f"no row for {instances} instances")
+
+
+def run_cluster_scaling(
+    dataset_gb: float = 190,
+    instance_counts: Sequence[int] = (2, 4, 8, 16, 32),
+    workload: str = "logistic_regression",
+    m3_model: Optional[M3RuntimeModel] = None,
+    m3_workload: Optional[M3Workload] = None,
+    iterations: int = 10,
+) -> ScalingResult:
+    """Sweep cluster sizes and locate the M3 crossover.
+
+    Parameters
+    ----------
+    dataset_gb:
+        Dataset size in decimal gigabytes (the paper's full dataset is 190).
+    instance_counts:
+        Cluster sizes to evaluate.
+    workload:
+        ``"logistic_regression"`` or ``"kmeans"``.
+    m3_model, m3_workload:
+        Optional pre-built M3 runtime model / workload (to reuse calibration).
+    iterations:
+        Outer iterations for both systems (the paper uses 10).
+    """
+    if workload not in ("logistic_regression", "kmeans"):
+        raise ValueError(f"unknown workload {workload!r}")
+    dataset_bytes = dataset_bytes_for_gb(dataset_gb)
+
+    runtime_model = m3_model or M3RuntimeModel()
+    if m3_workload is None:
+        if workload == "logistic_regression":
+            m3_workload = runtime_model.logistic_regression_workload()
+        else:
+            m3_workload = runtime_model.kmeans_workload()
+    m3_estimate = runtime_model.estimate(m3_workload, dataset_bytes)
+    m3_runtime = m3_estimate.wall_time_s
+
+    if workload == "logistic_regression":
+        spark_workload = SparkWorkload.logistic_regression(dataset_bytes, iterations)
+    else:
+        spark_workload = SparkWorkload.kmeans(dataset_bytes, iterations)
+
+    rows: List[ScalingRow] = [
+        ScalingRow(
+            system="m3",
+            instances=1,
+            runtime_s=m3_runtime,
+            relative_to_m3=1.0,
+            cached_fraction=1.0 if dataset_bytes <= runtime_model.ram_bytes else 0.0,
+        )
+    ]
+    crossover: Optional[int] = None
+    for instances in sorted(instance_counts):
+        estimate = SparkCostModel(make_emr_cluster(instances)).estimate(spark_workload)
+        rows.append(
+            ScalingRow(
+                system="spark",
+                instances=instances,
+                runtime_s=estimate.total_time_s,
+                relative_to_m3=estimate.total_time_s / m3_runtime,
+                cached_fraction=estimate.cached_fraction,
+            )
+        )
+        if crossover is None and estimate.total_time_s < m3_runtime:
+            crossover = instances
+
+    return ScalingResult(rows=rows, m3_runtime_s=m3_runtime, crossover_instances=crossover)

@@ -1,0 +1,57 @@
+"""§3.1 finding 1: M3 is I/O bound (disk ≈100 %, CPU ≈13 %).
+
+This experiment replays the 190 GB logistic-regression workload in the
+virtual-memory simulator and reports disk and CPU utilisation for a range of
+dataset sizes, showing the transition from (partially) CPU-bound while the
+data fits in RAM to fully I/O-bound once it does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bench.m3_model import M3RuntimeModel, M3Workload
+from repro.bench.workloads import FULL_DATASET_GB, dataset_bytes_for_gb
+from repro.profiling.report import UtilizationReport
+
+
+@dataclass
+class UtilizationRow:
+    """Utilisation of one simulated run."""
+
+    size_gb: float
+    disk_utilization: float
+    cpu_utilization: float
+    io_bound: bool
+    wall_time_s: float
+
+
+def run_utilization_experiment(
+    sizes_gb: Sequence[float] = (10, FULL_DATASET_GB),
+    model: Optional[M3RuntimeModel] = None,
+    workload: Optional[M3Workload] = None,
+) -> List[UtilizationRow]:
+    """Measure simulated disk/CPU utilisation for each dataset size."""
+    runtime_model = model or M3RuntimeModel()
+    lr_workload = workload or runtime_model.logistic_regression_workload()
+
+    rows: List[UtilizationRow] = []
+    for size_gb in sizes_gb:
+        estimate = runtime_model.estimate(lr_workload, dataset_bytes_for_gb(size_gb))
+        report = UtilizationReport(
+            wall_time_s=estimate.wall_time_s,
+            disk_utilization=estimate.disk_utilization,
+            cpu_utilization=estimate.cpu_utilization,
+            bytes_read=estimate.bytes_read,
+        )
+        rows.append(
+            UtilizationRow(
+                size_gb=float(size_gb),
+                disk_utilization=report.disk_utilization,
+                cpu_utilization=report.cpu_utilization,
+                io_bound=report.io_bound,
+                wall_time_s=report.wall_time_s,
+            )
+        )
+    return rows

@@ -1,0 +1,188 @@
+"""Command-line interface.
+
+``python -m repro`` (or the installed ``m3`` script) exposes the main
+reproduction entry points:
+
+* ``m3 generate`` — materialise an Infimnist-style dataset file.
+* ``m3 train`` — train logistic regression or k-means on a memory-mapped
+  dataset file (the quickstart workflow).
+* ``m3 figure1a`` / ``m3 figure1b`` / ``m3 table1`` / ``m3 utilization`` —
+  regenerate the paper's figures and table as plain-text tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.data.writers import write_infimnist_dataset
+
+    header = write_infimnist_dataset(
+        args.output,
+        num_examples=args.examples,
+        seed=args.seed,
+        chunk_rows=args.chunk_rows,
+    )
+    print(
+        f"wrote {header.rows} x {header.cols} ({header.file_bytes / 1e6:.1f} MB) "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import open_dataset
+    from repro.ml import KMeans, LogisticRegression, SoftmaxRegression
+    from repro.profiling.timer import Stopwatch
+
+    X, y = open_dataset(args.dataset)
+    watch = Stopwatch()
+    if args.algorithm == "logistic":
+        labels = np.asarray(y)
+        if np.unique(labels).shape[0] > 2:
+            model = SoftmaxRegression(max_iterations=args.iterations)
+        else:
+            model = LogisticRegression(max_iterations=args.iterations)
+        with watch.measure("train"):
+            model.fit(X, labels)
+        accuracy = model.score(X, labels)
+        print(f"trained in {watch.total('train'):.2f}s, training accuracy {accuracy:.3f}")
+    else:
+        model = KMeans(n_clusters=args.clusters, max_iterations=args.iterations, seed=0)
+        with watch.measure("train"):
+            model.fit(X)
+        print(
+            f"trained in {watch.total('train'):.2f}s, inertia {model.inertia_:.4g}, "
+            f"{model.n_iter_} iterations"
+        )
+    return 0
+
+
+def _cmd_figure1a(args: argparse.Namespace) -> int:
+    from repro.bench.figure1a import run_figure1a
+    from repro.bench.reporting import format_table
+
+    result = run_figure1a(sizes_gb=args.sizes)
+    print(
+        format_table(
+            result.rows,
+            columns=["size_gb", "runtime_s", "fits_in_ram", "disk_utilization", "cpu_utilization"],
+            title="Figure 1a — M3 runtime vs dataset size (LR, 10 L-BFGS iterations)",
+        )
+    )
+    print(
+        f"\nin-RAM slope: {result.model.in_ram_slope * 1e9:.2f} s/GB, "
+        f"out-of-core slope: {result.model.out_of_core_slope * 1e9:.2f} s/GB, "
+        f"slowdown factor {result.model.slowdown_factor:.2f}, "
+        f"piecewise-linear R^2 {result.linearity_r2():.4f}"
+    )
+    return 0
+
+
+def _cmd_figure1b(args: argparse.Namespace) -> int:
+    from repro.bench.figure1b import run_figure1b
+    from repro.bench.reporting import format_table
+
+    result = run_figure1b(dataset_gb=args.size)
+    print(
+        format_table(
+            result.rows,
+            columns=["workload", "system", "runtime_s", "paper_runtime_s"],
+            title=f"Figure 1b — M3 vs Spark ({args.size:.0f} GB dataset)",
+        )
+    )
+    for workload in ("logistic_regression", "kmeans"):
+        print(
+            f"\n{workload}: 4x Spark / M3 = {result.speedup_over(workload, '4x Spark'):.2f}, "
+            f"8x Spark / M3 = {result.speedup_over(workload, '8x Spark'):.2f}"
+        )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.bench.table1 import run_table1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(args.workdir) if args.workdir else Path(tmp)
+        result = run_table1(workdir)
+    print("Table 1 — transparency of M3")
+    print(f"  lines changed:            {result.lines_changed} of {result.total_lines}")
+    print(f"  max coefficient delta:    {result.max_coef_difference:.2e}")
+    print(f"  predictions identical:    {result.predictions_identical}")
+    print(f"  in-memory accuracy:       {result.in_memory_accuracy:.4f}")
+    print(f"  memory-mapped accuracy:   {result.mmap_accuracy:.4f}")
+    return 0
+
+
+def _cmd_utilization(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import format_table
+    from repro.bench.utilization import run_utilization_experiment
+
+    rows = run_utilization_experiment(sizes_gb=args.sizes)
+    print(
+        format_table(
+            rows,
+            columns=["size_gb", "disk_utilization", "cpu_utilization", "io_bound", "wall_time_s"],
+            title="Resource utilisation (simulated M3 machine)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="m3",
+        description="Reproduction of 'M3: Scaling Up Machine Learning via Memory Mapping'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate an Infimnist-style dataset file")
+    generate.add_argument("output", type=Path, help="output .m3 file")
+    generate.add_argument("--examples", type=int, default=10000, help="number of images")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--chunk-rows", type=int, default=1024)
+    generate.set_defaults(func=_cmd_generate)
+
+    train = sub.add_parser("train", help="train a model on a memory-mapped dataset")
+    train.add_argument("dataset", type=Path, help="an .m3 dataset file with labels")
+    train.add_argument("--algorithm", choices=["logistic", "kmeans"], default="logistic")
+    train.add_argument("--iterations", type=int, default=10)
+    train.add_argument("--clusters", type=int, default=5)
+    train.set_defaults(func=_cmd_train)
+
+    figure1a = sub.add_parser("figure1a", help="regenerate Figure 1a (runtime vs size)")
+    figure1a.add_argument("--sizes", type=float, nargs="+", default=[10, 40, 70, 100, 130, 160, 190])
+    figure1a.set_defaults(func=_cmd_figure1a)
+
+    figure1b = sub.add_parser("figure1b", help="regenerate Figure 1b (M3 vs Spark)")
+    figure1b.add_argument("--size", type=float, default=190.0, help="dataset size in GB")
+    figure1b.set_defaults(func=_cmd_figure1b)
+
+    table1 = sub.add_parser("table1", help="run the Table 1 transparency experiment")
+    table1.add_argument("--workdir", type=Path, default=None)
+    table1.set_defaults(func=_cmd_table1)
+
+    utilization = sub.add_parser("utilization", help="report simulated disk/CPU utilisation")
+    utilization.add_argument("--sizes", type=float, nargs="+", default=[10, 190])
+    utilization.set_defaults(func=_cmd_utilization)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

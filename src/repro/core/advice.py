@@ -1,0 +1,78 @@
+"""Access advice — the M3 analogue of ``madvise``.
+
+The paper notes that "the operating system has access to a variety of internal
+statistics on how the mapped data is being used, [so] the access to such data
+can be further optimized ... via methods including least recent used caching
+and read-ahead".  On a real system the application can help with
+``madvise(MADV_SEQUENTIAL / MADV_RANDOM / MADV_WILLNEED / MADV_DONTNEED)``.
+
+:class:`AccessAdvice` captures those hints in a portable way.  When an
+:class:`~repro.core.mmap_matrix.MmapMatrix` is backed by a real file we apply
+them with :func:`mmap.mmap.madvise` where the platform supports it; when the
+matrix is attached to the virtual-memory *simulator* the advice selects the
+corresponding read-ahead policy so that simulated and real behaviour stay in
+step.
+"""
+
+from __future__ import annotations
+
+import enum
+import mmap as _mmap
+from typing import Optional
+
+from repro.vmem.readahead import AdaptiveReadAhead, FixedReadAhead, NoReadAhead, ReadAheadPolicy
+
+
+class AccessAdvice(str, enum.Enum):
+    """Portable access-pattern hints."""
+
+    NORMAL = "normal"
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+    WILLNEED = "willneed"
+    DONTNEED = "dontneed"
+
+    def to_madvise_flag(self) -> Optional[int]:
+        """The ``MADV_*`` constant for this advice, or ``None`` if unavailable."""
+        names = {
+            AccessAdvice.NORMAL: "MADV_NORMAL",
+            AccessAdvice.SEQUENTIAL: "MADV_SEQUENTIAL",
+            AccessAdvice.RANDOM: "MADV_RANDOM",
+            AccessAdvice.WILLNEED: "MADV_WILLNEED",
+            AccessAdvice.DONTNEED: "MADV_DONTNEED",
+        }
+        return getattr(_mmap, names[self], None)
+
+    def to_readahead_policy(self) -> ReadAheadPolicy:
+        """The simulator read-ahead policy corresponding to this advice.
+
+        * sequential / willneed → aggressive fixed read-ahead,
+        * normal → Linux-like adaptive read-ahead,
+        * random / dontneed → no read-ahead.
+        """
+        if self in (AccessAdvice.SEQUENTIAL, AccessAdvice.WILLNEED):
+            return FixedReadAhead(window=32)
+        if self is AccessAdvice.NORMAL:
+            return AdaptiveReadAhead()
+        return NoReadAhead()
+
+
+def apply_advice(buffer: memoryview, advice: AccessAdvice) -> bool:
+    """Best-effort ``madvise`` on a real mapped buffer.
+
+    Returns ``True`` if the advice was applied, ``False`` if the platform (or
+    the buffer) does not support it.  Failure is never an error: advice is a
+    hint, and M3 works correctly (just possibly slower) without it.
+    """
+    flag = advice.to_madvise_flag()
+    if flag is None:
+        return False
+    base = getattr(buffer, "obj", None)
+    madvise = getattr(base, "madvise", None)
+    if madvise is None:
+        return False
+    try:
+        madvise(flag)
+    except (OSError, ValueError):
+        return False
+    return True

@@ -1,0 +1,177 @@
+"""The M3 facade: create, open and memory-map datasets with one call each.
+
+The facade exists so that user code reads like Table 1 of the paper — one
+helper call replaces the in-memory constructor, and everything downstream is
+unchanged:
+
+.. code-block:: python
+
+    import repro.core as m3
+    from repro.ml import LogisticRegression
+
+    X, y = m3.open_dataset("infimnist_10gb.m3")     # memory mapped, any size
+    model = LogisticRegression(max_iterations=10).fit(X, y)   # unchanged code
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.advice import AccessAdvice
+from repro.core.allocator import mmap_alloc
+from repro.core.config import M3Config
+from repro.core.mmap_matrix import MmapMatrix
+from repro.data.formats import (
+    HEADER_SIZE,
+    create_binary_matrix,
+    open_binary_matrix,
+    read_binary_matrix_header,
+    write_binary_matrix,
+)
+from repro.vmem.trace import AccessTrace
+
+
+class M3:
+    """High-level entry point for memory-mapped machine learning.
+
+    Parameters
+    ----------
+    config:
+        Runtime configuration; see :class:`~repro.core.config.M3Config`.
+    """
+
+    def __init__(self, config: Optional[M3Config] = None) -> None:
+        self.config = config or M3Config()
+        self.last_trace: Optional[AccessTrace] = None
+
+    # -- dataset creation ------------------------------------------------------
+
+    def create_dataset(
+        self,
+        path: Union[str, Path],
+        data: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+    ) -> Path:
+        """Write an in-memory matrix (and optional labels) to an M3 dataset file."""
+        path = Path(path)
+        write_binary_matrix(path, data, labels)
+        return path
+
+    def create_empty_dataset(
+        self,
+        path: Union[str, Path],
+        rows: int,
+        cols: int,
+        dtype: Union[str, np.dtype] = np.float64,
+        with_labels: bool = False,
+    ) -> Path:
+        """Create a (sparse) dataset file to be filled by an out-of-core writer."""
+        path = Path(path)
+        create_binary_matrix(path, rows, cols, dtype, with_labels)
+        return path
+
+    # -- dataset opening -------------------------------------------------------
+
+    def open_dataset(
+        self,
+        path: Union[str, Path],
+        mode: Optional[str] = None,
+        advice: Optional[AccessAdvice] = None,
+        record_trace: Optional[bool] = None,
+    ) -> Tuple[MmapMatrix, Optional[np.ndarray]]:
+        """Open an M3 dataset file as ``(matrix, labels)``.
+
+        The matrix is an :class:`~repro.core.mmap_matrix.MmapMatrix` backed by
+        ``numpy.memmap``; labels (if present in the file) are returned as a
+        memory-mapped int64 vector.
+        """
+        path = Path(path)
+        mode = mode or self.config.mode
+        advice = advice or self.config.default_advice
+        record = self.config.record_traces if record_trace is None else record_trace
+
+        data, labels, header = open_binary_matrix(path, mode=mode)
+        trace: Optional[AccessTrace] = None
+        if record:
+            trace = AccessTrace(description=f"open_dataset({path.name})")
+            self.last_trace = trace
+        matrix = MmapMatrix(
+            data,
+            source_path=path,
+            advice=advice,
+            trace=trace,
+            data_offset=HEADER_SIZE,
+        )
+        return matrix, labels
+
+    def load_matrix(
+        self,
+        path: Union[str, Path],
+        shape: Optional[Tuple[int, int]] = None,
+        dtype: Union[str, np.dtype] = np.float64,
+        mode: Optional[str] = None,
+        advice: Optional[AccessAdvice] = None,
+        record_trace: Optional[bool] = None,
+    ) -> MmapMatrix:
+        """Memory-map a matrix file.
+
+        If ``shape`` is omitted the file must be in M3 binary format (the
+        header supplies the geometry); with an explicit ``shape`` any raw
+        binary file of the right size can be mapped — the direct analogue of
+        the paper's ``mmapAlloc(file, rows * cols)``.
+        """
+        path = Path(path)
+        mode = mode or self.config.mode
+        advice = advice or self.config.default_advice
+        record = self.config.record_traces if record_trace is None else record_trace
+        trace: Optional[AccessTrace] = None
+        if record:
+            trace = AccessTrace(description=f"load_matrix({path.name})")
+            self.last_trace = trace
+
+        if shape is None:
+            data, _, _header = open_binary_matrix(path, mode=mode)
+            return MmapMatrix(
+                data, source_path=path, advice=advice, trace=trace, data_offset=HEADER_SIZE
+            )
+        backing = mmap_alloc(path, shape, dtype=dtype, mode=mode)
+        return MmapMatrix(backing, source_path=path, advice=advice, trace=trace)
+
+    # -- introspection ---------------------------------------------------------
+
+    def dataset_info(self, path: Union[str, Path]) -> dict:
+        """Return the parsed header of a dataset file as a dictionary."""
+        header = read_binary_matrix_header(path)
+        return {
+            "rows": header.rows,
+            "cols": header.cols,
+            "dtype": str(header.dtype),
+            "has_labels": header.has_labels,
+            "data_bytes": header.data_bytes,
+            "file_bytes": header.file_bytes,
+        }
+
+
+_DEFAULT = M3()
+
+
+def create_dataset(
+    path: Union[str, Path], data: np.ndarray, labels: Optional[np.ndarray] = None
+) -> Path:
+    """Module-level convenience wrapper around :meth:`M3.create_dataset`."""
+    return _DEFAULT.create_dataset(path, data, labels)
+
+
+def open_dataset(
+    path: Union[str, Path], mode: Optional[str] = None, **kwargs
+) -> Tuple[MmapMatrix, Optional[np.ndarray]]:
+    """Module-level convenience wrapper around :meth:`M3.open_dataset`."""
+    return _DEFAULT.open_dataset(path, mode=mode, **kwargs)
+
+
+def load_matrix(path: Union[str, Path], **kwargs) -> MmapMatrix:
+    """Module-level convenience wrapper around :meth:`M3.load_matrix`."""
+    return _DEFAULT.load_matrix(path, **kwargs)

@@ -1,0 +1,115 @@
+"""A small on-disk dataset catalog.
+
+The benchmark harness generates many dataset files (different sizes for the
+Figure 1a sweep, train/test splits for the examples).  The catalog keeps a
+JSON manifest next to the data files recording what each one is — shape,
+dtype, generator seed, on-disk size — so runs can be reproduced and files can
+be reused rather than regenerated.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+
+@dataclass
+class DatasetEntry:
+    """Catalog record for a single dataset file."""
+
+    name: str
+    path: str
+    rows: int
+    cols: int
+    dtype: str
+    size_bytes: int
+    seed: int = 0
+    description: str = ""
+
+    @property
+    def size_gib(self) -> float:
+        """On-disk size in GiB."""
+        return self.size_bytes / (1024 ** 3)
+
+
+class DatasetCatalog:
+    """JSON-backed manifest of generated dataset files.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the data files and the ``catalog.json`` manifest.
+    """
+
+    MANIFEST_NAME = "catalog.json"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._entries: Dict[str, DatasetEntry] = {}
+        self._load()
+
+    @property
+    def manifest_path(self) -> Path:
+        """Path of the JSON manifest."""
+        return self.root / self.MANIFEST_NAME
+
+    def _load(self) -> None:
+        if not self.manifest_path.exists():
+            return
+        payload = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        for record in payload.get("datasets", []):
+            entry = DatasetEntry(**record)
+            self._entries[entry.name] = entry
+
+    def _save(self) -> None:
+        payload = {"datasets": [asdict(entry) for entry in self._entries.values()]}
+        self.manifest_path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+    # -- CRUD ------------------------------------------------------------------
+
+    def add(self, entry: DatasetEntry, overwrite: bool = False) -> None:
+        """Register a dataset; refuses to overwrite unless ``overwrite``."""
+        if entry.name in self._entries and not overwrite:
+            raise KeyError(f"dataset {entry.name!r} already registered")
+        self._entries[entry.name] = entry
+        self._save()
+
+    def get(self, name: str) -> DatasetEntry:
+        """Look up a dataset by name; raises ``KeyError`` if absent."""
+        return self._entries[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[DatasetEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def remove(self, name: str, delete_file: bool = False) -> None:
+        """Unregister a dataset and optionally delete its file."""
+        entry = self._entries.pop(name, None)
+        if entry is None:
+            raise KeyError(f"dataset {name!r} is not registered")
+        if delete_file:
+            path = Path(entry.path)
+            if path.exists():
+                path.unlink()
+        self._save()
+
+    def resolve_path(self, name: str) -> Path:
+        """Absolute path of a registered dataset's file."""
+        return Path(self.get(name).path)
+
+    def find_existing(self, name: str) -> Optional[DatasetEntry]:
+        """Return the entry if registered *and* its file exists, else ``None``."""
+        entry = self._entries.get(name)
+        if entry is None:
+            return None
+        if not Path(entry.path).exists():
+            return None
+        return entry

@@ -1,0 +1,158 @@
+"""Pseudo-random deformations and translations of digit images.
+
+Infimnist derives an infinite supply of images by applying pseudo-random
+elastic deformations and translations to MNIST digits.  We mirror that recipe
+on our procedural glyphs: each generated example is produced from the digit's
+canonical template by
+
+1. a small random translation (±3 pixels in each axis),
+2. a smooth random displacement field ("elastic" deformation),
+3. a small random rotation and scale jitter,
+4. additive pixel noise.
+
+All randomness is driven by a seed derived deterministically from the example
+index, so example *i* is always the same image — exactly the property that
+makes Infimnist an "infinite supply" that can be indexed rather than stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.digits import IMAGE_SIZE
+
+
+@dataclass(frozen=True)
+class DeformationParams:
+    """Strengths of each deformation component.
+
+    Attributes
+    ----------
+    max_translation:
+        Maximum absolute translation in pixels along each axis.
+    elastic_alpha:
+        Amplitude of the elastic displacement field, in pixels.
+    elastic_sigma:
+        Smoothing radius of the displacement field, in pixels.
+    max_rotation_deg:
+        Maximum absolute rotation in degrees.
+    scale_jitter:
+        Maximum relative scale change (0.1 = ±10 %).
+    noise_std:
+        Standard deviation of the additive Gaussian pixel noise.
+    """
+
+    max_translation: int = 3
+    elastic_alpha: float = 2.5
+    elastic_sigma: float = 4.0
+    max_rotation_deg: float = 12.0
+    scale_jitter: float = 0.10
+    noise_std: float = 0.03
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-range parameters."""
+        if self.max_translation < 0:
+            raise ValueError("max_translation must be non-negative")
+        if self.elastic_sigma <= 0:
+            raise ValueError("elastic_sigma must be positive")
+        if not 0 <= self.scale_jitter < 1:
+            raise ValueError("scale_jitter must be in [0, 1)")
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+
+
+def _smooth_field(field: np.ndarray, sigma: float) -> np.ndarray:
+    """Smooth a random field with repeated box blurs approximating a Gaussian."""
+    passes = max(1, int(round(sigma)))
+    result = field
+    for _ in range(min(passes, 8)):
+        padded = np.pad(result, 1, mode="edge")
+        result = (
+            padded[:-2, 1:-1] + padded[2:, 1:-1] + padded[1:-1, :-2]
+            + padded[1:-1, 2:] + padded[1:-1, 1:-1]
+        ) / 5.0
+    return result
+
+
+def _bilinear_sample(image: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Sample ``image`` at fractional coordinates with bilinear interpolation."""
+    size = image.shape[0]
+    rows = np.clip(rows, 0.0, size - 1.0)
+    cols = np.clip(cols, 0.0, size - 1.0)
+    r0 = np.floor(rows).astype(np.intp)
+    c0 = np.floor(cols).astype(np.intp)
+    r1 = np.minimum(r0 + 1, size - 1)
+    c1 = np.minimum(c0 + 1, size - 1)
+    fr = rows - r0
+    fc = cols - c0
+    top = image[r0, c0] * (1 - fc) + image[r0, c1] * fc
+    bottom = image[r1, c0] * (1 - fc) + image[r1, c1] * fc
+    return top * (1 - fr) + bottom * fr
+
+
+def deform_image(
+    image: np.ndarray,
+    rng: np.random.Generator,
+    params: DeformationParams = DeformationParams(),
+) -> np.ndarray:
+    """Apply a pseudo-random deformation to a 28×28 image.
+
+    Parameters
+    ----------
+    image:
+        The source image, shape ``(28, 28)``, values in [0, 1].
+    rng:
+        NumPy random generator driving every random choice (so the result is
+        fully determined by the generator's state).
+    params:
+        Deformation strengths.
+
+    Returns
+    -------
+    numpy.ndarray
+        The deformed image, same shape, values clipped to [0, 1].
+    """
+    if image.shape != (IMAGE_SIZE, IMAGE_SIZE):
+        raise ValueError(f"expected a {IMAGE_SIZE}x{IMAGE_SIZE} image, got {image.shape}")
+    params.validate()
+
+    size = IMAGE_SIZE
+    grid_rows, grid_cols = np.meshgrid(np.arange(size), np.arange(size), indexing="ij")
+    grid_rows = grid_rows.astype(np.float64)
+    grid_cols = grid_cols.astype(np.float64)
+    centre = (size - 1) / 2.0
+
+    # 1. Rotation + scale about the image centre (inverse mapping).
+    angle = np.deg2rad(rng.uniform(-params.max_rotation_deg, params.max_rotation_deg))
+    scale = 1.0 + rng.uniform(-params.scale_jitter, params.scale_jitter)
+    cos_a, sin_a = np.cos(angle), np.sin(angle)
+    rel_r = grid_rows - centre
+    rel_c = grid_cols - centre
+    src_rows = (cos_a * rel_r + sin_a * rel_c) / scale + centre
+    src_cols = (-sin_a * rel_r + cos_a * rel_c) / scale + centre
+
+    # 2. Translation.
+    if params.max_translation > 0:
+        dr = rng.integers(-params.max_translation, params.max_translation + 1)
+        dc = rng.integers(-params.max_translation, params.max_translation + 1)
+    else:
+        dr = dc = 0
+    src_rows = src_rows - dr
+    src_cols = src_cols - dc
+
+    # 3. Elastic displacement field.
+    if params.elastic_alpha > 0:
+        disp_r = _smooth_field(rng.uniform(-1, 1, (size, size)), params.elastic_sigma)
+        disp_c = _smooth_field(rng.uniform(-1, 1, (size, size)), params.elastic_sigma)
+        src_rows = src_rows + params.elastic_alpha * disp_r
+        src_cols = src_cols + params.elastic_alpha * disp_c
+
+    deformed = _bilinear_sample(image, src_rows, src_cols)
+
+    # 4. Pixel noise.
+    if params.noise_std > 0:
+        deformed = deformed + rng.normal(0.0, params.noise_std, deformed.shape)
+
+    return np.clip(deformed, 0.0, 1.0)

@@ -1,0 +1,98 @@
+"""Procedural digit glyphs.
+
+MNIST images are 28×28 grayscale pictures of handwritten digits.  Without the
+original dataset available offline, we rasterise each digit 0–9 from a simple
+7×5 bitmap font, upscale it to 20×20 with smoothing, and centre it on a 28×28
+canvas — the same geometry as MNIST (digits occupy a centred 20×20 box).  The
+glyphs are crude compared with handwriting, but combined with the pseudo-random
+deformations in :mod:`repro.data.deformations` they give ten visually distinct,
+learnable classes, which is all the paper's runtime experiments require.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+IMAGE_SIZE = 28
+"""Width and height of a digit image in pixels."""
+
+GLYPH_BOX = 20
+"""Size of the box the glyph occupies within the 28x28 canvas."""
+
+#: 7-row × 5-column bitmap font for digits 0–9.  ``#`` marks an "on" pixel.
+_FONT = {
+    0: ["#####", "#...#", "#...#", "#...#", "#...#", "#...#", "#####"],
+    1: ["..#..", ".##..", "..#..", "..#..", "..#..", "..#..", ".###."],
+    2: ["#####", "....#", "....#", "#####", "#....", "#....", "#####"],
+    3: ["#####", "....#", "....#", "#####", "....#", "....#", "#####"],
+    4: ["#...#", "#...#", "#...#", "#####", "....#", "....#", "....#"],
+    5: ["#####", "#....", "#....", "#####", "....#", "....#", "#####"],
+    6: ["#####", "#....", "#....", "#####", "#...#", "#...#", "#####"],
+    7: ["#####", "....#", "...#.", "..#..", "..#..", ".#...", ".#..."],
+    8: ["#####", "#...#", "#...#", "#####", "#...#", "#...#", "#####"],
+    9: ["#####", "#...#", "#...#", "#####", "....#", "....#", "#####"],
+}
+
+
+def _bitmap(digit: int) -> np.ndarray:
+    """Return the 7×5 float bitmap for ``digit``."""
+    rows = _FONT[digit]
+    return np.array([[1.0 if ch == "#" else 0.0 for ch in row] for row in rows], dtype=np.float64)
+
+
+def _upscale(bitmap: np.ndarray, target: int) -> np.ndarray:
+    """Nearest-neighbour upscale ``bitmap`` into a ``target``×``target`` box."""
+    rows, cols = bitmap.shape
+    row_idx = (np.arange(target) * rows // target).clip(0, rows - 1)
+    col_idx = (np.arange(target) * cols // target).clip(0, cols - 1)
+    return bitmap[np.ix_(row_idx, col_idx)]
+
+
+def _smooth(image: np.ndarray, passes: int = 1) -> np.ndarray:
+    """Box-blur ``image`` to soften the hard bitmap edges (stroke-like look)."""
+    result = image
+    for _ in range(passes):
+        padded = np.pad(result, 1, mode="edge")
+        result = (
+            padded[:-2, :-2] + padded[:-2, 1:-1] + padded[:-2, 2:]
+            + padded[1:-1, :-2] + padded[1:-1, 1:-1] + padded[1:-1, 2:]
+            + padded[2:, :-2] + padded[2:, 1:-1] + padded[2:, 2:]
+        ) / 9.0
+    return result
+
+
+def _render_template(digit: int) -> np.ndarray:
+    """Render the canonical 28×28 glyph for ``digit`` with values in [0, 1]."""
+    glyph = _upscale(_bitmap(digit), GLYPH_BOX)
+    glyph = _smooth(glyph, passes=2)
+    peak = glyph.max()
+    if peak > 0:
+        glyph = glyph / peak
+    canvas = np.zeros((IMAGE_SIZE, IMAGE_SIZE), dtype=np.float64)
+    margin = (IMAGE_SIZE - GLYPH_BOX) // 2
+    canvas[margin : margin + GLYPH_BOX, margin : margin + GLYPH_BOX] = glyph
+    return canvas
+
+
+#: Canonical 28×28 glyph for every digit, values in [0, 1].
+DIGIT_TEMPLATES: Dict[int, np.ndarray] = {digit: _render_template(digit) for digit in range(10)}
+
+
+def render_digit(digit: int) -> np.ndarray:
+    """Return a copy of the canonical 28×28 glyph for ``digit``.
+
+    Parameters
+    ----------
+    digit:
+        The digit class, 0–9.
+
+    Raises
+    ------
+    ValueError
+        If ``digit`` is outside 0–9.
+    """
+    if digit not in DIGIT_TEMPLATES:
+        raise ValueError(f"digit must be in 0..9, got {digit}")
+    return DIGIT_TEMPLATES[digit].copy()

@@ -1,0 +1,213 @@
+"""The M3 binary matrix format.
+
+The central requirement of memory mapping is that the on-disk representation
+*is* the in-memory representation: a dense, row-major array of fixed-width
+elements with a small fixed-size header.  This module defines that format.
+
+Layout::
+
+    bytes 0..7     magic  b"M3MATRIX"
+    bytes 8..11    format version      (uint32, little endian)
+    bytes 12..15   dtype code length   (uint32) followed by the dtype string
+    bytes 16..31   dtype string        (padded with NULs to 16 bytes)
+    bytes 32..39   number of rows      (uint64)
+    bytes 40..47   number of columns   (uint64)
+    bytes 48..55   label column flag   (uint64; 1 if a label vector follows the
+                                        data matrix, 0 otherwise)
+    bytes 56..63   reserved            (uint64, zero)
+    bytes 64..     row-major data matrix, then (optionally) an int64 label
+                   vector of length ``rows``
+
+The 64-byte header keeps the data section 64-byte aligned, which is friendly
+to both the page cache and SIMD loads.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+MAGIC = b"M3MATRIX"
+FORMAT_VERSION = 1
+HEADER_SIZE = 64
+_HEADER_STRUCT = struct.Struct("<8sI I16s QQQQ")
+
+
+@dataclass(frozen=True)
+class BinaryMatrixHeader:
+    """Parsed header of an M3 binary matrix file."""
+
+    version: int
+    dtype: np.dtype
+    rows: int
+    cols: int
+    has_labels: bool
+
+    @property
+    def data_bytes(self) -> int:
+        """Size in bytes of the data matrix section."""
+        return self.rows * self.cols * self.dtype.itemsize
+
+    @property
+    def label_bytes(self) -> int:
+        """Size in bytes of the label section (0 if absent)."""
+        return self.rows * 8 if self.has_labels else 0
+
+    @property
+    def file_bytes(self) -> int:
+        """Expected total file size."""
+        return HEADER_SIZE + self.data_bytes + self.label_bytes
+
+    @property
+    def label_offset(self) -> int:
+        """Byte offset of the label vector within the file."""
+        return HEADER_SIZE + self.data_bytes
+
+
+def _pack_header(dtype: np.dtype, rows: int, cols: int, has_labels: bool) -> bytes:
+    dtype_str = np.dtype(dtype).str.encode("ascii")
+    if len(dtype_str) > 16:
+        raise ValueError(f"dtype string too long: {dtype_str!r}")
+    return _HEADER_STRUCT.pack(
+        MAGIC,
+        FORMAT_VERSION,
+        len(dtype_str),
+        dtype_str.ljust(16, b"\0"),
+        rows,
+        cols,
+        1 if has_labels else 0,
+        0,
+    )
+
+
+def read_binary_matrix_header(path: Union[str, Path]) -> BinaryMatrixHeader:
+    """Read and validate the header of an M3 binary matrix file."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        raw = handle.read(HEADER_SIZE)
+    if len(raw) < _HEADER_STRUCT.size:
+        raise ValueError(f"{path} is too small to be an M3 matrix file")
+    magic, version, dtype_len, dtype_raw, rows, cols, has_labels, _reserved = (
+        _HEADER_STRUCT.unpack(raw[: _HEADER_STRUCT.size])
+    )
+    if magic != MAGIC:
+        raise ValueError(f"{path} is not an M3 matrix file (bad magic {magic!r})")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported M3 matrix format version {version}")
+    dtype = np.dtype(dtype_raw[:dtype_len].decode("ascii"))
+    return BinaryMatrixHeader(
+        version=version,
+        dtype=dtype,
+        rows=rows,
+        cols=cols,
+        has_labels=bool(has_labels),
+    )
+
+
+def write_binary_matrix(
+    path: Union[str, Path],
+    data: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+) -> BinaryMatrixHeader:
+    """Write a dense matrix (and optional labels) to ``path`` in M3 format.
+
+    Parameters
+    ----------
+    path:
+        Destination file path.
+    data:
+        2-D array of shape ``(rows, cols)``.
+    labels:
+        Optional 1-D integer array of length ``rows``.
+    """
+    path = Path(path)
+    data = np.asarray(data)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D, got shape {data.shape}")
+    if labels is not None:
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (data.shape[0],):
+            raise ValueError(
+                f"labels must have shape ({data.shape[0]},), got {labels.shape}"
+            )
+    rows, cols = data.shape
+    header = _pack_header(data.dtype, rows, cols, labels is not None)
+    with path.open("wb") as handle:
+        handle.write(header.ljust(HEADER_SIZE, b"\0"))
+        handle.write(np.ascontiguousarray(data).tobytes())
+        if labels is not None:
+            handle.write(labels.tobytes())
+    return read_binary_matrix_header(path)
+
+
+def create_binary_matrix(
+    path: Union[str, Path],
+    rows: int,
+    cols: int,
+    dtype: Union[str, np.dtype] = np.float64,
+    with_labels: bool = False,
+) -> BinaryMatrixHeader:
+    """Create an (uninitialised) M3 matrix file of the given shape.
+
+    The file is created sparse where the filesystem supports it (only the
+    header is physically written, the rest is a hole), so "creating" a huge
+    dataset file is cheap; rows are filled in later by an
+    :class:`~repro.data.writers.OutOfCoreWriter` or by writing through a
+    memory map.
+    """
+    path = Path(path)
+    dtype = np.dtype(dtype)
+    if rows < 0 or cols <= 0:
+        raise ValueError(f"invalid shape ({rows}, {cols})")
+    header_bytes = _pack_header(dtype, rows, cols, with_labels)
+    total = HEADER_SIZE + rows * cols * dtype.itemsize + (rows * 8 if with_labels else 0)
+    with path.open("wb") as handle:
+        handle.write(header_bytes.ljust(HEADER_SIZE, b"\0"))
+        handle.truncate(total)
+    return read_binary_matrix_header(path)
+
+
+def open_binary_matrix(
+    path: Union[str, Path],
+    mode: str = "r",
+) -> Tuple[np.memmap, Optional[np.memmap], BinaryMatrixHeader]:
+    """Open an M3 matrix file as memory-mapped arrays.
+
+    Parameters
+    ----------
+    path:
+        The matrix file.
+    mode:
+        ``"r"`` (read-only), ``"r+"`` (read-write) or ``"c"`` (copy-on-write),
+        as accepted by :class:`numpy.memmap`.
+
+    Returns
+    -------
+    (data, labels, header):
+        ``data`` is a ``(rows, cols)`` memmap; ``labels`` is a ``(rows,)``
+        int64 memmap or ``None``; ``header`` is the parsed header.
+    """
+    path = Path(path)
+    header = read_binary_matrix_header(path)
+    data = np.memmap(
+        path,
+        dtype=header.dtype,
+        mode=mode,
+        offset=HEADER_SIZE,
+        shape=(header.rows, header.cols),
+        order="C",
+    )
+    labels: Optional[np.memmap] = None
+    if header.has_labels:
+        labels = np.memmap(
+            path,
+            dtype=np.int64,
+            mode=mode,
+            offset=header.label_offset,
+            shape=(header.rows,),
+        )
+    return data, labels, header

@@ -1,0 +1,93 @@
+"""Synthetic dataset generators used by tests, examples and ablations.
+
+These are self-contained equivalents of the scikit-learn helpers the project
+cannot depend on offline: Gaussian blobs for clustering, a linearly separable
+(with controllable noise) classification problem for logistic regression, and
+a low-rank matrix for PCA.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def make_blobs(
+    n_samples: int = 300,
+    n_features: int = 2,
+    centers: int = 3,
+    cluster_std: float = 1.0,
+    center_box: Tuple[float, float] = (-10.0, 10.0),
+    seed: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Generate isotropic Gaussian blobs for clustering.
+
+    Returns
+    -------
+    (X, y, centers):
+        ``X`` is ``(n_samples, n_features)``, ``y`` the integer blob index of
+        each sample, and ``centers`` the true blob centres.
+    """
+    if n_samples <= 0 or n_features <= 0 or centers <= 0:
+        raise ValueError("n_samples, n_features and centers must be positive")
+    if cluster_std <= 0:
+        raise ValueError("cluster_std must be positive")
+    rng = np.random.default_rng(seed)
+    true_centers = rng.uniform(center_box[0], center_box[1], size=(centers, n_features))
+    assignments = rng.integers(0, centers, size=n_samples)
+    noise = rng.normal(0.0, cluster_std, size=(n_samples, n_features))
+    X = true_centers[assignments] + noise
+    return X, assignments, true_centers
+
+
+def make_classification(
+    n_samples: int = 400,
+    n_features: int = 10,
+    n_classes: int = 2,
+    class_sep: float = 2.0,
+    noise: float = 1.0,
+    seed: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate a classification problem with Gaussian class-conditional data.
+
+    Each class gets a mean drawn on a sphere of radius ``class_sep``; samples
+    are that mean plus isotropic Gaussian noise.  With ``class_sep`` well above
+    ``noise`` the problem is nearly separable, which makes convergence of the
+    logistic-regression tests fast and deterministic.
+    """
+    if n_classes < 2:
+        raise ValueError("n_classes must be at least 2")
+    if n_samples < n_classes:
+        raise ValueError("need at least one sample per class")
+    rng = np.random.default_rng(seed)
+    directions = rng.normal(size=(n_classes, n_features))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    means = directions * class_sep
+    labels = rng.integers(0, n_classes, size=n_samples)
+    X = means[labels] + rng.normal(0.0, noise, size=(n_samples, n_features))
+    return X, labels
+
+
+def make_low_rank_matrix(
+    n_samples: int = 200,
+    n_features: int = 30,
+    effective_rank: int = 5,
+    noise: float = 0.01,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Generate a matrix whose singular values decay sharply after ``effective_rank``.
+
+    Used by the PCA tests: the leading ``effective_rank`` principal components
+    should capture almost all the variance.
+    """
+    if effective_rank <= 0 or effective_rank > min(n_samples, n_features):
+        raise ValueError("effective_rank must be in 1..min(n_samples, n_features)")
+    rng = np.random.default_rng(seed)
+    left = rng.normal(size=(n_samples, effective_rank))
+    right = rng.normal(size=(effective_rank, n_features))
+    scales = np.linspace(1.0, 0.1, effective_rank)
+    X = (left * scales) @ right
+    if noise > 0:
+        X = X + rng.normal(0.0, noise, size=X.shape)
+    return X

@@ -1,0 +1,152 @@
+"""Cluster and instance specifications.
+
+The paper's Spark experiments ran on Amazon EC2 m3.2xlarge instances (8 vCPUs
+— hyperthreads of Intel Xeon cores — 30 GB of memory, 2×80 GB SSD), created by
+Amazon Elastic MapReduce.  These dataclasses describe such machines so the
+cost model can reason about aggregate memory, cores and disk bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+GIB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """Hardware description of a single cluster instance.
+
+    Attributes
+    ----------
+    name:
+        Instance type name.
+    vcpus:
+        Number of virtual CPUs (hyperthreads).
+    memory_bytes:
+        RAM per instance.
+    executor_memory_bytes:
+        Memory actually available to the Spark executor for caching RDDs
+        (the JVM heap fraction Spark devotes to storage; well below the
+        physical RAM).
+    local_disk_bandwidth:
+        Aggregate sequential bandwidth of the instance's local SSDs (bytes/s).
+    network_bandwidth:
+        Network bandwidth per instance (bytes/s).
+    cpu_flops:
+        Effective double-precision floating point throughput per instance.
+    """
+
+    name: str
+    vcpus: int
+    memory_bytes: int
+    executor_memory_bytes: int
+    local_disk_bandwidth: float
+    network_bandwidth: float
+    cpu_flops: float
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for non-physical configurations."""
+        if self.vcpus <= 0:
+            raise ValueError("vcpus must be positive")
+        if self.memory_bytes <= 0 or self.executor_memory_bytes <= 0:
+            raise ValueError("memory sizes must be positive")
+        if self.executor_memory_bytes > self.memory_bytes:
+            raise ValueError("executor memory cannot exceed physical memory")
+        if min(self.local_disk_bandwidth, self.network_bandwidth, self.cpu_flops) <= 0:
+            raise ValueError("bandwidths and flops must be positive")
+
+
+#: The instance type used in the paper: m3.2xlarge (8 vCPU, 30 GB, 2×80 GB SSD).
+#: Executor storage memory reflects Spark 1.x defaults (~0.6 × 0.9 of a ~22 GB
+#: heap ≈ 12 GB usable for cached RDD partitions).
+EC2_M3_2XLARGE = InstanceSpec(
+    name="m3.2xlarge",
+    vcpus=8,
+    memory_bytes=30 * GIB,
+    executor_memory_bytes=12 * GIB,
+    local_disk_bandwidth=250e6,
+    network_bandwidth=125e6,  # ~1 Gbit/s effective
+    cpu_flops=40e9,
+)
+
+
+@dataclass
+class ClusterSpec:
+    """A homogeneous cluster of instances.
+
+    Attributes
+    ----------
+    instances:
+        Number of worker instances (the paper uses 4 and 8).
+    instance:
+        Per-instance hardware description.
+    name:
+        Optional label used in benchmark output (e.g. ``"4x Spark"``).
+    """
+
+    instances: int
+    instance: InstanceSpec = EC2_M3_2XLARGE
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.instances <= 0:
+            raise ValueError(f"instances must be positive, got {self.instances}")
+        self.instance.validate()
+        if not self.name:
+            self.name = f"{self.instances}x {self.instance.name}"
+
+    @property
+    def total_cores(self) -> int:
+        """Total vCPUs across the cluster."""
+        return self.instances * self.instance.vcpus
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """Total physical RAM across the cluster."""
+        return self.instances * self.instance.memory_bytes
+
+    @property
+    def total_executor_memory_bytes(self) -> int:
+        """Total RDD-cache memory across the cluster."""
+        return self.instances * self.instance.executor_memory_bytes
+
+    @property
+    def total_cpu_flops(self) -> float:
+        """Aggregate floating-point throughput across the cluster."""
+        return self.instances * self.instance.cpu_flops
+
+    @property
+    def aggregate_disk_bandwidth(self) -> float:
+        """Aggregate local-disk bandwidth across the cluster."""
+        return self.instances * self.instance.local_disk_bandwidth
+
+    def cache_fraction(self, dataset_bytes: int) -> float:
+        """Fraction of the dataset that fits in the cluster's RDD cache (0–1)."""
+        if dataset_bytes <= 0:
+            return 1.0
+        return min(1.0, self.total_executor_memory_bytes / dataset_bytes)
+
+
+def make_emr_cluster(instances: int, instance: InstanceSpec = EC2_M3_2XLARGE) -> ClusterSpec:
+    """Create a cluster spec labelled the way the paper labels them (``"4x Spark"``)."""
+    return ClusterSpec(instances=instances, instance=instance, name=f"{instances}x Spark")
+
+
+@dataclass
+class ClusterInventory:
+    """A collection of named clusters, used by the benchmark harness."""
+
+    clusters: List[ClusterSpec] = field(default_factory=list)
+
+    def add(self, cluster: ClusterSpec) -> None:
+        """Register a cluster."""
+        self.clusters.append(cluster)
+
+    def by_name(self, name: str) -> ClusterSpec:
+        """Look up a cluster by its label."""
+        for cluster in self.clusters:
+            if cluster.name == name:
+                return cluster
+        raise KeyError(f"no cluster named {name!r}")

@@ -1,0 +1,243 @@
+"""Analytic runtime model of Spark MLlib jobs on the paper's EC2 clusters.
+
+Figure 1b of the paper compares one memory-mapped PC against Spark clusters of
+4 and 8 m3.2xlarge instances.  We cannot run EC2, so this model predicts how
+long such a job takes from first principles, capturing the three mechanisms
+the paper (and the "Scalability! But at what cost?" work it cites) identify:
+
+1. **Per-record processing overhead.**  MLlib iterates over JVM row objects;
+   its per-core throughput is far below raw memory bandwidth.  The
+   ``per_core_bytes_per_s`` workload parameter captures this; defaults are
+   calibrated against the absolute runtimes printed in Figure 1b
+   (≈13 MB/s/core for L-BFGS logistic regression, ≈20 MB/s/core for k-means —
+   see EXPERIMENTS.md for the calibration).
+2. **The RAM cliff.**  A 4-instance cluster has 120 GB of aggregate RAM, so a
+   190 GB dataset cannot stay cached: every pass re-reads the overflow from
+   disk/HDFS.  An 8-instance cluster (240 GB) keeps essentially everything in
+   memory.  This is what makes 4-instance Spark disproportionately slower, and
+   is the exact cluster-side analogue of M3's in-RAM/out-of-core slope change.
+3. **Coordination overhead.**  Per-wave task launch latency and a
+   tree-aggregation of the model update every pass.
+
+The model is deterministic and intentionally simple; it reproduces the
+*shape* of Figure 1b (who wins and by roughly what factor), not exact seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.hdfs import HdfsConfig, HdfsModel
+from repro.distributed.shuffle import NetworkModel, ShuffleCost
+
+
+@dataclass(frozen=True)
+class SparkWorkload:
+    """Describes an iterative MLlib workload for the cost model.
+
+    Attributes
+    ----------
+    name:
+        Human-readable workload name.
+    dataset_bytes:
+        On-disk size of the training data (dense rows).
+    iterations:
+        Number of outer iterations (10 in the paper for both workloads).
+    passes_per_iteration:
+        Data passes per outer iteration (1.0 for k-means; >1 for L-BFGS when
+        the line search evaluates extra points).
+    model_bytes:
+        Size of the model/update aggregated each pass (weights for LR,
+        centroid sums for k-means).
+    per_core_bytes_per_s:
+        Effective per-core processing throughput of cached, deserialised data.
+    deserialization_bytes_per_s:
+        Per-core throughput of re-deserialising data that has to be re-read
+        from disk/HDFS (only paid for the uncached fraction).
+    """
+
+    name: str
+    dataset_bytes: int
+    iterations: int = 10
+    passes_per_iteration: float = 1.0
+    model_bytes: int = 8 * 785
+    per_core_bytes_per_s: float = 13e6
+    deserialization_bytes_per_s: float = 60e6
+
+    def __post_init__(self) -> None:
+        if self.dataset_bytes <= 0:
+            raise ValueError("dataset_bytes must be positive")
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if self.passes_per_iteration <= 0:
+            raise ValueError("passes_per_iteration must be positive")
+        if self.per_core_bytes_per_s <= 0 or self.deserialization_bytes_per_s <= 0:
+            raise ValueError("throughputs must be positive")
+
+    @property
+    def total_passes(self) -> float:
+        """Total data passes over the whole job."""
+        return self.iterations * self.passes_per_iteration
+
+    @classmethod
+    def logistic_regression(cls, dataset_bytes: int, iterations: int = 10,
+                            n_features: int = 784) -> "SparkWorkload":
+        """The paper's logistic-regression workload (10 iterations of L-BFGS)."""
+        return cls(
+            name="logistic-regression-lbfgs",
+            dataset_bytes=dataset_bytes,
+            iterations=iterations,
+            passes_per_iteration=1.25,
+            model_bytes=8 * (n_features + 1),
+            per_core_bytes_per_s=13e6,
+        )
+
+    @classmethod
+    def kmeans(cls, dataset_bytes: int, iterations: int = 10, n_clusters: int = 5,
+               n_features: int = 784) -> "SparkWorkload":
+        """The paper's k-means workload (10 iterations, 5 clusters)."""
+        return cls(
+            name="kmeans",
+            dataset_bytes=dataset_bytes,
+            iterations=iterations,
+            passes_per_iteration=1.0,
+            model_bytes=8 * n_clusters * (n_features + 1),
+            per_core_bytes_per_s=20e6,
+        )
+
+
+@dataclass
+class SparkJobEstimate:
+    """Breakdown of a predicted Spark job runtime (all values in seconds)."""
+
+    cluster_name: str
+    workload_name: str
+    total_time_s: float
+    compute_time_s: float
+    disk_time_s: float
+    deserialization_time_s: float
+    aggregation_time_s: float
+    scheduling_time_s: float
+    startup_time_s: float
+    cached_fraction: float
+
+    def breakdown(self) -> Dict[str, float]:
+        """Component times as a dictionary (for reports and tests)."""
+        return {
+            "compute_time_s": self.compute_time_s,
+            "disk_time_s": self.disk_time_s,
+            "deserialization_time_s": self.deserialization_time_s,
+            "aggregation_time_s": self.aggregation_time_s,
+            "scheduling_time_s": self.scheduling_time_s,
+            "startup_time_s": self.startup_time_s,
+        }
+
+
+@dataclass
+class SparkCostModel:
+    """Predicts iterative MLlib job runtimes on a given cluster.
+
+    Attributes
+    ----------
+    cluster:
+        The cluster to model.
+    hdfs:
+        HDFS configuration (block size governs the number of tasks).
+    network:
+        Network latency/overhead model for aggregations.
+    os_cache_fraction:
+        Fraction of each instance's physical RAM that can effectively hold
+        dataset pages (executor storage memory plus the OS page cache holding
+        HDFS blocks).  0.85 reflects the JVM + OS overheads on a 30 GB node.
+    task_launch_overhead_s:
+        Driver-side launch + result handling latency per task wave.
+    job_startup_s:
+        One-off job submission, executor launch and class-loading time.
+    """
+
+    cluster: ClusterSpec
+    hdfs: HdfsConfig = field(default_factory=HdfsConfig)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    os_cache_fraction: float = 0.85
+    task_launch_overhead_s: float = 0.015
+    job_startup_s: float = 20.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.os_cache_fraction <= 1.0:
+            raise ValueError("os_cache_fraction must be in (0, 1]")
+        if self.task_launch_overhead_s < 0 or self.job_startup_s < 0:
+            raise ValueError("overheads must be non-negative")
+
+    # -- helpers -----------------------------------------------------------
+
+    def usable_cache_bytes(self) -> int:
+        """Bytes of dataset the cluster can keep resident across passes."""
+        return int(self.cluster.total_memory_bytes * self.os_cache_fraction)
+
+    def cached_fraction(self, dataset_bytes: int) -> float:
+        """Fraction of the dataset that stays in cluster memory between passes."""
+        if dataset_bytes <= 0:
+            return 1.0
+        return min(1.0, self.usable_cache_bytes() / dataset_bytes)
+
+    def num_tasks(self, dataset_bytes: int) -> int:
+        """Tasks per pass (one per HDFS block, as Spark would create)."""
+        return max(1, -(-dataset_bytes // self.hdfs.block_size))
+
+    # -- estimation -----------------------------------------------------------
+
+    def estimate(self, workload: SparkWorkload) -> SparkJobEstimate:
+        """Predict the total runtime of ``workload`` on this cluster."""
+        dataset = workload.dataset_bytes
+        passes = workload.total_passes
+        cores = self.cluster.total_cores
+
+        cached = self.cached_fraction(dataset)
+        uncached_bytes = dataset * (1.0 - cached)
+
+        # 1. JVM record processing of every byte, every pass.
+        compute_per_pass = dataset / (cores * workload.per_core_bytes_per_s)
+
+        # 2. The uncached overflow is re-read from local disk / HDFS and
+        #    re-deserialised on every pass.
+        hdfs_model = HdfsModel(self.cluster, self.hdfs)
+        disk_per_pass = hdfs_model.scan_time_s(int(uncached_bytes))
+        deser_per_pass = uncached_bytes / (cores * workload.deserialization_bytes_per_s)
+
+        # 3. Coordination: task waves + one tree-aggregation per pass.
+        tasks = self.num_tasks(dataset)
+        slots = self.cluster.total_cores
+        waves = -(-tasks // slots)
+        scheduling_per_pass = waves * self.task_launch_overhead_s * (tasks / max(1, slots))
+        shuffle = ShuffleCost(self.cluster, self.network)
+        aggregation_per_pass = shuffle.aggregate_time_s(workload.model_bytes, tasks) + \
+            shuffle.broadcast_time_s(workload.model_bytes)
+
+        compute_time = passes * compute_per_pass
+        disk_time = passes * disk_per_pass
+        deser_time = passes * deser_per_pass
+        scheduling_time = passes * scheduling_per_pass
+        aggregation_time = passes * aggregation_per_pass
+
+        total = (
+            self.job_startup_s
+            + compute_time
+            + disk_time
+            + deser_time
+            + scheduling_time
+            + aggregation_time
+        )
+        return SparkJobEstimate(
+            cluster_name=self.cluster.name,
+            workload_name=workload.name,
+            total_time_s=total,
+            compute_time_s=compute_time,
+            disk_time_s=disk_time,
+            deserialization_time_s=deser_time,
+            aggregation_time_s=aggregation_time,
+            scheduling_time_s=scheduling_time,
+            startup_time_s=self.job_startup_s,
+            cached_fraction=cached,
+        )

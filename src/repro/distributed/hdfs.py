@@ -1,0 +1,96 @@
+"""A simple HDFS model.
+
+The paper stores the Spark datasets "on the cluster's HDFS".  For the cost
+model we need to know how long it takes a cluster to scan a dataset from HDFS:
+data is split into fixed-size blocks (128 MB by default), blocks are spread
+across the instances' local disks, most reads are node-local (Spark's locality
+scheduling), and the rest travel over the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.cluster import ClusterSpec
+
+
+@dataclass(frozen=True)
+class HdfsConfig:
+    """Static HDFS parameters.
+
+    Attributes
+    ----------
+    block_size:
+        HDFS block size in bytes (128 MB default, the Hadoop 2.x default).
+    replication:
+        Replication factor (3 is the HDFS default; EMR commonly uses 2 for
+        small clusters, but replication only affects writes in our workloads).
+    locality_fraction:
+        Fraction of block reads that are node-local (served from the local
+        disk rather than over the network).
+    read_overhead_s:
+        Fixed per-block open/seek overhead in seconds.
+    """
+
+    block_size: int = 128 * 1024 * 1024
+    replication: int = 3
+    locality_fraction: float = 0.95
+    read_overhead_s: float = 0.01
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-range parameters."""
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if self.replication <= 0:
+            raise ValueError("replication must be positive")
+        if not 0.0 <= self.locality_fraction <= 1.0:
+            raise ValueError("locality_fraction must be in [0, 1]")
+        if self.read_overhead_s < 0:
+            raise ValueError("read_overhead_s must be non-negative")
+
+
+class HdfsModel:
+    """Estimates scan and write times for a dataset stored on HDFS."""
+
+    def __init__(self, cluster: ClusterSpec, config: HdfsConfig = HdfsConfig()) -> None:
+        config.validate()
+        self.cluster = cluster
+        self.config = config
+
+    def num_blocks(self, dataset_bytes: int) -> int:
+        """Number of HDFS blocks occupied by ``dataset_bytes``."""
+        if dataset_bytes < 0:
+            raise ValueError("dataset_bytes must be non-negative")
+        return -(-dataset_bytes // self.config.block_size) if dataset_bytes else 0
+
+    def scan_time_s(self, dataset_bytes: int) -> float:
+        """Wall time for the whole cluster to read ``dataset_bytes`` once.
+
+        Local reads are limited by aggregate local-disk bandwidth, remote
+        reads by per-instance network bandwidth; the cluster reads blocks in
+        parallel so the slower of the two paths dominates the remainder.
+        """
+        if dataset_bytes <= 0:
+            return 0.0
+        local_bytes = dataset_bytes * self.config.locality_fraction
+        remote_bytes = dataset_bytes - local_bytes
+        disk_time = local_bytes / self.cluster.aggregate_disk_bandwidth
+        network_bandwidth = self.cluster.instances * self.cluster.instance.network_bandwidth
+        network_time = remote_bytes / network_bandwidth if remote_bytes > 0 else 0.0
+        overhead = self.num_blocks(dataset_bytes) * self.config.read_overhead_s / max(
+            1, self.cluster.instances
+        )
+        return disk_time + network_time + overhead
+
+    def write_time_s(self, dataset_bytes: int) -> float:
+        """Wall time to write ``dataset_bytes`` with replication.
+
+        Every byte is written locally once and replicated ``replication - 1``
+        times over the network.
+        """
+        if dataset_bytes <= 0:
+            return 0.0
+        disk_time = (dataset_bytes * self.config.replication) / self.cluster.aggregate_disk_bandwidth
+        network_bytes = dataset_bytes * max(0, self.config.replication - 1)
+        network_bandwidth = self.cluster.instances * self.cluster.instance.network_bandwidth
+        return disk_time + network_bytes / network_bandwidth

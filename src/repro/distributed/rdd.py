@@ -1,0 +1,206 @@
+"""A minimal RDD-style partitioned collection.
+
+Functionally faithful to the subset of the Spark API that MLlib's logistic
+regression and k-means need: a dataset is split into partitions, transformations
+are lazy per-partition functions, and actions (``collect``, ``reduce``,
+``aggregate``, ``tree_aggregate``) execute every partition through the
+:class:`~repro.distributed.scheduler.JobScheduler` and combine the results.
+
+The data lives in this process (there is no real cluster), but the execution
+structure — independent per-partition tasks followed by an aggregation — is
+the real one, which is what the cost model needs to account time against and
+what the correctness tests validate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, Iterable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.core.chunking import split_evenly
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+@dataclass
+class Partition(Generic[T]):
+    """One partition of an RDD: an index plus a thunk producing its rows."""
+
+    index: int
+    compute: Callable[[], T]
+
+    def materialize(self) -> T:
+        """Run the partition's compute function."""
+        return self.compute()
+
+
+class RDD(Generic[T]):
+    """A lazily evaluated, partitioned collection.
+
+    Parameters
+    ----------
+    partitions:
+        The partitions making up the collection.
+    scheduler:
+        Optional :class:`~repro.distributed.scheduler.JobScheduler`; when
+        omitted, actions run partitions serially in the driver (still correct,
+        just without per-task metrics).
+    """
+
+    def __init__(self, partitions: Sequence[Partition[T]], scheduler: Optional[Any] = None) -> None:
+        self._partitions = list(partitions)
+        self.scheduler = scheduler
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_matrix(
+        cls,
+        X: Any,
+        y: Optional[np.ndarray] = None,
+        num_partitions: int = 4,
+        scheduler: Optional[Any] = None,
+    ) -> "RDD[tuple]":
+        """Partition a matrix (and optional labels) into row-range partitions.
+
+        Each partition materialises to ``(X_part, y_part)`` where ``y_part``
+        is ``None`` when no labels were supplied.
+        """
+        if num_partitions <= 0:
+            raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+        n_rows = int(X.shape[0])
+        bounds = split_evenly(n_rows, num_partitions)
+
+        def make_compute(start: int, stop: int) -> Callable[[], tuple]:
+            def compute() -> tuple:
+                features = np.asarray(X[start:stop], dtype=np.float64)
+                labels = None if y is None else np.asarray(y[start:stop])
+                return features, labels
+
+            return compute
+
+        partitions = [
+            Partition(index=i, compute=make_compute(start, stop))
+            for i, (start, stop) in enumerate(bounds)
+        ]
+        return cls(partitions, scheduler=scheduler)
+
+    @classmethod
+    def from_iterable(
+        cls, items: Iterable[T], num_partitions: int = 4, scheduler: Optional[Any] = None
+    ) -> "RDD[List[T]]":
+        """Partition a plain Python iterable into roughly equal chunks."""
+        data = list(items)
+        bounds = split_evenly(len(data), num_partitions)
+
+        def make_compute(start: int, stop: int) -> Callable[[], List[T]]:
+            return lambda: data[start:stop]
+
+        partitions = [
+            Partition(index=i, compute=make_compute(start, stop))
+            for i, (start, stop) in enumerate(bounds)
+        ]
+        return cls(partitions, scheduler=scheduler)
+
+    # -- transformations (lazy) -------------------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions."""
+        return len(self._partitions)
+
+    def map_partitions(self, fn: Callable[[T], U]) -> "RDD[U]":
+        """Apply ``fn`` to every partition's materialised value (lazily)."""
+
+        def wrap(partition: Partition[T]) -> Partition[U]:
+            return Partition(index=partition.index, compute=lambda p=partition: fn(p.materialize()))
+
+        return RDD([wrap(p) for p in self._partitions], scheduler=self.scheduler)
+
+    # -- actions (eager) ----------------------------------------------------------
+
+    def _run(self) -> List[Any]:
+        """Materialise every partition, through the scheduler when present."""
+        if self.scheduler is not None:
+            return self.scheduler.run_stage(self._partitions)
+        return [partition.materialize() for partition in self._partitions]
+
+    def collect(self) -> List[Any]:
+        """Materialise and return every partition's value."""
+        return self._run()
+
+    def reduce(self, combine: Callable[[U, U], U]) -> U:
+        """Materialise all partitions and fold their values pairwise."""
+        results = self._run()
+        if not results:
+            raise ValueError("cannot reduce an empty RDD")
+        accumulator = results[0]
+        for value in results[1:]:
+            accumulator = combine(accumulator, value)
+        return accumulator
+
+    def aggregate(
+        self,
+        zero: U,
+        seq_op: Callable[[U, Any], U],
+        comb_op: Callable[[U, U], U],
+    ) -> U:
+        """Spark-style aggregate: fold each partition, then combine the folds."""
+        results = self._run()
+        partials = [seq_op(_copy_zero(zero), value) for value in results]
+        accumulator = _copy_zero(zero)
+        for partial in partials:
+            accumulator = comb_op(accumulator, partial)
+        return accumulator
+
+    def tree_aggregate(
+        self,
+        zero: U,
+        seq_op: Callable[[U, Any], U],
+        comb_op: Callable[[U, U], U],
+        depth: int = 2,
+    ) -> U:
+        """treeAggregate: combine partials in rounds of pairs (numerically it is
+        identical to :meth:`aggregate` for associative/commutative combiners,
+        but it mirrors what MLlib actually executes and what the shuffle model
+        charges for)."""
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        results = self._run()
+        partials = [seq_op(_copy_zero(zero), value) for value in results]
+        if not partials:
+            return zero
+        level = partials
+        while len(level) > 1:
+            next_level = []
+            for i in range(0, len(level), 2):
+                if i + 1 < len(level):
+                    next_level.append(comb_op(level[i], level[i + 1]))
+                else:
+                    next_level.append(level[i])
+            level = next_level
+        return level[0]
+
+    def count(self) -> int:
+        """Total number of rows across all partitions (for matrix RDDs)."""
+        total = 0
+        for value in self._run():
+            if isinstance(value, tuple):
+                total += int(np.asarray(value[0]).shape[0])
+            else:
+                total += len(value)
+        return total
+
+
+def _copy_zero(zero: Any) -> Any:
+    """Copy a zero value so aggregations never alias the caller's buffer."""
+    if isinstance(zero, np.ndarray):
+        return zero.copy()
+    if isinstance(zero, (list, dict, set)):
+        return type(zero)(zero)
+    if isinstance(zero, tuple):
+        return tuple(_copy_zero(item) for item in zero)
+    return zero

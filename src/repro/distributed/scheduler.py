@@ -1,0 +1,101 @@
+"""Stage/task scheduler for the mini Spark engine.
+
+The scheduler assigns partitions to executors round-robin (a stand-in for
+Spark's locality-aware assignment), executes them, and records per-stage
+metrics.  It also computes how many *waves* of tasks a stage needs — the
+quantity the cost model multiplies by per-task overhead when estimating real
+cluster runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.executor import Executor, TaskMetrics
+
+
+@dataclass
+class StageMetrics:
+    """Aggregate metrics for one executed stage."""
+
+    stage_id: int
+    num_tasks: int
+    num_waves: int
+    task_metrics: List[TaskMetrics] = field(default_factory=list)
+
+    @property
+    def total_rows(self) -> int:
+        """Rows processed across all tasks in the stage."""
+        return sum(task.rows_processed for task in self.task_metrics)
+
+    @property
+    def total_task_time_s(self) -> float:
+        """Sum of task wall times (driver-side, in-process execution time)."""
+        return sum(task.wall_time_s for task in self.task_metrics)
+
+    @property
+    def max_task_time_s(self) -> float:
+        """Longest single task (the straggler that bounds a wave)."""
+        return max((task.wall_time_s for task in self.task_metrics), default=0.0)
+
+
+class JobScheduler:
+    """Executes stages of partition tasks over a set of simulated executors."""
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        self.cluster = cluster
+        self.executors = [
+            Executor(executor_id=i, cores=cluster.instance.vcpus)
+            for i in range(cluster.instances)
+        ]
+        self.stages: List[StageMetrics] = []
+        self._next_task_id = 0
+
+    @property
+    def total_task_slots(self) -> int:
+        """Number of tasks the cluster can run concurrently."""
+        return sum(executor.cores for executor in self.executors)
+
+    def waves_for(self, num_tasks: int) -> int:
+        """Number of sequential task waves needed to run ``num_tasks``."""
+        if num_tasks <= 0:
+            return 0
+        return -(-num_tasks // self.total_task_slots)
+
+    def run_stage(self, partitions: Sequence[Any]) -> List[Any]:
+        """Execute every partition and return their results in partition order.
+
+        Partitions are assigned to executors round-robin, mimicking an even
+        spread of HDFS blocks across the cluster.
+        """
+        stage_id = len(self.stages)
+        results: List[Any] = [None] * len(partitions)
+        metrics: List[TaskMetrics] = []
+
+        for position, partition in enumerate(partitions):
+            executor = self.executors[position % len(self.executors)]
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            results[position] = executor.run_task(task_id, partition)
+            metrics.append(executor.completed_tasks[-1])
+
+        stage = StageMetrics(
+            stage_id=stage_id,
+            num_tasks=len(partitions),
+            num_waves=self.waves_for(len(partitions)),
+            task_metrics=metrics,
+        )
+        self.stages.append(stage)
+        return results
+
+    # -- reporting -----------------------------------------------------------
+
+    def rows_per_executor(self) -> List[int]:
+        """Rows processed by each executor (to check balanced partitioning)."""
+        return [executor.total_rows for executor in self.executors]
+
+    def total_stages(self) -> int:
+        """Number of stages executed so far."""
+        return len(self.stages)

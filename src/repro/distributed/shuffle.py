@@ -1,0 +1,87 @@
+"""Network and shuffle/aggregation cost models.
+
+Iterative MLlib algorithms end every iteration with an aggregation: each task
+produces a partial gradient (or partial centroid sums) and the driver combines
+them, usually with ``treeAggregate``.  The paper points to exactly this as the
+overhead distributed systems pay ("using more Spark instances ... may also
+incur additional overhead (e.g., communication between nodes)").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.distributed.cluster import ClusterSpec
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Per-message latency + bandwidth network model.
+
+    Attributes
+    ----------
+    latency_s:
+        One-way message latency between any two instances (EC2 same-AZ is a
+        few hundred microseconds; add serialization and Spark RPC overhead).
+    software_overhead_s:
+        Fixed serialization/deserialization + RPC dispatch cost per message.
+    """
+
+    latency_s: float = 0.5e-3
+    software_overhead_s: float = 5e-3
+
+    def transfer_time_s(self, nbytes: int, bandwidth: float) -> float:
+        """Time to move one message of ``nbytes`` at ``bandwidth`` bytes/s."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        return self.latency_s + self.software_overhead_s + nbytes / bandwidth
+
+
+@dataclass
+class ShuffleCost:
+    """Estimates aggregation (reduce/treeAggregate) time for a cluster."""
+
+    cluster: ClusterSpec
+    network: NetworkModel = NetworkModel()
+    tree_fanout: int = 2
+
+    def __post_init__(self) -> None:
+        if self.tree_fanout < 2:
+            raise ValueError("tree_fanout must be at least 2")
+
+    def tree_depth(self, num_partitions: int) -> int:
+        """Depth of a treeAggregate over ``num_partitions`` partial results."""
+        if num_partitions <= 1:
+            return 0
+        return max(1, math.ceil(math.log(num_partitions, self.tree_fanout)))
+
+    def aggregate_time_s(self, payload_bytes: int, num_partitions: int) -> float:
+        """Wall time for one treeAggregate of ``payload_bytes`` per partial result.
+
+        Each tree level moves one payload per participating partition pair in
+        parallel; the time per level is one network transfer of the payload,
+        and levels are sequential.
+        """
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        depth = self.tree_depth(num_partitions)
+        if depth == 0:
+            return 0.0
+        bandwidth = self.cluster.instance.network_bandwidth
+        per_level = self.network.transfer_time_s(payload_bytes, bandwidth)
+        return depth * per_level
+
+    def broadcast_time_s(self, payload_bytes: int) -> float:
+        """Wall time to broadcast a payload from the driver to all instances.
+
+        Spark uses a BitTorrent-style broadcast, which behaves like a tree of
+        the same depth as the aggregation tree.
+        """
+        depth = self.tree_depth(self.cluster.instances)
+        if depth == 0:
+            return self.network.transfer_time_s(payload_bytes, self.cluster.instance.network_bandwidth)
+        bandwidth = self.cluster.instance.network_bandwidth
+        return depth * self.network.transfer_time_s(payload_bytes, bandwidth)

@@ -1,0 +1,111 @@
+"""Base classes and the matrix protocol used by every estimator.
+
+Estimators follow a small, scikit-learn-like convention — ``fit`` returns
+``self``, learned attributes end in an underscore — but are deliberately
+written to touch their inputs only through contiguous row slicing so that
+in-memory arrays and memory-mapped matrices are interchangeable (the M3
+transparency property).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Tuple
+
+import numpy as np
+
+
+def as_matrix(X: Any) -> Any:
+    """Validate that ``X`` looks like a 2-D matrix supporting row slicing.
+
+    Accepts ``numpy.ndarray``, ``numpy.memmap``, M3 ``MmapMatrix`` or anything
+    else exposing ``shape``, ``dtype`` and ``__getitem__``.  Returns the input
+    unchanged (never copies) so memory-mapped data stays memory mapped.
+    """
+    if not hasattr(X, "shape") or not hasattr(X, "__getitem__"):
+        X = np.asarray(X)
+    if len(X.shape) != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {tuple(X.shape)}")
+    return X
+
+
+def as_labels(y: Any, n_rows: int) -> np.ndarray:
+    """Validate a label vector and return it as a 1-D int64 array."""
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {y.shape}")
+    if y.shape[0] != n_rows:
+        raise ValueError(f"labels have {y.shape[0]} entries but X has {n_rows} rows")
+    return y
+
+
+def iter_row_chunks(X: Any, chunk_size: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``(start, stop)`` bounds covering the rows of ``X`` in order.
+
+    This is the only access pattern estimators use, and it is deliberately a
+    sequential scan — the pattern the OS read-ahead (and our simulator's
+    read-ahead) optimises for.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    n_rows = X.shape[0]
+    for start in range(0, n_rows, chunk_size):
+        yield start, min(start + chunk_size, n_rows)
+
+
+class BaseEstimator:
+    """Base class providing parameter introspection and representation."""
+
+    def get_params(self) -> Dict[str, Any]:
+        """Return constructor parameters (attributes not ending in ``_``)."""
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.endswith("_") and not key.startswith("_")
+        }
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Set constructor parameters by keyword; unknown names raise."""
+        valid = self.get_params()
+        for key, value in params.items():
+            if key not in valid:
+                raise ValueError(f"{type(self).__name__} has no parameter {key!r}")
+            setattr(self, key, value)
+        return self
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({params})"
+
+    def _check_fitted(self, attribute: str) -> None:
+        if not hasattr(self, attribute):
+            raise RuntimeError(
+                f"{type(self).__name__} is not fitted yet; call fit() first"
+            )
+
+
+class ClassifierMixin:
+    """Adds accuracy scoring to classifiers."""
+
+    def score(self, X: Any, y: Any) -> float:
+        """Mean accuracy of ``predict(X)`` against ``y``."""
+        predictions = self.predict(X)  # type: ignore[attr-defined]
+        y = np.asarray(y)
+        return float(np.mean(predictions == y))
+
+
+class ClustererMixin:
+    """Adds inertia-based scoring to clusterers."""
+
+    def score(self, X: Any) -> float:
+        """Negative inertia (so that greater is better, as in scikit-learn)."""
+        return -float(self.inertia(X))  # type: ignore[attr-defined]
+
+
+class TransformerMixin:
+    """Adds ``fit_transform`` convenience to transformers."""
+
+    def fit_transform(self, X: Any, y: Any = None) -> np.ndarray:
+        """Fit to ``X`` then transform it."""
+        if y is None:
+            return self.fit(X).transform(X)  # type: ignore[attr-defined]
+        return self.fit(X, y).transform(X)  # type: ignore[attr-defined]

@@ -1,0 +1,9 @@
+"""Clustering: Lloyd's k-means (the paper's second workload), mini-batch
+k-means (the online-learning extension), and k-means++ initialisation.
+"""
+
+from repro.ml.cluster.init import kmeans_plus_plus_init, random_init
+from repro.ml.cluster.kmeans import KMeans
+from repro.ml.cluster.minibatch_kmeans import MiniBatchKMeans
+
+__all__ = ["KMeans", "MiniBatchKMeans", "kmeans_plus_plus_init", "random_init"]

@@ -1,0 +1,88 @@
+"""Centroid initialisation strategies for k-means.
+
+Both strategies stream over the data in chunks, so they work unchanged on
+memory-mapped matrices of any size.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ml.base import as_matrix, iter_row_chunks
+
+
+def random_init(
+    X: Any,
+    n_clusters: int,
+    rng: np.random.Generator,
+    chunk_size: int = 4096,
+) -> np.ndarray:
+    """Pick ``n_clusters`` distinct rows uniformly at random as initial centroids."""
+    X = as_matrix(X)
+    n_rows = X.shape[0]
+    if n_clusters <= 0:
+        raise ValueError(f"n_clusters must be positive, got {n_clusters}")
+    if n_clusters > n_rows:
+        raise ValueError(f"cannot pick {n_clusters} centroids from {n_rows} rows")
+    indices = np.sort(rng.choice(n_rows, size=n_clusters, replace=False))
+    centroids = np.empty((n_clusters, X.shape[1]), dtype=np.float64)
+    for i, row_index in enumerate(indices):
+        centroids[i] = np.asarray(X[int(row_index) : int(row_index) + 1], dtype=np.float64)[0]
+    return centroids
+
+
+def kmeans_plus_plus_init(
+    X: Any,
+    n_clusters: int,
+    rng: np.random.Generator,
+    chunk_size: int = 4096,
+) -> np.ndarray:
+    """k-means++ seeding (Arthur & Vassilvitskii 2007), streaming over chunks.
+
+    The first centroid is uniform; each subsequent centroid is sampled with
+    probability proportional to the squared distance to the nearest centroid
+    chosen so far.  Distances are maintained incrementally so each new
+    centroid costs one additional pass over the data.
+    """
+    X = as_matrix(X)
+    n_rows, n_features = X.shape
+    if n_clusters <= 0:
+        raise ValueError(f"n_clusters must be positive, got {n_clusters}")
+    if n_clusters > n_rows:
+        raise ValueError(f"cannot pick {n_clusters} centroids from {n_rows} rows")
+
+    centroids = np.empty((n_clusters, n_features), dtype=np.float64)
+    first = int(rng.integers(0, n_rows))
+    centroids[0] = np.asarray(X[first : first + 1], dtype=np.float64)[0]
+
+    # Squared distance of every row to its nearest chosen centroid.
+    min_sq_dist = np.empty(n_rows, dtype=np.float64)
+    for start, stop in iter_row_chunks(X, chunk_size):
+        chunk = np.asarray(X[start:stop], dtype=np.float64)
+        diff = chunk - centroids[0]
+        min_sq_dist[start:stop] = np.einsum("ij,ij->i", diff, diff)
+
+    for k in range(1, n_clusters):
+        total = float(min_sq_dist.sum())
+        if total <= 0.0:
+            # All remaining points coincide with existing centroids; fall back
+            # to uniform sampling for the rest.
+            remaining = rng.choice(n_rows, size=n_clusters - k, replace=False)
+            for j, row_index in enumerate(remaining):
+                centroids[k + j] = np.asarray(
+                    X[int(row_index) : int(row_index) + 1], dtype=np.float64
+                )[0]
+            return centroids
+        probabilities = min_sq_dist / total
+        chosen = int(rng.choice(n_rows, p=probabilities))
+        centroids[k] = np.asarray(X[chosen : chosen + 1], dtype=np.float64)[0]
+
+        for start, stop in iter_row_chunks(X, chunk_size):
+            chunk = np.asarray(X[start:stop], dtype=np.float64)
+            diff = chunk - centroids[k]
+            sq_dist = np.einsum("ij,ij->i", diff, diff)
+            np.minimum(min_sq_dist[start:stop], sq_dist, out=min_sq_dist[start:stop])
+
+    return centroids

@@ -1,0 +1,141 @@
+"""Mini-batch k-means (Sculley 2010).
+
+The online-learning counterpart of Lloyd's algorithm: centroids are updated
+after every mini-batch with a per-centroid learning rate of ``1 / count``.
+Included for the paper's ongoing-work direction ("online learning") and as an
+ablation point — its access pattern is still sequential, but it converges in
+far fewer passes, changing the compute/I-O balance that determines whether M3
+is I/O bound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClustererMixin, as_matrix, iter_row_chunks
+from repro.ml.cluster.init import kmeans_plus_plus_init, random_init
+
+
+class MiniBatchKMeans(BaseEstimator, ClustererMixin):
+    """Mini-batch k-means clustering.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters.
+    max_epochs:
+        Number of passes over the data.
+    batch_size:
+        Rows per mini-batch.
+    init:
+        ``"k-means++"`` or ``"random"``.
+    seed:
+        Seed for initialisation and (optional) batch shuffling.
+    shuffle:
+        Visit batches in random order each epoch.  Defaults to sequential,
+        which is the memory-mapping-friendly pattern.
+
+    Attributes
+    ----------
+    cluster_centers_:
+        Final centroids.
+    inertia_:
+        Inertia over the full dataset measured after the final epoch.
+    n_iter_:
+        Number of epochs performed.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 5,
+        max_epochs: int = 10,
+        batch_size: int = 1024,
+        init: str = "k-means++",
+        seed: Optional[int] = None,
+        shuffle: bool = False,
+    ) -> None:
+        if n_clusters <= 0:
+            raise ValueError(f"n_clusters must be positive, got {n_clusters}")
+        if max_epochs <= 0:
+            raise ValueError(f"max_epochs must be positive, got {max_epochs}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if init not in ("k-means++", "random"):
+            raise ValueError(f"init must be 'k-means++' or 'random', got {init!r}")
+        self.n_clusters = n_clusters
+        self.max_epochs = max_epochs
+        self.batch_size = batch_size
+        self.init = init
+        self.seed = seed
+        self.shuffle = shuffle
+
+    def fit(self, X: Any, y: Any = None) -> "MiniBatchKMeans":
+        """Cluster the rows of ``X``; ``y`` is ignored."""
+        X = as_matrix(X)
+        if X.shape[0] < self.n_clusters:
+            raise ValueError(
+                f"n_clusters={self.n_clusters} exceeds number of rows {X.shape[0]}"
+            )
+        rng = np.random.default_rng(self.seed)
+        if self.init == "k-means++":
+            centroids = kmeans_plus_plus_init(X, self.n_clusters, rng, self.batch_size)
+        else:
+            centroids = random_init(X, self.n_clusters, rng, self.batch_size)
+        counts = np.zeros(self.n_clusters, dtype=np.int64)
+
+        bounds = list(iter_row_chunks(X, self.batch_size))
+        epoch = 0
+        for epoch in range(1, self.max_epochs + 1):
+            order = rng.permutation(len(bounds)) if self.shuffle else np.arange(len(bounds))
+            for index in order:
+                start, stop = bounds[int(index)]
+                chunk = np.asarray(X[start:stop], dtype=np.float64)
+                sq_dist = (
+                    np.einsum("ij,ij->i", chunk, chunk)[:, None]
+                    - 2.0 * (chunk @ centroids.T)
+                    + np.einsum("ij,ij->i", centroids, centroids)[None, :]
+                )
+                assignments = np.argmin(sq_dist, axis=1)
+                for cluster in np.unique(assignments):
+                    members = chunk[assignments == cluster]
+                    for row in members:
+                        counts[cluster] += 1
+                        eta = 1.0 / counts[cluster]
+                        centroids[cluster] = (1.0 - eta) * centroids[cluster] + eta * row
+
+        self.cluster_centers_ = centroids
+        self.n_iter_ = epoch
+        self.inertia_ = self.inertia(X)
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        """Index of the nearest centroid for every row of ``X``."""
+        self._check_fitted("cluster_centers_")
+        X = as_matrix(X)
+        centroids = self.cluster_centers_
+        centroid_sq_norms = np.einsum("ij,ij->i", centroids, centroids)
+        assignments = np.empty(X.shape[0], dtype=np.int64)
+        for start, stop in iter_row_chunks(X, self.batch_size):
+            chunk = np.asarray(X[start:stop], dtype=np.float64)
+            sq_dist = centroid_sq_norms[None, :] - 2.0 * (chunk @ centroids.T)
+            assignments[start:stop] = np.argmin(sq_dist, axis=1)
+        return assignments
+
+    def inertia(self, X: Any) -> float:
+        """Sum of squared distances of rows of ``X`` to their nearest centroid."""
+        self._check_fitted("cluster_centers_")
+        X = as_matrix(X)
+        centroids = self.cluster_centers_
+        centroid_sq_norms = np.einsum("ij,ij->i", centroids, centroids)
+        total = 0.0
+        for start, stop in iter_row_chunks(X, self.batch_size):
+            chunk = np.asarray(X[start:stop], dtype=np.float64)
+            sq_dist = (
+                np.einsum("ij,ij->i", chunk, chunk)[:, None]
+                - 2.0 * (chunk @ centroids.T)
+                + centroid_sq_norms[None, :]
+            )
+            total += float(np.sum(np.min(sq_dist, axis=1)))
+        return total

@@ -1,0 +1,27 @@
+"""Linear models: logistic regression (the paper's classification workload),
+multinomial softmax regression (needed because Infimnist has ten classes), and
+ordinary linear regression.
+
+All models share the same structure: a *streaming objective* (in
+:mod:`repro.ml.linear_model.objectives`) that computes loss and gradient by
+scanning the design matrix in row chunks, and an estimator class that wires
+the objective to an optimiser (L-BFGS by default, matching the paper).
+"""
+
+from repro.ml.linear_model.objectives import (
+    LinearRegressionObjective,
+    LogisticRegressionObjective,
+    SoftmaxRegressionObjective,
+)
+from repro.ml.linear_model.logistic_regression import LogisticRegression
+from repro.ml.linear_model.softmax_regression import SoftmaxRegression
+from repro.ml.linear_model.linear_regression import LinearRegression
+
+__all__ = [
+    "LogisticRegressionObjective",
+    "SoftmaxRegressionObjective",
+    "LinearRegressionObjective",
+    "LogisticRegression",
+    "SoftmaxRegression",
+    "LinearRegression",
+]

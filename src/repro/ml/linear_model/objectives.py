@@ -1,0 +1,290 @@
+"""Streaming (chunk-wise) objectives for the linear models.
+
+Each objective scans the design matrix in contiguous row chunks and
+accumulates loss and gradient, so peak memory is ``O(chunk_size × n_features)``
+regardless of how large the (possibly memory-mapped) dataset is.  This is the
+piece of code whose access pattern the virtual-memory simulator replays to
+obtain paper-scale runtimes: one ``value_and_gradient`` call is one sequential
+pass over the file.
+
+All objectives also implement the mini-batch protocol required by
+:class:`repro.ml.optim.sgd.SGD`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.base import as_labels, as_matrix, iter_row_chunks
+from repro.ml.optim.objective import DifferentiableObjective
+
+DEFAULT_CHUNK_ROWS = 4096
+"""Default number of rows per streaming chunk."""
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z, dtype=np.float64)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    expz = np.exp(z[~positive])
+    out[~positive] = expz / (1.0 + expz)
+    return out
+
+
+def log_sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable ``log(sigmoid(z))``."""
+    return -np.logaddexp(0.0, -z)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-subtraction for stability."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class _ChunkedObjective(DifferentiableObjective):
+    """Shared plumbing: chunk iteration, intercept handling, L2 penalty."""
+
+    def __init__(
+        self,
+        X: Any,
+        y: np.ndarray,
+        l2_penalty: float = 0.0,
+        fit_intercept: bool = True,
+        chunk_size: int = DEFAULT_CHUNK_ROWS,
+    ) -> None:
+        self.X = as_matrix(X)
+        self.y = as_labels(y, self.X.shape[0]) if y is not None else None
+        if l2_penalty < 0:
+            raise ValueError(f"l2_penalty must be non-negative, got {l2_penalty}")
+        self.l2_penalty = l2_penalty
+        self.fit_intercept = fit_intercept
+        self.chunk_size = chunk_size
+        self.n_samples = int(self.X.shape[0])
+        self.n_features = int(self.X.shape[1])
+
+    def num_examples(self) -> int:
+        return self.n_samples
+
+    def _chunks(self):
+        return iter_row_chunks(self.X, self.chunk_size)
+
+    def _augment(self, chunk: np.ndarray) -> np.ndarray:
+        """Append a column of ones when fitting an intercept."""
+        chunk = np.asarray(chunk, dtype=np.float64)
+        if not self.fit_intercept:
+            return chunk
+        ones = np.ones((chunk.shape[0], 1), dtype=np.float64)
+        return np.hstack([chunk, ones])
+
+    @property
+    def _weight_dim(self) -> int:
+        return self.n_features + (1 if self.fit_intercept else 0)
+
+    def _penalty_and_grad(self, params: np.ndarray) -> Tuple[float, np.ndarray]:
+        """L2 penalty and its gradient; the intercept is never penalised."""
+        if self.l2_penalty == 0.0:
+            return 0.0, np.zeros_like(params)
+        weights = params.copy()
+        if self.fit_intercept:
+            if weights.ndim == 1:
+                weights[self.n_features] = 0.0
+            else:
+                weights[self.n_features, :] = 0.0
+        penalty = 0.5 * self.l2_penalty * float(np.sum(weights ** 2))
+        return penalty, self.l2_penalty * weights
+
+
+class LogisticRegressionObjective(_ChunkedObjective):
+    """Negative mean log-likelihood of binary logistic regression.
+
+    Parameters are a single vector of length ``n_features (+1)``; labels must
+    be 0/1.
+    """
+
+    def __init__(
+        self,
+        X: Any,
+        y: np.ndarray,
+        l2_penalty: float = 0.0,
+        fit_intercept: bool = True,
+        chunk_size: int = DEFAULT_CHUNK_ROWS,
+    ) -> None:
+        super().__init__(X, y, l2_penalty, fit_intercept, chunk_size)
+        labels = np.unique(np.asarray(self.y))
+        if not np.all(np.isin(labels, (0, 1))):
+            raise ValueError(f"binary logistic regression needs 0/1 labels, got {labels}")
+
+    @property
+    def num_parameters(self) -> int:
+        return self._weight_dim
+
+    def batch_value_and_gradient(
+        self, params: np.ndarray, start: int, stop: int
+    ) -> Tuple[float, np.ndarray]:
+        chunk = self._augment(self.X[start:stop])
+        targets = np.asarray(self.y[start:stop], dtype=np.float64)
+        logits = chunk @ params
+        probabilities = sigmoid(logits)
+        # loss = -[y log p + (1-y) log(1-p)], summed over the batch
+        loss = -float(np.sum(targets * log_sigmoid(logits) + (1 - targets) * log_sigmoid(-logits)))
+        grad = chunk.T @ (probabilities - targets)
+        return loss, grad
+
+    def value_and_gradient(self, params: np.ndarray) -> Tuple[float, np.ndarray]:
+        params = np.asarray(params, dtype=np.float64)
+        total_loss = 0.0
+        total_grad = np.zeros_like(params)
+        for start, stop in self._chunks():
+            loss, grad = self.batch_value_and_gradient(params, start, stop)
+            total_loss += loss
+            total_grad += grad
+        penalty, penalty_grad = self._penalty_and_grad(params)
+        value = total_loss / self.n_samples + penalty
+        gradient = total_grad / self.n_samples + penalty_grad
+        return value, gradient
+
+    def predict_proba(self, params: np.ndarray, X: Any) -> np.ndarray:
+        """Probability of class 1 for every row of ``X``."""
+        X = as_matrix(X)
+        probabilities = np.empty(X.shape[0], dtype=np.float64)
+        for start, stop in iter_row_chunks(X, self.chunk_size):
+            chunk = self._augment(X[start:stop])
+            probabilities[start:stop] = sigmoid(chunk @ params)
+        return probabilities
+
+
+class SoftmaxRegressionObjective(_ChunkedObjective):
+    """Negative mean log-likelihood of multinomial (softmax) regression.
+
+    Parameters are a flattened ``(n_features (+1)) × n_classes`` matrix.
+    """
+
+    def __init__(
+        self,
+        X: Any,
+        y: np.ndarray,
+        n_classes: Optional[int] = None,
+        l2_penalty: float = 0.0,
+        fit_intercept: bool = True,
+        chunk_size: int = DEFAULT_CHUNK_ROWS,
+    ) -> None:
+        super().__init__(X, y, l2_penalty, fit_intercept, chunk_size)
+        y_arr = np.asarray(self.y)
+        inferred = int(y_arr.max()) + 1 if y_arr.size else 0
+        self.n_classes = int(n_classes) if n_classes is not None else inferred
+        if self.n_classes < 2:
+            raise ValueError(f"need at least 2 classes, got {self.n_classes}")
+        if y_arr.size and (y_arr.min() < 0 or y_arr.max() >= self.n_classes):
+            raise ValueError("labels must lie in [0, n_classes)")
+
+    @property
+    def num_parameters(self) -> int:
+        return self._weight_dim * self.n_classes
+
+    def _as_matrix_params(self, params: np.ndarray) -> np.ndarray:
+        return np.asarray(params, dtype=np.float64).reshape(self._weight_dim, self.n_classes)
+
+    def batch_value_and_gradient(
+        self, params: np.ndarray, start: int, stop: int
+    ) -> Tuple[float, np.ndarray]:
+        W = self._as_matrix_params(params)
+        chunk = self._augment(self.X[start:stop])
+        targets = np.asarray(self.y[start:stop])
+        logits = chunk @ W
+        log_probs = logits - logits.max(axis=1, keepdims=True)
+        log_probs = log_probs - np.log(np.exp(log_probs).sum(axis=1, keepdims=True))
+        loss = -float(np.sum(log_probs[np.arange(len(targets)), targets]))
+        probabilities = np.exp(log_probs)
+        probabilities[np.arange(len(targets)), targets] -= 1.0
+        grad = chunk.T @ probabilities
+        return loss, grad.reshape(-1)
+
+    def value_and_gradient(self, params: np.ndarray) -> Tuple[float, np.ndarray]:
+        params = np.asarray(params, dtype=np.float64)
+        total_loss = 0.0
+        total_grad = np.zeros(self.num_parameters)
+        for start, stop in self._chunks():
+            loss, grad = self.batch_value_and_gradient(params, start, stop)
+            total_loss += loss
+            total_grad += grad
+        W = self._as_matrix_params(params)
+        penalty, penalty_grad = self._penalty_and_grad(W)
+        value = total_loss / self.n_samples + penalty
+        gradient = total_grad / self.n_samples + penalty_grad.reshape(-1)
+        return value, gradient
+
+    def predict_proba(self, params: np.ndarray, X: Any) -> np.ndarray:
+        """Class probabilities (n_rows × n_classes) for every row of ``X``."""
+        W = self._as_matrix_params(params)
+        X = as_matrix(X)
+        probabilities = np.empty((X.shape[0], self.n_classes), dtype=np.float64)
+        for start, stop in iter_row_chunks(X, self.chunk_size):
+            chunk = self._augment(X[start:stop])
+            probabilities[start:stop] = softmax(chunk @ W)
+        return probabilities
+
+
+class LinearRegressionObjective(_ChunkedObjective):
+    """Mean squared error of ordinary least squares (optionally ridge)."""
+
+    def __init__(
+        self,
+        X: Any,
+        y: np.ndarray,
+        l2_penalty: float = 0.0,
+        fit_intercept: bool = True,
+        chunk_size: int = DEFAULT_CHUNK_ROWS,
+    ) -> None:
+        self.X = as_matrix(X)
+        targets = np.asarray(y, dtype=np.float64)
+        if targets.ndim != 1 or targets.shape[0] != self.X.shape[0]:
+            raise ValueError("y must be a 1-D vector matching X's row count")
+        if l2_penalty < 0:
+            raise ValueError(f"l2_penalty must be non-negative, got {l2_penalty}")
+        self.y = targets
+        self.l2_penalty = l2_penalty
+        self.fit_intercept = fit_intercept
+        self.chunk_size = chunk_size
+        self.n_samples = int(self.X.shape[0])
+        self.n_features = int(self.X.shape[1])
+
+    @property
+    def num_parameters(self) -> int:
+        return self._weight_dim
+
+    def batch_value_and_gradient(
+        self, params: np.ndarray, start: int, stop: int
+    ) -> Tuple[float, np.ndarray]:
+        chunk = self._augment(self.X[start:stop])
+        targets = self.y[start:stop]
+        residuals = chunk @ params - targets
+        loss = 0.5 * float(residuals @ residuals)
+        grad = chunk.T @ residuals
+        return loss, grad
+
+    def value_and_gradient(self, params: np.ndarray) -> Tuple[float, np.ndarray]:
+        params = np.asarray(params, dtype=np.float64)
+        total_loss = 0.0
+        total_grad = np.zeros_like(params)
+        for start, stop in self._chunks():
+            loss, grad = self.batch_value_and_gradient(params, start, stop)
+            total_loss += loss
+            total_grad += grad
+        penalty, penalty_grad = self._penalty_and_grad(params)
+        value = total_loss / self.n_samples + penalty
+        gradient = total_grad / self.n_samples + penalty_grad
+        return value, gradient
+
+    def predict(self, params: np.ndarray, X: Any) -> np.ndarray:
+        """Predicted targets for every row of ``X``."""
+        X = as_matrix(X)
+        predictions = np.empty(X.shape[0], dtype=np.float64)
+        for start, stop in iter_row_chunks(X, self.chunk_size):
+            chunk = self._augment(X[start:stop])
+            predictions[start:stop] = chunk @ params
+        return predictions

@@ -1,0 +1,142 @@
+"""Evaluation metrics for the classifiers and clusterers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of predictions equal to the true labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy of empty arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def log_loss(y_true: np.ndarray, probabilities: np.ndarray, eps: float = 1e-15) -> float:
+    """Mean negative log-likelihood of binary predictions.
+
+    ``probabilities`` is the predicted probability of class 1.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64)
+    probabilities = np.clip(np.asarray(probabilities, dtype=np.float64), eps, 1.0 - eps)
+    if y_true.shape != probabilities.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {probabilities.shape}")
+    return float(
+        -np.mean(y_true * np.log(probabilities) + (1.0 - y_true) * np.log(1.0 - probabilities))
+    )
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean of squared residuals."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    residual = float(np.sum((y_true - y_pred) ** 2))
+    total = float(np.sum((y_true - y_true.mean()) ** 2))
+    if total == 0.0:
+        # A constant target: perfect score if the residuals are (numerically) zero.
+        return 1.0 if residual <= 1e-10 * max(1, y_true.size) else 0.0
+    return 1.0 - residual / total
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """Confusion matrix with rows = true classes, columns = predicted classes.
+
+    Classes are the sorted union of labels appearing in either vector.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    classes = np.unique(np.concatenate([y_true, y_pred]))
+    index_of = {label: i for i, label in enumerate(classes)}
+    matrix = np.zeros((classes.shape[0], classes.shape[0]), dtype=np.int64)
+    for true_label, pred_label in zip(y_true, y_pred):
+        matrix[index_of[true_label], index_of[pred_label]] += 1
+    return matrix
+
+
+def inertia(X: np.ndarray, centroids: np.ndarray, assignments: np.ndarray) -> float:
+    """Sum of squared distances of each row to its assigned centroid."""
+    X = np.asarray(X, dtype=np.float64)
+    centroids = np.asarray(centroids, dtype=np.float64)
+    assignments = np.asarray(assignments)
+    if assignments.shape[0] != X.shape[0]:
+        raise ValueError("assignments must have one entry per row of X")
+    diff = X - centroids[assignments]
+    return float(np.einsum("ij,ij->", diff, diff))
+
+
+def clustering_purity(y_true: np.ndarray, assignments: np.ndarray) -> float:
+    """Purity of a clustering against ground-truth labels.
+
+    For every cluster, count its most frequent true label; purity is the sum
+    of those counts divided by the number of points.  1.0 means every cluster
+    is label-pure.
+    """
+    y_true = np.asarray(y_true)
+    assignments = np.asarray(assignments)
+    if y_true.shape != assignments.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {assignments.shape}")
+    if y_true.size == 0:
+        raise ValueError("cannot compute purity of empty arrays")
+    total = 0
+    for cluster in np.unique(assignments):
+        members = y_true[assignments == cluster]
+        _, counts = np.unique(members, return_counts=True)
+        total += int(counts.max())
+    return total / y_true.size
+
+
+def silhouette_score(X: np.ndarray, assignments: np.ndarray, sample_size: int = 500, seed: int = 0) -> float:
+    """Mean silhouette coefficient, optionally on a random subsample.
+
+    The silhouette of a point compares its mean intra-cluster distance ``a``
+    to the smallest mean distance to another cluster ``b``:
+    ``(b - a) / max(a, b)``.  Values near 1 mean well-separated clusters.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    assignments = np.asarray(assignments)
+    if X.shape[0] != assignments.shape[0]:
+        raise ValueError("assignments must have one entry per row of X")
+    clusters = np.unique(assignments)
+    if clusters.shape[0] < 2:
+        raise ValueError("silhouette requires at least 2 clusters")
+
+    n = X.shape[0]
+    if n > sample_size:
+        rng = np.random.default_rng(seed)
+        indices = rng.choice(n, size=sample_size, replace=False)
+    else:
+        indices = np.arange(n)
+
+    scores = []
+    for i in indices:
+        point = X[i]
+        own = assignments[i]
+        distances = np.linalg.norm(X - point, axis=1)
+        own_mask = assignments == own
+        if own_mask.sum() <= 1:
+            scores.append(0.0)
+            continue
+        a = distances[own_mask].sum() / (own_mask.sum() - 1)
+        b = np.inf
+        for cluster in clusters:
+            if cluster == own:
+                continue
+            mask = assignments == cluster
+            b = min(b, float(distances[mask].mean()))
+        scores.append((b - a) / max(a, b) if max(a, b) > 0 else 0.0)
+    return float(np.mean(scores))

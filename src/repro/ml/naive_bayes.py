@@ -1,0 +1,115 @@
+"""Gaussian naive Bayes.
+
+One of the extra algorithms for the paper's ongoing-work direction of applying
+M3 to "a wide range of machine learning ... algorithms".  Training is a single
+streaming pass that accumulates per-class counts, sums and sums of squares —
+a textbook example of an algorithm whose out-of-core behaviour is ideal for
+memory mapping (purely sequential, single pass).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, as_labels, as_matrix, iter_row_chunks
+
+
+class GaussianNaiveBayes(BaseEstimator, ClassifierMixin):
+    """Naive Bayes with per-class Gaussian feature likelihoods.
+
+    Parameters
+    ----------
+    var_smoothing:
+        Fraction of the largest feature variance added to all variances for
+        numerical stability (same semantics as scikit-learn).
+    chunk_size:
+        Rows per streaming chunk.
+
+    Attributes
+    ----------
+    classes_:
+        Sorted class labels.
+    class_prior_:
+        Empirical class priors.
+    theta_:
+        Per-class feature means, shape ``(n_classes, n_features)``.
+    var_:
+        Per-class feature variances, shape ``(n_classes, n_features)``.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9, chunk_size: int = 4096) -> None:
+        if var_smoothing < 0:
+            raise ValueError(f"var_smoothing must be non-negative, got {var_smoothing}")
+        self.var_smoothing = var_smoothing
+        self.chunk_size = chunk_size
+
+    def fit(self, X: Any, y: Any) -> "GaussianNaiveBayes":
+        """Fit class-conditional Gaussians in one streaming pass."""
+        X = as_matrix(X)
+        y = as_labels(y, X.shape[0])
+        classes = np.unique(y)
+        n_classes = classes.shape[0]
+        n_features = X.shape[1]
+        index_of = {label: i for i, label in enumerate(classes)}
+
+        counts = np.zeros(n_classes, dtype=np.int64)
+        sums = np.zeros((n_classes, n_features), dtype=np.float64)
+        sq_sums = np.zeros((n_classes, n_features), dtype=np.float64)
+
+        for start, stop in iter_row_chunks(X, self.chunk_size):
+            chunk = np.asarray(X[start:stop], dtype=np.float64)
+            chunk_labels = y[start:stop]
+            for label in np.unique(chunk_labels):
+                mask = chunk_labels == label
+                index = index_of[label]
+                members = chunk[mask]
+                counts[index] += members.shape[0]
+                sums[index] += members.sum(axis=0)
+                sq_sums[index] += (members ** 2).sum(axis=0)
+
+        if np.any(counts == 0):
+            raise ValueError("every class must have at least one training example")
+
+        theta = sums / counts[:, None]
+        var = sq_sums / counts[:, None] - theta ** 2
+        var = np.clip(var, 0.0, None)
+        epsilon = self.var_smoothing * float(var.max()) if var.max() > 0 else self.var_smoothing
+        var = var + max(epsilon, 1e-12)
+
+        self.classes_ = classes
+        self.class_prior_ = counts / counts.sum()
+        self.theta_ = theta
+        self.var_ = var
+        return self
+
+    def _joint_log_likelihood(self, X: Any) -> np.ndarray:
+        self._check_fitted("theta_")
+        X = as_matrix(X)
+        n_classes = self.classes_.shape[0]
+        scores = np.empty((X.shape[0], n_classes), dtype=np.float64)
+        log_prior = np.log(self.class_prior_)
+        log_norm = -0.5 * np.sum(np.log(2.0 * np.pi * self.var_), axis=1)
+        for start, stop in iter_row_chunks(X, self.chunk_size):
+            chunk = np.asarray(X[start:stop], dtype=np.float64)
+            for index in range(n_classes):
+                diff = chunk - self.theta_[index]
+                quad = -0.5 * np.sum(diff ** 2 / self.var_[index], axis=1)
+                scores[start:stop, index] = log_prior[index] + log_norm[index] + quad
+        return scores
+
+    def predict_log_proba(self, X: Any) -> np.ndarray:
+        """Log posterior class probabilities."""
+        joint = self._joint_log_likelihood(X)
+        normaliser = np.logaddexp.reduce(joint, axis=1, keepdims=True)
+        return joint - normaliser
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        """Posterior class probabilities."""
+        return np.exp(self.predict_log_proba(X))
+
+    def predict(self, X: Any) -> np.ndarray:
+        """Most probable class for every row of ``X``."""
+        joint = self._joint_log_likelihood(X)
+        return self.classes_[np.argmax(joint, axis=1)]

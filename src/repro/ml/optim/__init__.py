@@ -1,0 +1,33 @@
+"""Numerical optimisers.
+
+The paper runs logistic regression with "10 iterations of L-BFGS" — the same
+optimiser mlpack uses.  This subpackage implements L-BFGS from scratch
+(two-loop recursion with a strong-Wolfe line search), plus full-batch gradient
+descent and stochastic gradient descent used as baselines and by the online
+learning extension.
+"""
+
+from repro.ml.optim.objective import (
+    DifferentiableObjective,
+    FunctionObjective,
+    QuadraticObjective,
+    RosenbrockObjective,
+)
+from repro.ml.optim.result import OptimizationResult
+from repro.ml.optim.line_search import backtracking_line_search, wolfe_line_search
+from repro.ml.optim.lbfgs import LBFGS
+from repro.ml.optim.gradient_descent import GradientDescent
+from repro.ml.optim.sgd import SGD
+
+__all__ = [
+    "DifferentiableObjective",
+    "FunctionObjective",
+    "QuadraticObjective",
+    "RosenbrockObjective",
+    "OptimizationResult",
+    "backtracking_line_search",
+    "wolfe_line_search",
+    "LBFGS",
+    "GradientDescent",
+    "SGD",
+]

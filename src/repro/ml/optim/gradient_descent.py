@@ -1,0 +1,113 @@
+"""Full-batch gradient descent with Armijo backtracking.
+
+Included as a simple baseline optimiser: it makes exactly one pass over the
+training data per iteration (plus line-search passes), which makes its I/O
+behaviour under memory mapping particularly easy to reason about in the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+from repro.ml.optim.line_search import backtracking_line_search
+from repro.ml.optim.objective import DifferentiableObjective
+from repro.ml.optim.result import OptimizationResult
+
+
+class GradientDescent(BaseEstimator):
+    """Batch gradient descent minimiser.
+
+    Parameters
+    ----------
+    max_iterations:
+        Maximum number of iterations.
+    tolerance:
+        Convergence threshold on the gradient's infinity norm.
+    step_size:
+        Initial step size handed to the backtracking line search; when
+        ``line_search`` is false this fixed step is used directly.
+    line_search:
+        Whether to use Armijo backtracking (default) or a fixed step.
+    callback:
+        Optional ``callback(iteration, params, value)``.
+    """
+
+    def __init__(
+        self,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        step_size: float = 1.0,
+        line_search: bool = True,
+        callback=None,
+    ) -> None:
+        if max_iterations <= 0:
+            raise ValueError(f"max_iterations must be positive, got {max_iterations}")
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.step_size = step_size
+        self.line_search = line_search
+        self.callback = callback
+
+    def minimize(
+        self,
+        objective: DifferentiableObjective,
+        initial_params: Optional[np.ndarray] = None,
+    ) -> OptimizationResult:
+        """Minimise ``objective`` starting from ``initial_params``."""
+        params = (
+            np.asarray(initial_params, dtype=np.float64).copy()
+            if initial_params is not None
+            else objective.initial_point().astype(np.float64)
+        )
+        value, gradient = objective.value_and_gradient(params)
+        evaluations = 1
+        history = [value]
+        converged = bool(np.max(np.abs(gradient)) <= self.tolerance)
+        iteration = 0
+
+        while not converged and iteration < self.max_iterations:
+            direction = -gradient
+            directional_derivative = float(gradient @ direction)
+
+            if self.line_search:
+                def oracle(alpha: float) -> Tuple[float, float]:
+                    candidate_value, candidate_grad = objective.value_and_gradient(
+                        params + alpha * direction
+                    )
+                    return candidate_value, float(candidate_grad @ direction)
+
+                step, _, line_evals = backtracking_line_search(
+                    oracle, value, directional_derivative, initial_step=self.step_size
+                )
+                evaluations += line_evals
+            else:
+                step = self.step_size
+
+            params = params + step * direction
+            value, gradient = objective.value_and_gradient(params)
+            evaluations += 1
+            iteration += 1
+            history.append(value)
+            converged = bool(np.max(np.abs(gradient)) <= self.tolerance)
+
+            if self.callback is not None:
+                self.callback(iteration, params, value)
+
+            if not np.isfinite(value):
+                break
+
+        return OptimizationResult(
+            params=params,
+            value=value,
+            iterations=iteration,
+            converged=converged,
+            gradient_norm=float(np.linalg.norm(gradient)),
+            history=history,
+            function_evaluations=evaluations,
+        )

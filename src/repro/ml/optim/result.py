@@ -1,0 +1,55 @@
+"""Optimisation result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of running an optimiser.
+
+    Attributes
+    ----------
+    params:
+        The final parameter vector.
+    value:
+        Objective value at ``params``.
+    iterations:
+        Number of outer iterations performed.
+    converged:
+        Whether the convergence tolerance was reached before the iteration
+        budget ran out.
+    gradient_norm:
+        Euclidean norm of the final gradient.
+    history:
+        Objective value after each iteration (useful for plotting convergence
+        and asserting monotone decrease in tests).
+    function_evaluations:
+        Total number of objective evaluations, including those made by line
+        searches — the quantity that determines how many passes over a
+        memory-mapped dataset were made.
+    """
+
+    params: np.ndarray
+    value: float
+    iterations: int
+    converged: bool
+    gradient_norm: float
+    history: List[float] = field(default_factory=list)
+    function_evaluations: int = 0
+
+    def __post_init__(self) -> None:
+        self.params = np.asarray(self.params, dtype=np.float64)
+
+    def summary(self) -> str:
+        """One-line human readable summary."""
+        status = "converged" if self.converged else "reached iteration limit"
+        return (
+            f"{status} after {self.iterations} iterations: "
+            f"f = {self.value:.6g}, ||grad|| = {self.gradient_norm:.3g}, "
+            f"{self.function_evaluations} function evaluations"
+        )

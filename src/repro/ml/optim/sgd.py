@@ -1,0 +1,152 @@
+"""Mini-batch stochastic gradient descent.
+
+The paper's ongoing-work section names *online learning* as a direction M3
+should extend to.  SGD is the canonical online/streaming optimiser: it visits
+the data one mini-batch at a time, which under memory mapping becomes a
+sequence of bounded-size page ranges — exactly the access pattern the
+locality-analysis tooling in :mod:`repro.vmem.trace` studies.
+
+Unlike :class:`~repro.ml.optim.lbfgs.LBFGS`, SGD does not use the generic
+objective protocol (it needs per-batch gradients), so it defines its own small
+``BatchGradientObjective`` protocol implemented by the streaming objectives in
+:mod:`repro.ml.linear_model.objectives`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+from repro.ml.optim.result import OptimizationResult
+
+
+class BatchGradientObjective(Protocol):
+    """Protocol for objectives that can evaluate gradients on row ranges."""
+
+    @property
+    def num_parameters(self) -> int:
+        """Dimensionality of the parameter vector."""
+
+    def num_examples(self) -> int:
+        """Total number of training rows."""
+
+    def batch_value_and_gradient(
+        self, params: np.ndarray, start: int, stop: int
+    ) -> "tuple[float, np.ndarray]":
+        """Loss value (sum over the batch) and gradient for rows ``[start, stop)``."""
+
+    def value_and_gradient(self, params: np.ndarray) -> "tuple[float, np.ndarray]":
+        """Full-dataset value and gradient (used for final reporting)."""
+
+
+class SGD(BaseEstimator):
+    """Mini-batch SGD with an inverse-scaling learning-rate schedule.
+
+    Parameters
+    ----------
+    max_epochs:
+        Number of full passes over the data.
+    batch_size:
+        Rows per mini-batch.
+    learning_rate:
+        Initial learning rate ``η₀``.
+    decay:
+        Learning rate at step ``t`` is ``η₀ / (1 + decay · t)``.
+    shuffle:
+        Whether to visit batches in a random order each epoch.  Sequential
+        order (the default) preserves the streaming access pattern that
+        benefits memory mapping; the ablation benchmark flips this knob to
+        quantify the cost of random access.
+    seed:
+        Seed for the shuffling RNG.
+    tolerance:
+        Stop early when the epoch-over-epoch decrease of the mean loss falls
+        below this value.
+    callback:
+        Optional ``callback(epoch, params, value)``.
+    """
+
+    def __init__(
+        self,
+        max_epochs: int = 10,
+        batch_size: int = 256,
+        learning_rate: float = 0.1,
+        decay: float = 1e-3,
+        shuffle: bool = False,
+        seed: Optional[int] = None,
+        tolerance: float = 1e-8,
+        callback=None,
+    ) -> None:
+        if max_epochs <= 0:
+            raise ValueError(f"max_epochs must be positive, got {max_epochs}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.max_epochs = max_epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.decay = decay
+        self.shuffle = shuffle
+        self.seed = seed
+        self.tolerance = tolerance
+        self.callback = callback
+
+    def minimize(
+        self,
+        objective: BatchGradientObjective,
+        initial_params: Optional[np.ndarray] = None,
+    ) -> OptimizationResult:
+        """Minimise a batch-gradient objective."""
+        params = (
+            np.asarray(initial_params, dtype=np.float64).copy()
+            if initial_params is not None
+            else np.zeros(objective.num_parameters)
+        )
+        n = objective.num_examples()
+        if n <= 0:
+            raise ValueError("objective reports no training examples")
+        rng = np.random.default_rng(self.seed)
+        starts = np.arange(0, n, self.batch_size)
+
+        history = []
+        evaluations = 0
+        step = 0
+        previous_epoch_loss = np.inf
+        converged = False
+        epoch = 0
+
+        for epoch in range(1, self.max_epochs + 1):
+            order = rng.permutation(len(starts)) if self.shuffle else np.arange(len(starts))
+            epoch_loss = 0.0
+            for batch_index in order:
+                start = int(starts[batch_index])
+                stop = min(start + self.batch_size, n)
+                loss, grad = objective.batch_value_and_gradient(params, start, stop)
+                evaluations += 1
+                lr = self.learning_rate / (1.0 + self.decay * step)
+                params = params - lr * grad
+                epoch_loss += loss
+                step += 1
+            mean_loss = epoch_loss / n
+            history.append(mean_loss)
+            if self.callback is not None:
+                self.callback(epoch, params, mean_loss)
+            if previous_epoch_loss - mean_loss < self.tolerance:
+                converged = True
+                break
+            previous_epoch_loss = mean_loss
+
+        final_value, final_grad = objective.value_and_gradient(params)
+        evaluations += 1
+        return OptimizationResult(
+            params=params,
+            value=final_value,
+            iterations=epoch,
+            converged=converged,
+            gradient_norm=float(np.linalg.norm(final_grad)),
+            history=history,
+            function_evaluations=evaluations,
+        )

@@ -1,0 +1,34 @@
+"""Profiling, resource accounting, and performance/energy prediction.
+
+Covers two needs of the reproduction:
+
+* the paper's *observation* that M3 is I/O bound ("disk I/O was 100 % utilized
+  while CPU was only utilized at around 13 %") — :class:`ResourceMonitor` and
+  :class:`UtilizationReport` measure/derive those numbers for real runs and
+  simulated runs alike;
+* the paper's *ongoing work* of building "mathematical models and systematic
+  approaches to profile and predict algorithm performance and energy usage" —
+  :class:`PerformancePredictor` fits a linear runtime model (per-byte I/O cost
+  in and out of RAM) and :class:`EnergyModel` converts time and utilisation
+  into energy estimates.
+"""
+
+from repro.profiling.timer import Stopwatch, time_block
+from repro.profiling.resources import ResourceMonitor, ResourceSnapshot
+from repro.profiling.report import UtilizationReport, build_report_from_simulation
+from repro.profiling.energy import EnergyEstimate, EnergyModel, MachinePowerProfile
+from repro.profiling.predictor import PerformancePredictor, PredictionModel
+
+__all__ = [
+    "Stopwatch",
+    "time_block",
+    "ResourceMonitor",
+    "ResourceSnapshot",
+    "UtilizationReport",
+    "build_report_from_simulation",
+    "EnergyModel",
+    "EnergyEstimate",
+    "MachinePowerProfile",
+    "PerformancePredictor",
+    "PredictionModel",
+]

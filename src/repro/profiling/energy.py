@@ -1,0 +1,99 @@
+"""Energy estimation — part of the paper's ongoing-work agenda.
+
+The paper plans to "profile and predict algorithm performance and energy usage
+based on extensive evaluations across platforms".  This module provides the
+energy half: a simple component power model (idle + CPU-proportional +
+disk-proportional draw) that converts a runtime and its utilisation profile
+into joules, for both the M3 desktop and multi-instance clusters.  The
+headline use is comparing the energy of one I/O-bound PC against 4 or 8
+mostly-idle-CPU cluster nodes in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachinePowerProfile:
+    """Static power characteristics of one machine.
+
+    Attributes
+    ----------
+    name:
+        Profile name.
+    idle_watts:
+        Power draw when idle (fans, RAM, chipset).
+    cpu_max_watts:
+        Additional draw at 100 % CPU utilisation.
+    disk_active_watts:
+        Additional draw while the storage device is busy.
+    """
+
+    name: str
+    idle_watts: float
+    cpu_max_watts: float
+    disk_active_watts: float
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for negative components."""
+        if min(self.idle_watts, self.cpu_max_watts, self.disk_active_watts) < 0:
+            raise ValueError("power components must be non-negative")
+
+
+#: The paper's desktop (i7-4770K, one PCIe SSD): ~45 W idle, 84 W TDP CPU.
+DESKTOP_I7 = MachinePowerProfile(
+    name="desktop-i7-4770k", idle_watts=45.0, cpu_max_watts=84.0, disk_active_watts=9.0
+)
+
+#: One EC2 m3.2xlarge worth of a shared Xeon server (apportioned).
+EC2_M3_2XLARGE_POWER = MachinePowerProfile(
+    name="ec2-m3.2xlarge", idle_watts=80.0, cpu_max_watts=95.0, disk_active_watts=12.0
+)
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy consumed by a run."""
+
+    joules: float
+    watts_mean: float
+    wall_time_s: float
+
+    @property
+    def watt_hours(self) -> float:
+        """Energy in watt-hours."""
+        return self.joules / 3600.0
+
+
+class EnergyModel:
+    """Converts runtime + utilisation into energy for one or more machines."""
+
+    def __init__(self, profile: MachinePowerProfile = DESKTOP_I7, machines: int = 1) -> None:
+        profile.validate()
+        if machines <= 0:
+            raise ValueError("machines must be positive")
+        self.profile = profile
+        self.machines = machines
+
+    def mean_power_watts(self, cpu_utilization: float, disk_utilization: float) -> float:
+        """Mean power draw for the given utilisation levels (all machines)."""
+        if not 0.0 <= cpu_utilization <= 1.0:
+            raise ValueError("cpu_utilization must be in [0, 1]")
+        if not 0.0 <= disk_utilization <= 1.0:
+            raise ValueError("disk_utilization must be in [0, 1]")
+        per_machine = (
+            self.profile.idle_watts
+            + cpu_utilization * self.profile.cpu_max_watts
+            + disk_utilization * self.profile.disk_active_watts
+        )
+        return per_machine * self.machines
+
+    def estimate(
+        self, wall_time_s: float, cpu_utilization: float, disk_utilization: float
+    ) -> EnergyEstimate:
+        """Energy for a run of ``wall_time_s`` at the given utilisations."""
+        if wall_time_s < 0:
+            raise ValueError("wall_time_s must be non-negative")
+        watts = self.mean_power_watts(cpu_utilization, disk_utilization)
+        return EnergyEstimate(joules=watts * wall_time_s, watts_mean=watts, wall_time_s=wall_time_s)

@@ -1,0 +1,120 @@
+"""Runtime prediction — the paper's proposed "mathematical models ... to
+profile and predict algorithm performance".
+
+Figure 1a shows that M3's runtime is piecewise linear in the dataset size:
+one slope while the data fits in RAM, a steeper slope once it exceeds RAM.
+:class:`PerformancePredictor` fits exactly that model from (size, runtime)
+observations — two least-squares lines split at the RAM boundary — and then
+predicts runtimes for unseen sizes.  The prediction benchmark checks that a
+model fitted on the small half of the Figure 1a sweep extrapolates to the
+large half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PredictionModel:
+    """A fitted piecewise-linear runtime model.
+
+    ``runtime(size)`` is ``in_ram_slope * size + in_ram_intercept`` below the
+    RAM boundary and ``out_of_core_slope * size + out_of_core_intercept``
+    above it.
+    """
+
+    ram_bytes: int
+    in_ram_slope: float
+    in_ram_intercept: float
+    out_of_core_slope: float
+    out_of_core_intercept: float
+
+    def predict(self, dataset_bytes: int) -> float:
+        """Predicted runtime in seconds for a dataset of ``dataset_bytes``."""
+        if dataset_bytes < 0:
+            raise ValueError("dataset_bytes must be non-negative")
+        if dataset_bytes <= self.ram_bytes:
+            return self.in_ram_slope * dataset_bytes + self.in_ram_intercept
+        return self.out_of_core_slope * dataset_bytes + self.out_of_core_intercept
+
+    def predict_many(self, sizes: Sequence[int]) -> List[float]:
+        """Vectorised :meth:`predict`."""
+        return [self.predict(size) for size in sizes]
+
+    @property
+    def slowdown_factor(self) -> float:
+        """Ratio of the out-of-core slope to the in-RAM slope (≥ 1 normally)."""
+        if self.in_ram_slope <= 0:
+            return float("inf")
+        return self.out_of_core_slope / self.in_ram_slope
+
+
+def _fit_line(sizes: np.ndarray, runtimes: np.ndarray) -> Tuple[float, float]:
+    """Least-squares fit of ``runtime = slope * size + intercept``."""
+    if sizes.size == 0:
+        return 0.0, 0.0
+    if sizes.size == 1:
+        # A single observation: assume the line passes through the origin.
+        return float(runtimes[0] / sizes[0]) if sizes[0] > 0 else 0.0, 0.0
+    design = np.column_stack([sizes, np.ones_like(sizes)])
+    solution, *_ = np.linalg.lstsq(design, runtimes, rcond=None)
+    return float(solution[0]), float(solution[1])
+
+
+class PerformancePredictor:
+    """Fits and applies the piecewise-linear runtime model."""
+
+    def __init__(self, ram_bytes: int) -> None:
+        if ram_bytes <= 0:
+            raise ValueError("ram_bytes must be positive")
+        self.ram_bytes = ram_bytes
+
+    def fit(self, observations: Sequence[Tuple[int, float]]) -> PredictionModel:
+        """Fit from ``(dataset_bytes, runtime_s)`` observations.
+
+        Observations are split at the RAM boundary; each side gets its own
+        least-squares line.  If one side has no observations it inherits the
+        other side's slope (so extrapolation across the boundary still works,
+        just without a slope change).
+        """
+        if not observations:
+            raise ValueError("need at least one observation")
+        sizes = np.asarray([float(size) for size, _ in observations])
+        runtimes = np.asarray([float(runtime) for _, runtime in observations])
+        if np.any(sizes < 0) or np.any(runtimes < 0):
+            raise ValueError("sizes and runtimes must be non-negative")
+
+        in_ram = sizes <= self.ram_bytes
+        out_core = ~in_ram
+
+        in_slope, in_intercept = _fit_line(sizes[in_ram], runtimes[in_ram])
+        out_slope, out_intercept = _fit_line(sizes[out_core], runtimes[out_core])
+
+        if not np.any(in_ram):
+            in_slope, in_intercept = out_slope, out_intercept
+        if not np.any(out_core):
+            out_slope, out_intercept = in_slope, in_intercept
+
+        return PredictionModel(
+            ram_bytes=self.ram_bytes,
+            in_ram_slope=in_slope,
+            in_ram_intercept=in_intercept,
+            out_of_core_slope=out_slope,
+            out_of_core_intercept=out_intercept,
+        )
+
+    @staticmethod
+    def relative_error(model: PredictionModel, observations: Sequence[Tuple[int, float]]) -> float:
+        """Mean absolute relative error of the model on held-out observations."""
+        if not observations:
+            raise ValueError("need at least one observation")
+        errors = []
+        for size, runtime in observations:
+            if runtime <= 0:
+                continue
+            errors.append(abs(model.predict(size) - runtime) / runtime)
+        return float(np.mean(errors)) if errors else 0.0

@@ -1,0 +1,124 @@
+"""CPU and I/O resource monitoring.
+
+For *real* runs on the local machine we sample ``/proc`` (process CPU time and
+read/write byte counters) around a workload; for *simulated* runs the same
+numbers come from :class:`repro.vmem.stats.IoStats`.  Both paths produce
+:class:`ResourceSnapshot` pairs so downstream reporting code does not care
+which world the numbers came from.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ResourceSnapshot:
+    """A point-in-time reading of process resource counters.
+
+    Attributes
+    ----------
+    wall_time_s:
+        Monotonic wall clock.
+    cpu_time_s:
+        Process CPU time (user + system), summed over all threads.
+    read_bytes, write_bytes:
+        Cumulative bytes read from / written to storage by the process
+        (0 when the platform does not expose them).
+    """
+
+    wall_time_s: float
+    cpu_time_s: float
+    read_bytes: int
+    write_bytes: int
+
+
+def _read_proc_io(pid: Optional[int] = None) -> "tuple[int, int]":
+    """Read cumulative (read_bytes, write_bytes) from ``/proc/<pid>/io``.
+
+    Returns zeros when the file is unavailable (non-Linux or restricted).
+    """
+    path = Path(f"/proc/{pid or os.getpid()}/io")
+    try:
+        text = path.read_text(encoding="ascii")
+    except (OSError, PermissionError):
+        return 0, 0
+    read_bytes = write_bytes = 0
+    for line in text.splitlines():
+        if line.startswith("read_bytes:"):
+            read_bytes = int(line.split(":", 1)[1])
+        elif line.startswith("write_bytes:"):
+            write_bytes = int(line.split(":", 1)[1])
+    return read_bytes, write_bytes
+
+
+class ResourceMonitor:
+    """Samples process resource usage before and after a workload.
+
+    Examples
+    --------
+    >>> monitor = ResourceMonitor()
+    >>> monitor.start()
+    >>> _ = sum(range(10000))
+    >>> usage = monitor.stop()
+    >>> usage.wall_time_s >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[ResourceSnapshot] = None
+
+    @staticmethod
+    def snapshot() -> ResourceSnapshot:
+        """Take a snapshot of the current process counters."""
+        read_bytes, write_bytes = _read_proc_io()
+        return ResourceSnapshot(
+            wall_time_s=time.perf_counter(),
+            cpu_time_s=time.process_time(),
+            read_bytes=read_bytes,
+            write_bytes=write_bytes,
+        )
+
+    def start(self) -> None:
+        """Begin a measurement interval."""
+        self._start = self.snapshot()
+
+    def stop(self) -> "ResourceUsage":
+        """End the interval and return the usage over it."""
+        if self._start is None:
+            raise RuntimeError("ResourceMonitor.stop() called before start()")
+        end = self.snapshot()
+        usage = ResourceUsage(
+            wall_time_s=end.wall_time_s - self._start.wall_time_s,
+            cpu_time_s=end.cpu_time_s - self._start.cpu_time_s,
+            read_bytes=max(0, end.read_bytes - self._start.read_bytes),
+            write_bytes=max(0, end.write_bytes - self._start.write_bytes),
+        )
+        self._start = None
+        return usage
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Resource usage over a measurement interval."""
+
+    wall_time_s: float
+    cpu_time_s: float
+    read_bytes: int
+    write_bytes: int
+
+    def cpu_utilization(self, cores: int = 1) -> float:
+        """CPU utilisation of the interval, normalised by ``cores`` (0–1)."""
+        if self.wall_time_s <= 0 or cores <= 0:
+            return 0.0
+        return min(1.0, self.cpu_time_s / (self.wall_time_s * cores))
+
+    def io_throughput_bytes_per_s(self) -> float:
+        """Average storage throughput over the interval."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return (self.read_bytes + self.write_bytes) / self.wall_time_s

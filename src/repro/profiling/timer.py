@@ -1,0 +1,76 @@
+"""Wall-clock timing helpers used by benchmarks and examples."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock timings.
+
+    Examples
+    --------
+    >>> watch = Stopwatch()
+    >>> with watch.measure("load"):
+    ...     _ = sum(range(1000))
+    >>> watch.total("load") >= 0.0
+    True
+    """
+
+    timings: Dict[str, List[float]] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        """Context manager recording one timing under ``label``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.timings.setdefault(label, []).append(elapsed)
+
+    def record(self, label: str, seconds: float) -> None:
+        """Record an externally measured duration."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        self.timings.setdefault(label, []).append(seconds)
+
+    def total(self, label: str) -> float:
+        """Total seconds recorded under ``label`` (0.0 if none)."""
+        return sum(self.timings.get(label, []))
+
+    def count(self, label: str) -> int:
+        """Number of measurements recorded under ``label``."""
+        return len(self.timings.get(label, []))
+
+    def mean(self, label: str) -> float:
+        """Mean duration for ``label``; raises ``KeyError`` if never measured."""
+        values = self.timings[label]
+        return sum(values) / len(values)
+
+    def summary(self) -> Dict[str, float]:
+        """Label → total seconds."""
+        return {label: sum(values) for label, values in self.timings.items()}
+
+
+@contextmanager
+def time_block() -> Iterator[List[float]]:
+    """Time a block; the elapsed seconds are appended to the yielded list.
+
+    Examples
+    --------
+    >>> with time_block() as result:
+    ...     _ = sum(range(1000))
+    >>> len(result)
+    1
+    """
+    result: List[float] = []
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result.append(time.perf_counter() - start)

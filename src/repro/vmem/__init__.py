@@ -1,0 +1,81 @@
+"""Virtual-memory substrate: page cache, replacement policies, disk model.
+
+The M3 paper relies on the operating system's virtual memory subsystem: a
+memory-mapped file is paged in and out of RAM on demand, with read-ahead and
+least-recently-used caching performed by the kernel.  The paper's experiments
+ran on a desktop with 32 GB of RAM and a 1 TB SSD against datasets of up to
+190 GB — hardware we do not have.  This package provides a deterministic,
+configurable simulator of exactly that machinery so that the *shape* of the
+paper's results (linear scaling with a slope change at the RAM boundary,
+I/O-bound execution) can be reproduced at any scale.
+
+The main entry point is :class:`~repro.vmem.vm_simulator.VirtualMemorySimulator`,
+which combines a :class:`~repro.vmem.page_table.PageTable`, a
+:class:`~repro.vmem.page_cache.PageCache` (with a pluggable replacement policy
+and read-ahead window) and a :class:`~repro.vmem.disk.DiskModel`.  Access
+traces can be recorded with :class:`~repro.vmem.trace.AccessTrace` and replayed
+under different configurations.
+"""
+
+from repro.vmem.page import PAGE_SIZE_DEFAULT, Page, PageId
+from repro.vmem.page_table import PageTable, PageTableEntry
+from repro.vmem.replacement import (
+    ClockPolicy,
+    FifoPolicy,
+    LruPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.vmem.readahead import AdaptiveReadAhead, FixedReadAhead, NoReadAhead, ReadAheadPolicy
+from repro.vmem.disk import DiskModel, DiskProfile, HDD_7200RPM, NVME_SSD, SATA_SSD
+from repro.vmem.page_cache import PageCache, PageCacheConfig
+from repro.vmem.stats import IoStats, PageCacheStats, UtilizationSample, UtilizationTimeline
+from repro.vmem.trace import AccessKind, AccessRecord, AccessTrace
+from repro.vmem.locality import (
+    LocalityReport,
+    MissRatioCurve,
+    analyze_trace,
+    build_miss_ratio_curve,
+    reuse_distances,
+    working_set_sizes,
+)
+from repro.vmem.vm_simulator import VirtualMemoryConfig, VirtualMemorySimulator
+
+__all__ = [
+    "PAGE_SIZE_DEFAULT",
+    "Page",
+    "PageId",
+    "PageTable",
+    "PageTableEntry",
+    "ReplacementPolicy",
+    "LruPolicy",
+    "FifoPolicy",
+    "ClockPolicy",
+    "make_policy",
+    "ReadAheadPolicy",
+    "NoReadAhead",
+    "FixedReadAhead",
+    "AdaptiveReadAhead",
+    "DiskModel",
+    "DiskProfile",
+    "SATA_SSD",
+    "NVME_SSD",
+    "HDD_7200RPM",
+    "PageCache",
+    "PageCacheConfig",
+    "PageCacheStats",
+    "IoStats",
+    "UtilizationSample",
+    "UtilizationTimeline",
+    "AccessKind",
+    "AccessRecord",
+    "AccessTrace",
+    "LocalityReport",
+    "MissRatioCurve",
+    "analyze_trace",
+    "build_miss_ratio_curve",
+    "reuse_distances",
+    "working_set_sizes",
+    "VirtualMemoryConfig",
+    "VirtualMemorySimulator",
+]

@@ -1,0 +1,264 @@
+"""Memory-access locality analysis.
+
+The paper's ongoing work proposes to "extensively study the memory access
+patterns and locality of algorithms (e.g., sequential scans vs random access)
+to better understand how they affect performance".  This module implements the
+standard tools for that study on top of :class:`~repro.vmem.trace.AccessTrace`:
+
+* **Reuse distances** — for every page access, the number of *distinct* pages
+  touched since the previous access to the same page (∞ for first accesses).
+  Under LRU, an access hits if and only if its reuse distance is smaller than
+  the cache capacity in pages, so the histogram of reuse distances fully
+  determines the miss ratio at *every* possible RAM size.
+* **Miss-ratio curves** — the fraction of accesses that miss as a function of
+  cache size, computed in one pass from the reuse-distance histogram (the
+  Mattson stack algorithm).  This is how the benchmark harness can answer
+  "how much RAM would this algorithm need to stop being I/O bound?" without
+  re-running the simulator once per RAM size.
+* **Working-set sizes** — the number of distinct pages touched in a window of
+  the trace (Denning's working set), summarising how much of the file the
+  algorithm actively needs at a time.
+
+The implementation uses a Fenwick (binary indexed) tree over access recency so
+reuse distances for a trace with ``n`` page accesses cost ``O(n log n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.vmem.page import PAGE_SIZE_DEFAULT, PageId, pages_for_range
+from repro.vmem.trace import AccessTrace
+
+INFINITE_DISTANCE = -1
+"""Sentinel reuse distance for the first access to a page."""
+
+
+class _FenwickTree:
+    """A Fenwick tree supporting point updates and prefix sums."""
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+        self._tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        """Add ``delta`` at position ``index`` (0-based)."""
+        position = index + 1
+        while position <= self._size:
+            self._tree[position] += delta
+            position += position & (-position)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of positions ``0..index`` inclusive (0-based)."""
+        position = index + 1
+        total = 0
+        while position > 0:
+            total += self._tree[position]
+            position -= position & (-position)
+        return total
+
+
+def trace_to_page_sequence(
+    trace: AccessTrace, page_size: int = PAGE_SIZE_DEFAULT
+) -> List[PageId]:
+    """Flatten a byte-range trace into the sequence of page ids it touches."""
+    sequence: List[PageId] = []
+    for record in trace:
+        sequence.extend(pages_for_range(record.offset, record.length, page_size))
+    return sequence
+
+
+def reuse_distances(page_sequence: Sequence[PageId]) -> List[int]:
+    """LRU reuse distance of every access in ``page_sequence``.
+
+    The reuse distance of an access is the number of *distinct* pages accessed
+    since the previous access to the same page; first accesses get
+    :data:`INFINITE_DISTANCE`.
+    """
+    n = len(page_sequence)
+    tree = _FenwickTree(n)
+    last_position: Dict[PageId, int] = {}
+    distances: List[int] = []
+    for position, page in enumerate(page_sequence):
+        previous = last_position.get(page)
+        if previous is None:
+            distances.append(INFINITE_DISTANCE)
+        else:
+            # Distinct pages touched strictly between the two accesses:
+            # each distinct page contributes its most recent access (a "1" in
+            # the tree), so the count is a prefix-sum difference.
+            distinct = tree.prefix_sum(position - 1) - tree.prefix_sum(previous)
+            distances.append(distinct)
+            tree.add(previous, -1)
+        tree.add(position, +1)
+        last_position[page] = position
+    return distances
+
+
+@dataclass
+class MissRatioCurve:
+    """Miss ratio as a function of LRU cache size (in pages).
+
+    Attributes
+    ----------
+    total_accesses:
+        Number of page accesses in the analysed trace.
+    cold_misses:
+        Accesses with infinite reuse distance (first touches); these miss at
+        every cache size.
+    histogram:
+        ``histogram[d]`` = number of accesses with finite reuse distance ``d``.
+    page_size:
+        Page size the analysis used.
+    """
+
+    total_accesses: int
+    cold_misses: int
+    histogram: Dict[int, int] = field(default_factory=dict)
+    page_size: int = PAGE_SIZE_DEFAULT
+
+    def miss_ratio(self, cache_pages: int) -> float:
+        """Fraction of accesses that miss with an LRU cache of ``cache_pages`` pages."""
+        if cache_pages < 0:
+            raise ValueError("cache_pages must be non-negative")
+        if self.total_accesses == 0:
+            return 0.0
+        misses = self.cold_misses + sum(
+            count for distance, count in self.histogram.items() if distance >= cache_pages
+        )
+        return misses / self.total_accesses
+
+    def miss_ratio_for_bytes(self, ram_bytes: int) -> float:
+        """Miss ratio for a cache of ``ram_bytes`` bytes."""
+        return self.miss_ratio(ram_bytes // self.page_size)
+
+    def minimum_pages_for_hit_ratio(self, target_hit_ratio: float) -> Optional[int]:
+        """Smallest cache size (pages) achieving at least ``target_hit_ratio``.
+
+        Returns ``None`` if even an infinite cache cannot reach the target
+        (because of cold misses).
+        """
+        if not 0.0 <= target_hit_ratio <= 1.0:
+            raise ValueError("target_hit_ratio must be in [0, 1]")
+        if self.total_accesses == 0:
+            return 0
+        best_possible = 1.0 - self.cold_misses / self.total_accesses
+        if best_possible + 1e-12 < target_hit_ratio:
+            return None
+        candidate_sizes = sorted({0, *[d + 1 for d in self.histogram]})
+        for size in candidate_sizes:
+            if 1.0 - self.miss_ratio(size) >= target_hit_ratio - 1e-12:
+                return size
+        return max(self.histogram, default=0) + 1
+
+    @property
+    def compulsory_miss_ratio(self) -> float:
+        """Miss ratio of an infinitely large cache (cold misses only)."""
+        if self.total_accesses == 0:
+            return 0.0
+        return self.cold_misses / self.total_accesses
+
+
+def build_miss_ratio_curve(
+    trace: AccessTrace, page_size: int = PAGE_SIZE_DEFAULT
+) -> MissRatioCurve:
+    """Analyse ``trace`` and return its LRU :class:`MissRatioCurve`."""
+    sequence = trace_to_page_sequence(trace, page_size)
+    distances = reuse_distances(sequence)
+    histogram: Dict[int, int] = {}
+    cold = 0
+    for distance in distances:
+        if distance == INFINITE_DISTANCE:
+            cold += 1
+        else:
+            histogram[distance] = histogram.get(distance, 0) + 1
+    return MissRatioCurve(
+        total_accesses=len(sequence),
+        cold_misses=cold,
+        histogram=histogram,
+        page_size=page_size,
+    )
+
+
+def working_set_sizes(
+    page_sequence: Sequence[PageId], window: int
+) -> List[int]:
+    """Denning working-set sizes: distinct pages in each sliding window.
+
+    Parameters
+    ----------
+    page_sequence:
+        The page access sequence.
+    window:
+        Window length in accesses.  Windows shorter than ``window`` at the end
+        of the trace are not reported.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    n = len(page_sequence)
+    if n < window:
+        return []
+    counts: Dict[PageId, int] = {}
+    sizes: List[int] = []
+    for index, page in enumerate(page_sequence):
+        counts[page] = counts.get(page, 0) + 1
+        if index >= window:
+            evicted = page_sequence[index - window]
+            counts[evicted] -= 1
+            if counts[evicted] == 0:
+                del counts[evicted]
+        if index >= window - 1:
+            sizes.append(len(counts))
+    return sizes
+
+
+@dataclass(frozen=True)
+class LocalityReport:
+    """Summary of a trace's locality characteristics."""
+
+    sequential_fraction: float
+    distinct_pages: int
+    total_page_accesses: int
+    compulsory_miss_ratio: float
+    mean_working_set: float
+    ram_for_90_percent_hits_bytes: Optional[int]
+
+    @property
+    def access_pattern(self) -> str:
+        """Coarse classification: ``"sequential"``, ``"mixed"`` or ``"random"``."""
+        if self.sequential_fraction >= 0.8:
+            return "sequential"
+        if self.sequential_fraction >= 0.3:
+            return "mixed"
+        return "random"
+
+
+def analyze_trace(
+    trace: AccessTrace,
+    page_size: int = PAGE_SIZE_DEFAULT,
+    working_set_window: int = 1024,
+) -> LocalityReport:
+    """Produce a :class:`LocalityReport` for ``trace``.
+
+    This is the entry point the paper's "study the memory access patterns and
+    locality of algorithms" agenda calls for: it classifies the pattern,
+    quantifies reuse, and answers how much RAM the algorithm would need for
+    the page cache to absorb 90 % of its accesses.
+    """
+    sequence = trace_to_page_sequence(trace, page_size)
+    curve = build_miss_ratio_curve(trace, page_size)
+    window = min(working_set_window, max(1, len(sequence)))
+    sets = working_set_sizes(sequence, window)
+    mean_ws = sum(sets) / len(sets) if sets else float(len(set(sequence)))
+    pages_needed = curve.minimum_pages_for_hit_ratio(0.9)
+    return LocalityReport(
+        sequential_fraction=trace.sequential_fraction(),
+        distinct_pages=len(set(sequence)),
+        total_page_accesses=len(sequence),
+        compulsory_miss_ratio=curve.compulsory_miss_ratio,
+        mean_working_set=mean_ws,
+        ram_for_90_percent_hits_bytes=(
+            pages_needed * page_size if pages_needed is not None else None
+        ),
+    )

@@ -1,0 +1,104 @@
+"""A minimal page table mapping page ids to residency information.
+
+The real kernel maps virtual addresses to physical frames; for the purposes of
+the M3 reproduction we only need to know, for every page of the mapped file,
+whether it is currently resident in the (simulated) page cache and some
+bookkeeping used by replacement policies and statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.vmem.page import Page, PageId
+
+
+@dataclass
+class PageTableEntry:
+    """Residency record for a single page.
+
+    Attributes
+    ----------
+    page:
+        The resident :class:`~repro.vmem.page.Page`, or ``None`` if the page
+        is not currently in RAM.
+    faults:
+        Number of major faults this page has caused (times it was loaded).
+    evictions:
+        Number of times the page has been evicted.
+    """
+
+    page: Optional[Page] = None
+    faults: int = 0
+    evictions: int = 0
+
+    @property
+    def resident(self) -> bool:
+        """Whether the page is currently in the page cache."""
+        return self.page is not None
+
+
+class PageTable:
+    """Maps :data:`PageId` to :class:`PageTableEntry`.
+
+    The table is sparse: entries are created lazily on first access, so a
+    190 GB mapping (≈ 50 M pages) only materialises entries for pages that
+    were actually touched.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[PageId, PageTableEntry] = {}
+
+    def entry(self, page_id: PageId) -> PageTableEntry:
+        """Return the entry for ``page_id``, creating it if needed."""
+        entry = self._entries.get(page_id)
+        if entry is None:
+            entry = PageTableEntry()
+            self._entries[page_id] = entry
+        return entry
+
+    def lookup(self, page_id: PageId) -> Optional[PageTableEntry]:
+        """Return the entry for ``page_id`` or ``None`` if never touched."""
+        return self._entries.get(page_id)
+
+    def is_resident(self, page_id: PageId) -> bool:
+        """Whether ``page_id`` is currently resident."""
+        entry = self._entries.get(page_id)
+        return entry is not None and entry.resident
+
+    def record_load(self, page: Page) -> None:
+        """Mark ``page`` as resident and count a major fault."""
+        entry = self.entry(page.page_id)
+        entry.page = page
+        entry.faults += 1
+
+    def record_eviction(self, page_id: PageId) -> None:
+        """Mark ``page_id`` as no longer resident and count the eviction."""
+        entry = self.entry(page_id)
+        entry.page = None
+        entry.evictions += 1
+
+    def resident_pages(self) -> Iterator[Page]:
+        """Iterate over all currently resident pages."""
+        for entry in self._entries.values():
+            if entry.page is not None:
+                yield entry.page
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def resident_count(self) -> int:
+        """Number of resident pages."""
+        return sum(1 for entry in self._entries.values() if entry.resident)
+
+    @property
+    def total_faults(self) -> int:
+        """Total number of major faults across all pages."""
+        return sum(entry.faults for entry in self._entries.values())
+
+    @property
+    def total_evictions(self) -> int:
+        """Total number of evictions across all pages."""
+        return sum(entry.evictions for entry in self._entries.values())

@@ -1,0 +1,161 @@
+"""Statistics containers for the virtual-memory simulator.
+
+The paper's first key finding is about *where time goes*: "disk I/O was 100 %
+utilized while CPU was only utilized at around 13 %".  These dataclasses
+collect the counters needed to reproduce that observation — page cache hits
+and faults, bytes moved, and a timeline of CPU/disk utilisation samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class PageCacheStats:
+    """Hit/miss counters for the simulated page cache."""
+
+    hits: int = 0
+    major_faults: int = 0
+    prefetched_pages: int = 0
+    prefetch_hits: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total page accesses (hits + major faults)."""
+        return self.hits + self.major_faults
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served from the cache (0–1); 0 when no accesses."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    @property
+    def fault_rate(self) -> float:
+        """Fraction of accesses that caused a major fault (0–1)."""
+        total = self.accesses
+        return self.major_faults / total if total else 0.0
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of prefetched pages that were subsequently used."""
+        return self.prefetch_hits / self.prefetched_pages if self.prefetched_pages else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary representation, convenient for reports and tests."""
+        return {
+            "hits": self.hits,
+            "major_faults": self.major_faults,
+            "prefetched_pages": self.prefetched_pages,
+            "prefetch_hits": self.prefetch_hits,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "hit_rate": self.hit_rate,
+            "fault_rate": self.fault_rate,
+            "prefetch_accuracy": self.prefetch_accuracy,
+        }
+
+
+@dataclass
+class IoStats:
+    """Aggregate I/O accounting produced by a simulated run."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_requests: int = 0
+    write_requests: int = 0
+    io_time_s: float = 0.0
+    cpu_time_s: float = 0.0
+
+    @property
+    def total_time_s(self) -> float:
+        """Total simulated wall time (I/O + CPU), assuming no overlap.
+
+        The paper reports M3 as strongly I/O bound, so modelling I/O and CPU
+        as non-overlapping is a small, conservative simplification.
+        """
+        return self.io_time_s + self.cpu_time_s
+
+    @property
+    def io_utilization(self) -> float:
+        """Fraction of wall time spent in I/O (0–1)."""
+        total = self.total_time_s
+        return self.io_time_s / total if total else 0.0
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Fraction of wall time spent computing (0–1)."""
+        total = self.total_time_s
+        return self.cpu_time_s / total if total else 0.0
+
+    def merge(self, other: "IoStats") -> "IoStats":
+        """Return a new :class:`IoStats` combining this one with ``other``."""
+        return IoStats(
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+            read_requests=self.read_requests + other.read_requests,
+            write_requests=self.write_requests + other.write_requests,
+            io_time_s=self.io_time_s + other.io_time_s,
+            cpu_time_s=self.cpu_time_s + other.cpu_time_s,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary representation."""
+        return {
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "read_requests": self.read_requests,
+            "write_requests": self.write_requests,
+            "io_time_s": self.io_time_s,
+            "cpu_time_s": self.cpu_time_s,
+            "total_time_s": self.total_time_s,
+            "io_utilization": self.io_utilization,
+            "cpu_utilization": self.cpu_utilization,
+        }
+
+
+@dataclass
+class UtilizationSample:
+    """A single point on the utilisation timeline."""
+
+    time_s: float
+    cpu_utilization: float
+    disk_utilization: float
+    resident_bytes: int
+
+
+@dataclass
+class UtilizationTimeline:
+    """A time series of utilisation samples taken during a simulated run."""
+
+    samples: List[UtilizationSample] = field(default_factory=list)
+
+    def add(self, sample: UtilizationSample) -> None:
+        """Append a sample (samples should be added in time order)."""
+        self.samples.append(sample)
+
+    @property
+    def mean_cpu_utilization(self) -> float:
+        """Mean CPU utilisation across samples (0–1); 0 when empty."""
+        if not self.samples:
+            return 0.0
+        return sum(s.cpu_utilization for s in self.samples) / len(self.samples)
+
+    @property
+    def mean_disk_utilization(self) -> float:
+        """Mean disk utilisation across samples (0–1); 0 when empty."""
+        if not self.samples:
+            return 0.0
+        return sum(s.disk_utilization for s in self.samples) / len(self.samples)
+
+    @property
+    def peak_resident_bytes(self) -> int:
+        """Largest resident-set size observed."""
+        return max((s.resident_bytes for s in self.samples), default=0)
+
+    def __len__(self) -> int:
+        return len(self.samples)

@@ -1,0 +1,69 @@
+"""Tests for the Figure 1a reproduction (runtime vs dataset size)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figure1a import run_figure1a
+from repro.bench.m3_model import M3RuntimeModel, M3Workload
+
+GIB = 1024 ** 3
+
+
+@pytest.fixture(scope="module")
+def scaled_result():
+    """A scaled-down sweep (1 GiB RAM, 0.25-4 GB datasets) with the same shape."""
+    model = M3RuntimeModel(ram_bytes=1 * GIB, page_size=4 * 1024 * 1024)
+    workload = M3Workload(name="logistic_regression", passes=12)
+    return run_figure1a(
+        sizes_gb=[0.25, 0.5, 0.75, 1.0, 2.0, 3.0, 4.0], model=model, workload=workload
+    )
+
+
+class TestFigure1aShape:
+    def test_rows_cover_all_sizes(self, scaled_result):
+        assert len(scaled_result.rows) == 7
+        assert [row.size_gb for row in scaled_result.rows] == [0.25, 0.5, 0.75, 1.0, 2.0, 3.0, 4.0]
+
+    def test_runtime_monotonically_increases_with_size(self, scaled_result):
+        runtimes = [row.runtime_s for row in scaled_result.rows]
+        assert all(b > a for a, b in zip(runtimes, runtimes[1:]))
+
+    def test_ram_boundary_classification(self, scaled_result):
+        assert all(row.fits_in_ram for row in scaled_result.rows if row.size_gb <= 1.0)
+        assert all(not row.fits_in_ram for row in scaled_result.rows if row.size_gb >= 2.0)
+        assert len(scaled_result.in_ram_rows) >= 2
+        assert len(scaled_result.out_of_core_rows) >= 2
+
+    def test_out_of_core_slope_steeper_than_in_ram(self, scaled_result):
+        """The paper: linear in both regimes, 'at a higher scaling constant' out of core."""
+        model = scaled_result.model
+        assert model.out_of_core_slope > model.in_ram_slope
+        assert model.slowdown_factor > 1.5
+
+    def test_runtime_approximately_linear_in_each_regime(self, scaled_result):
+        assert scaled_result.linearity_r2() > 0.95
+
+    def test_out_of_core_runs_are_io_bound(self, scaled_result):
+        for row in scaled_result.out_of_core_rows:
+            assert row.disk_utilization > 0.7
+
+    def test_runtime_roughly_proportional_to_size_out_of_core(self, scaled_result):
+        out = scaled_result.out_of_core_rows
+        first, last = out[0], out[-1]
+        size_ratio = last.size_gb / first.size_gb
+        runtime_ratio = last.runtime_s / first.runtime_s
+        assert runtime_ratio == pytest.approx(size_ratio, rel=0.35)
+
+
+class TestFigure1aPaperScale:
+    def test_full_sweep_190gb_value_in_paper_ballpark(self):
+        """At the paper's scale the 190 GB L-BFGS runtime should be within 2x of 1950 s."""
+        model = M3RuntimeModel()
+        workload = model.logistic_regression_workload()
+        result = run_figure1a(sizes_gb=[10, 190], model=model, workload=workload)
+        runtime_190 = result.rows[-1].runtime_s
+        assert 1950 / 2 < runtime_190 < 1950 * 2
+        # And the 10 GB run must be much faster than a proportional scale-down,
+        # because it fits in RAM after the first pass.
+        runtime_10 = result.rows[0].runtime_s
+        assert runtime_10 < runtime_190 * (10 / 190)

@@ -1,0 +1,49 @@
+"""Tests for the benchmark reporting helpers."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.bench.reporting import format_table, rows_to_dicts
+
+
+@dataclass
+class Row:
+    name: str
+    value: float
+
+
+class TestRowsToDicts:
+    def test_dataclass_rows(self):
+        assert rows_to_dicts([Row("a", 1.0)]) == [{"name": "a", "value": 1.0}]
+
+    def test_dict_rows_copied(self):
+        source = {"x": 1}
+        result = rows_to_dicts([source])
+        result[0]["x"] = 2
+        assert source["x"] == 1
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            rows_to_dicts([42])
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table([Row("alpha", 12.5), Row("beta", 3000.0)], title="demo")
+        assert "demo" in text
+        assert "alpha" in text
+        assert "12.50" in text
+        assert "3,000" in text
+
+    def test_column_selection_and_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_missing_column_rendered_blank(self):
+        text = format_table([{"a": 1}], columns=["a", "missing"])
+        assert "missing" in text

@@ -1,0 +1,68 @@
+"""Tests for the cluster-size scaling study."""
+
+import pytest
+
+from repro.bench.m3_model import M3RuntimeModel, M3Workload
+from repro.bench.scaling import run_cluster_scaling
+
+
+@pytest.fixture(scope="module")
+def scaling_result():
+    model = M3RuntimeModel()
+    workload = M3Workload(name="logistic_regression", passes=16)
+    return run_cluster_scaling(
+        dataset_gb=190,
+        instance_counts=(2, 4, 8, 16),
+        workload="logistic_regression",
+        m3_model=model,
+        m3_workload=workload,
+    )
+
+
+class TestClusterScaling:
+    def test_rows_include_m3_and_every_cluster_size(self, scaling_result):
+        systems = [(row.system, row.instances) for row in scaling_result.rows]
+        assert ("m3", 1) in systems
+        for instances in (2, 4, 8, 16):
+            assert ("spark", instances) in systems
+
+    def test_spark_runtime_decreases_with_more_instances(self, scaling_result):
+        runtimes = [row.runtime_s for row in scaling_result.rows if row.system == "spark"]
+        assert all(b < a for a, b in zip(runtimes, runtimes[1:]))
+
+    def test_relative_to_m3_consistent(self, scaling_result):
+        for row in scaling_result.rows:
+            assert row.relative_to_m3 == pytest.approx(
+                row.runtime_s / scaling_result.m3_runtime_s
+            )
+
+    def test_small_clusters_lose_to_m3(self, scaling_result):
+        assert scaling_result.runtime_for(2) > scaling_result.m3_runtime_s
+        assert scaling_result.runtime_for(4) > scaling_result.m3_runtime_s
+
+    def test_crossover_beyond_eight_instances(self, scaling_result):
+        assert scaling_result.crossover_instances is None or (
+            scaling_result.crossover_instances > 8
+        )
+
+    def test_cached_fraction_grows_with_cluster_size(self, scaling_result):
+        fractions = [row.cached_fraction for row in scaling_result.rows if row.system == "spark"]
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+
+    def test_unknown_cluster_size_lookup_rejected(self, scaling_result):
+        with pytest.raises(KeyError):
+            scaling_result.runtime_for(64)
+
+    def test_invalid_workload_rejected(self):
+        with pytest.raises(ValueError):
+            run_cluster_scaling(workload="pagerank")
+
+    def test_kmeans_workload_supported(self):
+        result = run_cluster_scaling(
+            dataset_gb=40,
+            instance_counts=(4, 8),
+            workload="kmeans",
+            m3_model=M3RuntimeModel(),
+            m3_workload=M3Workload(name="kmeans", passes=10, cpu_bytes_per_s=20e9),
+        )
+        assert len(result.rows) == 3

@@ -1,0 +1,77 @@
+"""Tests for the Table 1 transparency experiment, the utilisation experiment
+and the ablation sweeps."""
+
+import pytest
+
+from repro.bench.ablations import (
+    run_chunk_size_ablation,
+    run_raid_ablation,
+    run_readahead_ablation,
+    run_replacement_policy_ablation,
+)
+from repro.bench.m3_model import M3RuntimeModel, M3Workload
+from repro.bench.table1 import ORIGINAL_SNIPPET, M3_SNIPPET, count_changed_lines, run_table1
+from repro.bench.utilization import run_utilization_experiment
+
+GIB = 1024 ** 3
+
+
+class TestTable1:
+    def test_only_one_line_changes(self):
+        assert count_changed_lines(ORIGINAL_SNIPPET, M3_SNIPPET) == 1
+
+    def test_identical_programs_change_nothing(self):
+        assert count_changed_lines(ORIGINAL_SNIPPET, ORIGINAL_SNIPPET) == 0
+
+    def test_transparency_experiment(self, tmp_path):
+        result = run_table1(tmp_path, n_samples=600, n_features=20)
+        assert result.lines_changed == 1
+        assert result.total_lines == 3
+        assert result.max_coef_difference < 1e-10
+        assert result.predictions_identical is True
+        assert result.transparent is True
+        assert result.in_memory_accuracy == pytest.approx(result.mmap_accuracy)
+        assert result.in_memory_accuracy > 0.9
+
+
+class TestUtilization:
+    def test_out_of_core_run_reproduces_io_bound_observation(self):
+        model = M3RuntimeModel(ram_bytes=1 * GIB)
+        workload = M3Workload(name="lr", passes=10)
+        rows = run_utilization_experiment(sizes_gb=[0.5, 4], model=model, workload=workload)
+        in_ram, out_of_core = rows
+        # Paper: "disk I/O was 100% utilized while CPU was only utilized at ~13%".
+        assert out_of_core.io_bound is True
+        assert out_of_core.disk_utilization > 0.8
+        assert out_of_core.cpu_utilization < 0.2
+        # The in-RAM run spends relatively more of its time computing.
+        assert in_ram.cpu_utilization > out_of_core.cpu_utilization
+
+
+class TestAblations:
+    def test_replacement_policies_all_produce_results(self):
+        rows = run_replacement_policy_ablation(size_gb=2, model=M3RuntimeModel(ram_bytes=GIB))
+        assert {row.setting for row in rows} == {"lru", "clock", "fifo"}
+        assert all(row.runtime_s > 0 for row in rows)
+
+    def test_readahead_reduces_runtime(self):
+        # Small (64 KiB) pages make per-request latency visible, which is the
+        # cost read-ahead batching amortises.
+        rows = run_readahead_ablation(
+            size_gb=1, windows=(0, 8), ram_bytes=256 * 1024 * 1024, page_size=64 * 1024
+        )
+        no_readahead = next(row for row in rows if row.setting == "window=0")
+        with_readahead = next(row for row in rows if row.setting == "window=8")
+        assert with_readahead.runtime_s < no_readahead.runtime_s
+        assert with_readahead.major_faults < no_readahead.major_faults
+
+    def test_chunk_size_sweep_shapes(self):
+        rows = run_chunk_size_ablation(size_gb=1, chunk_rows_options=(1024, 8192), ram_bytes=GIB)
+        assert len(rows) == 2
+        assert all(row.runtime_s > 0 for row in rows)
+
+    def test_raid_striping_reduces_runtime(self):
+        rows = run_raid_ablation(size_gb=8, raid_factors=(1, 4))
+        assert rows[1].runtime_s < rows[0].runtime_s
+        # RAID cannot make the run more I/O bound than before.
+        assert rows[1].extra["disk_utilization"] <= rows[0].extra["disk_utilization"] + 1e-9

@@ -1,0 +1,111 @@
+"""Tests for the benchmark constants and the paper-scale M3 runtime model."""
+
+import pytest
+
+from repro.bench.m3_model import (
+    M3RuntimeModel,
+    M3Workload,
+    calibrate_kmeans_passes,
+    calibrate_logistic_regression_passes,
+)
+from repro.bench.workloads import (
+    BYTES_PER_IMAGE,
+    FIGURE_1A_SIZES_GB,
+    PAPER_FIGURE_1B,
+    PAPER_RAM_BYTES,
+    dataset_bytes_for_gb,
+    images_for_gb,
+)
+
+GIB = 1024 ** 3
+
+
+class TestWorkloadConstants:
+    def test_bytes_per_image_is_6272(self):
+        assert BYTES_PER_IMAGE == 6272
+
+    def test_paper_ram_is_32_gib(self):
+        assert PAPER_RAM_BYTES == 32 * GIB
+
+    def test_figure_1a_ticks(self):
+        assert FIGURE_1A_SIZES_GB[0] == 10
+        assert FIGURE_1A_SIZES_GB[-1] == 190
+
+    def test_figure_1b_reference_values(self):
+        assert PAPER_FIGURE_1B["logistic_regression"]["4x Spark"] == 8256.0
+        assert PAPER_FIGURE_1B["kmeans"]["M3"] == 1164.0
+
+    def test_dataset_size_helpers(self):
+        assert dataset_bytes_for_gb(10) == 10 * 1000 ** 3
+        assert images_for_gb(190) == pytest.approx(30.3e6, rel=0.05)
+        with pytest.raises(ValueError):
+            dataset_bytes_for_gb(0)
+
+
+class TestCalibration:
+    def test_lbfgs_makes_at_least_one_pass_per_iteration(self):
+        passes = calibrate_logistic_regression_passes(n_samples=500, n_features=16)
+        assert passes >= 11  # 1 initial + >=1 per iteration
+
+    def test_kmeans_makes_one_pass_per_iteration(self):
+        assert calibrate_kmeans_passes(n_samples=500) == 10.0
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            M3Workload(name="bad", passes=0)
+        with pytest.raises(ValueError):
+            M3Workload(name="bad", passes=1, cpu_bytes_per_s=0)
+
+
+class TestM3RuntimeModel:
+    @pytest.fixture()
+    def model(self):
+        # A scaled-down machine (1 GiB RAM) so tests run in milliseconds.
+        return M3RuntimeModel(ram_bytes=1 * GIB, page_size=4 * 1024 * 1024)
+
+    def test_runtime_grows_with_dataset_size(self, model):
+        workload = M3Workload(name="lr", passes=5)
+        small = model.estimate(workload, dataset_bytes_for_gb(0.5))
+        large = model.estimate(workload, dataset_bytes_for_gb(4))
+        assert large.wall_time_s > small.wall_time_s
+
+    def test_out_of_core_is_io_bound(self, model):
+        workload = M3Workload(name="lr", passes=10)
+        estimate = model.estimate(workload, dataset_bytes_for_gb(4))
+        assert estimate.disk_utilization > 0.8
+        assert estimate.cpu_utilization < 0.2
+
+    def test_in_ram_dataset_read_once(self, model):
+        workload = M3Workload(name="lr", passes=10)
+        dataset_bytes = dataset_bytes_for_gb(0.5)
+        estimate = model.estimate(workload, dataset_bytes)
+        # Pages are faulted in on the first pass only.
+        assert estimate.bytes_read < 2 * dataset_bytes
+
+    def test_out_of_core_dataset_reread_every_pass(self, model):
+        workload = M3Workload(name="lr", passes=5)
+        dataset_bytes = dataset_bytes_for_gb(4)
+        estimate = model.estimate(workload, dataset_bytes)
+        assert estimate.bytes_read > 4 * dataset_bytes
+
+    def test_raid_speeds_up_io_bound_run(self):
+        workload = M3Workload(name="lr", passes=5)
+        single = M3RuntimeModel(ram_bytes=GIB, raid_factor=1).estimate(
+            workload, dataset_bytes_for_gb(3)
+        )
+        raid = M3RuntimeModel(ram_bytes=GIB, raid_factor=4).estimate(
+            workload, dataset_bytes_for_gb(3)
+        )
+        assert raid.wall_time_s < single.wall_time_s
+
+    def test_lr_workload_slower_than_kmeans(self):
+        """The paper's L-BFGS run (1950 s) is slower than k-means (1164 s)
+        because the line search makes extra passes."""
+        model = M3RuntimeModel(ram_bytes=GIB)
+        lr = model.logistic_regression_workload()
+        km = model.kmeans_workload()
+        assert lr.passes > km.passes
+
+    def test_invalid_dataset_size_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.estimate(M3Workload(name="x", passes=1), 0)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data.formats import write_binary_matrix
+from repro.data.synthetic import make_blobs, make_classification
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def small_classification():
+    """A small, nearly separable binary classification problem."""
+    X, y = make_classification(n_samples=300, n_features=12, n_classes=2, class_sep=3.0, seed=0)
+    return X, y
+
+
+@pytest.fixture()
+def small_multiclass():
+    """A small 4-class classification problem."""
+    X, y = make_classification(n_samples=400, n_features=10, n_classes=4, class_sep=3.5, seed=1)
+    return X, y
+
+
+@pytest.fixture()
+def small_blobs():
+    """Well-separated Gaussian blobs for clustering tests."""
+    X, y, centers = make_blobs(n_samples=400, n_features=5, centers=4, cluster_std=0.5, seed=2)
+    return X, y, centers
+
+
+@pytest.fixture()
+def dataset_file(tmp_path: Path, small_classification) -> Path:
+    """A small labelled dataset written in M3 binary format."""
+    X, y = small_classification
+    path = tmp_path / "dataset.m3"
+    write_binary_matrix(path, X, y)
+    return path

@@ -1,0 +1,42 @@
+"""Tests for access advice."""
+
+import numpy as np
+import pytest
+
+from repro.core.advice import AccessAdvice, apply_advice
+from repro.vmem.readahead import AdaptiveReadAhead, FixedReadAhead, NoReadAhead
+
+
+class TestAccessAdvice:
+    def test_all_advice_values_map_to_readahead_policies(self):
+        assert isinstance(AccessAdvice.SEQUENTIAL.to_readahead_policy(), FixedReadAhead)
+        assert isinstance(AccessAdvice.WILLNEED.to_readahead_policy(), FixedReadAhead)
+        assert isinstance(AccessAdvice.NORMAL.to_readahead_policy(), AdaptiveReadAhead)
+        assert isinstance(AccessAdvice.RANDOM.to_readahead_policy(), NoReadAhead)
+        assert isinstance(AccessAdvice.DONTNEED.to_readahead_policy(), NoReadAhead)
+
+    def test_madvise_flags_are_ints_or_none(self):
+        for advice in AccessAdvice:
+            flag = advice.to_madvise_flag()
+            assert flag is None or isinstance(flag, int)
+
+    def test_enum_round_trips_from_string(self):
+        assert AccessAdvice("sequential") is AccessAdvice.SEQUENTIAL
+
+
+class TestApplyAdvice:
+    def test_plain_bytes_buffer_returns_false(self):
+        assert apply_advice(memoryview(b"abcd"), AccessAdvice.SEQUENTIAL) is False
+
+    def test_real_mmap_buffer_best_effort(self, tmp_path):
+        import mmap
+
+        path = tmp_path / "advice.bin"
+        path.write_bytes(b"\0" * mmap.PAGESIZE)
+        with path.open("r+b") as handle:
+            mapping = mmap.mmap(handle.fileno(), 0)
+            try:
+                result = apply_advice(memoryview(mapping), AccessAdvice.SEQUENTIAL)
+                assert result in (True, False)
+            finally:
+                mapping.close()

@@ -1,0 +1,104 @@
+"""Tests for the M3 facade and configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core.advice import AccessAdvice
+from repro.core.config import M3Config
+from repro.core.m3 import M3, create_dataset, load_matrix, open_dataset
+from repro.core.mmap_matrix import MmapMatrix
+
+
+class TestM3Config:
+    def test_defaults(self):
+        config = M3Config()
+        assert config.chunk_rows == 4096
+        assert config.default_advice is AccessAdvice.SEQUENTIAL
+        assert config.mode == "r"
+        assert config.record_traces is False
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            M3Config(chunk_rows=0)
+        with pytest.raises(ValueError):
+            M3Config(mode="w")
+
+    def test_workspace_converted_to_path(self, tmp_path):
+        config = M3Config(workspace=str(tmp_path))
+        assert config.workspace == tmp_path
+
+
+class TestCreateAndOpen:
+    def test_create_then_open_roundtrip(self, tmp_path, small_classification):
+        X, y = small_classification
+        runtime = M3()
+        path = runtime.create_dataset(tmp_path / "round.m3", X, y)
+        matrix, labels = runtime.open_dataset(path)
+        assert isinstance(matrix, MmapMatrix)
+        np.testing.assert_allclose(np.asarray(matrix), X)
+        np.testing.assert_array_equal(np.asarray(labels), y)
+
+    def test_open_without_labels(self, tmp_path):
+        runtime = M3()
+        data = np.random.default_rng(0).normal(size=(12, 3))
+        path = runtime.create_dataset(tmp_path / "nolabels.m3", data)
+        matrix, labels = runtime.open_dataset(path)
+        assert labels is None
+        assert matrix.shape == (12, 3)
+
+    def test_create_empty_dataset(self, tmp_path):
+        runtime = M3()
+        path = runtime.create_empty_dataset(tmp_path / "empty.m3", rows=8, cols=4)
+        info = runtime.dataset_info(path)
+        assert info["rows"] == 8 and info["cols"] == 4
+        assert info["has_labels"] is False
+
+    def test_dataset_info(self, tmp_path, small_classification):
+        X, y = small_classification
+        runtime = M3()
+        path = runtime.create_dataset(tmp_path / "info.m3", X, y)
+        info = runtime.dataset_info(path)
+        assert info["rows"] == X.shape[0]
+        assert info["has_labels"] is True
+        assert info["dtype"] == "float64"
+
+    def test_trace_recording_enabled_by_config(self, tmp_path, small_classification):
+        X, y = small_classification
+        runtime = M3(M3Config(record_traces=True))
+        path = runtime.create_dataset(tmp_path / "traced.m3", X, y)
+        matrix, _ = runtime.open_dataset(path)
+        _ = matrix[0:10]
+        assert runtime.last_trace is not None
+        assert len(runtime.last_trace) == 1
+
+    def test_trace_recording_off_by_default(self, tmp_path, small_classification):
+        X, y = small_classification
+        runtime = M3()
+        path = runtime.create_dataset(tmp_path / "untraced.m3", X, y)
+        matrix, _ = runtime.open_dataset(path)
+        assert matrix.trace is None
+
+
+class TestLoadMatrix:
+    def test_load_m3_format_without_shape(self, tmp_path, small_classification):
+        X, y = small_classification
+        runtime = M3()
+        path = runtime.create_dataset(tmp_path / "fmt.m3", X, y)
+        matrix = runtime.load_matrix(path)
+        assert matrix.shape == X.shape
+
+    def test_load_raw_file_with_shape(self, tmp_path):
+        data = np.arange(24, dtype=np.float64).reshape(6, 4)
+        path = tmp_path / "raw.bin"
+        path.write_bytes(data.tobytes())
+        matrix = load_matrix(path, shape=(6, 4))
+        np.testing.assert_array_equal(np.asarray(matrix), data)
+
+
+class TestModuleLevelHelpers:
+    def test_module_level_create_and_open(self, tmp_path, small_classification):
+        X, y = small_classification
+        path = create_dataset(tmp_path / "module.m3", X, y)
+        matrix, labels = open_dataset(path)
+        np.testing.assert_allclose(np.asarray(matrix), X)
+        np.testing.assert_array_equal(np.asarray(labels), y)

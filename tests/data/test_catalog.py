@@ -1,0 +1,80 @@
+"""Tests for the dataset catalog."""
+
+import pytest
+
+from repro.data.catalog import DatasetCatalog, DatasetEntry
+
+
+def entry(name: str, path: str = "", rows: int = 10) -> DatasetEntry:
+    return DatasetEntry(
+        name=name,
+        path=path or f"/tmp/{name}.m3",
+        rows=rows,
+        cols=784,
+        dtype="float64",
+        size_bytes=rows * 6272,
+        seed=0,
+        description="test entry",
+    )
+
+
+class TestDatasetCatalog:
+    def test_add_and_get(self, tmp_path):
+        catalog = DatasetCatalog(tmp_path)
+        catalog.add(entry("small"))
+        assert "small" in catalog
+        assert catalog.get("small").rows == 10
+
+    def test_persistence_across_instances(self, tmp_path):
+        DatasetCatalog(tmp_path).add(entry("persisted", rows=42))
+        reloaded = DatasetCatalog(tmp_path)
+        assert reloaded.get("persisted").rows == 42
+        assert len(reloaded) == 1
+
+    def test_duplicate_add_rejected(self, tmp_path):
+        catalog = DatasetCatalog(tmp_path)
+        catalog.add(entry("dup"))
+        with pytest.raises(KeyError):
+            catalog.add(entry("dup"))
+
+    def test_overwrite_allowed_when_requested(self, tmp_path):
+        catalog = DatasetCatalog(tmp_path)
+        catalog.add(entry("dup", rows=1))
+        catalog.add(entry("dup", rows=2), overwrite=True)
+        assert catalog.get("dup").rows == 2
+
+    def test_remove(self, tmp_path):
+        catalog = DatasetCatalog(tmp_path)
+        catalog.add(entry("gone"))
+        catalog.remove("gone")
+        assert "gone" not in catalog
+        with pytest.raises(KeyError):
+            catalog.remove("gone")
+
+    def test_remove_deletes_file_when_requested(self, tmp_path):
+        data_file = tmp_path / "real.m3"
+        data_file.write_bytes(b"x")
+        catalog = DatasetCatalog(tmp_path)
+        catalog.add(entry("real", path=str(data_file)))
+        catalog.remove("real", delete_file=True)
+        assert not data_file.exists()
+
+    def test_find_existing_checks_file_presence(self, tmp_path):
+        data_file = tmp_path / "present.m3"
+        data_file.write_bytes(b"x")
+        catalog = DatasetCatalog(tmp_path)
+        catalog.add(entry("present", path=str(data_file)))
+        catalog.add(entry("missing", path=str(tmp_path / "missing.m3")))
+        assert catalog.find_existing("present") is not None
+        assert catalog.find_existing("missing") is None
+        assert catalog.find_existing("unknown") is None
+
+    def test_size_gib_property(self):
+        assert entry("x", rows=1).size_gib == pytest.approx(6272 / 1024 ** 3)
+
+    def test_iteration(self, tmp_path):
+        catalog = DatasetCatalog(tmp_path)
+        catalog.add(entry("a"))
+        catalog.add(entry("b"))
+        names = {item.name for item in catalog}
+        assert names == {"a", "b"}

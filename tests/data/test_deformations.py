@@ -1,0 +1,63 @@
+"""Tests for the pseudo-random image deformations."""
+
+import numpy as np
+import pytest
+
+from repro.data.deformations import DeformationParams, deform_image
+from repro.data.digits import render_digit
+
+
+class TestDeformationParams:
+    def test_defaults_validate(self):
+        DeformationParams().validate()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DeformationParams(max_translation=-1).validate()
+        with pytest.raises(ValueError):
+            DeformationParams(elastic_sigma=0.0).validate()
+        with pytest.raises(ValueError):
+            DeformationParams(scale_jitter=1.5).validate()
+        with pytest.raises(ValueError):
+            DeformationParams(noise_std=-0.1).validate()
+
+
+class TestDeformImage:
+    def test_output_shape_and_range(self):
+        image = render_digit(5)
+        deformed = deform_image(image, np.random.default_rng(0))
+        assert deformed.shape == image.shape
+        assert deformed.min() >= 0.0
+        assert deformed.max() <= 1.0
+
+    def test_deterministic_given_rng_state(self):
+        image = render_digit(2)
+        a = deform_image(image, np.random.default_rng(42))
+        b = deform_image(image, np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_give_different_images(self):
+        image = render_digit(2)
+        a = deform_image(image, np.random.default_rng(1))
+        b = deform_image(image, np.random.default_rng(2))
+        assert not np.allclose(a, b)
+
+    def test_deformation_changes_but_preserves_content(self):
+        image = render_digit(8)
+        deformed = deform_image(image, np.random.default_rng(7))
+        assert not np.allclose(deformed, image)
+        # Mass (total ink) should be roughly preserved.
+        assert deformed.sum() == pytest.approx(image.sum(), rel=0.5)
+
+    def test_identity_parameters_change_little(self):
+        params = DeformationParams(
+            max_translation=0, elastic_alpha=0.0, max_rotation_deg=0.0,
+            scale_jitter=0.0, noise_std=0.0,
+        )
+        image = render_digit(1)
+        deformed = deform_image(image, np.random.default_rng(0), params)
+        np.testing.assert_allclose(deformed, image, atol=1e-9)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            deform_image(np.zeros((10, 10)), np.random.default_rng(0))

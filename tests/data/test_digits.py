@@ -1,0 +1,46 @@
+"""Tests for the procedural digit glyphs."""
+
+import numpy as np
+import pytest
+
+from repro.data.digits import DIGIT_TEMPLATES, IMAGE_SIZE, render_digit
+
+
+class TestDigitTemplates:
+    def test_all_ten_digits_exist(self):
+        assert set(DIGIT_TEMPLATES) == set(range(10))
+
+    def test_shape_and_range(self):
+        for digit, template in DIGIT_TEMPLATES.items():
+            assert template.shape == (IMAGE_SIZE, IMAGE_SIZE)
+            assert template.min() >= 0.0
+            assert template.max() <= 1.0
+            assert template.max() > 0.5, f"digit {digit} glyph is too faint"
+
+    def test_digits_are_distinct(self):
+        # Every pair of glyphs should differ substantially.
+        for a in range(10):
+            for b in range(a + 1, 10):
+                diff = np.abs(DIGIT_TEMPLATES[a] - DIGIT_TEMPLATES[b]).mean()
+                assert diff > 0.005, f"digits {a} and {b} look identical"
+
+    def test_glyph_centered(self):
+        # The border of the canvas should be empty (glyph occupies the centre).
+        for template in DIGIT_TEMPLATES.values():
+            assert template[:3, :].max() == 0.0
+            assert template[-3:, :].max() == 0.0
+            assert template[:, :3].max() == 0.0
+            assert template[:, -3:].max() == 0.0
+
+
+class TestRenderDigit:
+    def test_returns_copy(self):
+        image = render_digit(3)
+        image[:] = 0.0
+        assert DIGIT_TEMPLATES[3].max() > 0.0
+
+    def test_invalid_digit_rejected(self):
+        with pytest.raises(ValueError):
+            render_digit(10)
+        with pytest.raises(ValueError):
+            render_digit(-1)

@@ -1,0 +1,108 @@
+"""Tests for the M3 binary matrix format."""
+
+import numpy as np
+import pytest
+
+from repro.data.formats import (
+    HEADER_SIZE,
+    create_binary_matrix,
+    open_binary_matrix,
+    read_binary_matrix_header,
+    write_binary_matrix,
+)
+
+
+class TestWriteAndRead:
+    def test_roundtrip_without_labels(self, tmp_path):
+        data = np.arange(12, dtype=np.float64).reshape(3, 4)
+        path = tmp_path / "matrix.m3"
+        header = write_binary_matrix(path, data)
+        assert header.rows == 3 and header.cols == 4
+        assert header.has_labels is False
+        mapped, labels, _ = open_binary_matrix(path)
+        np.testing.assert_array_equal(np.asarray(mapped), data)
+        assert labels is None
+
+    def test_roundtrip_with_labels(self, tmp_path):
+        data = np.random.default_rng(0).normal(size=(10, 5))
+        labels = np.arange(10) % 3
+        path = tmp_path / "labelled.m3"
+        write_binary_matrix(path, data, labels)
+        mapped, mapped_labels, header = open_binary_matrix(path)
+        np.testing.assert_allclose(np.asarray(mapped), data)
+        np.testing.assert_array_equal(np.asarray(mapped_labels), labels)
+        assert header.has_labels is True
+
+    def test_file_size_matches_header(self, tmp_path):
+        data = np.zeros((7, 3), dtype=np.float32)
+        path = tmp_path / "f32.m3"
+        header = write_binary_matrix(path, data)
+        assert path.stat().st_size == header.file_bytes
+        assert header.dtype == np.dtype(np.float32)
+
+    def test_non_2d_data_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_binary_matrix(tmp_path / "bad.m3", np.zeros(5))
+
+    def test_mismatched_labels_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_binary_matrix(tmp_path / "bad.m3", np.zeros((4, 2)), np.zeros(3))
+
+
+class TestHeaderValidation:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "not_m3.bin"
+        path.write_bytes(b"GARBAGE!" + b"\0" * 100)
+        with pytest.raises(ValueError, match="magic"):
+            read_binary_matrix_header(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "tiny.bin"
+        path.write_bytes(b"\0" * 8)
+        with pytest.raises(ValueError):
+            read_binary_matrix_header(path)
+
+    def test_label_offset(self, tmp_path):
+        data = np.zeros((5, 2))
+        path = tmp_path / "labelled.m3"
+        write_binary_matrix(path, data, np.zeros(5, dtype=np.int64))
+        header = read_binary_matrix_header(path)
+        assert header.label_offset == HEADER_SIZE + 5 * 2 * 8
+
+
+class TestCreateBinaryMatrix:
+    def test_creates_file_of_declared_size(self, tmp_path):
+        path = tmp_path / "empty.m3"
+        header = create_binary_matrix(path, rows=100, cols=10, with_labels=True)
+        assert path.stat().st_size == header.file_bytes
+        assert header.rows == 100
+
+    def test_created_file_is_mappable_and_writable(self, tmp_path):
+        path = tmp_path / "fill.m3"
+        create_binary_matrix(path, rows=4, cols=3)
+        data, _, _ = open_binary_matrix(path, mode="r+")
+        data[2] = [1.0, 2.0, 3.0]
+        data.flush()
+        reread, _, _ = open_binary_matrix(path)
+        np.testing.assert_array_equal(np.asarray(reread[2]), [1.0, 2.0, 3.0])
+
+    def test_invalid_shape_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            create_binary_matrix(tmp_path / "bad.m3", rows=-1, cols=3)
+        with pytest.raises(ValueError):
+            create_binary_matrix(tmp_path / "bad.m3", rows=3, cols=0)
+
+
+class TestMemoryMapping:
+    def test_open_returns_memmap_not_copy(self, tmp_path, dataset_file):
+        mapped, _, _ = open_binary_matrix(dataset_file)
+        assert isinstance(mapped, np.memmap)
+
+    def test_copy_on_write_mode(self, tmp_path):
+        data = np.ones((3, 3))
+        path = tmp_path / "cow.m3"
+        write_binary_matrix(path, data)
+        mapped, _, _ = open_binary_matrix(path, mode="c")
+        mapped[0, 0] = 99.0
+        reread, _, _ = open_binary_matrix(path)
+        assert reread[0, 0] == 1.0

@@ -1,0 +1,74 @@
+"""Tests for the Infimnist-style generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.infimnist import BYTES_PER_IMAGE, NUM_FEATURES, InfimnistGenerator
+
+
+class TestInfimnistGenerator:
+    def test_example_shape_and_label(self):
+        gen = InfimnistGenerator(seed=0)
+        x, y = gen.example(13)
+        assert x.shape == (NUM_FEATURES,)
+        assert y == 3
+
+    def test_bytes_per_image_matches_paper(self):
+        # The paper: "each image is 6272 bytes" (784 float64 features).
+        assert BYTES_PER_IMAGE == 6272
+
+    def test_indexing_is_deterministic(self):
+        a = InfimnistGenerator(seed=5)
+        b = InfimnistGenerator(seed=5)
+        xa, _ = a.example(100)
+        xb, _ = b.example(100)
+        np.testing.assert_array_equal(xa, xb)
+
+    def test_different_indices_differ(self):
+        gen = InfimnistGenerator(seed=5)
+        x0, _ = gen.example(0)
+        x10, _ = gen.example(10)
+        assert not np.allclose(x0, x10)
+
+    def test_different_seeds_differ(self):
+        x1, _ = InfimnistGenerator(seed=1).example(0)
+        x2, _ = InfimnistGenerator(seed=2).example(0)
+        assert not np.allclose(x1, x2)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            InfimnistGenerator().label(-1)
+
+    def test_batch_shapes_and_labels(self):
+        gen = InfimnistGenerator(seed=0)
+        X, y = gen.batch(20, 15)
+        assert X.shape == (15, NUM_FEATURES)
+        assert y.shape == (15,)
+        np.testing.assert_array_equal(y, (np.arange(20, 35) % 10))
+
+    def test_batch_matches_individual_examples(self):
+        gen = InfimnistGenerator(seed=0)
+        X, _ = gen.batch(3, 4)
+        for row, index in enumerate(range(3, 7)):
+            x, _ = gen.example(index)
+            np.testing.assert_array_equal(X[row], x)
+
+    def test_iter_batches_covers_requested_examples(self):
+        gen = InfimnistGenerator(seed=0)
+        batches = list(gen.iter_batches(num_examples=10, batch_size=4))
+        sizes = [batch[0].shape[0] for batch in batches]
+        assert sizes == [4, 4, 2]
+
+    def test_iter_batches_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(InfimnistGenerator().iter_batches(10, 0))
+
+    def test_size_helpers_roundtrip(self):
+        assert InfimnistGenerator.bytes_for_examples(1000) == 1000 * BYTES_PER_IMAGE
+        assert InfimnistGenerator.examples_for_bytes(1000 * BYTES_PER_IMAGE) == 1000
+
+    def test_values_in_unit_interval(self):
+        gen = InfimnistGenerator(seed=0)
+        X, _ = gen.batch(0, 8)
+        assert X.min() >= 0.0
+        assert X.max() <= 1.0

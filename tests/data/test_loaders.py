@@ -1,0 +1,82 @@
+"""Tests for the CSV and libsvm loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import load_csv_matrix, load_libsvm, save_csv_matrix, save_libsvm
+
+
+class TestCsv:
+    def test_roundtrip_without_labels(self, tmp_path):
+        data = np.random.default_rng(0).normal(size=(6, 4))
+        path = tmp_path / "plain.csv"
+        save_csv_matrix(path, data)
+        loaded, labels = load_csv_matrix(path)
+        np.testing.assert_allclose(loaded, data, rtol=1e-8)
+        assert labels is None
+
+    def test_roundtrip_with_labels(self, tmp_path):
+        data = np.random.default_rng(1).normal(size=(5, 3))
+        labels = np.array([0, 1, 2, 1, 0])
+        path = tmp_path / "labelled.csv"
+        save_csv_matrix(path, data, labels)
+        loaded, loaded_labels = load_csv_matrix(path, labels_in_first_column=True)
+        np.testing.assert_allclose(loaded, data, rtol=1e-8)
+        np.testing.assert_array_equal(loaded_labels, labels)
+
+    def test_label_length_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_csv_matrix(tmp_path / "bad.csv", np.zeros((3, 2)), np.zeros(2))
+
+    def test_non_2d_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_csv_matrix(tmp_path / "bad.csv", np.zeros(5))
+
+    def test_single_column_with_labels_rejected(self, tmp_path):
+        path = tmp_path / "one_col.csv"
+        np.savetxt(path, np.zeros((3, 1)), delimiter=",")
+        with pytest.raises(ValueError):
+            load_csv_matrix(path, labels_in_first_column=True)
+
+
+class TestLibsvm:
+    def test_roundtrip(self, tmp_path):
+        data = np.array([[0.0, 1.5, 0.0], [2.0, 0.0, -3.0]])
+        labels = np.array([1.0, 0.0])
+        path = tmp_path / "data.libsvm"
+        save_libsvm(path, data, labels)
+        loaded, loaded_labels = load_libsvm(path, num_features=3)
+        np.testing.assert_allclose(loaded, data)
+        np.testing.assert_allclose(loaded_labels, labels)
+
+    def test_zero_entries_omitted_from_file(self, tmp_path):
+        data = np.array([[0.0, 5.0]])
+        path = tmp_path / "sparse.libsvm"
+        save_libsvm(path, data, np.array([1.0]))
+        text = path.read_text()
+        assert "1:" not in text
+        assert "2:5" in text
+
+    def test_num_features_inferred(self, tmp_path):
+        path = tmp_path / "inferred.libsvm"
+        path.write_text("1 3:2.5\n0 1:1.0 2:0.5\n")
+        data, labels = load_libsvm(path)
+        assert data.shape == (2, 3)
+        assert data[0, 2] == pytest.approx(2.5)
+        np.testing.assert_allclose(labels, [1.0, 0.0])
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "comments.libsvm"
+        path.write_text("# header\n\n1 1:4.0\n")
+        data, labels = load_libsvm(path, num_features=1)
+        assert data.shape == (1, 1)
+
+    def test_out_of_range_index_rejected(self, tmp_path):
+        path = tmp_path / "bad.libsvm"
+        path.write_text("1 5:1.0\n")
+        with pytest.raises(ValueError):
+            load_libsvm(path, num_features=3)
+
+    def test_label_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_libsvm(tmp_path / "bad.libsvm", np.zeros((3, 2)), np.zeros(2))

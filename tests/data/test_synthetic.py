@@ -1,0 +1,74 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_blobs, make_classification, make_low_rank_matrix
+
+
+class TestMakeBlobs:
+    def test_shapes(self):
+        X, y, centers = make_blobs(n_samples=100, n_features=3, centers=4, seed=0)
+        assert X.shape == (100, 3)
+        assert y.shape == (100,)
+        assert centers.shape == (4, 3)
+        assert set(np.unique(y)) <= set(range(4))
+
+    def test_deterministic_with_seed(self):
+        a = make_blobs(seed=7)[0]
+        b = make_blobs(seed=7)[0]
+        np.testing.assert_array_equal(a, b)
+
+    def test_samples_near_their_centers(self):
+        X, y, centers = make_blobs(n_samples=500, n_features=2, centers=3, cluster_std=0.1, seed=1)
+        distances = np.linalg.norm(X - centers[y], axis=1)
+        assert distances.mean() < 0.5
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            make_blobs(n_samples=0)
+        with pytest.raises(ValueError):
+            make_blobs(cluster_std=0.0)
+
+
+class TestMakeClassification:
+    def test_shapes_and_classes(self):
+        X, y = make_classification(n_samples=200, n_features=6, n_classes=3, seed=0)
+        assert X.shape == (200, 6)
+        assert set(np.unique(y)) <= set(range(3))
+
+    def test_separable_when_class_sep_large(self):
+        X, y = make_classification(n_samples=400, n_features=8, class_sep=8.0, noise=0.5, seed=0)
+        # Nearest-class-mean classification should be near perfect.
+        means = np.array([X[y == c].mean(axis=0) for c in np.unique(y)])
+        predictions = np.argmin(
+            ((X[:, None, :] - means[None, :, :]) ** 2).sum(axis=2), axis=1
+        )
+        assert (predictions == y).mean() > 0.95
+
+    def test_deterministic_with_seed(self):
+        a = make_classification(seed=3)[0]
+        b = make_classification(seed=3)[0]
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            make_classification(n_classes=1)
+        with pytest.raises(ValueError):
+            make_classification(n_samples=1, n_classes=2)
+
+
+class TestMakeLowRankMatrix:
+    def test_shape(self):
+        X = make_low_rank_matrix(n_samples=50, n_features=20, effective_rank=3, seed=0)
+        assert X.shape == (50, 20)
+
+    def test_rank_structure(self):
+        X = make_low_rank_matrix(n_samples=100, n_features=30, effective_rank=4, noise=0.0, seed=0)
+        singular_values = np.linalg.svd(X, compute_uv=False)
+        energy = np.cumsum(singular_values ** 2) / np.sum(singular_values ** 2)
+        assert energy[3] > 0.999
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            make_low_rank_matrix(n_samples=10, n_features=5, effective_rank=8)

@@ -1,0 +1,126 @@
+"""Tests for the cluster spec, HDFS model and shuffle model."""
+
+import pytest
+
+from repro.distributed.cluster import (
+    ClusterInventory,
+    ClusterSpec,
+    EC2_M3_2XLARGE,
+    GIB,
+    InstanceSpec,
+    make_emr_cluster,
+)
+from repro.distributed.hdfs import HdfsConfig, HdfsModel
+from repro.distributed.shuffle import NetworkModel, ShuffleCost
+
+
+class TestInstanceSpec:
+    def test_paper_instance_matches_paper_description(self):
+        # m3.2xlarge: 8 vCPUs and 30 GB of memory.
+        assert EC2_M3_2XLARGE.vcpus == 8
+        assert EC2_M3_2XLARGE.memory_bytes == 30 * GIB
+        EC2_M3_2XLARGE.validate()
+
+    def test_invalid_instances_rejected(self):
+        bad = InstanceSpec("bad", 0, 1, 1, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            bad.validate()
+        bad_memory = InstanceSpec("bad", 4, 10, 20, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            bad_memory.validate()
+
+
+class TestClusterSpec:
+    def test_aggregate_resources(self):
+        cluster = make_emr_cluster(4)
+        assert cluster.total_cores == 32
+        assert cluster.total_memory_bytes == 4 * 30 * GIB
+        assert cluster.name == "4x Spark"
+
+    def test_cache_fraction(self):
+        cluster = make_emr_cluster(4)
+        assert cluster.cache_fraction(0) == 1.0
+        assert cluster.cache_fraction(cluster.total_executor_memory_bytes) == pytest.approx(1.0)
+        assert cluster.cache_fraction(10 * cluster.total_executor_memory_bytes) == pytest.approx(0.1)
+
+    def test_invalid_instance_count(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(instances=0)
+
+    def test_inventory_lookup(self):
+        inventory = ClusterInventory()
+        inventory.add(make_emr_cluster(4))
+        inventory.add(make_emr_cluster(8))
+        assert inventory.by_name("8x Spark").instances == 8
+        with pytest.raises(KeyError):
+            inventory.by_name("16x Spark")
+
+
+class TestHdfsModel:
+    def test_num_blocks(self):
+        model = HdfsModel(make_emr_cluster(4))
+        assert model.num_blocks(0) == 0
+        assert model.num_blocks(1) == 1
+        assert model.num_blocks(256 * 1024 * 1024) == 2
+
+    def test_scan_time_scales_with_data(self):
+        model = HdfsModel(make_emr_cluster(4))
+        small = model.scan_time_s(10 * GIB)
+        large = model.scan_time_s(100 * GIB)
+        assert large > small
+        assert large == pytest.approx(10 * small, rel=0.2)
+
+    def test_more_instances_scan_faster(self):
+        four = HdfsModel(make_emr_cluster(4)).scan_time_s(100 * GIB)
+        eight = HdfsModel(make_emr_cluster(8)).scan_time_s(100 * GIB)
+        assert eight < four
+
+    def test_write_time_includes_replication(self):
+        model = HdfsModel(make_emr_cluster(4), HdfsConfig(replication=3))
+        single = HdfsModel(make_emr_cluster(4), HdfsConfig(replication=1))
+        assert model.write_time_s(GIB) > single.write_time_s(GIB)
+
+    def test_zero_bytes_free(self):
+        model = HdfsModel(make_emr_cluster(4))
+        assert model.scan_time_s(0) == 0.0
+        assert model.write_time_s(0) == 0.0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            HdfsConfig(block_size=0).validate()
+        with pytest.raises(ValueError):
+            HdfsConfig(locality_fraction=1.5).validate()
+
+
+class TestShuffleCost:
+    def test_tree_depth(self):
+        shuffle = ShuffleCost(make_emr_cluster(8))
+        assert shuffle.tree_depth(1) == 0
+        assert shuffle.tree_depth(2) == 1
+        assert shuffle.tree_depth(8) == 3
+        assert shuffle.tree_depth(9) == 4
+
+    def test_aggregation_time_grows_with_partitions_and_payload(self):
+        shuffle = ShuffleCost(make_emr_cluster(8))
+        small = shuffle.aggregate_time_s(1_000, 8)
+        more_partitions = shuffle.aggregate_time_s(1_000, 1024)
+        bigger_payload = shuffle.aggregate_time_s(10_000_000, 8)
+        assert more_partitions > small
+        assert bigger_payload > small
+
+    def test_single_partition_needs_no_aggregation(self):
+        shuffle = ShuffleCost(make_emr_cluster(4))
+        assert shuffle.aggregate_time_s(1_000_000, 1) == 0.0
+
+    def test_broadcast_positive(self):
+        shuffle = ShuffleCost(make_emr_cluster(4))
+        assert shuffle.broadcast_time_s(1_000_000) > 0.0
+
+    def test_network_model_validation(self):
+        network = NetworkModel()
+        with pytest.raises(ValueError):
+            network.transfer_time_s(-1, 1.0)
+        with pytest.raises(ValueError):
+            network.transfer_time_s(1, 0.0)
+        with pytest.raises(ValueError):
+            ShuffleCost(make_emr_cluster(4), tree_fanout=1)

@@ -1,0 +1,97 @@
+"""Tests for the Spark cost model."""
+
+import pytest
+
+from repro.bench.workloads import dataset_bytes_for_gb
+from repro.distributed.cluster import make_emr_cluster
+from repro.distributed.cost_model import SparkCostModel, SparkWorkload
+
+DATASET_190GB = dataset_bytes_for_gb(190)
+DATASET_10GB = dataset_bytes_for_gb(10)
+
+
+class TestSparkWorkload:
+    def test_paper_workload_factories(self):
+        lr = SparkWorkload.logistic_regression(DATASET_190GB)
+        km = SparkWorkload.kmeans(DATASET_190GB)
+        assert lr.iterations == 10
+        assert km.iterations == 10
+        assert lr.total_passes > km.total_passes  # L-BFGS line search makes extra passes
+        assert km.model_bytes > lr.model_bytes  # 5 centroids vs one weight vector
+
+    def test_invalid_workload_rejected(self):
+        with pytest.raises(ValueError):
+            SparkWorkload(name="bad", dataset_bytes=0)
+        with pytest.raises(ValueError):
+            SparkWorkload(name="bad", dataset_bytes=10, iterations=0)
+
+
+class TestSparkCostModel:
+    def test_more_instances_are_faster(self):
+        workload = SparkWorkload.logistic_regression(DATASET_190GB)
+        four = SparkCostModel(make_emr_cluster(4)).estimate(workload)
+        eight = SparkCostModel(make_emr_cluster(8)).estimate(workload)
+        assert eight.total_time_s < four.total_time_s
+
+    def test_ram_cliff_makes_4x_disproportionately_slow(self):
+        """4 instances cannot cache 190 GB; 8 instances can (the RAM cliff)."""
+        workload = SparkWorkload.logistic_regression(DATASET_190GB)
+        four = SparkCostModel(make_emr_cluster(4)).estimate(workload)
+        eight = SparkCostModel(make_emr_cluster(8)).estimate(workload)
+        assert four.cached_fraction < 1.0
+        assert eight.cached_fraction == pytest.approx(1.0)
+        assert four.disk_time_s > 0
+        assert eight.disk_time_s == pytest.approx(0.0)
+        # Better than the 2x from core count alone.
+        assert four.total_time_s / eight.total_time_s > 2.0
+
+    def test_small_dataset_scales_sublinearly_in_instances(self):
+        """When everything is cached, halving instances roughly doubles compute time."""
+        workload = SparkWorkload.kmeans(DATASET_10GB)
+        four = SparkCostModel(make_emr_cluster(4)).estimate(workload)
+        eight = SparkCostModel(make_emr_cluster(8)).estimate(workload)
+        ratio = (four.total_time_s - four.startup_time_s) / (
+            eight.total_time_s - eight.startup_time_s
+        )
+        assert 1.5 < ratio < 2.5
+
+    def test_runtime_grows_with_dataset_size(self):
+        model = SparkCostModel(make_emr_cluster(8))
+        small = model.estimate(SparkWorkload.kmeans(DATASET_10GB))
+        large = model.estimate(SparkWorkload.kmeans(DATASET_190GB))
+        assert large.total_time_s > small.total_time_s
+
+    def test_breakdown_components_sum_to_total(self):
+        model = SparkCostModel(make_emr_cluster(4))
+        estimate = model.estimate(SparkWorkload.logistic_regression(DATASET_190GB))
+        assert sum(estimate.breakdown().values()) == pytest.approx(estimate.total_time_s)
+
+    def test_matches_paper_figure1b_within_factor(self):
+        """Predicted runtimes should be within 50% of the paper's Figure 1b bars."""
+        paper = {
+            ("logistic_regression-lbfgs", 4): 8256.0,
+            ("logistic_regression-lbfgs", 8): 2864.0,
+            ("kmeans", 4): 3491.0,
+            ("kmeans", 8): 1604.0,
+        }
+        workloads = {
+            "logistic_regression-lbfgs": SparkWorkload.logistic_regression(DATASET_190GB),
+            "kmeans": SparkWorkload.kmeans(DATASET_190GB),
+        }
+        for (name, instances), expected in paper.items():
+            estimate = SparkCostModel(make_emr_cluster(instances)).estimate(workloads[name])
+            assert expected / 1.5 < estimate.total_time_s < expected * 1.5, (
+                f"{name} on {instances} instances: predicted {estimate.total_time_s:.0f}s, "
+                f"paper {expected:.0f}s"
+            )
+
+    def test_tasks_follow_hdfs_blocks(self):
+        model = SparkCostModel(make_emr_cluster(4))
+        assert model.num_tasks(model.hdfs.block_size * 10) == 10
+        assert model.num_tasks(1) == 1
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            SparkCostModel(make_emr_cluster(4), os_cache_fraction=0.0)
+        with pytest.raises(ValueError):
+            SparkCostModel(make_emr_cluster(4), job_startup_s=-1.0)

@@ -1,0 +1,97 @@
+"""Tests for the distributed (Spark-MLlib-style) estimators."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.cluster import make_emr_cluster
+from repro.distributed.mllib import DistributedKMeans, DistributedLogisticRegression
+from repro.distributed.scheduler import JobScheduler
+from repro.ml.cluster.kmeans import KMeans
+from repro.ml.linear_model.logistic_regression import LogisticRegression
+
+
+class TestDistributedLogisticRegression:
+    def test_learns_and_matches_single_machine(self, small_classification):
+        X, y = small_classification
+        local = LogisticRegression(max_iterations=20).fit(X, y)
+        distributed = DistributedLogisticRegression(max_iterations=20, num_partitions=6).fit(X, y)
+        assert distributed.score(X, y) > 0.95
+        agreement = np.mean(local.predict(X) == distributed.predict(X))
+        assert agreement > 0.97
+
+    def test_partitioning_does_not_change_objective(self, small_classification):
+        X, y = small_classification
+        few = DistributedLogisticRegression(max_iterations=10, num_partitions=2).fit(X, y)
+        many = DistributedLogisticRegression(max_iterations=10, num_partitions=16).fit(X, y)
+        np.testing.assert_allclose(few.coef_, many.coef_, atol=1e-6)
+
+    def test_aggregation_count_matches_function_evaluations(self, small_classification):
+        X, y = small_classification
+        model = DistributedLogisticRegression(max_iterations=10, num_partitions=4).fit(X, y)
+        assert model.aggregations_ == model.result_.function_evaluations
+
+    def test_runs_through_scheduler(self, small_classification):
+        X, y = small_classification
+        scheduler = JobScheduler(make_emr_cluster(4))
+        model = DistributedLogisticRegression(
+            max_iterations=5, num_partitions=8, scheduler=scheduler
+        ).fit(X, y)
+        assert scheduler.total_stages() == model.aggregations_
+        assert sum(scheduler.rows_per_executor()) == X.shape[0] * model.aggregations_
+
+    def test_non_binary_labels_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedLogisticRegression().fit(np.zeros((6, 2)), np.array([0, 1, 2, 0, 1, 2]))
+
+    def test_l2_penalty_shrinks_weights(self, small_classification):
+        X, y = small_classification
+        free = DistributedLogisticRegression(max_iterations=20).fit(X, y)
+        penalised = DistributedLogisticRegression(max_iterations=20, l2_penalty=1.0).fit(X, y)
+        assert np.linalg.norm(penalised.coef_) < np.linalg.norm(free.coef_)
+
+
+class TestDistributedKMeans:
+    def test_clusters_blobs(self, small_blobs):
+        X, _, true_centers = small_blobs
+        model = DistributedKMeans(
+            n_clusters=len(true_centers), max_iterations=20, seed=0, num_partitions=4
+        ).fit(X)
+        for center in true_centers:
+            assert np.linalg.norm(model.cluster_centers_ - center, axis=1).min() < 1.0
+
+    def test_matches_single_machine_given_same_seed(self, small_blobs):
+        X, _, _ = small_blobs
+        local = KMeans(n_clusters=4, max_iterations=10, seed=3, tolerance=0.0).fit(X)
+        distributed = DistributedKMeans(
+            n_clusters=4, max_iterations=10, seed=3, tolerance=0.0, num_partitions=5
+        ).fit(X)
+        # Same k-means++ seed and the same Lloyd updates: centroids coincide.
+        np.testing.assert_allclose(
+            np.sort(local.cluster_centers_, axis=0),
+            np.sort(distributed.cluster_centers_, axis=0),
+            atol=1e-8,
+        )
+
+    def test_inertia_decreases_relative_to_random_centroids(self, small_blobs):
+        X, _, _ = small_blobs
+        model = DistributedKMeans(n_clusters=4, max_iterations=10, seed=0).fit(X)
+        rng = np.random.default_rng(0)
+        random_centroids = X[rng.choice(X.shape[0], 4, replace=False)]
+        random_inertia = np.sum(
+            np.min(
+                ((X[:, None, :] - random_centroids[None, :, :]) ** 2).sum(axis=2), axis=1
+            )
+        )
+        assert model.inertia_ <= random_inertia + 1e-9
+
+    def test_aggregations_counted_per_iteration(self, small_blobs):
+        X, _, _ = small_blobs
+        model = DistributedKMeans(n_clusters=3, max_iterations=7, seed=0, tolerance=0.0).fit(X)
+        assert model.aggregations_ == model.n_iter_
+
+    def test_predict_assigns_all_rows(self, small_blobs):
+        X, _, _ = small_blobs
+        model = DistributedKMeans(n_clusters=3, max_iterations=5, seed=1).fit(X)
+        assignments = model.predict(X)
+        assert assignments.shape == (X.shape[0],)
+        assert set(np.unique(assignments)) <= set(range(3))

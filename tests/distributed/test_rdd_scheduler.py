@@ -1,0 +1,120 @@
+"""Tests for the mini RDD engine, executors and scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.cluster import make_emr_cluster
+from repro.distributed.rdd import RDD
+from repro.distributed.scheduler import JobScheduler
+
+
+class TestRddConstruction:
+    def test_from_matrix_partitions_cover_all_rows(self):
+        X = np.arange(40, dtype=np.float64).reshape(20, 2)
+        y = np.arange(20)
+        rdd = RDD.from_matrix(X, y, num_partitions=6)
+        assert rdd.num_partitions == 6
+        collected = rdd.collect()
+        stacked = np.vstack([part[0] for part in collected])
+        labels = np.concatenate([part[1] for part in collected])
+        np.testing.assert_array_equal(stacked, X)
+        np.testing.assert_array_equal(labels, y)
+
+    def test_from_matrix_without_labels(self):
+        X = np.zeros((10, 3))
+        rdd = RDD.from_matrix(X, None, num_partitions=3)
+        assert all(part[1] is None for part in rdd.collect())
+
+    def test_from_iterable(self):
+        rdd = RDD.from_iterable(range(10), num_partitions=3)
+        flattened = [item for part in rdd.collect() for item in part]
+        assert flattened == list(range(10))
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            RDD.from_matrix(np.zeros((4, 2)), None, num_partitions=0)
+
+    def test_count(self):
+        X = np.zeros((17, 2))
+        assert RDD.from_matrix(X, None, num_partitions=4).count() == 17
+
+
+class TestRddOperations:
+    def test_map_partitions(self):
+        rdd = RDD.from_iterable([1, 2, 3, 4], num_partitions=2)
+        sums = rdd.map_partitions(sum).collect()
+        assert sum(sums) == 10
+
+    def test_reduce(self):
+        rdd = RDD.from_iterable(range(8), num_partitions=4).map_partitions(sum)
+        assert rdd.reduce(lambda a, b: a + b) == 28
+
+    def test_reduce_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RDD([]).reduce(lambda a, b: a + b)
+
+    def test_aggregate_matches_manual_sum(self):
+        X = np.random.default_rng(0).normal(size=(30, 4))
+        rdd = RDD.from_matrix(X, None, num_partitions=5)
+        total = rdd.aggregate(
+            np.zeros(4),
+            lambda acc, part: acc + part[0].sum(axis=0),
+            lambda a, b: a + b,
+        )
+        np.testing.assert_allclose(total, X.sum(axis=0))
+
+    def test_tree_aggregate_matches_aggregate(self):
+        X = np.random.default_rng(1).normal(size=(40, 3))
+        rdd = RDD.from_matrix(X, None, num_partitions=7)
+        seq = lambda acc, part: acc + part[0].sum(axis=0)
+        comb = lambda a, b: a + b
+        flat = rdd.aggregate(np.zeros(3), seq, comb)
+        tree = rdd.tree_aggregate(np.zeros(3), seq, comb)
+        np.testing.assert_allclose(flat, tree)
+
+    def test_aggregate_does_not_mutate_zero(self):
+        zero = np.zeros(2)
+        rdd = RDD.from_matrix(np.ones((10, 2)), None, num_partitions=2)
+        rdd.aggregate(zero, lambda acc, part: acc + part[0].sum(axis=0), lambda a, b: a + b)
+        np.testing.assert_array_equal(zero, np.zeros(2))
+
+    def test_tree_aggregate_invalid_depth(self):
+        rdd = RDD.from_iterable([1], num_partitions=1)
+        with pytest.raises(ValueError):
+            rdd.tree_aggregate(0, lambda a, b: a, lambda a, b: a, depth=0)
+
+
+class TestScheduler:
+    def test_round_robin_assignment_balances_work(self):
+        cluster = make_emr_cluster(4)
+        scheduler = JobScheduler(cluster)
+        X = np.random.default_rng(0).normal(size=(400, 3))
+        rdd = RDD.from_matrix(X, None, num_partitions=8, scheduler=scheduler)
+        rdd.collect()
+        rows = scheduler.rows_per_executor()
+        assert len(rows) == 4
+        assert sum(rows) == 400
+        assert max(rows) - min(rows) <= 100  # 2 partitions per executor
+
+    def test_stage_metrics_recorded(self):
+        scheduler = JobScheduler(make_emr_cluster(2))
+        rdd = RDD.from_iterable(range(20), num_partitions=5, scheduler=scheduler)
+        rdd.collect()
+        rdd.collect()
+        assert scheduler.total_stages() == 2
+        stage = scheduler.stages[0]
+        assert stage.num_tasks == 5
+        assert stage.num_waves == 1
+        assert stage.max_task_time_s >= 0.0
+
+    def test_waves_computation(self):
+        scheduler = JobScheduler(make_emr_cluster(2))  # 16 slots
+        assert scheduler.waves_for(0) == 0
+        assert scheduler.waves_for(16) == 1
+        assert scheduler.waves_for(17) == 2
+
+    def test_results_preserve_partition_order(self):
+        scheduler = JobScheduler(make_emr_cluster(3))
+        rdd = RDD.from_iterable(range(12), num_partitions=4, scheduler=scheduler)
+        parts = rdd.collect()
+        assert [item for part in parts for item in part] == list(range(12))

@@ -1,0 +1,93 @@
+"""End-to-end integration tests: generate → map → learn → evaluate → project.
+
+These cover the full pipeline a user of the reproduction would run, including
+the projection of a recorded access pattern to paper scale through the
+virtual-memory simulator, and the distributed baseline trained on the same
+memory-mapped file.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core as m3
+from repro.bench.m3_model import M3RuntimeModel, M3Workload
+from repro.core.chunking import plan_chunks
+from repro.data.writers import write_infimnist_dataset
+from repro.distributed import DistributedLogisticRegression
+from repro.ml import LogisticRegression, SoftmaxRegression
+from repro.ml.metrics import accuracy
+from repro.vmem.vm_simulator import VirtualMemoryConfig, VirtualMemorySimulator
+
+GIB = 1024 ** 3
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    """Generate a dataset, train through the memory map, keep the trace."""
+    path = tmp_path_factory.mktemp("e2e") / "digits.m3"
+    write_infimnist_dataset(path, num_examples=700, seed=5)
+    runtime = m3.M3(m3.M3Config(record_traces=True))
+    X, y = runtime.open_dataset(path)
+    labels = np.asarray(y)
+    model = SoftmaxRegression(max_iterations=8, l2_penalty=1e-4).fit(X, labels)
+    return path, X, labels, model
+
+
+class TestLearningQuality:
+    def test_digit_classifier_is_accurate(self, pipeline):
+        _, X, labels, model = pipeline
+        predictions = model.predict(X)
+        assert accuracy(labels, predictions) > 0.85
+
+    def test_holdout_generalisation(self, pipeline):
+        """The model trained on disk generalises to freshly generated images."""
+        from repro.data.infimnist import InfimnistGenerator
+
+        _, _, _, model = pipeline
+        X_new, y_new = InfimnistGenerator(seed=5).batch(700, 300)
+        assert accuracy(y_new, model.predict(X_new)) > 0.7
+
+
+class TestScaleProjection:
+    def test_recorded_trace_replays_in_simulator(self, pipeline):
+        _, X, _, _ = pipeline
+        trace = X.trace
+        simulator = VirtualMemorySimulator(
+            VirtualMemoryConfig(ram_bytes=64 * 1024 * 1024, page_size=64 * 1024)
+        )
+        result = simulator.run_trace(trace, file_bytes=X.nbytes + 64)
+        assert result.wall_time_s > 0
+        assert result.io_stats.bytes_read >= X.nbytes
+
+    def test_chunk_plan_projection_to_paper_scale(self, pipeline):
+        """The same access pattern, projected to 190 GB on a 32 GB machine, is
+        I/O bound and takes on the order of the paper's reported runtime."""
+        _, _, _, model = pipeline
+        passes = model.result_.function_evaluations
+        runtime_model = M3RuntimeModel()
+        estimate = runtime_model.estimate(
+            M3Workload(name="softmax", passes=passes), dataset_bytes=190 * 1000 ** 3
+        )
+        assert estimate.disk_utilization > 0.8
+        assert 500 < estimate.wall_time_s < 10_000
+
+
+class TestDistributedBaselineOnSameData:
+    def test_distributed_lr_matches_single_machine(self, pipeline):
+        path, X, labels, _ = pipeline
+        binary = (labels >= 5).astype(np.int64)
+        local = LogisticRegression(max_iterations=8).fit(X, binary)
+        distributed = DistributedLogisticRegression(max_iterations=8, num_partitions=8).fit(
+            np.asarray(X), binary
+        )
+        agreement = np.mean(local.predict(X) == distributed.predict(np.asarray(X)))
+        assert agreement > 0.95
+
+
+class TestOutOfCorePipelineOnDisk:
+    def test_chunk_plan_matches_file_geometry(self, pipeline):
+        path, X, _, _ = pipeline
+        plan = plan_chunks(X, chunk_rows=256)
+        assert plan.total_bytes == X.nbytes
+        info = m3.M3().dataset_info(path)
+        assert info["data_bytes"] == plan.total_bytes

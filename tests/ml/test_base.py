@@ -1,0 +1,83 @@
+"""Tests for the estimator base classes and the matrix protocol helpers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import BaseEstimator, as_labels, as_matrix, iter_row_chunks
+
+
+class DummyEstimator(BaseEstimator):
+    def __init__(self, alpha=1.0, beta="x"):
+        self.alpha = alpha
+        self.beta = beta
+
+
+class TestAsMatrix:
+    def test_accepts_ndarray(self):
+        X = np.zeros((3, 2))
+        assert as_matrix(X) is X
+
+    def test_accepts_nested_lists(self):
+        X = as_matrix([[1, 2], [3, 4]])
+        assert X.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            as_matrix(np.zeros(5))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            as_matrix(np.zeros((2, 2, 2)))
+
+
+class TestAsLabels:
+    def test_valid_labels(self):
+        y = as_labels([0, 1, 0], 3)
+        assert y.shape == (3,)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            as_labels([0, 1], 3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            as_labels(np.zeros((3, 1)), 3)
+
+
+class TestIterRowChunks:
+    def test_covers_all_rows_in_order(self):
+        X = np.zeros((10, 2))
+        bounds = list(iter_row_chunks(X, 3))
+        assert bounds == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_single_chunk_when_large(self):
+        X = np.zeros((5, 2))
+        assert list(iter_row_chunks(X, 100)) == [(0, 5)]
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iter_row_chunks(np.zeros((5, 2)), 0))
+
+
+class TestBaseEstimator:
+    def test_get_params(self):
+        est = DummyEstimator(alpha=2.5)
+        assert est.get_params() == {"alpha": 2.5, "beta": "x"}
+
+    def test_set_params(self):
+        est = DummyEstimator().set_params(alpha=9)
+        assert est.alpha == 9
+
+    def test_set_unknown_param_rejected(self):
+        with pytest.raises(ValueError):
+            DummyEstimator().set_params(gamma=1)
+
+    def test_repr_contains_params(self):
+        text = repr(DummyEstimator(alpha=3))
+        assert "alpha=3" in text
+        assert text.startswith("DummyEstimator(")
+
+    def test_check_fitted(self):
+        est = DummyEstimator()
+        with pytest.raises(RuntimeError):
+            est._check_fitted("coef_")

@@ -1,0 +1,95 @@
+"""Tests for gradient descent and SGD."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_classification
+from repro.ml.linear_model.objectives import LogisticRegressionObjective
+from repro.ml.optim.gradient_descent import GradientDescent
+from repro.ml.optim.objective import QuadraticObjective
+from repro.ml.optim.sgd import SGD
+
+
+def simple_quadratic():
+    A = np.diag([1.0, 4.0, 9.0])
+    b = np.array([1.0, 2.0, 3.0])
+    return QuadraticObjective(A, b)
+
+
+class TestGradientDescent:
+    def test_converges_on_quadratic(self):
+        objective = simple_quadratic()
+        result = GradientDescent(max_iterations=500, tolerance=1e-8).minimize(objective)
+        np.testing.assert_allclose(result.params, objective.minimizer(), atol=1e-4)
+        assert result.converged
+
+    def test_monotone_decrease_with_line_search(self):
+        result = GradientDescent(max_iterations=50).minimize(simple_quadratic())
+        assert all(b <= a + 1e-12 for a, b in zip(result.history, result.history[1:]))
+
+    def test_fixed_step_mode(self):
+        result = GradientDescent(
+            max_iterations=200, step_size=0.05, line_search=False, tolerance=1e-6
+        ).minimize(simple_quadratic())
+        np.testing.assert_allclose(result.params, simple_quadratic().minimizer(), atol=1e-2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GradientDescent(max_iterations=0)
+        with pytest.raises(ValueError):
+            GradientDescent(step_size=0.0)
+
+    def test_callback(self):
+        seen = []
+        GradientDescent(max_iterations=3, tolerance=0.0, callback=lambda i, p, v: seen.append(v)).minimize(
+            simple_quadratic()
+        )
+        assert len(seen) == 3
+
+
+class TestSGD:
+    def _objective(self, n=500, seed=0):
+        X, y = make_classification(n_samples=n, n_features=8, class_sep=3.0, seed=seed)
+        return LogisticRegressionObjective(X, y, chunk_size=64)
+
+    def test_decreases_logistic_loss(self):
+        objective = self._objective()
+        zero_value = objective.value(np.zeros(objective.num_parameters))
+        result = SGD(max_epochs=5, batch_size=32, learning_rate=0.05).minimize(objective)
+        assert result.value < zero_value
+
+    def test_history_length_matches_epochs(self):
+        objective = self._objective()
+        result = SGD(max_epochs=4, batch_size=64, tolerance=0.0).minimize(objective)
+        assert len(result.history) == 4
+        assert result.iterations == 4
+
+    def test_shuffled_and_sequential_both_learn(self):
+        objective = self._objective()
+        sequential = SGD(max_epochs=3, batch_size=32, shuffle=False).minimize(objective)
+        shuffled = SGD(max_epochs=3, batch_size=32, shuffle=True, seed=0).minimize(objective)
+        baseline = objective.value(np.zeros(objective.num_parameters))
+        assert sequential.value < baseline
+        assert shuffled.value < baseline
+
+    def test_deterministic_given_seed(self):
+        objective = self._objective()
+        a = SGD(max_epochs=2, shuffle=True, seed=9).minimize(objective)
+        b = SGD(max_epochs=2, shuffle=True, seed=9).minimize(objective)
+        np.testing.assert_array_equal(a.params, b.params)
+
+    def test_early_stopping_on_tolerance(self):
+        objective = self._objective()
+        result = SGD(max_epochs=50, batch_size=64, learning_rate=0.01, tolerance=1e-3).minimize(
+            objective
+        )
+        assert result.iterations < 50
+        assert result.converged
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SGD(max_epochs=0)
+        with pytest.raises(ValueError):
+            SGD(batch_size=0)
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)

@@ -1,0 +1,94 @@
+"""Tests for the L-BFGS optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.ml.optim.lbfgs import LBFGS
+from repro.ml.optim.objective import QuadraticObjective, RosenbrockObjective
+
+
+def spd_quadratic(dim=6, seed=0):
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(dim, dim))
+    A = A @ A.T + dim * np.eye(dim)
+    b = rng.normal(size=dim)
+    return QuadraticObjective(A, b)
+
+
+class TestLBFGSOnQuadratics:
+    def test_converges_to_exact_minimizer(self):
+        objective = spd_quadratic()
+        result = LBFGS(max_iterations=100, tolerance=1e-6).minimize(objective)
+        assert result.converged
+        np.testing.assert_allclose(result.params, objective.minimizer(), atol=1e-5)
+
+    def test_history_is_monotonically_non_increasing(self):
+        objective = spd_quadratic(dim=8, seed=1)
+        result = LBFGS(max_iterations=50).minimize(objective)
+        diffs = np.diff(result.history)
+        assert np.all(diffs <= 1e-10)
+
+    def test_respects_iteration_budget(self):
+        objective = spd_quadratic(dim=20, seed=2)
+        result = LBFGS(max_iterations=3, tolerance=0.0).minimize(objective)
+        assert result.iterations <= 3
+
+    def test_gradient_norm_reported(self):
+        objective = spd_quadratic()
+        result = LBFGS(max_iterations=100, tolerance=1e-8).minimize(objective)
+        assert result.gradient_norm < 1e-6
+
+    def test_function_evaluations_counted(self):
+        objective = spd_quadratic()
+        result = LBFGS(max_iterations=10).minimize(objective)
+        assert result.function_evaluations >= result.iterations + 1
+
+    def test_starts_from_given_point(self):
+        objective = spd_quadratic()
+        start = np.full(objective.num_parameters, 5.0)
+        result = LBFGS(max_iterations=1).minimize(objective, initial_params=start)
+        assert result.history[0] == pytest.approx(objective.value(start))
+
+
+class TestLBFGSOnRosenbrock:
+    def test_reaches_global_minimum(self):
+        objective = RosenbrockObjective(dim=2)
+        result = LBFGS(max_iterations=200, tolerance=1e-8).minimize(objective)
+        np.testing.assert_allclose(result.params, np.ones(2), atol=1e-4)
+        assert result.value < 1e-8
+
+    def test_higher_dimensional_rosenbrock(self):
+        objective = RosenbrockObjective(dim=6)
+        result = LBFGS(max_iterations=500, tolerance=1e-8).minimize(objective)
+        assert result.value < 1e-6
+
+
+class TestLBFGSConfiguration:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LBFGS(max_iterations=0)
+        with pytest.raises(ValueError):
+            LBFGS(history_size=0)
+        with pytest.raises(ValueError):
+            LBFGS(tolerance=-1.0)
+
+    def test_callback_invoked_each_iteration(self):
+        calls = []
+        objective = spd_quadratic()
+        LBFGS(max_iterations=5, tolerance=0.0, callback=lambda i, p, v: calls.append(i)).minimize(
+            objective
+        )
+        assert calls == list(range(1, len(calls) + 1))
+        assert len(calls) >= 1
+
+    def test_small_history_still_converges(self):
+        objective = spd_quadratic(dim=10, seed=3)
+        result = LBFGS(max_iterations=200, history_size=2, tolerance=1e-6).minimize(objective)
+        assert result.converged
+
+    def test_paper_configuration_ten_iterations(self):
+        # The paper's configuration: 10 iterations, no convergence requirement.
+        objective = spd_quadratic(dim=30, seed=4)
+        result = LBFGS(max_iterations=10, tolerance=0.0).minimize(objective)
+        assert result.iterations == 10
+        assert result.value < objective.value(objective.initial_point())

@@ -1,0 +1,83 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy,
+    clustering_purity,
+    confusion_matrix,
+    inertia,
+    log_loss,
+    mean_squared_error,
+    r2_score,
+    silhouette_score,
+)
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 0, 1, 1]), np.array([1, 0, 0, 1])) == pytest.approx(0.75)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_log_loss_perfect_predictions(self):
+        y = np.array([1.0, 0.0, 1.0])
+        p = np.array([1.0, 0.0, 1.0])
+        assert log_loss(y, p) < 1e-10
+
+    def test_log_loss_uniform_predictions(self):
+        y = np.array([1.0, 0.0])
+        p = np.array([0.5, 0.5])
+        assert log_loss(y, p) == pytest.approx(np.log(2.0))
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(np.array([0, 0, 1, 1]), np.array([0, 1, 1, 1]))
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+        assert matrix.sum() == 4
+
+
+class TestRegressionMetrics:
+    def test_mean_squared_error(self):
+        assert mean_squared_error(np.array([1.0, 2.0]), np.array([1.0, 4.0])) == pytest.approx(2.0)
+
+    def test_r2_of_perfect_fit(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_r2_of_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+
+class TestClusteringMetrics:
+    def test_inertia_matches_manual_computation(self):
+        X = np.array([[0.0, 0.0], [2.0, 0.0]])
+        centroids = np.array([[1.0, 0.0]])
+        assignments = np.array([0, 0])
+        assert inertia(X, centroids, assignments) == pytest.approx(2.0)
+
+    def test_purity_of_perfect_clustering(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assignments = np.array([5, 5, 7, 7, 9, 9])
+        assert clustering_purity(labels, assignments) == pytest.approx(1.0)
+
+    def test_purity_of_single_cluster(self):
+        labels = np.array([0, 0, 1, 1])
+        assignments = np.zeros(4, dtype=int)
+        assert clustering_purity(labels, assignments) == pytest.approx(0.5)
+
+    def test_silhouette_high_for_separated_clusters(self, small_blobs):
+        X, labels, _ = small_blobs
+        score = silhouette_score(X, labels, sample_size=200, seed=0)
+        assert score > 0.5
+
+    def test_silhouette_requires_two_clusters(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((4, 2)), np.zeros(4, dtype=int))

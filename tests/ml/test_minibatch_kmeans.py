@@ -1,0 +1,61 @@
+"""Tests for mini-batch k-means."""
+
+import numpy as np
+import pytest
+
+from repro.ml.cluster.kmeans import KMeans
+from repro.ml.cluster.minibatch_kmeans import MiniBatchKMeans
+
+
+class TestMiniBatchKMeans:
+    def test_recovers_blob_structure(self, small_blobs):
+        X, _, true_centers = small_blobs
+        model = MiniBatchKMeans(
+            n_clusters=len(true_centers), max_epochs=5, batch_size=64, seed=0
+        ).fit(X)
+        for center in true_centers:
+            distances = np.linalg.norm(model.cluster_centers_ - center, axis=1)
+            assert distances.min() < 1.5
+
+    def test_inertia_comparable_to_full_batch(self, small_blobs):
+        X, _, _ = small_blobs
+        full = KMeans(n_clusters=4, max_iterations=20, seed=0).fit(X)
+        mini = MiniBatchKMeans(n_clusters=4, max_epochs=5, batch_size=64, seed=0).fit(X)
+        assert mini.inertia_ <= 2.0 * full.inertia_
+
+    def test_predict_shape_and_range(self, small_blobs):
+        X, _, _ = small_blobs
+        model = MiniBatchKMeans(n_clusters=3, max_epochs=2, seed=0).fit(X)
+        assignments = model.predict(X)
+        assert assignments.shape == (X.shape[0],)
+        assert set(np.unique(assignments)) <= set(range(3))
+
+    def test_deterministic_given_seed(self, small_blobs):
+        X, _, _ = small_blobs
+        a = MiniBatchKMeans(n_clusters=3, max_epochs=3, seed=4).fit(X)
+        b = MiniBatchKMeans(n_clusters=3, max_epochs=3, seed=4).fit(X)
+        np.testing.assert_array_equal(a.cluster_centers_, b.cluster_centers_)
+
+    def test_shuffle_mode_learns(self, small_blobs):
+        X, _, _ = small_blobs
+        model = MiniBatchKMeans(n_clusters=4, max_epochs=3, shuffle=True, seed=0).fit(X)
+        assert np.isfinite(model.inertia_)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MiniBatchKMeans(n_clusters=0)
+        with pytest.raises(ValueError):
+            MiniBatchKMeans(max_epochs=0)
+        with pytest.raises(ValueError):
+            MiniBatchKMeans(batch_size=0)
+        with pytest.raises(ValueError):
+            MiniBatchKMeans(init="grid")
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(ValueError):
+            MiniBatchKMeans(n_clusters=10).fit(np.zeros((4, 2)))
+
+    def test_unfitted_predict_rejected(self, small_blobs):
+        X, _, _ = small_blobs
+        with pytest.raises(RuntimeError):
+            MiniBatchKMeans().predict(X)

@@ -1,0 +1,105 @@
+"""Tests for Gaussian naive Bayes and PCA."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_classification, make_low_rank_matrix
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.pca import PCA
+
+
+class TestGaussianNaiveBayes:
+    def test_learns_separable_classes(self, small_multiclass):
+        X, y = small_multiclass
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_learned_statistics_match_numpy(self):
+        X, y = make_classification(n_samples=500, n_features=5, n_classes=2, seed=0)
+        model = GaussianNaiveBayes(chunk_size=37).fit(X, y)
+        for index, label in enumerate(model.classes_):
+            members = X[y == label]
+            np.testing.assert_allclose(model.theta_[index], members.mean(axis=0), atol=1e-10)
+            np.testing.assert_allclose(
+                model.var_[index], members.var(axis=0), atol=1e-6, rtol=1e-4
+            )
+
+    def test_priors_sum_to_one(self, small_multiclass):
+        X, y = small_multiclass
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.class_prior_.sum() == pytest.approx(1.0)
+
+    def test_posteriors_sum_to_one(self, small_multiclass):
+        X, y = small_multiclass
+        model = GaussianNaiveBayes().fit(X, y)
+        probabilities = model.predict_proba(X[:20])
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_chunk_size_does_not_change_model(self, small_multiclass):
+        X, y = small_multiclass
+        a = GaussianNaiveBayes(chunk_size=11).fit(X, y)
+        b = GaussianNaiveBayes(chunk_size=10_000).fit(X, y)
+        np.testing.assert_allclose(a.theta_, b.theta_, atol=1e-12)
+        np.testing.assert_allclose(a.var_, b.var_, atol=1e-12)
+
+    def test_empty_class_rejected(self):
+        X = np.zeros((3, 2))
+        y = np.array([0, 0, 0])
+        model = GaussianNaiveBayes().fit(X, y)  # single class is fine
+        assert model.classes_.shape == (1,)
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes(var_smoothing=-1e-9)
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(RuntimeError):
+            GaussianNaiveBayes().predict(np.zeros((2, 2)))
+
+
+class TestPCA:
+    def test_components_capture_low_rank_structure(self):
+        X = make_low_rank_matrix(n_samples=200, n_features=20, effective_rank=3, noise=1e-4, seed=0)
+        model = PCA(n_components=3).fit(X)
+        assert model.explained_variance_ratio_.sum() > 0.99
+
+    def test_components_are_orthonormal(self):
+        X = np.random.default_rng(0).normal(size=(100, 8))
+        model = PCA(n_components=4).fit(X)
+        gram = model.components_ @ model.components_.T
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-10)
+
+    def test_transform_then_inverse_approximates_input(self):
+        X = make_low_rank_matrix(n_samples=150, n_features=12, effective_rank=4, noise=1e-6, seed=1)
+        model = PCA(n_components=4).fit(X)
+        reconstructed = model.inverse_transform(model.transform(X))
+        assert np.abs(X - reconstructed).max() < 1e-2
+
+    def test_explained_variance_sorted_descending(self):
+        X = np.random.default_rng(2).normal(size=(80, 10))
+        model = PCA().fit(X)
+        assert np.all(np.diff(model.explained_variance_) <= 1e-12)
+
+    def test_matches_full_covariance_eigendecomposition(self):
+        X = np.random.default_rng(3).normal(size=(120, 6))
+        model = PCA(chunk_size=17).fit(X)
+        centred = X - X.mean(axis=0)
+        eigenvalues = np.linalg.eigvalsh(np.cov(centred, rowvar=False))[::-1]
+        np.testing.assert_allclose(model.explained_variance_, eigenvalues, atol=1e-8)
+
+    def test_chunk_size_does_not_change_result(self):
+        X = np.random.default_rng(4).normal(size=(90, 7))
+        a = PCA(n_components=3, chunk_size=13).fit(X)
+        b = PCA(n_components=3, chunk_size=10_000).fit(X)
+        np.testing.assert_allclose(np.abs(a.components_), np.abs(b.components_), atol=1e-10)
+
+    def test_fit_transform_shape(self):
+        X = np.random.default_rng(5).normal(size=(50, 9))
+        Z = PCA(n_components=2).fit_transform(X)
+        assert Z.shape == (50, 2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+        with pytest.raises(ValueError):
+            PCA().fit(np.zeros((1, 3)))

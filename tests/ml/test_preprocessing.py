@@ -1,0 +1,83 @@
+"""Tests for the chunk-aware preprocessing transformers."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocator import mmap_alloc
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+
+
+class TestStandardScaler:
+    def test_transform_has_zero_mean_unit_variance(self, rng):
+        X = rng.normal(loc=5.0, scale=3.0, size=(300, 4))
+        scaled = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_statistics_match_numpy(self, rng):
+        X = rng.normal(size=(200, 3))
+        scaler = StandardScaler(chunk_size=17).fit(X)
+        np.testing.assert_allclose(scaler.mean_, X.mean(axis=0), atol=1e-12)
+        np.testing.assert_allclose(scaler.scale_, X.std(axis=0), atol=1e-10)
+
+    def test_constant_feature_passes_through(self):
+        X = np.column_stack([np.ones(50), np.arange(50, dtype=float)])
+        scaled = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(scaled[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self, rng):
+        X = rng.normal(size=(100, 5))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-10)
+
+    def test_transform_inplace_on_memmap(self, tmp_path, rng):
+        X = rng.normal(loc=2.0, size=(64, 3))
+        backing = mmap_alloc(tmp_path / "scale.bin", X.shape, mode="w+")
+        backing[:] = X
+        scaler = StandardScaler(chunk_size=10).fit(backing)
+        scaler.transform_inplace(backing)
+        np.testing.assert_allclose(np.asarray(backing).mean(axis=0), 0.0, atol=1e-10)
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros((0, 3)))
+
+    def test_chunk_size_does_not_change_result(self, rng):
+        X = rng.normal(size=(150, 4))
+        a = StandardScaler(chunk_size=7).fit(X)
+        b = StandardScaler(chunk_size=1000).fit(X)
+        np.testing.assert_allclose(a.mean_, b.mean_, atol=1e-12)
+        np.testing.assert_allclose(a.scale_, b.scale_, atol=1e-12)
+
+
+class TestMinMaxScaler:
+    def test_transform_lands_in_unit_interval(self, rng):
+        X = rng.normal(scale=10.0, size=(200, 3))
+        scaled = MinMaxScaler().fit_transform(X)
+        assert scaled.min() >= -1e-12
+        assert scaled.max() <= 1.0 + 1e-12
+
+    def test_custom_range(self, rng):
+        X = rng.uniform(size=(100, 2))
+        scaled = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(X)
+        assert scaled.min() >= -1.0 - 1e-12
+        assert scaled.max() <= 1.0 + 1e-12
+
+    def test_statistics_match_numpy(self, rng):
+        X = rng.normal(size=(120, 4))
+        scaler = MinMaxScaler(chunk_size=11).fit(X)
+        np.testing.assert_allclose(scaler.data_min_, X.min(axis=0))
+        np.testing.assert_allclose(scaler.data_max_, X.max(axis=0))
+
+    def test_inverse_transform_roundtrip(self, rng):
+        X = rng.normal(size=(80, 3))
+        scaler = MinMaxScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-10)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1.0, 1.0))
+
+    def test_unfitted_transform_rejected(self, rng):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(rng.normal(size=(5, 2)))

@@ -1,0 +1,63 @@
+"""Tests for multinomial (softmax) regression."""
+
+import numpy as np
+import pytest
+
+from repro.data.infimnist import InfimnistGenerator
+from repro.ml.linear_model.softmax_regression import SoftmaxRegression
+
+
+class TestFitting:
+    def test_learns_multiclass_problem(self, small_multiclass):
+        X, y = small_multiclass
+        model = SoftmaxRegression(max_iterations=50).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_shapes(self, small_multiclass):
+        X, y = small_multiclass
+        k = len(np.unique(y))
+        model = SoftmaxRegression(max_iterations=10).fit(X, y)
+        assert model.coef_.shape == (X.shape[1], k)
+        assert model.intercept_.shape == (k,)
+        assert model.classes_.shape == (k,)
+
+    def test_probabilities_sum_to_one(self, small_multiclass):
+        X, y = small_multiclass
+        model = SoftmaxRegression(max_iterations=20).fit(X, y)
+        probabilities = model.predict_proba(X)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+        assert np.all(probabilities >= 0)
+
+    def test_non_contiguous_labels(self, small_multiclass):
+        X, y = small_multiclass
+        relabelled = y * 10 + 5  # e.g. 5, 15, 25, 35
+        model = SoftmaxRegression(max_iterations=20).fit(X, relabelled)
+        assert set(np.unique(model.predict(X))) <= set(np.unique(relabelled))
+
+    def test_single_class_rejected(self):
+        X = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            SoftmaxRegression().fit(X, np.zeros(5, dtype=int))
+
+    def test_sgd_solver_learns(self, small_multiclass):
+        X, y = small_multiclass
+        model = SoftmaxRegression(max_iterations=25, solver="sgd", chunk_size=64).fit(X, y)
+        assert model.score(X, y) > 0.8
+
+    def test_loss_below_uniform_baseline(self, small_multiclass):
+        X, y = small_multiclass
+        k = len(np.unique(y))
+        model = SoftmaxRegression(max_iterations=30).fit(X, y)
+        assert model.loss(X, y) < np.log(k)
+
+
+class TestOnDigits:
+    def test_classifies_infimnist_digits(self):
+        X, y = InfimnistGenerator(seed=0).batch(0, 600)
+        model = SoftmaxRegression(max_iterations=15, l2_penalty=1e-4).fit(X, y)
+        # Ten synthetic digit classes are easily separable for a linear model.
+        assert model.score(X, y) > 0.9
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxRegression().predict(np.zeros((2, 3)))

@@ -1,0 +1,106 @@
+"""Tests for utilisation reports, the energy model and the performance predictor."""
+
+import pytest
+
+from repro.profiling.energy import DESKTOP_I7, EnergyModel, MachinePowerProfile
+from repro.profiling.predictor import PerformancePredictor
+from repro.profiling.report import UtilizationReport, build_report_from_measurements
+
+GIB = 1024 ** 3
+
+
+class TestUtilizationReport:
+    def test_paper_regime_is_io_bound(self):
+        # The paper's observation: disk ~100%, CPU ~13%.
+        report = UtilizationReport(wall_time_s=1950.0, disk_utilization=1.0, cpu_utilization=0.13)
+        assert report.io_bound is True
+        assert "I/O bound" in report.format_row()
+
+    def test_cpu_heavy_run_is_not_io_bound(self):
+        report = UtilizationReport(wall_time_s=10.0, disk_utilization=0.3, cpu_utilization=0.9)
+        assert report.io_bound is False
+
+    def test_build_from_measurements_infers_io_time(self):
+        report = build_report_from_measurements(wall_time_s=10.0, cpu_time_s=2.0)
+        assert report.cpu_utilization == pytest.approx(0.2)
+        assert report.disk_utilization == pytest.approx(0.8)
+
+    def test_build_from_measurements_rejects_zero_wall_time(self):
+        with pytest.raises(ValueError):
+            build_report_from_measurements(wall_time_s=0.0, cpu_time_s=0.0)
+
+
+class TestEnergyModel:
+    def test_energy_scales_with_time(self):
+        model = EnergyModel(DESKTOP_I7)
+        short = model.estimate(100.0, cpu_utilization=0.13, disk_utilization=1.0)
+        long = model.estimate(1000.0, cpu_utilization=0.13, disk_utilization=1.0)
+        assert long.joules == pytest.approx(10 * short.joules)
+        assert long.watt_hours == pytest.approx(long.joules / 3600.0)
+
+    def test_more_machines_draw_more_power(self):
+        single = EnergyModel(DESKTOP_I7, machines=1).mean_power_watts(0.5, 0.5)
+        quad = EnergyModel(DESKTOP_I7, machines=4).mean_power_watts(0.5, 0.5)
+        assert quad == pytest.approx(4 * single)
+
+    def test_idle_power_is_floor(self):
+        model = EnergyModel(DESKTOP_I7)
+        assert model.mean_power_watts(0.0, 0.0) == pytest.approx(DESKTOP_I7.idle_watts)
+
+    def test_invalid_inputs_rejected(self):
+        model = EnergyModel(DESKTOP_I7)
+        with pytest.raises(ValueError):
+            model.mean_power_watts(1.5, 0.0)
+        with pytest.raises(ValueError):
+            model.estimate(-1.0, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            EnergyModel(DESKTOP_I7, machines=0)
+        with pytest.raises(ValueError):
+            MachinePowerProfile("bad", -1.0, 10.0, 1.0).validate()
+
+
+class TestPerformancePredictor:
+    def _observations(self, slope_in=1e-8, slope_out=3e-8, ram=32 * GIB):
+        sizes = [10 * GIB, 20 * GIB, 30 * GIB, 40 * GIB, 80 * GIB, 120 * GIB]
+        runtimes = [
+            size * (slope_in if size <= ram else slope_out) for size in sizes
+        ]
+        return list(zip(sizes, runtimes))
+
+    def test_recovers_both_slopes(self):
+        predictor = PerformancePredictor(ram_bytes=32 * GIB)
+        model = predictor.fit(self._observations())
+        assert model.in_ram_slope == pytest.approx(1e-8, rel=1e-3)
+        assert model.out_of_core_slope == pytest.approx(3e-8, rel=1e-3)
+        assert model.slowdown_factor == pytest.approx(3.0, rel=1e-3)
+
+    def test_prediction_picks_correct_regime(self):
+        predictor = PerformancePredictor(ram_bytes=32 * GIB)
+        model = predictor.fit(self._observations())
+        assert model.predict(16 * GIB) == pytest.approx(16 * GIB * 1e-8, rel=1e-3)
+        assert model.predict(100 * GIB) == pytest.approx(100 * GIB * 3e-8, rel=1e-3)
+
+    def test_extrapolation_error_is_small(self):
+        predictor = PerformancePredictor(ram_bytes=32 * GIB)
+        observations = self._observations()
+        model = predictor.fit(observations[:4])
+        error = predictor.relative_error(model, observations[4:])
+        assert error < 0.05
+
+    def test_single_side_observations_still_fit(self):
+        predictor = PerformancePredictor(ram_bytes=32 * GIB)
+        small_only = [(10 * GIB, 100.0), (20 * GIB, 200.0)]
+        model = predictor.fit(small_only)
+        assert model.predict(64 * GIB) > 0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            PerformancePredictor(ram_bytes=0)
+        predictor = PerformancePredictor(ram_bytes=32 * GIB)
+        with pytest.raises(ValueError):
+            predictor.fit([])
+        with pytest.raises(ValueError):
+            predictor.fit([(-1, 1.0)])
+        model = predictor.fit([(GIB, 1.0)])
+        with pytest.raises(ValueError):
+            model.predict(-1)

@@ -1,0 +1,74 @@
+"""Tests for timers and the resource monitor."""
+
+import time
+
+import pytest
+
+from repro.profiling.resources import ResourceMonitor, ResourceUsage
+from repro.profiling.timer import Stopwatch, time_block
+
+
+class TestStopwatch:
+    def test_measure_records_elapsed_time(self):
+        watch = Stopwatch()
+        with watch.measure("sleep"):
+            time.sleep(0.01)
+        assert watch.total("sleep") >= 0.01
+        assert watch.count("sleep") == 1
+
+    def test_multiple_measurements_accumulate(self):
+        watch = Stopwatch()
+        for _ in range(3):
+            with watch.measure("loop"):
+                pass
+        assert watch.count("loop") == 3
+        assert watch.mean("loop") >= 0.0
+
+    def test_record_external_duration(self):
+        watch = Stopwatch()
+        watch.record("external", 1.5)
+        assert watch.total("external") == pytest.approx(1.5)
+
+    def test_record_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Stopwatch().record("bad", -1.0)
+
+    def test_total_of_unknown_label_is_zero(self):
+        assert Stopwatch().total("nothing") == 0.0
+
+    def test_summary(self):
+        watch = Stopwatch()
+        watch.record("a", 1.0)
+        watch.record("a", 2.0)
+        watch.record("b", 0.5)
+        assert watch.summary() == {"a": 3.0, "b": 0.5}
+
+    def test_time_block(self):
+        with time_block() as result:
+            time.sleep(0.005)
+        assert len(result) == 1
+        assert result[0] >= 0.005
+
+
+class TestResourceMonitor:
+    def test_start_stop_produces_usage(self):
+        monitor = ResourceMonitor()
+        monitor.start()
+        _ = sum(i * i for i in range(100_000))
+        usage = monitor.stop()
+        assert usage.wall_time_s > 0
+        assert usage.cpu_time_s >= 0
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            ResourceMonitor().stop()
+
+    def test_cpu_utilization_bounded(self):
+        usage = ResourceUsage(wall_time_s=2.0, cpu_time_s=1.0, read_bytes=0, write_bytes=0)
+        assert usage.cpu_utilization() == pytest.approx(0.5)
+        assert usage.cpu_utilization(cores=4) == pytest.approx(0.125)
+        assert ResourceUsage(0.0, 1.0, 0, 0).cpu_utilization() == 0.0
+
+    def test_io_throughput(self):
+        usage = ResourceUsage(wall_time_s=2.0, cpu_time_s=0.0, read_bytes=100, write_bytes=100)
+        assert usage.io_throughput_bytes_per_s() == pytest.approx(100.0)

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.writers import write_infimnist_dataset
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure1b", "--size", "50"])
+        assert args.command == "figure1b"
+        assert args.size == 50.0
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestGenerateAndTrain:
+    def test_generate_creates_dataset(self, tmp_path, capsys):
+        output = tmp_path / "cli.m3"
+        exit_code = main(["generate", str(output), "--examples", "64", "--seed", "1"])
+        assert exit_code == 0
+        assert output.exists()
+        assert "64 x 784" in capsys.readouterr().out
+
+    def test_train_logistic(self, tmp_path, capsys):
+        dataset = tmp_path / "train.m3"
+        write_infimnist_dataset(dataset, num_examples=200, seed=0)
+        exit_code = main(["train", str(dataset), "--algorithm", "logistic", "--iterations", "3"])
+        assert exit_code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_train_kmeans(self, tmp_path, capsys):
+        dataset = tmp_path / "cluster.m3"
+        write_infimnist_dataset(dataset, num_examples=150, seed=0)
+        exit_code = main(["train", str(dataset), "--algorithm", "kmeans", "--clusters", "3",
+                          "--iterations", "3"])
+        assert exit_code == 0
+        assert "inertia" in capsys.readouterr().out
+
+
+class TestReproductionCommands:
+    def test_table1_command(self, tmp_path, capsys):
+        exit_code = main(["table1", "--workdir", str(tmp_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "lines changed" in out
+        assert "True" in out
+
+    def test_utilization_command(self, capsys):
+        exit_code = main(["utilization", "--sizes", "1", "2"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "disk_utilization" in out
+
+    def test_figure1a_command_small_sizes(self, capsys):
+        exit_code = main(["figure1a", "--sizes", "1", "2", "4"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 1a" in out
+        assert "slope" in out
+
+    def test_figure1b_command(self, capsys):
+        exit_code = main(["figure1b", "--size", "40"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 1b" in out
+        assert "4x Spark" in out

@@ -1,0 +1,166 @@
+"""Tests for the locality analysis (reuse distances, miss-ratio curves)."""
+
+import numpy as np
+import pytest
+
+from repro.vmem.locality import (
+    INFINITE_DISTANCE,
+    LocalityReport,
+    analyze_trace,
+    build_miss_ratio_curve,
+    reuse_distances,
+    trace_to_page_sequence,
+    working_set_sizes,
+)
+from repro.vmem.page_cache import PageCache, PageCacheConfig
+from repro.vmem.readahead import NoReadAhead
+from repro.vmem.trace import AccessTrace
+
+PAGE = 4096
+
+
+def sequential_trace(num_pages: int, passes: int) -> AccessTrace:
+    trace = AccessTrace()
+    for _ in range(passes):
+        for page in range(num_pages):
+            trace.record(page * PAGE, PAGE)
+    return trace
+
+
+class TestReuseDistances:
+    def test_first_accesses_are_infinite(self):
+        assert reuse_distances([1, 2, 3]) == [INFINITE_DISTANCE] * 3
+
+    def test_immediate_reuse_has_distance_zero(self):
+        assert reuse_distances([5, 5]) == [INFINITE_DISTANCE, 0]
+
+    def test_classic_example(self):
+        # Sequence a b c a: the second 'a' saw two distinct pages (b, c) in between.
+        distances = reuse_distances([1, 2, 3, 1])
+        assert distances == [INFINITE_DISTANCE, INFINITE_DISTANCE, INFINITE_DISTANCE, 2]
+
+    def test_repeated_scan_distance_equals_working_set(self):
+        sequence = [0, 1, 2, 3] * 3
+        distances = reuse_distances(sequence)
+        # After the first pass, every access has distance 3 (the other pages).
+        assert all(d == 3 for d in distances[4:])
+
+    def test_matches_naive_computation_on_random_sequence(self):
+        rng = np.random.default_rng(0)
+        sequence = list(rng.integers(0, 12, size=200))
+        fast = reuse_distances(sequence)
+        # Naive reference implementation.
+        for index, page in enumerate(sequence):
+            previous = None
+            for j in range(index - 1, -1, -1):
+                if sequence[j] == page:
+                    previous = j
+                    break
+            if previous is None:
+                assert fast[index] == INFINITE_DISTANCE
+            else:
+                assert fast[index] == len(set(sequence[previous + 1 : index]))
+
+
+class TestMissRatioCurve:
+    def test_predicts_lru_simulation_exactly(self):
+        """The Mattson curve must match the actual LRU page-cache simulation."""
+        trace = sequential_trace(num_pages=20, passes=3)
+        curve = build_miss_ratio_curve(trace, page_size=PAGE)
+        for capacity in (4, 10, 20, 32):
+            cache = PageCache(
+                PageCacheConfig(
+                    ram_bytes=capacity * PAGE, page_size=PAGE, readahead=NoReadAhead()
+                )
+            )
+            for record in trace:
+                cache.access_range(record.offset, record.length)
+            simulated = cache.stats.fault_rate
+            assert curve.miss_ratio(capacity) == pytest.approx(simulated, abs=1e-12)
+
+    def test_cache_larger_than_working_set_only_cold_misses(self):
+        trace = sequential_trace(num_pages=10, passes=5)
+        curve = build_miss_ratio_curve(trace, page_size=PAGE)
+        assert curve.miss_ratio(10) == pytest.approx(curve.compulsory_miss_ratio)
+        assert curve.compulsory_miss_ratio == pytest.approx(10 / 50)
+
+    def test_cache_smaller_than_scan_misses_everything(self):
+        trace = sequential_trace(num_pages=10, passes=5)
+        curve = build_miss_ratio_curve(trace, page_size=PAGE)
+        assert curve.miss_ratio(5) == pytest.approx(1.0)
+
+    def test_miss_ratio_monotonically_non_increasing_in_cache_size(self):
+        rng = np.random.default_rng(1)
+        trace = AccessTrace()
+        for page in rng.integers(0, 40, size=300):
+            trace.record(int(page) * PAGE, PAGE)
+        curve = build_miss_ratio_curve(trace, page_size=PAGE)
+        ratios = [curve.miss_ratio(size) for size in range(0, 45)]
+        assert all(b <= a + 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+    def test_minimum_pages_for_hit_ratio(self):
+        trace = sequential_trace(num_pages=8, passes=10)
+        curve = build_miss_ratio_curve(trace, page_size=PAGE)
+        assert curve.minimum_pages_for_hit_ratio(0.85) == 8
+        assert curve.minimum_pages_for_hit_ratio(0.999) is None  # cold misses forbid it
+        with pytest.raises(ValueError):
+            curve.minimum_pages_for_hit_ratio(1.5)
+
+    def test_miss_ratio_for_bytes(self):
+        trace = sequential_trace(num_pages=8, passes=2)
+        curve = build_miss_ratio_curve(trace, page_size=PAGE)
+        assert curve.miss_ratio_for_bytes(8 * PAGE) == curve.miss_ratio(8)
+
+    def test_empty_trace(self):
+        curve = build_miss_ratio_curve(AccessTrace(), page_size=PAGE)
+        assert curve.miss_ratio(10) == 0.0
+        assert curve.compulsory_miss_ratio == 0.0
+
+
+class TestWorkingSetAndReport:
+    def test_working_set_of_sequential_scan(self):
+        sequence = list(range(20))
+        assert working_set_sizes(sequence, window=5) == [5] * 16
+
+    def test_working_set_of_single_hot_page(self):
+        assert working_set_sizes([7] * 10, window=4) == [1] * 7
+
+    def test_window_larger_than_trace(self):
+        assert working_set_sizes([1, 2], window=5) == []
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            working_set_sizes([1], window=0)
+
+    def test_trace_to_page_sequence_spans_pages(self):
+        trace = AccessTrace()
+        trace.record(0, 3 * PAGE)
+        assert trace_to_page_sequence(trace, PAGE) == [0, 1, 2]
+
+    def test_analyze_sequential_trace(self):
+        # 20 passes: cold misses are only 5% of accesses, so a 90% hit ratio is
+        # reachable — and only with the full 32-page working set resident.
+        trace = sequential_trace(num_pages=32, passes=20)
+        report = analyze_trace(trace, page_size=PAGE, working_set_window=16)
+        assert isinstance(report, LocalityReport)
+        assert report.access_pattern == "sequential"
+        assert report.distinct_pages == 32
+        assert report.total_page_accesses == 640
+        assert report.compulsory_miss_ratio == pytest.approx(0.05)
+        assert report.ram_for_90_percent_hits_bytes == 32 * PAGE
+
+    def test_analyze_few_passes_cannot_reach_high_hit_ratio(self):
+        # With only 4 passes, 25% of accesses are compulsory misses, so no
+        # amount of RAM reaches a 90% hit ratio.
+        trace = sequential_trace(num_pages=32, passes=4)
+        report = analyze_trace(trace, page_size=PAGE, working_set_window=16)
+        assert report.ram_for_90_percent_hits_bytes is None
+
+    def test_analyze_random_trace_classified_random(self):
+        rng = np.random.default_rng(2)
+        trace = AccessTrace()
+        for page in rng.integers(0, 1000, size=400):
+            trace.record(int(page) * PAGE, PAGE)
+        report = analyze_trace(trace, page_size=PAGE)
+        assert report.access_pattern == "random"
+        assert report.compulsory_miss_ratio > 0.5

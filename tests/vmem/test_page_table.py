@@ -1,0 +1,48 @@
+"""Tests for the page table."""
+
+from repro.vmem.page import Page
+from repro.vmem.page_table import PageTable
+
+
+class TestPageTable:
+    def test_lookup_missing_returns_none(self):
+        table = PageTable()
+        assert table.lookup(42) is None
+        assert not table.is_resident(42)
+
+    def test_entry_created_lazily(self):
+        table = PageTable()
+        entry = table.entry(7)
+        assert entry.page is None
+        assert len(table) == 1
+
+    def test_record_load_marks_resident_and_counts_fault(self):
+        table = PageTable()
+        table.record_load(Page(page_id=5))
+        assert table.is_resident(5)
+        assert table.entry(5).faults == 1
+        assert table.total_faults == 1
+
+    def test_record_eviction_clears_residency(self):
+        table = PageTable()
+        table.record_load(Page(page_id=5))
+        table.record_eviction(5)
+        assert not table.is_resident(5)
+        assert table.entry(5).evictions == 1
+        assert table.total_evictions == 1
+
+    def test_reload_counts_second_fault(self):
+        table = PageTable()
+        table.record_load(Page(page_id=5))
+        table.record_eviction(5)
+        table.record_load(Page(page_id=5))
+        assert table.entry(5).faults == 2
+
+    def test_resident_count_and_iteration(self):
+        table = PageTable()
+        for page_id in range(4):
+            table.record_load(Page(page_id=page_id))
+        table.record_eviction(2)
+        assert table.resident_count == 3
+        resident_ids = {page.page_id for page in table.resident_pages()}
+        assert resident_ids == {0, 1, 3}

@@ -1,0 +1,81 @@
+"""Tests for read-ahead policies."""
+
+import pytest
+
+from repro.vmem.readahead import AdaptiveReadAhead, FixedReadAhead, NoReadAhead, make_readahead
+
+
+class TestNoReadAhead:
+    def test_never_prefetches(self):
+        policy = NoReadAhead()
+        assert policy.prefetch_window(10) == []
+        assert policy.prefetch_window(11) == []
+
+
+class TestFixedReadAhead:
+    def test_window_is_consecutive_pages(self):
+        policy = FixedReadAhead(window=4)
+        assert policy.prefetch_window(10) == [11, 12, 13, 14]
+
+    def test_zero_window_allowed(self):
+        assert FixedReadAhead(window=0).prefetch_window(5) == []
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            FixedReadAhead(window=-1)
+
+
+class TestAdaptiveReadAhead:
+    def test_window_doubles_on_sequential_access(self):
+        policy = AdaptiveReadAhead(initial_window=2, max_window=16)
+        first = policy.prefetch_window(0)
+        assert first == [1, 2]
+        # The next sequential fault lands just past the prefetched window.
+        second = policy.prefetch_window(3)
+        assert len(second) == 4
+
+    def test_window_resets_on_random_access(self):
+        policy = AdaptiveReadAhead(initial_window=2, max_window=16)
+        policy.prefetch_window(0)
+        policy.prefetch_window(3)
+        random_window = policy.prefetch_window(1000)
+        assert len(random_window) == 2
+
+    def test_window_capped_at_max(self):
+        policy = AdaptiveReadAhead(initial_window=4, max_window=8)
+        page = 0
+        for _ in range(5):
+            window = policy.prefetch_window(page)
+            page = window[-1] + 1
+        assert policy.current_window <= 8
+
+    def test_reset_restores_initial_window(self):
+        policy = AdaptiveReadAhead(initial_window=2, max_window=16)
+        policy.prefetch_window(0)
+        policy.prefetch_window(3)
+        policy.reset()
+        assert policy.current_window == 2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveReadAhead(initial_window=0)
+        with pytest.raises(ValueError):
+            AdaptiveReadAhead(initial_window=8, max_window=4)
+
+
+class TestMakeReadahead:
+    def test_none_variants(self):
+        assert isinstance(make_readahead("none"), NoReadAhead)
+        assert isinstance(make_readahead("off"), NoReadAhead)
+
+    def test_fixed_with_kwargs(self):
+        policy = make_readahead("fixed", window=7)
+        assert isinstance(policy, FixedReadAhead)
+        assert policy.window == 7
+
+    def test_adaptive(self):
+        assert isinstance(make_readahead("adaptive"), AdaptiveReadAhead)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_readahead("psychic")

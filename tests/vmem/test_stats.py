@@ -1,0 +1,74 @@
+"""Tests for statistics containers."""
+
+import pytest
+
+from repro.vmem.stats import IoStats, PageCacheStats, UtilizationSample, UtilizationTimeline
+
+
+class TestPageCacheStats:
+    def test_hit_rate_and_fault_rate(self):
+        stats = PageCacheStats(hits=8, major_faults=2)
+        assert stats.accesses == 10
+        assert stats.hit_rate == pytest.approx(0.8)
+        assert stats.fault_rate == pytest.approx(0.2)
+
+    def test_rates_with_no_accesses(self):
+        stats = PageCacheStats()
+        assert stats.hit_rate == 0.0
+        assert stats.fault_rate == 0.0
+        assert stats.prefetch_accuracy == 0.0
+
+    def test_prefetch_accuracy(self):
+        stats = PageCacheStats(prefetched_pages=10, prefetch_hits=7)
+        assert stats.prefetch_accuracy == pytest.approx(0.7)
+
+    def test_as_dict_contains_all_fields(self):
+        d = PageCacheStats(hits=1).as_dict()
+        assert d["hits"] == 1
+        assert set(d) >= {"hits", "major_faults", "hit_rate", "evictions", "writebacks"}
+
+
+class TestIoStats:
+    def test_utilizations_sum_to_one(self):
+        stats = IoStats(io_time_s=3.0, cpu_time_s=1.0)
+        assert stats.total_time_s == pytest.approx(4.0)
+        assert stats.io_utilization == pytest.approx(0.75)
+        assert stats.cpu_utilization == pytest.approx(0.25)
+        assert stats.io_utilization + stats.cpu_utilization == pytest.approx(1.0)
+
+    def test_zero_time_utilizations(self):
+        stats = IoStats()
+        assert stats.io_utilization == 0.0
+        assert stats.cpu_utilization == 0.0
+
+    def test_merge_adds_componentwise(self):
+        a = IoStats(bytes_read=10, io_time_s=1.0, cpu_time_s=0.5, read_requests=1)
+        b = IoStats(bytes_read=20, io_time_s=2.0, cpu_time_s=1.5, write_requests=3)
+        merged = a.merge(b)
+        assert merged.bytes_read == 30
+        assert merged.io_time_s == pytest.approx(3.0)
+        assert merged.cpu_time_s == pytest.approx(2.0)
+        assert merged.read_requests == 1
+        assert merged.write_requests == 3
+
+    def test_as_dict(self):
+        d = IoStats(bytes_read=5).as_dict()
+        assert d["bytes_read"] == 5
+        assert "io_utilization" in d
+
+
+class TestUtilizationTimeline:
+    def test_means_and_peak(self):
+        timeline = UtilizationTimeline()
+        timeline.add(UtilizationSample(1.0, cpu_utilization=0.2, disk_utilization=0.8, resident_bytes=100))
+        timeline.add(UtilizationSample(2.0, cpu_utilization=0.4, disk_utilization=0.6, resident_bytes=300))
+        assert len(timeline) == 2
+        assert timeline.mean_cpu_utilization == pytest.approx(0.3)
+        assert timeline.mean_disk_utilization == pytest.approx(0.7)
+        assert timeline.peak_resident_bytes == 300
+
+    def test_empty_timeline(self):
+        timeline = UtilizationTimeline()
+        assert timeline.mean_cpu_utilization == 0.0
+        assert timeline.mean_disk_utilization == 0.0
+        assert timeline.peak_resident_bytes == 0

@@ -1,0 +1,88 @@
+"""Tests for access traces."""
+
+import pytest
+
+from repro.vmem.trace import AccessKind, AccessRecord, AccessTrace
+
+
+class TestAccessRecord:
+    def test_end_offset(self):
+        record = AccessRecord(offset=100, length=50)
+        assert record.end == 150
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            AccessRecord(offset=-1, length=10)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            AccessRecord(offset=0, length=-10)
+
+    def test_negative_cpu_cost_rejected(self):
+        with pytest.raises(ValueError):
+            AccessRecord(offset=0, length=10, cpu_cost_s=-1.0)
+
+
+class TestAccessTrace:
+    def test_record_and_totals(self):
+        trace = AccessTrace()
+        trace.record(0, 100, cpu_cost_s=0.5)
+        trace.record(100, 200, AccessKind.WRITE, cpu_cost_s=0.25)
+        assert len(trace) == 2
+        assert trace.total_bytes == 300
+        assert trace.total_cpu_cost_s == pytest.approx(0.75)
+        assert trace.max_offset == 300
+
+    def test_string_kind_accepted(self):
+        trace = AccessTrace()
+        trace.record(0, 10, "write")
+        assert trace.records[0].kind is AccessKind.WRITE
+
+    def test_sequential_fraction_of_sequential_scan(self):
+        trace = AccessTrace()
+        for i in range(10):
+            trace.record(i * 100, 100)
+        assert trace.sequential_fraction() == 1.0
+
+    def test_sequential_fraction_of_random_access(self):
+        trace = AccessTrace()
+        trace.record(0, 10)
+        trace.record(1000, 10)
+        trace.record(5, 10)
+        assert trace.sequential_fraction() == 0.0
+
+    def test_sequential_fraction_empty_and_single(self):
+        assert AccessTrace().sequential_fraction() == 0.0
+        single = AccessTrace()
+        single.record(0, 10)
+        assert single.sequential_fraction() == 1.0
+
+    def test_scaled_repeats_records(self):
+        trace = AccessTrace()
+        trace.record(0, 100)
+        scaled = trace.scaled(3)
+        assert len(scaled) == 3
+        assert scaled.total_bytes == 300
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(ValueError):
+            AccessTrace().scaled(0)
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        trace = AccessTrace(description="unit test trace")
+        trace.record(0, 4096, cpu_cost_s=0.001)
+        trace.record(4096, 4096, AccessKind.WRITE)
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = AccessTrace.load(path)
+        assert loaded.description == "unit test trace"
+        assert len(loaded) == 2
+        assert loaded.records[0].length == 4096
+        assert loaded.records[1].kind is AccessKind.WRITE
+        assert loaded.records[0].cpu_cost_s == pytest.approx(0.001)
+
+    def test_load_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        loaded = AccessTrace.load(path)
+        assert len(loaded) == 0
