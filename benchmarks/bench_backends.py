@@ -1,0 +1,83 @@
+"""Storage-backend overhead of the unified Session API.
+
+The redesign's promise is that the `Dataset`/`Session` indirection is free:
+training through `session.fit` on any backend must produce the identical
+model, and the per-backend overhead at laptop scale must stay small (the
+memory backend is the floor; mmap adds page-cache traffic; sharding adds
+chunk stitching at shard boundaries).  This benchmark times the same
+logistic-regression workload through all three backends and prints the
+resulting coefficients' maximum divergence (which must be zero).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.api import Session
+from repro.ml import LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def backend_specs(tmp_path_factory):
+    rng = np.random.default_rng(123)
+    X = rng.normal(size=(6000, 64))
+    y = (X @ rng.normal(size=64) > 0).astype(np.int64)
+    tmp_path = tmp_path_factory.mktemp("bench_backends")
+    session = Session()
+    session.create("memory://bench", X, y)
+    session.create(f"mmap://{tmp_path}/bench.m3", X, y)
+    session.create(f"shard://{tmp_path}/bench_shards", X, y, shard_rows=1024)
+    specs = {
+        "memory": "memory://bench",
+        "mmap": f"mmap://{tmp_path}/bench.m3",
+        "shard": f"shard://{tmp_path}/bench_shards",
+    }
+    yield session, specs
+    session.close()
+
+
+@pytest.mark.benchmark(group="backends")
+@pytest.mark.parametrize("backend", ["memory", "mmap", "shard"])
+def test_backend_training_overhead(benchmark, backend_specs, backend):
+    session, specs = backend_specs
+
+    def train():
+        dataset = session.open(specs[backend])
+        return session.fit(LogisticRegression(max_iterations=10), dataset)
+
+    result = benchmark.pedantic(train, rounds=1, iterations=1)
+    emit(
+        f"Session.fit through the {backend} backend",
+        (
+            f"wall time: {result.wall_time_s:.3f}s\n"
+            f"engine: {result.engine}\n"
+            f"final loss: {result.model.result_.value:.6f}"
+        ),
+    )
+    assert hasattr(result.model, "coef_")
+
+
+@pytest.mark.benchmark(group="backends")
+def test_backend_transparency(benchmark, backend_specs):
+    session, specs = backend_specs
+
+    def train_all():
+        coefs = {}
+        for backend, spec in specs.items():
+            dataset = session.open(spec)
+            result = session.fit(LogisticRegression(max_iterations=10), dataset)
+            coefs[backend] = result.model.coef_
+        return coefs
+
+    coefs = benchmark.pedantic(train_all, rounds=1, iterations=1)
+    deltas = {
+        backend: float(np.max(np.abs(coef - coefs["memory"])))
+        for backend, coef in coefs.items()
+    }
+    emit(
+        "Transparency across storage backends (max |coef - coef(memory)|)",
+        "\n".join(f"{backend}: {delta:.2e}" for backend, delta in deltas.items()),
+    )
+    assert all(delta == 0.0 for delta in deltas.values())

@@ -23,7 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
-import repro.core as m3
+from repro.api import Session
 from repro.data.writers import write_infimnist_dataset
 from repro.ml import KMeans, MiniBatchKMeans
 from repro.ml.metrics import clustering_purity, silhouette_score
@@ -32,10 +32,10 @@ from repro.profiling.timer import Stopwatch
 
 def main() -> None:
     watch = Stopwatch()
-    with tempfile.TemporaryDirectory() as tmp:
+    with tempfile.TemporaryDirectory() as tmp, Session() as session:
         dataset_path = Path(tmp) / "infimnist_kmeans.m3"
         write_infimnist_dataset(dataset_path, num_examples=3000, seed=3)
-        X, y = m3.open_dataset(dataset_path)
+        X, y = session.open(f"mmap://{dataset_path}").arrays()
         labels = np.asarray(y)
 
         # The paper's configuration: 5 clusters, 10 iterations.

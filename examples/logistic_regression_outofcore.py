@@ -27,9 +27,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.api import Session
 from repro.bench.m3_model import M3RuntimeModel
 from repro.bench.workloads import dataset_bytes_for_gb
-from repro.core import M3, M3Config
 from repro.data.writers import write_infimnist_dataset
 from repro.ml import LogisticRegression
 from repro.profiling.report import UtilizationReport
@@ -37,13 +37,13 @@ from repro.profiling.report import UtilizationReport
 
 def train_with_trace(dataset_path: Path) -> tuple:
     """Train binary LR on the memory-mapped file, recording the access trace."""
-    runtime = M3(M3Config(record_traces=True))
-    X, y = runtime.open_dataset(dataset_path)
-    labels = (np.asarray(y) >= 5).astype(np.int64)  # digits 0-4 vs 5-9
+    with Session() as session:
+        dataset = session.open(f"mmap://{dataset_path}", record_trace=True)
+        labels = (np.asarray(dataset.labels) >= 5).astype(np.int64)  # 0-4 vs 5-9
 
-    model = LogisticRegression(max_iterations=10, solver="lbfgs")
-    model.fit(X, labels)
-    return model, X.trace, X.nbytes
+        model = LogisticRegression(max_iterations=10, solver="lbfgs")
+        result = session.fit(model, dataset, y=labels)
+        return model, result.trace, dataset.nbytes
 
 
 def main() -> None:

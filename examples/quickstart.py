@@ -1,13 +1,27 @@
 #!/usr/bin/env python
-"""Quickstart: the M3 workflow end to end on a laptop-sized dataset.
+"""Quickstart: the unified M3 workflow end to end on a laptop-sized dataset.
 
-This example mirrors the paper's Table 1 story:
+This example mirrors the paper's Table 1 story through the new
+``Session``/``Dataset`` API:
 
 1. materialise an Infimnist-style dataset file on disk,
-2. memory-map it with one call (``m3.open_dataset``),
+2. open it through a ``Session`` with one call — the *only* M3-specific line,
 3. hand it to completely ordinary estimators — multiclass logistic regression
    trained with 10 iterations of L-BFGS, and k-means with 5 clusters —
-4. verify the models behave exactly as they would on an in-memory copy.
+4. verify the models behave exactly as they would on an in-memory copy, and
+5. show that swapping the storage backend (single memory-mapped file →
+   sharded directory) changes *nothing* downstream.
+
+Migration from the legacy facade::
+
+    # old                                   # new
+    X, y = m3.open_dataset("d.m3")          ds = session.open("mmap://d.m3")
+                                            X, y = ds.arrays()
+    m3.create_dataset("d.m3", X, y)         session.create("mmap://d.m3", X, y)
+    M3(M3Config(record_traces=True))        session.open(spec, record_trace=True)
+    runtime.last_trace                      ds.trace          (per handle)
+    model.fit(X, y)                         session.fit(model, ds)   # pick an
+                                            # engine: local/simulated/distributed
 
 Run with::
 
@@ -21,7 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
-import repro.core as m3
+from repro.api import Session
 from repro.data.writers import write_infimnist_dataset
 from repro.ml import KMeans, SoftmaxRegression
 from repro.ml.metrics import accuracy, clustering_purity
@@ -30,7 +44,7 @@ from repro.profiling.timer import Stopwatch
 
 def main() -> None:
     watch = Stopwatch()
-    with tempfile.TemporaryDirectory() as tmp:
+    with tempfile.TemporaryDirectory() as tmp, Session() as session:
         dataset_path = Path(tmp) / "infimnist_quickstart.m3"
 
         # 1. Generate 4,000 deformed digit images (784 features each) on disk.
@@ -41,41 +55,54 @@ def main() -> None:
             f"({header.file_bytes / 1e6:.1f} MB) in {watch.total('generate'):.1f}s"
         )
 
-        # 2. Memory-map it.  This is the only M3-specific line in the pipeline.
-        X, y = m3.open_dataset(dataset_path)
-        labels = np.asarray(y)
-        print(f"opened {X!r}")
+        # 2. Open it through the session.  This is the only M3-specific line.
+        dataset = session.open(f"mmap://{dataset_path}")
+        labels = np.asarray(dataset.labels)
+        print(f"opened {dataset!r}")
 
-        # 3a. Classification: multinomial logistic regression, 10 L-BFGS iterations.
-        with watch.measure("logistic"):
-            classifier = SoftmaxRegression(max_iterations=10, l2_penalty=1e-4, seed=0)
-            classifier.fit(X, labels)
-        predictions = classifier.predict(X)
+        # 3a. Classification: multinomial logistic regression, 10 L-BFGS
+        #     iterations, dispatched through the session's execution engine.
+        classifier = SoftmaxRegression(max_iterations=10, l2_penalty=1e-4, seed=0)
+        fit = session.fit(classifier, dataset, y=labels)
+        predictions = classifier.predict(dataset.matrix)
         print(
             f"softmax regression: training accuracy {accuracy(labels, predictions):.3f} "
-            f"({watch.total('logistic'):.1f}s, "
-            f"{classifier.result_.iterations} iterations)"
+            f"({fit.wall_time_s:.1f}s, {classifier.result_.iterations} iterations)"
         )
 
         # 3b. Clustering: k-means with the paper's settings (k=5, 10 iterations).
-        with watch.measure("kmeans"):
-            clusterer = KMeans(n_clusters=5, max_iterations=10, seed=0)
-            clusterer.fit(X)
-        assignments = clusterer.predict(X)
+        clusterer = KMeans(n_clusters=5, max_iterations=10, seed=0)
+        fit = session.fit(clusterer, dataset)
+        assignments = clusterer.predict(dataset.matrix)
         print(
             f"k-means: inertia {clusterer.inertia_:.3g}, "
             f"purity vs digit labels {clustering_purity(labels, assignments):.3f} "
-            f"({watch.total('kmeans'):.1f}s, {clusterer.n_iter_} iterations)"
+            f"({fit.wall_time_s:.1f}s, {clusterer.n_iter_} iterations)"
         )
 
         # 4. Transparency check: an in-memory copy gives the identical model.
-        X_in_memory = np.asarray(X)
+        in_memory_dataset = session.from_arrays(np.asarray(dataset), labels, name="copy")
         in_memory = SoftmaxRegression(max_iterations=10, l2_penalty=1e-4, seed=0)
-        in_memory.fit(X_in_memory, labels)
+        session.fit(in_memory, in_memory_dataset, y=labels)
         delta = float(np.max(np.abs(in_memory.coef_ - classifier.coef_)))
         print(f"max |coef(in-memory) - coef(memory-mapped)| = {delta:.2e}")
         assert delta < 1e-10, "memory mapping must not change the learned model"
-        print("quickstart finished: memory-mapped and in-memory training are identical")
+
+        # 5. Swap the storage backend: shard the matrix across multiple files.
+        #    Only the spec changes — estimator and session code are untouched.
+        shard_spec = f"shard://{Path(tmp) / 'infimnist_shards'}"
+        session.create(shard_spec, np.asarray(dataset), labels, shard_rows=1024)
+        sharded = session.open(shard_spec)
+        print(f"re-opened as {sharded!r}")
+        sharded_clf = SoftmaxRegression(max_iterations=10, l2_penalty=1e-4, seed=0)
+        session.fit(sharded_clf, sharded, y=labels)
+        delta = float(np.max(np.abs(sharded_clf.coef_ - classifier.coef_)))
+        print(f"max |coef(sharded) - coef(memory-mapped)| = {delta:.2e}")
+        assert delta < 1e-10, "sharding must not change the learned model"
+        print(
+            "quickstart finished: memory-mapped, in-memory and sharded training "
+            "are identical"
+        )
 
 
 if __name__ == "__main__":

@@ -27,47 +27,49 @@ from pathlib import Path
 
 import numpy as np
 
-import repro.core as m3
+from repro.api import DistributedEngine, Session
 from repro.bench.figure1b import run_figure1b
 from repro.bench.reporting import format_table
 from repro.data.writers import write_infimnist_dataset
-from repro.distributed import (
-    DistributedKMeans,
-    DistributedLogisticRegression,
-    JobScheduler,
-    make_emr_cluster,
-)
+from repro.distributed import JobScheduler, make_emr_cluster
 from repro.ml import KMeans, LogisticRegression
 
 
 def functional_comparison() -> None:
     """Check the distributed implementations against the single-machine ones."""
-    with tempfile.TemporaryDirectory() as tmp:
+    with tempfile.TemporaryDirectory() as tmp, Session() as session:
         dataset_path = Path(tmp) / "infimnist_spark.m3"
         write_infimnist_dataset(dataset_path, num_examples=2000, seed=21)
-        X, y = m3.open_dataset(dataset_path)
-        labels = (np.asarray(y) >= 5).astype(np.int64)
+        dataset = session.open(f"mmap://{dataset_path}")
+        X = dataset.matrix
+        labels = (np.asarray(dataset.labels) >= 5).astype(np.int64)
 
         cluster = make_emr_cluster(8)
         scheduler = JobScheduler(cluster)
+        engine = DistributedEngine(num_partitions=16, scheduler=scheduler)
 
-        local_lr = LogisticRegression(max_iterations=10).fit(X, labels)
-        spark_lr = DistributedLogisticRegression(
-            max_iterations=10, num_partitions=16, scheduler=scheduler
-        ).fit(X, labels)
-        agreement = float(np.mean(local_lr.predict(X) == spark_lr.predict(np.asarray(X))))
+        # The same estimator instance type trains on both engines: the
+        # distributed engine swaps in the MLlib-style counterpart itself.
+        local_lr = session.fit(LogisticRegression(max_iterations=10), dataset, y=labels)
+        spark_lr = session.fit(
+            LogisticRegression(max_iterations=10), dataset, y=labels, engine=engine
+        )
+        agreement = float(
+            np.mean(local_lr.model.predict(X) == spark_lr.model.predict(np.asarray(X)))
+        )
         print(
             f"logistic regression: prediction agreement M3 vs distributed = {agreement:.3f}, "
-            f"{spark_lr.aggregations_} cluster aggregations"
+            f"{spark_lr.details['aggregations']} cluster aggregations"
         )
 
-        local_km = KMeans(n_clusters=5, max_iterations=10, seed=0).fit(X)
-        spark_km = DistributedKMeans(
-            n_clusters=5, max_iterations=10, seed=0, num_partitions=16, scheduler=scheduler
-        ).fit(X)
+        local_km = session.fit(KMeans(n_clusters=5, max_iterations=10, seed=0), dataset)
+        spark_km = session.fit(
+            KMeans(n_clusters=5, max_iterations=10, seed=0), dataset, engine=engine
+        )
         print(
-            f"k-means: inertia M3 {local_km.inertia_:.4g} vs distributed "
-            f"{spark_km.inertia_:.4g} (ratio {spark_km.inertia_ / local_km.inertia_:.3f})"
+            f"k-means: inertia M3 {local_km.model.inertia_:.4g} vs distributed "
+            f"{spark_km.model.inertia_:.4g} "
+            f"(ratio {spark_km.model.inertia_ / local_km.model.inertia_:.3f})"
         )
 
         rows = scheduler.rows_per_executor()

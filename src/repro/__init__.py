@@ -5,11 +5,17 @@ unmodified machine learning code scale to datasets that exceed RAM, at speeds
 competitive with small Spark clusters.  This package reproduces the system and
 its evaluation:
 
-* :mod:`repro.core` — the M3 API (memory-mapped matrices, ``mmap_alloc``,
-  access advice, the transparent-dataset facade).
+* :mod:`repro.api` — the unified API: a :class:`~repro.api.Session` resolving
+  URI-style dataset specs (``mmap://file.m3``, ``shard://dir/``,
+  ``memory://name``) to pluggable storage backends, handing out
+  :class:`~repro.api.Dataset` handles, and dispatching ``session.fit`` to
+  pluggable execution engines (``local``, ``simulated``, ``distributed``).
+* :mod:`repro.core` — the original M3 primitives (memory-mapped matrices,
+  ``mmap_alloc``, access advice) plus the legacy facade, now a shim over the
+  unified API.
 * :mod:`repro.ml` — the machine learning library being scaled (L-BFGS logistic
   regression, k-means, and friends), written against the plain row-slicing
-  protocol so in-memory and memory-mapped data are interchangeable.
+  protocol so in-memory, memory-mapped and sharded data are interchangeable.
 * :mod:`repro.vmem` — a virtual-memory / page-cache simulator substituting for
   the paper's 32 GB desktop and PCIe SSD.
 * :mod:`repro.distributed` — a Spark-style baseline (mini RDD engine + EC2
@@ -19,9 +25,29 @@ its evaluation:
 * :mod:`repro.profiling` / :mod:`repro.bench` — utilisation reporting,
   performance prediction and the harness that regenerates every figure and
   table of the paper.
+
+Migrating from the legacy facade to the unified API
+---------------------------------------------------
+
+==============================================  ==============================================
+Old (still works, thin shim)                    New
+==============================================  ==============================================
+``X, y = m3.open_dataset("d.m3")``              ``ds = session.open("mmap://d.m3")`` then
+                                                ``X, y = ds.arrays()``
+``m3.create_dataset("d.m3", X, y)``             ``session.create("mmap://d.m3", X, y)``
+``M3(M3Config(record_traces=True))`` +          ``session.open(spec, record_trace=True)`` +
+``runtime.last_trace``                          ``ds.trace`` (per handle, thread safe)
+``model.fit(X, y)`` by hand                     ``session.fit(model, ds)`` — pick the engine
+                                                with ``engine="local" | "simulated" |
+                                                "distributed"``
+``M3().dataset_info(path)``                     ``session.info(spec)`` / CLI ``m3 info``
+(no equivalent)                                 ``session.create("shard://dir/", X, y)`` —
+                                                matrix sharded across multiple files
+==============================================  ==============================================
 """
 
-from repro import bench, core, data, distributed, ml, profiling, vmem
+from repro import api, bench, core, data, distributed, ml, profiling, vmem
+from repro.api import Dataset, FitResult, Session
 from repro.core import (
     M3,
     M3Config,
@@ -33,10 +59,11 @@ from repro.core import (
 )
 from repro.ml import KMeans, LogisticRegression, SoftmaxRegression
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "api",
     "core",
     "ml",
     "vmem",
@@ -44,6 +71,9 @@ __all__ = [
     "data",
     "profiling",
     "bench",
+    "Session",
+    "Dataset",
+    "FitResult",
     "M3",
     "M3Config",
     "MmapMatrix",

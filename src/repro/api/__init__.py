@@ -1,0 +1,81 @@
+"""The unified M3 API: sessions, dataset handles, backends and engines.
+
+This package is the architectural seam of the reproduction.  One
+:class:`Session` resolves URI-style dataset specs to pluggable storage
+backends, hands out :class:`Dataset` handles (with per-handle access traces
+and a real lifecycle), and dispatches training to pluggable execution
+engines:
+
+.. code-block:: python
+
+    from repro.api import Session
+    from repro.ml import LogisticRegression
+
+    with Session() as session:
+        data = session.open("mmap://train.m3")          # or shard://dir/, memory://name
+        result = session.fit(LogisticRegression(), data, engine="local")
+
+The legacy ``repro.core.open_dataset`` / ``load_matrix`` helpers remain as
+thin shims over this API.
+"""
+
+from repro.api.dataset import Dataset
+from repro.api.engines import (
+    ENGINE_REGISTRY,
+    DistributedEngine,
+    ExecutionEngine,
+    FitResult,
+    LocalEngine,
+    SimulatedEngine,
+    register_engine,
+    resolve_engine,
+)
+from repro.api.session import Session
+from repro.api.sharded import (
+    ShardedMatrix,
+    ShardManifest,
+    read_manifest,
+    write_sharded_dataset,
+)
+from repro.api.storage import (
+    BACKEND_REGISTRY,
+    DatasetSpec,
+    MemoryBackend,
+    MmapBackend,
+    ShardedBackend,
+    StorageBackend,
+    StorageHandle,
+    make_backend,
+    parse_spec,
+    register_backend,
+)
+
+__all__ = [
+    "Session",
+    "Dataset",
+    "FitResult",
+    # storage
+    "StorageBackend",
+    "StorageHandle",
+    "MemoryBackend",
+    "MmapBackend",
+    "ShardedBackend",
+    "BACKEND_REGISTRY",
+    "DatasetSpec",
+    "parse_spec",
+    "make_backend",
+    "register_backend",
+    # sharded format
+    "ShardedMatrix",
+    "ShardManifest",
+    "write_sharded_dataset",
+    "read_manifest",
+    # engines
+    "ExecutionEngine",
+    "LocalEngine",
+    "SimulatedEngine",
+    "DistributedEngine",
+    "ENGINE_REGISTRY",
+    "resolve_engine",
+    "register_engine",
+]

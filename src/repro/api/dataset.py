@@ -1,0 +1,203 @@
+"""The :class:`Dataset` handle — one open dataset, one object.
+
+A ``Dataset`` bundles what ``core.open_dataset`` used to return as a bare
+``(matrix, labels)`` tuple, and fixes the parts of that design that could not
+scale:
+
+* the access trace is **per handle** (``dataset.trace``) instead of a shared
+  mutable ``M3.last_trace`` attribute on a module-level singleton, so
+  concurrent opens cannot clobber each other's traces;
+* the handle has a lifecycle — ``close()``/``flush()`` and context-manager
+  support — so backends holding file descriptors (mmap, sharded) release them
+  deterministically;
+* shape, dtype, labels and backend metadata travel together, which is what a
+  scheduler needs when it ships work to other processes or nodes.
+
+The matrix itself is always an :class:`~repro.core.mmap_matrix.MmapMatrix`
+wrapping the backend's raw storage, so estimators see the exact same
+row-slicing protocol regardless of the backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.api.storage import StorageBackend, StorageHandle
+from repro.core.advice import AccessAdvice
+from repro.core.mmap_matrix import MmapMatrix
+from repro.vmem.trace import AccessTrace
+
+
+class Dataset:
+    """An open dataset: matrix, labels, metadata and per-handle trace.
+
+    Instances are normally obtained from :meth:`repro.api.Session.open`; the
+    constructor is public so backends and tests can build handles directly.
+
+    Parameters
+    ----------
+    handle:
+        The raw pieces returned by a :class:`~repro.api.storage.StorageBackend`.
+    spec:
+        The spec string the dataset was opened from (informational).
+    backend:
+        The backend that produced ``handle``.
+    advice:
+        Access advice to apply to the mapping.
+    record_trace:
+        When true, a fresh :class:`~repro.vmem.trace.AccessTrace` is attached
+        and every access through the handle is recorded into it.
+    """
+
+    def __init__(
+        self,
+        handle: StorageHandle,
+        spec: str = "",
+        backend: Optional[StorageBackend] = None,
+        advice: AccessAdvice = AccessAdvice.SEQUENTIAL,
+        record_trace: bool = False,
+    ) -> None:
+        self.spec = str(spec)
+        self.backend = backend
+        self._handle = handle
+        self._closed = False
+        trace = AccessTrace(description=f"dataset({self.spec})") if record_trace else None
+        self._matrix = MmapMatrix(
+            handle.matrix,
+            source_path=handle.metadata.get("path"),
+            advice=advice,
+            trace=trace,
+            data_offset=handle.data_offset,
+        )
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        """Scheme of the backend serving the dataset (``memory``/``mmap``/…)."""
+        if self.backend is not None:
+            return self.backend.scheme
+        return str(self._handle.metadata.get("backend", "unknown"))
+
+    @property
+    def matrix(self) -> MmapMatrix:
+        """The design matrix, ready to hand to an unmodified estimator."""
+        self._check_open()
+        return self._matrix
+
+    @property
+    def labels(self) -> Optional[np.ndarray]:
+        """The label vector, or ``None`` for unlabelled datasets."""
+        self._check_open()
+        return self._handle.labels
+
+    @property
+    def has_labels(self) -> bool:
+        """Whether the dataset carries a label vector."""
+        return self._handle.labels is not None
+
+    def arrays(self) -> Tuple[MmapMatrix, Optional[np.ndarray]]:
+        """The ``(matrix, labels)`` pair — the old ``open_dataset`` shape."""
+        return self.matrix, self.labels
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Matrix shape ``(rows, cols)``."""
+        return self._matrix.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype."""
+        return self._matrix.dtype
+
+    @property
+    def ndim(self) -> int:
+        """Always 2."""
+        return 2
+
+    @property
+    def nbytes(self) -> int:
+        """Logical size of the matrix in bytes."""
+        return self._matrix.nbytes
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def info(self) -> Dict[str, Any]:
+        """Backend metadata (rows, cols, dtype, backend, shard count, …)."""
+        return dict(self._handle.metadata)
+
+    # -- data access -------------------------------------------------------
+
+    def __getitem__(self, key: Any) -> np.ndarray:
+        return self.matrix[key]
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self.matrix[key] = value
+
+    def __array__(self, dtype=None) -> np.ndarray:
+        return self.matrix.__array__(dtype)
+
+    # -- tracing -----------------------------------------------------------
+
+    @property
+    def trace(self) -> Optional[AccessTrace]:
+        """The handle's access trace (``None`` unless recording)."""
+        return self._matrix.trace
+
+    def start_trace(self, description: Optional[str] = None) -> AccessTrace:
+        """Attach (and return) a fresh trace recording subsequent accesses."""
+        self._check_open()
+        trace = AccessTrace(description=description or f"dataset({self.spec})")
+        self._matrix.attach_trace(trace)
+        return trace
+
+    def stop_trace(self) -> Optional[AccessTrace]:
+        """Stop recording and return the trace captured so far."""
+        trace = self._matrix.trace
+        self._matrix.attach_trace(None)
+        return trace
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"dataset {self.spec or '<anonymous>'} is closed")
+
+    def flush(self) -> None:
+        """Flush dirty pages of writable backings to disk."""
+        if not self._closed:
+            self._matrix.flush()
+
+    def close(self) -> None:
+        """Flush and release backend resources.  Idempotent."""
+        if self._closed:
+            return
+        self.flush()
+        if self._handle.closer is not None:
+            self._handle.closer()
+        self._closed = True
+
+    def __enter__(self) -> "Dataset":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        status = "closed" if self._closed else "open"
+        return (
+            f"Dataset(spec={self.spec!r}, backend={self.backend_name!r}, "
+            f"shape={self._matrix.shape}, dtype={self._matrix.dtype}, "
+            f"labels={self.has_labels}, {status})"
+        )

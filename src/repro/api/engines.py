@@ -1,0 +1,266 @@
+"""Pluggable execution engines behind :meth:`repro.api.Session.fit`.
+
+An :class:`ExecutionEngine` takes an unmodified estimator and a
+:class:`~repro.api.Dataset` and decides *how* the training runs:
+
+``local``
+    Train in-process on the dataset's (possibly memory-mapped) matrix — the
+    paper's M3 execution model.
+``simulated``
+    Train locally while recording the access trace, then replay the trace
+    through the :class:`~repro.vmem.VirtualMemorySimulator` configured like
+    the paper's machine, attaching the simulated paper-scale accounting to
+    the result.  This wires the vmem simulator in automatically — no manual
+    trace plumbing.
+``distributed``
+    Swap the estimator for its Spark-MLlib-style counterpart from
+    :mod:`repro.distributed.mllib` and train on the mini RDD engine.
+
+Every engine returns a :class:`FitResult` carrying the fitted model plus the
+engine-specific accounting, so callers can switch engines without changing
+how they consume results.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Type, Union
+
+import numpy as np
+
+from repro.api.dataset import Dataset
+from repro.vmem.trace import AccessTrace
+from repro.vmem.vm_simulator import (
+    SimulationResult,
+    VirtualMemoryConfig,
+    VirtualMemorySimulator,
+)
+
+
+@dataclass
+class FitResult:
+    """Outcome of :meth:`repro.api.Session.fit`.
+
+    Attributes
+    ----------
+    model:
+        The fitted estimator (``fit`` returned it, so learned attributes like
+        ``coef_`` are populated).
+    engine:
+        Name of the engine that ran the training.
+    wall_time_s:
+        Measured wall-clock training time on this machine.
+    trace:
+        The access trace recorded during training, when the engine records
+        one (``simulated``, or any engine on a trace-recording dataset).
+    simulation:
+        Paper-scale :class:`~repro.vmem.vm_simulator.SimulationResult` from
+        replaying ``trace``, when the engine simulates one.
+    details:
+        Engine-specific extras (e.g. ``aggregations`` for ``distributed``).
+    """
+
+    model: Any
+    engine: str
+    wall_time_s: float
+    trace: Optional[AccessTrace] = None
+    simulation: Optional[SimulationResult] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class ExecutionEngine(abc.ABC):
+    """Protocol implemented by every execution engine."""
+
+    #: Name the engine registers under.
+    name: str = ""
+
+    @abc.abstractmethod
+    def fit(self, model: Any, dataset: Dataset, y: Optional[Any] = None) -> FitResult:
+        """Train ``model`` on ``dataset`` and return a :class:`FitResult`.
+
+        ``y`` overrides the dataset's own labels; clusterers may run with no
+        labels at all.
+        """
+
+    @staticmethod
+    def _resolve_labels(dataset: Dataset, y: Optional[Any]) -> Optional[np.ndarray]:
+        if y is not None:
+            return np.asarray(y)
+        labels = dataset.labels
+        return None if labels is None else np.asarray(labels)
+
+    @staticmethod
+    def _run_fit(model: Any, X: Any, y: Optional[np.ndarray]) -> float:
+        start = time.perf_counter()
+        if y is None:
+            model.fit(X)
+        else:
+            model.fit(X, y)
+        return time.perf_counter() - start
+
+
+class LocalEngine(ExecutionEngine):
+    """In-process training on the dataset's matrix (the M3 model)."""
+
+    name = "local"
+
+    def fit(self, model: Any, dataset: Dataset, y: Optional[Any] = None) -> FitResult:
+        labels = self._resolve_labels(dataset, y)
+        elapsed = self._run_fit(model, dataset.matrix, labels)
+        return FitResult(
+            model=model,
+            engine=self.name,
+            wall_time_s=elapsed,
+            trace=dataset.trace,
+        )
+
+
+class SimulatedEngine(ExecutionEngine):
+    """Local training plus automatic paper-scale virtual-memory replay.
+
+    Parameters
+    ----------
+    vm_config:
+        Configuration of the simulated machine; defaults to the paper's
+        desktop (32 GB RAM, PCIe SSD).
+    """
+
+    name = "simulated"
+
+    def __init__(self, vm_config: Optional[VirtualMemoryConfig] = None) -> None:
+        self.vm_config = vm_config or VirtualMemoryConfig()
+
+    def fit(self, model: Any, dataset: Dataset, y: Optional[Any] = None) -> FitResult:
+        labels = self._resolve_labels(dataset, y)
+        previous = dataset.trace
+        trace = dataset.start_trace(description=f"simulated fit on {dataset.spec}")
+        try:
+            elapsed = self._run_fit(model, dataset.matrix, labels)
+        finally:
+            dataset.stop_trace()
+            if previous is not None:
+                dataset.matrix.attach_trace(previous)
+        simulator = VirtualMemorySimulator(self.vm_config)
+        file_bytes = max(trace.max_offset, dataset.nbytes + dataset.matrix.data_offset)
+        simulation = simulator.run_trace(trace, file_bytes=file_bytes)
+        return FitResult(
+            model=model,
+            engine=self.name,
+            wall_time_s=elapsed,
+            trace=trace,
+            simulation=simulation,
+            details={"simulated_wall_time_s": simulation.wall_time_s},
+        )
+
+
+class DistributedEngine(ExecutionEngine):
+    """Training on the mini RDD engine via the MLlib-style estimators.
+
+    Single-machine estimators are transparently swapped for their distributed
+    counterparts (``LogisticRegression`` →
+    :class:`~repro.distributed.mllib.DistributedLogisticRegression`,
+    ``KMeans`` → :class:`~repro.distributed.mllib.DistributedKMeans`); already
+    distributed estimators are used as-is.
+
+    Parameters
+    ----------
+    num_partitions:
+        Partitions the dataset is split into (Spark: number of HDFS blocks).
+    scheduler:
+        Optional :class:`~repro.distributed.scheduler.JobScheduler`.
+    """
+
+    name = "distributed"
+
+    def __init__(self, num_partitions: int = 8, scheduler: Optional[Any] = None) -> None:
+        if num_partitions <= 0:
+            raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+        self.num_partitions = num_partitions
+        self.scheduler = scheduler
+
+    def _translate(self, model: Any) -> Any:
+        from repro.distributed.mllib import DistributedKMeans, DistributedLogisticRegression
+        from repro.ml.cluster.kmeans import KMeans
+        from repro.ml.linear_model.logistic_regression import LogisticRegression
+
+        if isinstance(model, (DistributedLogisticRegression, DistributedKMeans)):
+            if model.scheduler is None:
+                model.scheduler = self.scheduler
+            return model
+        if isinstance(model, LogisticRegression):
+            return DistributedLogisticRegression(
+                max_iterations=model.max_iterations,
+                l2_penalty=model.l2_penalty,
+                fit_intercept=model.fit_intercept,
+                tolerance=model.tolerance,
+                num_partitions=self.num_partitions,
+                scheduler=self.scheduler,
+            )
+        if isinstance(model, KMeans):
+            return DistributedKMeans(
+                n_clusters=model.n_clusters,
+                max_iterations=model.max_iterations,
+                tolerance=model.tolerance,
+                seed=model.seed,
+                num_partitions=self.num_partitions,
+                scheduler=self.scheduler,
+            )
+        raise TypeError(
+            f"the distributed engine has no counterpart for "
+            f"{type(model).__name__}; pass a LogisticRegression, KMeans, or a "
+            f"Distributed* estimator directly"
+        )
+
+    def fit(self, model: Any, dataset: Dataset, y: Optional[Any] = None) -> FitResult:
+        labels = self._resolve_labels(dataset, y)
+        distributed_model = self._translate(model)
+        elapsed = self._run_fit(distributed_model, dataset.matrix, labels)
+        details: Dict[str, Any] = {"num_partitions": getattr(
+            distributed_model, "num_partitions", self.num_partitions
+        )}
+        if hasattr(distributed_model, "aggregations_"):
+            details["aggregations"] = distributed_model.aggregations_
+        return FitResult(
+            model=distributed_model,
+            engine=self.name,
+            wall_time_s=elapsed,
+            trace=dataset.trace,
+            details=details,
+        )
+
+
+#: Default engine classes, keyed by name.
+ENGINE_REGISTRY: Dict[str, Type[ExecutionEngine]] = {
+    LocalEngine.name: LocalEngine,
+    SimulatedEngine.name: SimulatedEngine,
+    DistributedEngine.name: DistributedEngine,
+}
+
+
+def register_engine(engine_class: Type[ExecutionEngine]) -> Type[ExecutionEngine]:
+    """Register an engine class under its ``name`` (usable as a decorator)."""
+    if not engine_class.name:
+        raise ValueError(f"{engine_class.__name__} must define a non-empty name")
+    ENGINE_REGISTRY[engine_class.name] = engine_class
+    return engine_class
+
+
+def resolve_engine(engine: Union[str, ExecutionEngine, Type[ExecutionEngine], None]) -> ExecutionEngine:
+    """Turn an engine name, class or instance into an engine instance."""
+    if engine is None:
+        return LocalEngine()
+    if isinstance(engine, ExecutionEngine):
+        return engine
+    if isinstance(engine, type) and issubclass(engine, ExecutionEngine):
+        return engine()
+    if isinstance(engine, str):
+        try:
+            return ENGINE_REGISTRY[engine]()
+        except KeyError:
+            known = ", ".join(sorted(ENGINE_REGISTRY))
+            raise ValueError(
+                f"unknown execution engine {engine!r} (known: {known})"
+            ) from None
+    raise TypeError(f"cannot resolve an execution engine from {engine!r}")

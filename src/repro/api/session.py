@@ -1,0 +1,240 @@
+"""The :class:`Session` — the single entry point of the unified M3 API.
+
+A ``Session`` owns an :class:`~repro.core.config.M3Config`, resolves
+URI-style dataset specs to :class:`~repro.api.storage.StorageBackend`
+instances, hands out :class:`~repro.api.Dataset` handles, and dispatches
+training to an :class:`~repro.api.engines.ExecutionEngine`:
+
+.. code-block:: python
+
+    from repro.api import Session
+    from repro.ml import LogisticRegression
+
+    with Session() as session:
+        dataset = session.open("mmap://infimnist_10gb.m3")
+        result = session.fit(LogisticRegression(max_iterations=10), dataset)
+        print(result.model.coef_, result.wall_time_s)
+
+Swapping storage is one spec change (``"shard://dir/"`` instead of
+``"mmap://file.m3"``); swapping execution is one keyword
+(``engine="simulated"`` or ``engine="distributed"``) — the estimator code is
+untouched, which is the paper's transparency claim carried through every
+backend and engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.api.dataset import Dataset
+from repro.api.engines import ExecutionEngine, FitResult, resolve_engine
+from repro.api.storage import (
+    DatasetSpec,
+    MemoryBackend,
+    SpecLike,
+    StorageBackend,
+    make_backend,
+    parse_spec,
+)
+from repro.core.advice import AccessAdvice
+from repro.core.config import M3Config
+
+
+class Session:
+    """Owns configuration, storage backends and execution engines.
+
+    Parameters
+    ----------
+    config:
+        Runtime configuration; see :class:`~repro.core.config.M3Config`.
+    engine:
+        Default execution engine for :meth:`fit` — a name (``"local"``,
+        ``"simulated"``, ``"distributed"``), an
+        :class:`~repro.api.engines.ExecutionEngine` instance, or ``None`` for
+        local execution.
+
+    Notes
+    -----
+    Backend instances are cached per scheme, so ``memory://`` datasets created
+    through a session stay visible to that session (and only to it — there is
+    no module-level shared state).  Datasets opened by the session are closed
+    when the session itself is closed or exits its ``with`` block.
+    """
+
+    def __init__(
+        self,
+        config: Optional[M3Config] = None,
+        engine: Union[str, ExecutionEngine, None] = None,
+    ) -> None:
+        self.config = config or M3Config()
+        self.default_engine = resolve_engine(engine)
+        self._backends: Dict[str, StorageBackend] = {}
+        self._datasets: list[Dataset] = []
+        self._closed = False
+
+    # -- backends ----------------------------------------------------------
+
+    def backend(self, scheme: str) -> StorageBackend:
+        """The session's backend instance for ``scheme`` (created on demand)."""
+        if scheme not in self._backends:
+            self._backends[scheme] = make_backend(scheme)
+        return self._backends[scheme]
+
+    def _resolve(self, spec: SpecLike) -> tuple[DatasetSpec, StorageBackend]:
+        parsed = parse_spec(spec)
+        return parsed, self.backend(parsed.scheme)
+
+    # -- dataset lifecycle -------------------------------------------------
+
+    def open(
+        self,
+        spec: SpecLike,
+        mode: Optional[str] = None,
+        advice: Optional[AccessAdvice] = None,
+        record_trace: Optional[bool] = None,
+    ) -> Dataset:
+        """Open the dataset at ``spec`` and return a :class:`Dataset` handle.
+
+        ``mode``, ``advice`` and ``record_trace`` default to the session
+        config's ``mode``, ``default_advice`` and ``record_traces``.
+        """
+        self._check_open()
+        parsed, backend = self._resolve(spec)
+        handle = backend.open(parsed.location, mode=mode or self.config.mode)
+        dataset = Dataset(
+            handle,
+            spec=str(parsed),
+            backend=backend,
+            advice=advice or self.config.default_advice,
+            record_trace=(
+                self.config.record_traces if record_trace is None else record_trace
+            ),
+        )
+        self._datasets.append(dataset)
+        return dataset
+
+    def create(
+        self,
+        spec: SpecLike,
+        data: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        **options: Any,
+    ) -> str:
+        """Materialise ``data`` (and ``labels``) at ``spec``; return the spec.
+
+        Backend-specific ``options`` are forwarded (e.g. ``shard_rows=`` for
+        the sharded backend).
+        """
+        self._check_open()
+        parsed, backend = self._resolve(spec)
+        backend.create(parsed.location, data, labels, **options)
+        return str(parsed)
+
+    def from_arrays(
+        self,
+        data: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        name: str = "anonymous",
+        record_trace: Optional[bool] = None,
+    ) -> Dataset:
+        """Wrap in-memory arrays as a :class:`Dataset` on the memory backend."""
+        self._check_open()
+        backend = self.backend(MemoryBackend.scheme)
+        backend.create(name, data, labels)
+        return self.open(f"memory://{name}", record_trace=record_trace)
+
+    def info(self, spec: SpecLike) -> Dict[str, Any]:
+        """Describe the dataset at ``spec`` without loading its data."""
+        self._check_open()
+        parsed, backend = self._resolve(spec)
+        return backend.info(parsed.location)
+
+    def exists(self, spec: SpecLike) -> bool:
+        """Whether a dataset exists at ``spec``."""
+        self._check_open()
+        parsed, backend = self._resolve(spec)
+        return backend.exists(parsed.location)
+
+    def release(self, dataset: Dataset) -> Dataset:
+        """Stop tracking ``dataset``; its lifecycle becomes the caller's.
+
+        Released datasets are not closed when the session closes — used by
+        the legacy facade, whose callers expect garbage-collection semantics
+        for the handles behind their bare ``(matrix, labels)`` tuples.
+        """
+        try:
+            self._datasets.remove(dataset)
+        except ValueError:
+            pass
+        return dataset
+
+    # -- training ----------------------------------------------------------
+
+    def fit(
+        self,
+        model: Any,
+        dataset: Union[Dataset, SpecLike],
+        y: Optional[Any] = None,
+        engine: Union[str, ExecutionEngine, None] = None,
+    ) -> FitResult:
+        """Train ``model`` on ``dataset`` with an execution engine.
+
+        Parameters
+        ----------
+        model:
+            Any estimator following the ``fit(X[, y])`` convention.
+        dataset:
+            An open :class:`Dataset`, or a spec that is opened (and closed)
+            for the duration of the call.
+        y:
+            Label override; defaults to the dataset's own labels.
+        engine:
+            Engine override; defaults to the session's ``engine``.
+
+        Returns
+        -------
+        FitResult
+            The fitted model plus engine-specific accounting.
+        """
+        self._check_open()
+        resolved = self.default_engine if engine is None else resolve_engine(engine)
+        if isinstance(dataset, Dataset):
+            return resolved.fit(model, dataset, y=y)
+        with self.open(dataset) as handle:
+            return resolved.fit(model, handle, y=y)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    def close(self) -> None:
+        """Close every dataset the session opened.  Idempotent."""
+        if self._closed:
+            return
+        for dataset in self._datasets:
+            dataset.close()
+        self._datasets = []
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        status = "closed" if self._closed else f"{len(self._datasets)} dataset(s) open"
+        return (
+            f"Session(engine={self.default_engine.name!r}, "
+            f"backends={sorted(self._backends) or '[]'}, {status})"
+        )

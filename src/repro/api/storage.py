@@ -1,0 +1,351 @@
+"""Pluggable storage backends behind the :class:`~repro.api.Dataset` handle.
+
+A :class:`StorageBackend` turns a *location* (a path, directory or in-memory
+name) into a raw 2-D matrix plus optional labels, and knows how to create new
+datasets at such a location.  Three backends ship with the library:
+
+``memory``
+    Named in-memory arrays.  The degenerate backend that makes the
+    transparency property testable — the same :class:`~repro.api.Dataset`
+    code path works on plain ``ndarray`` data.
+``mmap``
+    A single M3 binary matrix file served through ``numpy.memmap`` — the
+    paper's storage model.
+``shard``
+    A directory of M3 files tiling the matrix row-wise (see
+    :mod:`repro.api.sharded`); row chunks are served across shard boundaries.
+
+Locations are written as URI-style *specs* — ``"mmap:///data/train.m3"``,
+``"shard:///data/train/"``, ``"memory://train"`` — or as bare filesystem
+paths, in which case the scheme is inferred (directory → ``shard``,
+otherwise ``mmap``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Type, Union
+
+import numpy as np
+
+from repro.api.sharded import (
+    MANIFEST_NAME,
+    ShardedMatrix,
+    read_manifest,
+    write_sharded_dataset,
+)
+from repro.data.formats import (
+    HEADER_SIZE,
+    open_binary_matrix,
+    read_binary_matrix_header,
+    write_binary_matrix,
+)
+
+SpecLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A parsed dataset spec: a backend scheme plus a backend location."""
+
+    scheme: str
+    location: str
+
+    def __str__(self) -> str:
+        return f"{self.scheme}://{self.location}"
+
+
+def parse_spec(spec: SpecLike) -> DatasetSpec:
+    """Parse ``spec`` into a :class:`DatasetSpec`.
+
+    ``Path`` objects and plain strings without a scheme infer the backend from
+    the filesystem: an existing directory (or a trailing separator, or a
+    directory containing a shard manifest) selects ``shard``; everything else
+    selects ``mmap``.
+    """
+    if isinstance(spec, DatasetSpec):
+        return spec
+    if isinstance(spec, Path):
+        return DatasetSpec(scheme=_infer_path_scheme(str(spec)), location=str(spec))
+    if not isinstance(spec, str):
+        raise TypeError(f"dataset spec must be a str or Path, got {type(spec).__name__}")
+    if "://" in spec:
+        scheme, _, location = spec.partition("://")
+        scheme = scheme.lower()
+        if not location:
+            raise ValueError(f"dataset spec {spec!r} has an empty location")
+        if scheme == "file":
+            scheme = _infer_path_scheme(location)
+        return DatasetSpec(scheme=scheme, location=location)
+    return DatasetSpec(scheme=_infer_path_scheme(spec), location=spec)
+
+
+def _infer_path_scheme(path_str: str) -> str:
+    if path_str.endswith(("/", "\\")) or Path(path_str).is_dir():
+        return "shard"
+    return "mmap"
+
+
+@dataclass
+class StorageHandle:
+    """What a backend returns from :meth:`StorageBackend.open`.
+
+    Attributes
+    ----------
+    matrix:
+        The raw 2-D matrix (``ndarray``, ``memmap`` or
+        :class:`~repro.api.sharded.ShardedMatrix`).  The :class:`Dataset`
+        wraps it in an :class:`~repro.core.mmap_matrix.MmapMatrix` for trace
+        recording and advice.
+    labels:
+        Optional label vector aligned with the matrix rows.
+    data_offset:
+        Byte offset of row 0 within the backing file, so recorded trace
+        offsets are file offsets (0 when there is no single backing file).
+    metadata:
+        Backend-specific facts (shard count, file size, …) surfaced through
+        ``Dataset.info()``.
+    closer:
+        Optional callable releasing backend resources.
+    """
+
+    matrix: Any
+    labels: Optional[np.ndarray] = None
+    data_offset: int = 0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    closer: Optional[Any] = None
+
+
+def _reject_options(scheme: str, options: Dict[str, Any]) -> None:
+    """Fail loudly on options a backend does not understand."""
+    if options:
+        raise TypeError(
+            f"unexpected options for {scheme} backend: {sorted(options)}"
+        )
+
+
+class StorageBackend(abc.ABC):
+    """Protocol implemented by every storage backend."""
+
+    #: URI scheme the backend registers under.
+    scheme: str = ""
+
+    @abc.abstractmethod
+    def open(self, location: str, mode: str = "r") -> StorageHandle:
+        """Open the dataset at ``location`` and return its raw pieces."""
+
+    @abc.abstractmethod
+    def create(
+        self,
+        location: str,
+        data: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        **options: Any,
+    ) -> str:
+        """Materialise ``data`` (and ``labels``) at ``location``; return it."""
+
+    @abc.abstractmethod
+    def info(self, location: str) -> Dict[str, Any]:
+        """Describe the dataset at ``location`` without loading its data."""
+
+    @abc.abstractmethod
+    def exists(self, location: str) -> bool:
+        """Whether a dataset exists at ``location``."""
+
+
+class MemoryBackend(StorageBackend):
+    """Named in-memory datasets, scoped to the owning :class:`Session`."""
+
+    scheme = "memory"
+
+    def __init__(self) -> None:
+        self._store: Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]] = {}
+
+    def open(self, location: str, mode: str = "r") -> StorageHandle:
+        if location not in self._store:
+            raise KeyError(
+                f"no in-memory dataset named {location!r}; create it with "
+                f"Session.create('memory://{location}', data, labels)"
+            )
+        data, labels = self._store[location]
+        return StorageHandle(
+            matrix=data,
+            labels=labels,
+            data_offset=0,
+            metadata={
+                "backend": self.scheme,
+                "rows": int(data.shape[0]),
+                "cols": int(data.shape[1]),
+                "dtype": str(data.dtype),
+                "has_labels": labels is not None,
+                "nbytes": int(data.nbytes),
+            },
+        )
+
+    def create(
+        self,
+        location: str,
+        data: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        **options: Any,
+    ) -> str:
+        _reject_options(self.scheme, options)
+        data = np.asarray(data)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        if labels is not None:
+            labels = np.asarray(labels, dtype=np.int64)
+            if labels.shape != (data.shape[0],):
+                raise ValueError(
+                    f"labels must have shape ({data.shape[0]},), got {labels.shape}"
+                )
+        self._store[location] = (data, labels)
+        return location
+
+    def info(self, location: str) -> Dict[str, Any]:
+        return self.open(location).metadata
+
+    def exists(self, location: str) -> bool:
+        return location in self._store
+
+
+class MmapBackend(StorageBackend):
+    """A single M3 binary matrix file served through ``numpy.memmap``."""
+
+    scheme = "mmap"
+
+    def open(self, location: str, mode: str = "r") -> StorageHandle:
+        path = Path(location)
+        data, labels, header = open_binary_matrix(path, mode=mode)
+        return StorageHandle(
+            matrix=data,
+            labels=labels,
+            data_offset=HEADER_SIZE,
+            metadata={
+                "backend": self.scheme,
+                "path": str(path),
+                "rows": header.rows,
+                "cols": header.cols,
+                "dtype": str(header.dtype),
+                "has_labels": header.has_labels,
+                "nbytes": header.data_bytes,
+                "file_bytes": header.file_bytes,
+            },
+        )
+
+    def create(
+        self,
+        location: str,
+        data: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        **options: Any,
+    ) -> str:
+        _reject_options(self.scheme, options)
+        write_binary_matrix(Path(location), data, labels)
+        return location
+
+    def info(self, location: str) -> Dict[str, Any]:
+        header = read_binary_matrix_header(Path(location))
+        return {
+            "backend": self.scheme,
+            "path": location,
+            "rows": header.rows,
+            "cols": header.cols,
+            "dtype": str(header.dtype),
+            "has_labels": header.has_labels,
+            "nbytes": header.data_bytes,
+            "file_bytes": header.file_bytes,
+        }
+
+    def exists(self, location: str) -> bool:
+        return Path(location).is_file()
+
+
+class ShardedBackend(StorageBackend):
+    """A directory of M3 shard files tiling the matrix row-wise."""
+
+    scheme = "shard"
+
+    def __init__(self, default_shard_rows: Optional[int] = None) -> None:
+        self.default_shard_rows = default_shard_rows
+
+    def open(self, location: str, mode: str = "r") -> StorageHandle:
+        matrix = ShardedMatrix(Path(location), mode=mode)
+        return StorageHandle(
+            matrix=matrix,
+            labels=matrix.read_labels(),
+            data_offset=0,
+            metadata={
+                "backend": self.scheme,
+                "path": str(Path(location)),
+                "rows": matrix.shape[0],
+                "cols": matrix.shape[1],
+                "dtype": str(matrix.dtype),
+                "has_labels": matrix.manifest.has_labels,
+                "nbytes": matrix.nbytes,
+                "num_shards": matrix.num_shards,
+            },
+            closer=matrix.close,
+        )
+
+    def create(
+        self,
+        location: str,
+        data: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        **options: Any,
+    ) -> str:
+        shard_rows = options.pop("shard_rows", None) or self.default_shard_rows
+        _reject_options(self.scheme, options)
+        data = np.asarray(data)
+        if shard_rows is None:
+            # Default to ~4 shards so small datasets still exercise stitching.
+            shard_rows = max(1, -(-int(data.shape[0]) // 4))
+        write_sharded_dataset(Path(location), data, labels, shard_rows=shard_rows)
+        return location
+
+    def info(self, location: str) -> Dict[str, Any]:
+        manifest = read_manifest(Path(location))
+        return {
+            "backend": self.scheme,
+            "path": str(Path(location)),
+            "rows": manifest.rows,
+            "cols": manifest.cols,
+            "dtype": str(manifest.dtype),
+            "has_labels": manifest.has_labels,
+            "nbytes": manifest.rows * manifest.cols * manifest.dtype.itemsize,
+            "num_shards": len(manifest.shards),
+        }
+
+    def exists(self, location: str) -> bool:
+        return (Path(location) / MANIFEST_NAME).is_file()
+
+
+#: Default backend classes, keyed by URI scheme.
+BACKEND_REGISTRY: Dict[str, Type[StorageBackend]] = {
+    MemoryBackend.scheme: MemoryBackend,
+    MmapBackend.scheme: MmapBackend,
+    ShardedBackend.scheme: ShardedBackend,
+}
+
+
+def register_backend(backend_class: Type[StorageBackend]) -> Type[StorageBackend]:
+    """Register a backend class under its ``scheme`` (usable as a decorator)."""
+    if not backend_class.scheme:
+        raise ValueError(f"{backend_class.__name__} must define a non-empty scheme")
+    BACKEND_REGISTRY[backend_class.scheme] = backend_class
+    return backend_class
+
+
+def make_backend(scheme: str) -> StorageBackend:
+    """Instantiate the registered backend for ``scheme``."""
+    try:
+        backend_class = BACKEND_REGISTRY[scheme]
+    except KeyError:
+        known = ", ".join(sorted(BACKEND_REGISTRY))
+        raise ValueError(
+            f"unknown storage backend scheme {scheme!r} (known: {known})"
+        ) from None
+    return backend_class()

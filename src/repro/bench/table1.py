@@ -24,7 +24,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.core import m3 as m3_facade
+from repro.api import Session
 from repro.data.synthetic import make_classification
 from repro.ml.linear_model.logistic_regression import LogisticRegression
 
@@ -37,7 +37,7 @@ ORIGINAL_SNIPPET = [
 
 #: The M3 version: only the data-loading line changes.
 M3_SNIPPET = [
-    'X, y = m3.open_dataset("dataset.m3")',
+    'X, y = session.open("mmap://dataset.m3").arrays()',
     "model = LogisticRegression(max_iterations=10)",
     "model.fit(X, y)",
 ]
@@ -89,7 +89,6 @@ def run_table1(
     dataset_path = workdir / "table1_dataset.m3"
 
     X, y = make_classification(n_samples=n_samples, n_features=n_features, seed=seed)
-    m3_facade.create_dataset(dataset_path, X, y)
 
     kwargs = {"max_iterations": max_iterations}
     if chunk_size is not None:
@@ -99,29 +98,33 @@ def run_table1(
     in_memory_model = LogisticRegression(**kwargs).fit(X, y)
 
     # M3 program: memory-mapped file, identical estimator code.
-    X_mapped, y_mapped = m3_facade.open_dataset(dataset_path)
-    mapped_model = LogisticRegression(**kwargs).fit(X_mapped, np.asarray(y_mapped))
+    with Session() as session:
+        session.create(f"mmap://{dataset_path}", X, y)
+        X_mapped, y_mapped = session.open(f"mmap://{dataset_path}").arrays()
+        mapped_model = LogisticRegression(**kwargs).fit(X_mapped, np.asarray(y_mapped))
 
-    coef_diff = float(
-        np.max(
-            np.abs(
-                np.concatenate(
-                    [
-                        in_memory_model.coef_ - mapped_model.coef_,
-                        [in_memory_model.intercept_ - mapped_model.intercept_],
-                    ]
+        coef_diff = float(
+            np.max(
+                np.abs(
+                    np.concatenate(
+                        [
+                            in_memory_model.coef_ - mapped_model.coef_,
+                            [in_memory_model.intercept_ - mapped_model.intercept_],
+                        ]
+                    )
                 )
             )
         )
-    )
-    in_memory_predictions = in_memory_model.predict(X)
-    mapped_predictions = mapped_model.predict(X_mapped)
+        in_memory_predictions = in_memory_model.predict(X)
+        mapped_predictions = mapped_model.predict(X_mapped)
 
-    return Table1Result(
-        lines_changed=count_changed_lines(ORIGINAL_SNIPPET, M3_SNIPPET),
-        total_lines=len(ORIGINAL_SNIPPET),
-        max_coef_difference=coef_diff,
-        predictions_identical=bool(np.array_equal(in_memory_predictions, mapped_predictions)),
-        in_memory_accuracy=in_memory_model.score(X, y),
-        mmap_accuracy=mapped_model.score(X_mapped, np.asarray(y_mapped)),
-    )
+        return Table1Result(
+            lines_changed=count_changed_lines(ORIGINAL_SNIPPET, M3_SNIPPET),
+            total_lines=len(ORIGINAL_SNIPPET),
+            max_coef_difference=coef_diff,
+            predictions_identical=bool(
+                np.array_equal(in_memory_predictions, mapped_predictions)
+            ),
+            in_memory_accuracy=in_memory_model.score(X, y),
+            mmap_accuracy=mapped_model.score(X_mapped, np.asarray(y_mapped)),
+        )

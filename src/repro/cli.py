@@ -4,10 +4,16 @@
 reproduction entry points:
 
 * ``m3 generate`` — materialise an Infimnist-style dataset file.
-* ``m3 train`` — train logistic regression or k-means on a memory-mapped
-  dataset file (the quickstart workflow).
+* ``m3 info`` — describe a dataset (rows, columns, dtype, backend, shards).
+* ``m3 train`` — train logistic regression or k-means on a dataset through
+  the unified :class:`~repro.api.Session` API; ``--engine simulated``
+  additionally replays the recorded access trace through the paper-scale
+  virtual-memory simulator.
 * ``m3 figure1a`` / ``m3 figure1b`` / ``m3 table1`` / ``m3 utilization`` —
   regenerate the paper's figures and table as plain-text tables.
+
+Dataset arguments accept plain paths as well as URI-style specs
+(``mmap://file.m3``, ``shard://directory/``).
 """
 
 from __future__ import annotations
@@ -37,31 +43,54 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_train(args: argparse.Namespace) -> int:
-    from repro.core import open_dataset
-    from repro.ml import KMeans, LogisticRegression, SoftmaxRegression
-    from repro.profiling.timer import Stopwatch
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.api import Session
 
-    X, y = open_dataset(args.dataset)
-    watch = Stopwatch()
-    if args.algorithm == "logistic":
-        labels = np.asarray(y)
-        if np.unique(labels).shape[0] > 2:
-            model = SoftmaxRegression(max_iterations=args.iterations)
+    with Session() as session:
+        info = session.info(args.dataset)
+    preferred = ("backend", "path", "rows", "cols", "dtype", "has_labels",
+                 "nbytes", "file_bytes", "num_shards")
+    ordered = [k for k in preferred if k in info]
+    ordered += [k for k in info if k not in preferred]
+    width = max(len(key) for key in ordered)
+    for key in ordered:
+        print(f"{key:<{width}}  {info[key]}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.api import Session
+    from repro.ml import KMeans, LogisticRegression, SoftmaxRegression
+
+    with Session() as session:
+        dataset = session.open(args.dataset)
+        if args.algorithm == "logistic":
+            labels = np.asarray(dataset.labels)
+            if np.unique(labels).shape[0] > 2:
+                model = SoftmaxRegression(max_iterations=args.iterations)
+            else:
+                model = LogisticRegression(max_iterations=args.iterations)
+            result = session.fit(model, dataset, y=labels, engine=args.engine)
+            accuracy = result.model.score(dataset.matrix, labels)
+            print(
+                f"trained in {result.wall_time_s:.2f}s ({result.engine} engine, "
+                f"{dataset.backend_name} backend), training accuracy {accuracy:.3f}"
+            )
         else:
-            model = LogisticRegression(max_iterations=args.iterations)
-        with watch.measure("train"):
-            model.fit(X, labels)
-        accuracy = model.score(X, labels)
-        print(f"trained in {watch.total('train'):.2f}s, training accuracy {accuracy:.3f}")
-    else:
-        model = KMeans(n_clusters=args.clusters, max_iterations=args.iterations, seed=0)
-        with watch.measure("train"):
-            model.fit(X)
-        print(
-            f"trained in {watch.total('train'):.2f}s, inertia {model.inertia_:.4g}, "
-            f"{model.n_iter_} iterations"
-        )
+            model = KMeans(n_clusters=args.clusters, max_iterations=args.iterations, seed=0)
+            result = session.fit(model, dataset, engine=args.engine)
+            print(
+                f"trained in {result.wall_time_s:.2f}s ({result.engine} engine, "
+                f"{dataset.backend_name} backend), inertia {result.model.inertia_:.4g}, "
+                f"{result.model.n_iter_} iterations"
+            )
+        if result.simulation is not None:
+            sim = result.simulation
+            print(
+                f"simulated paper-scale machine: wall time {sim.wall_time_s:.2f}s, "
+                f"disk utilisation {sim.io_utilization * 100:.1f}%, "
+                f"cpu utilisation {sim.cpu_utilization * 100:.1f}%"
+            )
     return 0
 
 
@@ -151,9 +180,17 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--chunk-rows", type=int, default=1024)
     generate.set_defaults(func=_cmd_generate)
 
-    train = sub.add_parser("train", help="train a model on a memory-mapped dataset")
-    train.add_argument("dataset", type=Path, help="an .m3 dataset file with labels")
+    info = sub.add_parser("info", help="describe a dataset (header / shard manifest)")
+    info.add_argument("dataset", type=str, help="a dataset path or URI spec")
+    info.set_defaults(func=_cmd_info)
+
+    train = sub.add_parser("train", help="train a model on a dataset")
+    train.add_argument("dataset", type=str,
+                       help="a labelled dataset: path or URI spec (mmap://, shard://)")
     train.add_argument("--algorithm", choices=["logistic", "kmeans"], default="logistic")
+    train.add_argument("--engine", choices=["local", "simulated"], default="local",
+                       help="execution engine; 'simulated' also replays the access "
+                            "trace through the paper-scale virtual-memory simulator")
     train.add_argument("--iterations", type=int, default=10)
     train.add_argument("--clusters", type=int, default=5)
     train.set_defaults(func=_cmd_train)

@@ -19,8 +19,10 @@ Key pieces:
   ``numpy.memmap`` that supports the row-slicing protocol estimators use,
   optionally records its access pattern into an
   :class:`~repro.vmem.trace.AccessTrace`, and accepts access *advice*.
-* :class:`~repro.core.m3.M3` — a small facade tying together dataset creation,
-  opening, advice and trace capture.
+* :class:`~repro.core.m3.M3` — the legacy facade tying together dataset
+  creation, opening, advice and trace capture; now a thin shim over
+  :class:`repro.api.Session`, which adds pluggable storage backends
+  (``mmap``, ``shard``, ``memory``) and execution engines.
 * :mod:`~repro.core.chunking` — chunk iterators and planners.
 """
 

@@ -1,4 +1,4 @@
-"""The M3 facade: create, open and memory-map datasets with one call each.
+"""The legacy M3 facade — now a thin shim over :class:`repro.api.Session`.
 
 The facade exists so that user code reads like Table 1 of the paper — one
 helper call replaces the in-memory constructor, and everything downstream is
@@ -11,10 +11,26 @@ unchanged:
 
     X, y = m3.open_dataset("infimnist_10gb.m3")     # memory mapped, any size
     model = LogisticRegression(max_iterations=10).fit(X, y)   # unchanged code
+
+New code should use the unified API instead, which adds pluggable storage
+backends, execution engines and per-handle lifecycle/tracing:
+
+.. code-block:: python
+
+    from repro.api import Session
+
+    with Session() as session:
+        dataset = session.open("mmap://infimnist_10gb.m3")
+        result = session.fit(LogisticRegression(max_iterations=10), dataset)
+
+Every method here delegates to a private :class:`~repro.api.Session`; the
+old ``(matrix, labels)`` return shapes are preserved exactly.
 """
 
 from __future__ import annotations
 
+import threading
+import warnings
 from pathlib import Path
 from typing import Optional, Tuple, Union
 
@@ -24,18 +40,17 @@ from repro.core.advice import AccessAdvice
 from repro.core.allocator import mmap_alloc
 from repro.core.config import M3Config
 from repro.core.mmap_matrix import MmapMatrix
-from repro.data.formats import (
-    HEADER_SIZE,
-    create_binary_matrix,
-    open_binary_matrix,
-    read_binary_matrix_header,
-    write_binary_matrix,
-)
+from repro.data.formats import create_binary_matrix
 from repro.vmem.trace import AccessTrace
 
 
 class M3:
-    """High-level entry point for memory-mapped machine learning.
+    """High-level entry point for memory-mapped machine learning (legacy).
+
+    A compatibility shim over :class:`repro.api.Session`: the return shapes
+    of the original facade are preserved, while datasets are actually opened
+    through the pluggable-backend machinery (so ``shard://`` and
+    ``memory://`` specs work here too).
 
     Parameters
     ----------
@@ -44,8 +59,42 @@ class M3:
     """
 
     def __init__(self, config: Optional[M3Config] = None) -> None:
+        from repro.api.session import Session
+
         self.config = config or M3Config()
-        self.last_trace: Optional[AccessTrace] = None
+        self.session = Session(self.config)
+        self._thread_state = threading.local()
+
+    # -- deprecated shared-trace attribute ------------------------------------
+
+    @property
+    def last_trace(self) -> Optional[AccessTrace]:
+        """The trace of the most recent open on *this thread* (deprecated).
+
+        Traces are now a property of each :class:`~repro.api.Dataset` handle
+        (``dataset.trace``); this accessor remains readable for old callers
+        and is thread-local rather than shared mutable state.
+        """
+        warnings.warn(
+            "M3.last_trace is deprecated; use the per-handle Dataset.trace "
+            "(or MmapMatrix.trace) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self._thread_state, "trace", None)
+
+    @last_trace.setter
+    def last_trace(self, trace: Optional[AccessTrace]) -> None:
+        warnings.warn(
+            "M3.last_trace is deprecated; use the per-handle Dataset.trace "
+            "(or MmapMatrix.trace) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._thread_state.trace = trace
+
+    def _remember_trace(self, trace: Optional[AccessTrace]) -> None:
+        self._thread_state.trace = trace
 
     # -- dataset creation ------------------------------------------------------
 
@@ -56,9 +105,8 @@ class M3:
         labels: Optional[np.ndarray] = None,
     ) -> Path:
         """Write an in-memory matrix (and optional labels) to an M3 dataset file."""
-        path = Path(path)
-        write_binary_matrix(path, data, labels)
-        return path
+        self.session.create(Path(path), data, labels)
+        return Path(path)
 
     def create_empty_dataset(
         self,
@@ -82,30 +130,26 @@ class M3:
         advice: Optional[AccessAdvice] = None,
         record_trace: Optional[bool] = None,
     ) -> Tuple[MmapMatrix, Optional[np.ndarray]]:
-        """Open an M3 dataset file as ``(matrix, labels)``.
+        """Open a dataset as ``(matrix, labels)`` (legacy shape).
 
-        The matrix is an :class:`~repro.core.mmap_matrix.MmapMatrix` backed by
-        ``numpy.memmap``; labels (if present in the file) are returned as a
-        memory-mapped int64 vector.
+        ``path`` may be a filesystem path or any URI-style spec the unified
+        API understands (``mmap://…``, ``shard://…``, ``memory://…``).
+        Prefer :meth:`repro.api.Session.open`, which returns a managed
+        :class:`~repro.api.Dataset` handle instead of a bare tuple.
         """
-        path = Path(path)
-        mode = mode or self.config.mode
-        advice = advice or self.config.default_advice
-        record = self.config.record_traces if record_trace is None else record_trace
-
-        data, labels, header = open_binary_matrix(path, mode=mode)
-        trace: Optional[AccessTrace] = None
-        if record:
-            trace = AccessTrace(description=f"open_dataset({path.name})")
-            self.last_trace = trace
-        matrix = MmapMatrix(
-            data,
-            source_path=path,
+        dataset = self.session.open(
+            path if isinstance(path, (str, Path)) else Path(path),
+            mode=mode,
             advice=advice,
-            trace=trace,
-            data_offset=HEADER_SIZE,
+            record_trace=record_trace,
         )
-        return matrix, labels
+        # Legacy callers receive a bare tuple and rely on garbage collection
+        # to release the mapping, so the session must not keep the handle
+        # alive; and last_trace only ever reflected *recorded* opens.
+        self.session.release(dataset)
+        if dataset.trace is not None:
+            self._remember_trace(dataset.trace)
+        return dataset.matrix, dataset.labels
 
     def load_matrix(
         self,
@@ -116,7 +160,7 @@ class M3:
         advice: Optional[AccessAdvice] = None,
         record_trace: Optional[bool] = None,
     ) -> MmapMatrix:
-        """Memory-map a matrix file.
+        """Memory-map a matrix file (legacy).
 
         If ``shape`` is omitted the file must be in M3 binary format (the
         header supplies the geometry); with an explicit ``shape`` any raw
@@ -127,51 +171,77 @@ class M3:
         mode = mode or self.config.mode
         advice = advice or self.config.default_advice
         record = self.config.record_traces if record_trace is None else record_trace
+
+        if shape is None:
+            matrix, _ = self.open_dataset(
+                path, mode=mode, advice=advice, record_trace=record
+            )
+            return matrix
+
         trace: Optional[AccessTrace] = None
         if record:
             trace = AccessTrace(description=f"load_matrix({path.name})")
-            self.last_trace = trace
-
-        if shape is None:
-            data, _, _header = open_binary_matrix(path, mode=mode)
-            return MmapMatrix(
-                data, source_path=path, advice=advice, trace=trace, data_offset=HEADER_SIZE
-            )
+            self._remember_trace(trace)
         backing = mmap_alloc(path, shape, dtype=dtype, mode=mode)
         return MmapMatrix(backing, source_path=path, advice=advice, trace=trace)
 
     # -- introspection ---------------------------------------------------------
 
     def dataset_info(self, path: Union[str, Path]) -> dict:
-        """Return the parsed header of a dataset file as a dictionary."""
-        header = read_binary_matrix_header(path)
-        return {
-            "rows": header.rows,
-            "cols": header.cols,
-            "dtype": str(header.dtype),
-            "has_labels": header.has_labels,
-            "data_bytes": header.data_bytes,
-            "file_bytes": header.file_bytes,
+        """Return the parsed header of a dataset as a dictionary.
+
+        Works for single-file and sharded datasets; the ``backend`` key names
+        the storage backend that would serve the dataset.
+        """
+        info = self.session.info(path if isinstance(path, (str, Path)) else Path(path))
+        result = {
+            "rows": info["rows"],
+            "cols": info["cols"],
+            "dtype": info["dtype"],
+            "has_labels": info["has_labels"],
+            "data_bytes": info["nbytes"],
+            "backend": info["backend"],
         }
+        if "file_bytes" in info:
+            result["file_bytes"] = info["file_bytes"]
+        if "num_shards" in info:
+            result["num_shards"] = info["num_shards"]
+        return result
 
 
-_DEFAULT = M3()
+_DEFAULT: Optional[M3] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def _default() -> M3:
+    """The lazily created facade behind the module-level helpers.
+
+    Created on first use rather than at import time, so importing
+    :mod:`repro.core` does not instantiate a session mid-way through the
+    package import cycle.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        with _DEFAULT_LOCK:
+            if _DEFAULT is None:
+                _DEFAULT = M3()
+    return _DEFAULT
 
 
 def create_dataset(
     path: Union[str, Path], data: np.ndarray, labels: Optional[np.ndarray] = None
 ) -> Path:
     """Module-level convenience wrapper around :meth:`M3.create_dataset`."""
-    return _DEFAULT.create_dataset(path, data, labels)
+    return _default().create_dataset(path, data, labels)
 
 
 def open_dataset(
     path: Union[str, Path], mode: Optional[str] = None, **kwargs
 ) -> Tuple[MmapMatrix, Optional[np.ndarray]]:
     """Module-level convenience wrapper around :meth:`M3.open_dataset`."""
-    return _DEFAULT.open_dataset(path, mode=mode, **kwargs)
+    return _default().open_dataset(path, mode=mode, **kwargs)
 
 
 def load_matrix(path: Union[str, Path], **kwargs) -> MmapMatrix:
     """Module-level convenience wrapper around :meth:`M3.load_matrix`."""
-    return _DEFAULT.load_matrix(path, **kwargs)
+    return _default().load_matrix(path, **kwargs)

@@ -85,7 +85,12 @@ def _pack_header(dtype: np.dtype, rows: int, cols: int, has_labels: bool) -> byt
 
 
 def read_binary_matrix_header(path: Union[str, Path]) -> BinaryMatrixHeader:
-    """Read and validate the header of an M3 binary matrix file."""
+    """Read and validate the header of an M3 binary matrix file.
+
+    Besides parsing, this validates the actual file size against the size the
+    header implies (``header.file_bytes``), so a truncated file fails here
+    with a clear error instead of deep inside ``numpy.memmap``.
+    """
     path = Path(path)
     with path.open("rb") as handle:
         raw = handle.read(HEADER_SIZE)
@@ -99,13 +104,22 @@ def read_binary_matrix_header(path: Union[str, Path]) -> BinaryMatrixHeader:
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported M3 matrix format version {version}")
     dtype = np.dtype(dtype_raw[:dtype_len].decode("ascii"))
-    return BinaryMatrixHeader(
+    header = BinaryMatrixHeader(
         version=version,
         dtype=dtype,
         rows=rows,
         cols=cols,
         has_labels=bool(has_labels),
     )
+    actual_bytes = path.stat().st_size
+    if actual_bytes < header.file_bytes:
+        raise ValueError(
+            f"{path} is truncated: header declares a {header.rows} x {header.cols} "
+            f"{header.dtype} matrix{' with labels' if header.has_labels else ''} "
+            f"({header.file_bytes} bytes expected) but the file is only "
+            f"{actual_bytes} bytes"
+        )
+    return header
 
 
 def write_binary_matrix(

@@ -133,10 +133,16 @@ class MinMaxScaler(BaseEstimator, TransformerMixin):
         assert data_min is not None and data_max is not None
         low, high = self.feature_range
         span = data_max - data_min
-        span[span == 0.0] = 1.0
+        with np.errstate(divide="ignore", over="ignore"):
+            scale = (high - low) / span
+        # A zero span (constant feature) or one so small the division
+        # overflows cannot be rescaled meaningfully; pin such features to the
+        # bottom of the feature range instead of producing inf/nan.
+        degenerate = (span == 0.0) | ~np.isfinite(scale)
+        scale[degenerate] = high - low
         self.data_min_ = data_min
         self.data_max_ = data_max
-        self.scale_ = (high - low) / span
+        self.scale_ = scale
         self.min_ = low - data_min * self.scale_
         return self
 

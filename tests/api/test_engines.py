@@ -1,0 +1,169 @@
+"""Tests for the execution engines."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ENGINE_REGISTRY,
+    DistributedEngine,
+    ExecutionEngine,
+    LocalEngine,
+    Session,
+    SimulatedEngine,
+    register_engine,
+    resolve_engine,
+)
+from repro.distributed.mllib import DistributedLogisticRegression
+from repro.ml import KMeans, LogisticRegression
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.vmem.vm_simulator import VirtualMemoryConfig
+
+
+@pytest.fixture()
+def session_dataset(tmp_path):
+    rng = np.random.default_rng(11)
+    X = rng.normal(size=(80, 6))
+    y = (X[:, 0] + 0.1 * rng.normal(size=80) > 0).astype(np.int64)
+    session = Session()
+    session.create(f"mmap://{tmp_path}/e.m3", X, y)
+    dataset = session.open(f"mmap://{tmp_path}/e.m3")
+    yield session, dataset, X, y
+    session.close()
+
+
+class TestResolveEngine:
+    def test_by_name(self):
+        assert isinstance(resolve_engine("local"), LocalEngine)
+        assert isinstance(resolve_engine("simulated"), SimulatedEngine)
+        assert isinstance(resolve_engine("distributed"), DistributedEngine)
+
+    def test_none_is_local(self):
+        assert isinstance(resolve_engine(None), LocalEngine)
+
+    def test_instance_and_class(self):
+        engine = SimulatedEngine()
+        assert resolve_engine(engine) is engine
+        assert isinstance(resolve_engine(LocalEngine), LocalEngine)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            resolve_engine("gpu")
+        with pytest.raises(TypeError):
+            resolve_engine(42)
+
+    def test_register_custom(self):
+        class EchoEngine(LocalEngine):
+            name = "echo"
+
+        try:
+            register_engine(EchoEngine)
+            assert isinstance(resolve_engine("echo"), EchoEngine)
+        finally:
+            ENGINE_REGISTRY.pop("echo", None)
+
+    def test_register_requires_name(self):
+        class Anonymous(LocalEngine):
+            name = ""
+
+        with pytest.raises(ValueError, match="name"):
+            register_engine(Anonymous)
+
+
+class TestLocalEngine:
+    def test_fit(self, session_dataset):
+        session, dataset, X, y = session_dataset
+        result = session.fit(LogisticRegression(max_iterations=5), dataset)
+        assert result.engine == "local"
+        assert result.simulation is None
+        assert result.model.score(X, y) > 0.9
+
+
+class TestSimulatedEngine:
+    def test_fit_attaches_simulation(self, session_dataset):
+        session, dataset, _, _ = session_dataset
+        result = session.fit(
+            LogisticRegression(max_iterations=3), dataset, engine="simulated"
+        )
+        assert result.engine == "simulated"
+        assert result.trace is not None and len(result.trace) > 0
+        assert result.simulation is not None
+        assert result.simulation.wall_time_s > 0
+        assert result.details["simulated_wall_time_s"] == result.simulation.wall_time_s
+
+    def test_trace_covers_every_pass(self, session_dataset):
+        session, dataset, _, _ = session_dataset
+        result = session.fit(
+            LogisticRegression(max_iterations=3), dataset, engine="simulated"
+        )
+        assert result.trace.total_bytes % dataset.nbytes == 0
+        assert result.trace.total_bytes // dataset.nbytes >= 2
+
+    def test_does_not_leave_trace_attached(self, session_dataset):
+        session, dataset, _, _ = session_dataset
+        session.fit(LogisticRegression(max_iterations=3), dataset, engine="simulated")
+        assert dataset.trace is None
+
+    def test_restores_previous_trace(self, session_dataset):
+        session, dataset, _, _ = session_dataset
+        mine = dataset.start_trace("mine")
+        session.fit(LogisticRegression(max_iterations=3), dataset, engine="simulated")
+        assert dataset.trace is mine
+
+    def test_custom_machine(self, tmp_path):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(2000, 64))  # ~1 MB, far exceeds the tiny RAM below
+        y = (X[:, 0] > 0).astype(np.int64)
+        with Session() as session:
+            session.create(f"mmap://{tmp_path}/big.m3", X, y)
+            dataset = session.open(f"mmap://{tmp_path}/big.m3")
+            tiny = SimulatedEngine(VirtualMemoryConfig(ram_bytes=1 << 16))
+            big = SimulatedEngine(VirtualMemoryConfig(ram_bytes=1 << 34))
+            slow = session.fit(LogisticRegression(max_iterations=3), dataset, engine=tiny)
+            fast = session.fit(LogisticRegression(max_iterations=3), dataset, engine=big)
+        # A machine whose RAM cannot hold the dataset re-reads it every pass.
+        assert slow.simulation.io_stats.bytes_read > fast.simulation.io_stats.bytes_read
+        assert slow.simulation.wall_time_s > fast.simulation.wall_time_s
+
+
+class TestDistributedEngine:
+    def test_translates_logistic_regression(self, session_dataset):
+        session, dataset, X, y = session_dataset
+        local = session.fit(LogisticRegression(max_iterations=10), dataset)
+        distributed = session.fit(
+            LogisticRegression(max_iterations=10), dataset, engine="distributed"
+        )
+        assert isinstance(distributed.model, DistributedLogisticRegression)
+        assert distributed.details["aggregations"] > 0
+        agreement = np.mean(local.model.predict(X) == distributed.model.predict(X))
+        assert agreement > 0.95
+
+    def test_translates_kmeans(self, session_dataset):
+        session, dataset, _, _ = session_dataset
+        result = session.fit(
+            KMeans(n_clusters=3, max_iterations=5, seed=0), dataset, engine="distributed"
+        )
+        assert result.model.cluster_centers_.shape == (3, 6)
+        assert result.details["num_partitions"] == 8
+
+    def test_distributed_model_used_as_is(self, session_dataset):
+        session, dataset, _, _ = session_dataset
+        model = DistributedLogisticRegression(max_iterations=5, num_partitions=4)
+        result = session.fit(model, dataset, engine="distributed")
+        assert result.model is model
+        assert result.details["num_partitions"] == 4
+
+    def test_unsupported_model_rejected(self, session_dataset):
+        session, dataset, _, _ = session_dataset
+        with pytest.raises(TypeError, match="no counterpart"):
+            session.fit(GaussianNaiveBayes(), dataset, engine="distributed")
+
+    def test_invalid_partitions_rejected(self):
+        with pytest.raises(ValueError, match="num_partitions"):
+            DistributedEngine(num_partitions=0)
+
+
+class TestEngineProtocol:
+    def test_engines_are_registered(self):
+        assert set(ENGINE_REGISTRY) >= {"local", "simulated", "distributed"}
+        for engine_class in ENGINE_REGISTRY.values():
+            assert issubclass(engine_class, ExecutionEngine)

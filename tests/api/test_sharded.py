@@ -1,0 +1,207 @@
+"""Tests for the sharded dataset format and the stitched ShardedMatrix."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.sharded import (
+    ShardedMatrix,
+    read_manifest,
+    write_sharded_dataset,
+)
+
+
+@pytest.fixture()
+def sharded_dir(tmp_path):
+    """A 25x4 matrix with labels split across shards of 7 rows."""
+    X = np.arange(100.0).reshape(25, 4)
+    y = np.arange(25) % 3
+    write_sharded_dataset(tmp_path / "ds", X, y, shard_rows=7)
+    return tmp_path / "ds", X, y
+
+
+class TestWriteShardedDataset:
+    def test_manifest_and_files(self, sharded_dir):
+        directory, X, _ = sharded_dir
+        manifest = read_manifest(directory)
+        assert manifest.rows == 25 and manifest.cols == 4
+        assert [s.rows for s in manifest.shards] == [7, 7, 7, 4]
+        for shard in manifest.shards:
+            assert (directory / shard.filename).is_file()
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not a sharded dataset"):
+            read_manifest(tmp_path)
+
+    def test_non_contiguous_shards_rejected(self, sharded_dir):
+        directory, _, _ = sharded_dir
+        payload = json.loads((directory / "manifest.json").read_text())
+        payload["shards"][1]["start_row"] = 99
+        (directory / "manifest.json").write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="contiguously"):
+            read_manifest(directory)
+
+    def test_row_coverage_mismatch_rejected(self, sharded_dir):
+        directory, _, _ = sharded_dir
+        payload = json.loads((directory / "manifest.json").read_text())
+        payload["rows"] = 26
+        (directory / "manifest.json").write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="declares"):
+            read_manifest(directory)
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="2-D"):
+            write_sharded_dataset(tmp_path / "bad", np.zeros(4))
+        with pytest.raises(ValueError, match="shard_rows"):
+            write_sharded_dataset(tmp_path / "bad", np.zeros((4, 2)), shard_rows=0)
+        with pytest.raises(ValueError, match="labels"):
+            write_sharded_dataset(tmp_path / "bad", np.zeros((4, 2)), np.zeros(3))
+
+
+class TestShardedMatrixReads:
+    def test_geometry(self, sharded_dir):
+        directory, X, _ = sharded_dir
+        matrix = ShardedMatrix(directory)
+        assert matrix.shape == X.shape
+        assert matrix.dtype == X.dtype
+        assert matrix.ndim == 2
+        assert len(matrix) == 25
+        assert matrix.nbytes == X.nbytes
+        assert matrix.num_shards == 4
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            0,
+            24,
+            -1,
+            slice(None),
+            slice(2, 5),            # inside one shard
+            slice(5, 10),           # across a shard boundary
+            slice(0, 25),           # all shards
+            slice(20, 3, -1),
+            slice(None, None, 3),
+            slice(None, None, -2),
+            [3, 8, 14, 22],
+            [22, 3, 3, -1],
+            [],
+            (slice(4, 12), slice(1, 3)),
+            (slice(4, 12), 2),
+            ([2, 9, 16], slice(None)),
+            ([2, 9, 16], [0, 1, 3]),
+            ([2, 9], 1),
+            (5, slice(1, 3)),
+            (5, 2),
+            (-3, 0),
+        ],
+    )
+    def test_matches_numpy(self, sharded_dir, key):
+        directory, X, _ = sharded_dir
+        matrix = ShardedMatrix(directory)
+        np.testing.assert_array_equal(np.asarray(matrix[key]), X[key])
+
+    def test_boolean_mask(self, sharded_dir):
+        directory, X, _ = sharded_dir
+        matrix = ShardedMatrix(directory)
+        mask = X[:, 0] > 40.0
+        np.testing.assert_array_equal(matrix[mask], X[mask])
+        np.testing.assert_array_equal(matrix[np.zeros(25, bool)], X[np.zeros(25, bool)])
+
+    def test_single_shard_slice_is_view(self, sharded_dir):
+        directory, _, _ = sharded_dir
+        matrix = ShardedMatrix(directory)
+        chunk = matrix[1:6]  # rows 1..5 live in shard 0
+        assert isinstance(chunk, np.memmap)
+
+    def test_materialise(self, sharded_dir):
+        directory, X, _ = sharded_dir
+        matrix = ShardedMatrix(directory)
+        np.testing.assert_array_equal(np.asarray(matrix), X)
+        np.testing.assert_array_equal(matrix.__array__(np.float32), X.astype(np.float32))
+
+    def test_labels_stitched(self, sharded_dir):
+        directory, _, y = sharded_dir
+        matrix = ShardedMatrix(directory)
+        np.testing.assert_array_equal(matrix.read_labels(), y)
+
+    def test_no_labels(self, tmp_path):
+        write_sharded_dataset(tmp_path / "nl", np.zeros((6, 2)), shard_rows=4)
+        assert ShardedMatrix(tmp_path / "nl").read_labels() is None
+
+    def test_out_of_range_rejected(self, sharded_dir):
+        directory, _, _ = sharded_dir
+        matrix = ShardedMatrix(directory)
+        with pytest.raises(IndexError):
+            matrix[25]
+        with pytest.raises(IndexError):
+            matrix[[0, 30]]
+        with pytest.raises(IndexError):
+            matrix[np.ones(3, dtype=bool)]
+
+    def test_unsupported_keys_rejected(self, sharded_dir):
+        directory, _, _ = sharded_dir
+        matrix = ShardedMatrix(directory)
+        with pytest.raises(TypeError):
+            matrix[None]
+        with pytest.raises(TypeError):
+            matrix[0, 0, 0]
+
+
+class TestShardedMatrixWrites:
+    def test_write_within_one_shard(self, sharded_dir):
+        directory, X, _ = sharded_dir
+        matrix = ShardedMatrix(directory, mode="r+")
+        matrix[2:5] = 7.0
+        matrix.flush()
+        expected = X.copy()
+        expected[2:5] = 7.0
+        np.testing.assert_array_equal(np.asarray(ShardedMatrix(directory)), expected)
+
+    def test_write_across_shard_boundary(self, sharded_dir):
+        directory, X, _ = sharded_dir
+        matrix = ShardedMatrix(directory, mode="r+")
+        block = np.full((6, 4), -1.0)
+        matrix[5:11] = block
+        matrix.close()
+        expected = X.copy()
+        expected[5:11] = block
+        np.testing.assert_array_equal(np.asarray(ShardedMatrix(directory)), expected)
+
+    def test_write_fancy_and_columns(self, sharded_dir):
+        directory, X, _ = sharded_dir
+        matrix = ShardedMatrix(directory, mode="r+")
+        matrix[[3, 20], 1] = 99.0
+        matrix[8] = np.arange(4.0)
+        matrix.flush()
+        expected = X.copy()
+        expected[[3, 20], 1] = 99.0
+        expected[8] = np.arange(4.0)
+        np.testing.assert_array_equal(np.asarray(ShardedMatrix(directory)), expected)
+
+    def test_readonly_rejects_writes(self, sharded_dir):
+        directory, _, _ = sharded_dir
+        with pytest.raises(ValueError, match="read-only"):
+            ShardedMatrix(directory)[0] = 0.0
+
+
+class TestLifecycle:
+    def test_closed_matrix_rejects_access(self, sharded_dir):
+        directory, _, _ = sharded_dir
+        matrix = ShardedMatrix(directory)
+        matrix.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            _ = matrix[0]
+        matrix.close()  # idempotent
+
+    def test_shape_mismatch_detected(self, sharded_dir):
+        directory, _, _ = sharded_dir
+        payload = json.loads((directory / "manifest.json").read_text())
+        # Keep the manifest internally consistent (still tiles 25 rows) but
+        # out of sync with the actual shard file headers (7 rows each).
+        payload["shards"][0]["rows"] = 6
+        payload["shards"][1]["start_row"] = 6
+        payload["shards"][1]["rows"] = 8
+        (directory / "manifest.json").write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="manifest expects"):
+            ShardedMatrix(directory)

@@ -102,3 +102,88 @@ class TestModuleLevelHelpers:
         matrix, labels = open_dataset(path)
         np.testing.assert_allclose(np.asarray(matrix), X)
         np.testing.assert_array_equal(np.asarray(labels), y)
+
+
+class TestSessionShim:
+    def test_facade_delegates_to_session(self, tmp_path, small_classification):
+        X, y = small_classification
+        runtime = M3()
+        path = runtime.create_dataset(tmp_path / "shim.m3", X, y)
+        assert runtime.session.exists(path)
+
+    def test_last_trace_is_deprecated_but_readable(self, tmp_path, small_classification):
+        X, y = small_classification
+        runtime = M3(M3Config(record_traces=True))
+        path = runtime.create_dataset(tmp_path / "dep.m3", X, y)
+        matrix, _ = runtime.open_dataset(path)
+        _ = matrix[0:4]
+        with pytest.warns(DeprecationWarning, match="last_trace"):
+            trace = runtime.last_trace
+        assert trace is matrix.trace
+
+    def test_last_trace_is_thread_local(self, tmp_path, small_classification):
+        import threading
+
+        X, y = small_classification
+        runtime = M3(M3Config(record_traces=True))
+        path = runtime.create_dataset(tmp_path / "threads.m3", X, y)
+        runtime.open_dataset(path)
+        seen_in_thread = []
+
+        def worker():
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                seen_in_thread.append(runtime.last_trace)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        # A fresh thread never opened anything, so it sees no trace — the
+        # old singleton would have leaked the main thread's trace here.
+        assert seen_in_thread == [None]
+
+    def test_open_dataset_accepts_shard_spec(self, tmp_path, small_classification):
+        from repro.api import Session
+
+        X, y = small_classification
+        with Session() as session:
+            session.create(f"shard://{tmp_path}/shards", X, y, shard_rows=64)
+        matrix, labels = open_dataset(f"shard://{tmp_path}/shards")
+        np.testing.assert_allclose(np.asarray(matrix), X)
+        np.testing.assert_array_equal(np.asarray(labels), y)
+
+    def test_dataset_info_reports_backend(self, tmp_path, small_classification):
+        X, y = small_classification
+        runtime = M3()
+        path = runtime.create_dataset(tmp_path / "info2.m3", X, y)
+        info = runtime.dataset_info(path)
+        assert info["backend"] == "mmap"
+        assert info["file_bytes"] == (tmp_path / "info2.m3").stat().st_size
+
+    def test_facade_does_not_accumulate_handles(self, tmp_path, small_classification):
+        # Legacy callers rely on GC, so the shim must not pin every opened
+        # dataset on its session for the life of the process.
+        X, y = small_classification
+        runtime = M3()
+        path = runtime.create_dataset(tmp_path / "leak.m3", X, y)
+        for _ in range(5):
+            runtime.open_dataset(path)
+        assert len(runtime.session._datasets) == 0
+
+    def test_unrecorded_open_preserves_last_trace(self, tmp_path, small_classification):
+        import warnings
+
+        X, y = small_classification
+        runtime = M3(M3Config(record_traces=True))
+        path = runtime.create_dataset(tmp_path / "keep.m3", X, y)
+        runtime.open_dataset(path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            recorded = runtime.last_trace
+            assert recorded is not None
+            runtime.open_dataset(path, record_trace=False)
+            assert runtime.last_trace is recorded
+            runtime.load_matrix(path, record_trace=False)
+            assert runtime.last_trace is recorded

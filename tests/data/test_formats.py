@@ -69,6 +69,42 @@ class TestHeaderValidation:
         header = read_binary_matrix_header(path)
         assert header.label_offset == HEADER_SIZE + 5 * 2 * 8
 
+    def test_truncated_data_section_rejected(self, tmp_path):
+        path = tmp_path / "truncated.m3"
+        write_binary_matrix(path, np.ones((20, 6)))
+        full = path.read_bytes()
+        path.write_bytes(full[: len(full) - 17])
+        with pytest.raises(ValueError, match="truncated"):
+            read_binary_matrix_header(path)
+        with pytest.raises(ValueError, match="truncated"):
+            open_binary_matrix(path)
+
+    def test_truncated_label_section_rejected(self, tmp_path):
+        path = tmp_path / "truncated_labels.m3"
+        write_binary_matrix(path, np.ones((8, 4)), np.arange(8))
+        full = path.read_bytes()
+        # Keep the full data section but cut the trailing label vector short.
+        path.write_bytes(full[: len(full) - 8])
+        with pytest.raises(ValueError, match="truncated"):
+            read_binary_matrix_header(path)
+
+    def test_header_only_file_rejected(self, tmp_path):
+        path = tmp_path / "header_only.m3"
+        write_binary_matrix(path, np.ones((4, 4)))
+        path.write_bytes(path.read_bytes()[:HEADER_SIZE])
+        with pytest.raises(ValueError, match="truncated"):
+            read_binary_matrix_header(path)
+
+    def test_oversized_file_accepted(self, tmp_path):
+        # Trailing junk beyond the declared size is tolerated (e.g. files on
+        # filesystems that round up allocations).
+        path = tmp_path / "padded.m3"
+        write_binary_matrix(path, np.ones((3, 3)))
+        with path.open("ab") as handle:
+            handle.write(b"\0" * 32)
+        header = read_binary_matrix_header(path)
+        assert header.rows == 3
+
 
 class TestCreateBinaryMatrix:
     def test_creates_file_of_declared_size(self, tmp_path):

@@ -1,0 +1,109 @@
+"""Integration tests for the unified Session/Dataset API.
+
+The acceptance criterion of the API redesign: ``Session.fit`` runs the same
+``LogisticRegression`` workload *unchanged* on all three storage backends
+(``memory``, ``mmap``, ``sharded``) and both local engines (``local``,
+``simulated``), and the Table 1 transparency property — identical
+coefficients regardless of where the bytes live — carries through the new
+API.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.ml import KMeans, LogisticRegression
+
+BACKENDS = ["memory", "mmap", "shard"]
+LOCAL_ENGINES = ["local", "simulated"]
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(42)
+    X = rng.normal(size=(300, 12))
+    true_coef = rng.normal(size=12)
+    y = (X @ true_coef + 0.2 * rng.normal(size=300) > 0).astype(np.int64)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def session(tmp_path_factory, problem):
+    X, y = problem
+    tmp_path = tmp_path_factory.mktemp("session_api")
+    with Session() as session:
+        session.create("memory://train", X, y)
+        session.create(f"mmap://{tmp_path}/train.m3", X, y)
+        session.create(f"shard://{tmp_path}/train_shards", X, y, shard_rows=77)
+        session.specs = {
+            "memory": "memory://train",
+            "mmap": f"mmap://{tmp_path}/train.m3",
+            "shard": f"shard://{tmp_path}/train_shards",
+        }
+        yield session
+
+
+class TestSameWorkloadEverywhere:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("engine", LOCAL_ENGINES)
+    def test_logistic_regression_runs_unchanged(self, session, problem, backend, engine):
+        X, y = problem
+        dataset = session.open(session.specs[backend])
+        result = session.fit(LogisticRegression(max_iterations=10), dataset, engine=engine)
+        assert result.model.score(dataset.matrix, y) > 0.9
+
+    def test_coefficients_identical_across_backends_and_engines(self, session):
+        coefs = {}
+        for backend in BACKENDS:
+            for engine in LOCAL_ENGINES:
+                dataset = session.open(session.specs[backend])
+                result = session.fit(
+                    LogisticRegression(max_iterations=10), dataset, engine=engine
+                )
+                coefs[(backend, engine)] = np.concatenate(
+                    [result.model.coef_, [result.model.intercept_]]
+                )
+        reference = coefs[("memory", "local")]
+        for key, coef in coefs.items():
+            np.testing.assert_array_equal(
+                coef, reference, err_msg=f"{key} diverged from memory/local"
+            )
+
+    def test_kmeans_identical_across_backends(self, session):
+        centers = {}
+        for backend in BACKENDS:
+            dataset = session.open(session.specs[backend])
+            result = session.fit(KMeans(n_clusters=4, max_iterations=8, seed=0), dataset)
+            centers[backend] = result.model.cluster_centers_
+        np.testing.assert_array_equal(centers["memory"], centers["mmap"])
+        np.testing.assert_array_equal(centers["memory"], centers["shard"])
+
+    def test_distributed_engine_agrees(self, session, problem):
+        X, y = problem
+        dataset = session.open(session.specs["mmap"])
+        local = session.fit(LogisticRegression(max_iterations=10), dataset)
+        distributed = session.fit(
+            LogisticRegression(max_iterations=10), dataset, engine="distributed"
+        )
+        agreement = float(
+            np.mean(local.model.predict(X) == distributed.model.predict(X))
+        )
+        assert agreement > 0.95
+
+
+class TestLegacyShimEquivalence:
+    def test_open_dataset_shim_matches_session(self, session, problem, tmp_path):
+        """The legacy facade and the new API train identical models."""
+        import repro.core as m3
+
+        X, y = problem
+        spec = session.specs["mmap"]
+        path = spec[len("mmap://"):]
+        X_legacy, y_legacy = m3.open_dataset(path)
+        legacy = LogisticRegression(max_iterations=10).fit(
+            X_legacy, np.asarray(y_legacy)
+        )
+        result = session.fit(
+            LogisticRegression(max_iterations=10), session.open(spec)
+        )
+        np.testing.assert_array_equal(legacy.coef_, result.model.coef_)

@@ -1,0 +1,106 @@
+"""Property-based tests for the unified API's per-handle trace recording.
+
+The invariant under test is the one the virtual-memory simulator depends on:
+whatever rows NumPy actually touches when a dataset is indexed, the recorded
+trace bounds cover them — for integer, slice, fancy and boolean row keys, on
+both the memory and the mmap storage backends.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.api import Session
+
+
+@st.composite
+def matrix_and_key(draw):
+    """A matrix geometry plus a row key of one of the four kinds."""
+    rows = draw(st.integers(1, 24))
+    cols = draw(st.integers(1, 5))
+    kind = draw(st.sampled_from(["int", "slice", "fancy", "bool"]))
+    if kind == "int":
+        key = draw(st.integers(-rows, rows - 1))
+    elif kind == "slice":
+        start = draw(st.one_of(st.none(), st.integers(-rows - 2, rows + 2)))
+        stop = draw(st.one_of(st.none(), st.integers(-rows - 2, rows + 2)))
+        step = draw(st.one_of(st.none(), st.integers(-3, 3).filter(lambda s: s != 0)))
+        key = slice(start, stop, step)
+    elif kind == "fancy":
+        key = draw(st.lists(st.integers(-rows, rows - 1), min_size=0, max_size=rows))
+    else:
+        key = draw(st.lists(st.booleans(), min_size=rows, max_size=rows))
+    with_colkey = draw(st.booleans())
+    return rows, cols, kind, key, with_colkey
+
+
+def _touched_rows(rows: int, key) -> np.ndarray:
+    """Ground truth: the row indices NumPy touches for ``key``."""
+    index = np.arange(rows)
+    if isinstance(key, list):
+        key = np.asarray(key) if key else np.asarray(key, dtype=np.intp)
+    return np.atleast_1d(index[key]).ravel()
+
+
+def _open_datasets(session, tmp_path, X, y):
+    """The same data on the memory and mmap backends, traces recording."""
+    memory = session.from_arrays(X, y, name="prop", record_trace=True)
+    mmap_path = tmp_path / "prop.m3"
+    session.create(f"mmap://{mmap_path}", X, y)
+    mapped = session.open(f"mmap://{mmap_path}", record_trace=True)
+    return {"memory": memory, "mmap": mapped}
+
+
+class TestTraceBoundsCoverTouchedRows:
+    @given(params=matrix_and_key())
+    @settings(max_examples=120, deadline=None)
+    def test_trace_covers_rows_numpy_touches(self, tmp_path_factory, params):
+        rows, cols, kind, key, with_colkey = params
+        tmp_path = tmp_path_factory.mktemp("api_prop")
+        X = np.arange(rows * cols, dtype=np.float64).reshape(rows, cols)
+        y = np.arange(rows) % 3
+        touched = _touched_rows(rows, key)
+        full_key = (key, slice(None)) if with_colkey else key
+
+        with Session() as session:
+            for backend, dataset in _open_datasets(session, tmp_path, X, y).items():
+                result = dataset[full_key]
+                # The slice really returns what NumPy would return.
+                np.testing.assert_array_equal(
+                    np.asarray(result), X[full_key], err_msg=f"{backend}: wrong data"
+                )
+                trace = dataset.trace
+                assert trace is not None, f"{backend}: no trace attached"
+                if touched.size == 0:
+                    continue
+                assert len(trace) == 1, f"{backend}: expected one access record"
+                record = trace.records[0]
+                row_bytes = cols * 8
+                start_row = (record.offset - dataset.matrix.data_offset) // row_bytes
+                stop_row = start_row + record.length // row_bytes
+                assert start_row <= int(touched.min()), (
+                    f"{backend}: trace starts at row {start_row} but NumPy "
+                    f"touches row {int(touched.min())} ({kind} key {key!r})"
+                )
+                assert stop_row >= int(touched.max()) + 1, (
+                    f"{backend}: trace stops at row {stop_row} but NumPy "
+                    f"touches row {int(touched.max())} ({kind} key {key!r})"
+                )
+
+    @given(params=matrix_and_key())
+    @settings(max_examples=60, deadline=None)
+    def test_traces_are_per_handle(self, tmp_path_factory, params):
+        rows, cols, _, key, with_colkey = params
+        tmp_path = tmp_path_factory.mktemp("api_prop_iso")
+        X = np.arange(rows * cols, dtype=np.float64).reshape(rows, cols)
+        full_key = (key, slice(None)) if with_colkey else key
+
+        with Session() as session:
+            datasets = _open_datasets(session, tmp_path, X, None)
+            _ = datasets["memory"][full_key]
+            # Only the handle that was accessed records anything: no shared
+            # last_trace-style state between handles.
+            memory_records = len(datasets["memory"].trace)
+            assert len(datasets["mmap"].trace) == 0
+            _ = datasets["mmap"][full_key]
+            assert len(datasets["memory"].trace) == memory_records

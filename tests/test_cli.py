@@ -42,6 +42,53 @@ class TestGenerateAndTrain:
         assert exit_code == 0
         assert "inertia" in capsys.readouterr().out
 
+    def test_train_simulated_engine(self, tmp_path, capsys):
+        dataset = tmp_path / "sim.m3"
+        write_infimnist_dataset(dataset, num_examples=150, seed=0)
+        exit_code = main(["train", str(dataset), "--algorithm", "logistic",
+                          "--iterations", "2", "--engine", "simulated"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "simulated engine" in out
+        assert "simulated paper-scale machine" in out
+
+    def test_train_sharded_backend(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.api import Session
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(120, 8))
+        y = (X[:, 0] > 0).astype(np.int64)
+        with Session() as session:
+            session.create(f"shard://{tmp_path}/shards", X, y, shard_rows=50)
+        exit_code = main(["train", f"shard://{tmp_path}/shards", "--iterations", "3"])
+        assert exit_code == 0
+        assert "shard backend" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_info_mmap_file(self, tmp_path, capsys):
+        dataset = tmp_path / "info.m3"
+        write_infimnist_dataset(dataset, num_examples=32, seed=0)
+        exit_code = main(["info", str(dataset)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "backend" in out and "mmap" in out
+        assert "rows" in out and "32" in out
+
+    def test_info_sharded_directory(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.api import Session
+
+        with Session() as session:
+            session.create(f"shard://{tmp_path}/s", np.zeros((40, 3)), shard_rows=16)
+        exit_code = main(["info", f"shard://{tmp_path}/s"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "num_shards" in out and "3" in out
+
 
 class TestReproductionCommands:
     def test_table1_command(self, tmp_path, capsys):
