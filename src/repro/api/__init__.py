@@ -15,10 +15,45 @@ engines:
         data = session.open("mmap://train.m3")          # or shard://dir/, memory://name
         result = session.fit(LogisticRegression(), data, engine="local")
 
+Choosing an execution engine
+----------------------------
+
+===============  ============================================================
+``local``        In-process ``model.fit`` on the (possibly memory-mapped)
+                 matrix — the paper's M3 execution model.  Default.
+``simulated``    Local training plus an automatic replay of the recorded
+                 access trace through the paper-scale virtual-memory
+                 simulator (32 GB RAM desktop, PCIe SSD) — use it to predict
+                 out-of-core behaviour at sizes this machine cannot hold.
+``streaming``    Chunk-pipelined ``partial_fit`` training: shard-aligned row
+                 blocks are prefetched by a background thread while the
+                 previous block trains, so I/O overlaps compute; per-chunk
+                 read / I/O-wait / compute times are reported in
+                 ``FitResult.details``.  Requires a streaming estimator
+                 (``LogisticRegression(solver="sgd")``,
+                 ``SoftmaxRegression(solver="sgd")``, ``MiniBatchKMeans``,
+                 ``GaussianNaiveBayes``).  The engine for datasets that do
+                 not fit in RAM — and the only one that never materialises a
+                 sharded dataset's labels.
+``distributed``  The Spark-MLlib-style baseline: the estimator is swapped
+                 for its distributed counterpart and trained on the mini RDD
+                 engine — use it to reproduce the paper's M3-vs-Spark
+                 comparisons.
+===============  ============================================================
+
 The legacy ``repro.core.open_dataset`` / ``load_matrix`` helpers remain as
 thin shims over this API.
 """
 
+from repro.api.chunks import (
+    Chunk,
+    ChunkIterator,
+    ChunkPlan,
+    ChunkStreamStats,
+    PrefetchingChunkIterator,
+    open_chunk_stream,
+    plan_chunks,
+)
 from repro.api.dataset import Dataset
 from repro.api.engines import (
     ENGINE_REGISTRY,
@@ -27,11 +62,13 @@ from repro.api.engines import (
     FitResult,
     LocalEngine,
     SimulatedEngine,
+    StreamingEngine,
     register_engine,
     resolve_engine,
 )
 from repro.api.session import Session
 from repro.api.sharded import (
+    ShardedLabels,
     ShardedMatrix,
     ShardManifest,
     read_manifest,
@@ -67,14 +104,24 @@ __all__ = [
     "register_backend",
     # sharded format
     "ShardedMatrix",
+    "ShardedLabels",
     "ShardManifest",
     "write_sharded_dataset",
     "read_manifest",
+    # chunk pipeline
+    "Chunk",
+    "ChunkPlan",
+    "ChunkIterator",
+    "PrefetchingChunkIterator",
+    "ChunkStreamStats",
+    "plan_chunks",
+    "open_chunk_stream",
     # engines
     "ExecutionEngine",
     "LocalEngine",
     "SimulatedEngine",
     "DistributedEngine",
+    "StreamingEngine",
     "ENGINE_REGISTRY",
     "resolve_engine",
     "register_engine",

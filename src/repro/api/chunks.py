@@ -1,0 +1,506 @@
+"""The chunk pipeline: shard-aligned row blocks with background prefetch.
+
+The paper's core claim (M3) is that out-of-core training can run at in-memory
+speed because ML access patterns are sequential scans the OS can stream ahead
+of the compute.  This module makes that overlap *explicit* instead of relying
+on the kernel alone:
+
+* :class:`ChunkPlan` — the schedule: a sequence of ``(start, stop)`` row
+  bounds covering the matrix, optionally split at shard boundaries (so every
+  chunk of a :class:`~repro.api.sharded.ShardedMatrix` is a zero-copy view of
+  one shard's memmap) and optionally *ramped* — starting with a small window
+  that doubles chunk over chunk, the same warm-up discipline as
+  :class:`~repro.vmem.readahead.AdaptiveReadAhead`.
+* :class:`ChunkIterator` — the synchronous executor: yields :class:`Chunk`
+  blocks carrying ``(X, y)`` plus the time spent materialising them.
+* :class:`PrefetchingChunkIterator` — the pipelined executor: a background
+  thread reads chunk *k+1* (and up to ``depth-1`` more) while the consumer
+  trains on chunk *k*.  Per-chunk read, wait and compute times are recorded
+  in a :class:`ChunkStreamStats` so the I/O-compute overlap is measurable,
+  not assumed.
+
+Estimators never see any of this: the :class:`~repro.api.engines.StreamingEngine`
+drives their ``partial_fit`` with the chunks this module produces.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.sharded import ShardedMatrix
+
+DEFAULT_CHUNK_BYTES = 8 * 1024 * 1024
+"""Target bytes per chunk when no explicit ``chunk_rows`` is given."""
+
+INITIAL_CHUNK_BYTES = 1024 * 1024
+"""First-chunk target for the adaptive ramp (doubles up to the full window)."""
+
+#: Maximum per-chunk timing samples kept in :class:`ChunkStreamStats`.
+MAX_TIMING_SAMPLES = 4096
+
+
+def _unwrap(matrix: Any) -> Any:
+    """Peel :class:`~repro.api.Dataset` / ``MmapMatrix`` wrappers, if any."""
+    inner = getattr(matrix, "matrix", None)  # Dataset -> MmapMatrix
+    if inner is not None:
+        matrix = inner
+    backing = getattr(matrix, "backing", None)  # MmapMatrix -> raw storage
+    return backing if backing is not None else matrix
+
+
+def shard_row_starts(matrix: Any) -> Tuple[int, ...]:
+    """Global start rows of the shards behind ``matrix`` (empty if unsharded)."""
+    backing = _unwrap(matrix)
+    if isinstance(backing, ShardedMatrix):
+        return tuple(shard.start_row for shard in backing.manifest.shards)
+    return ()
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """A schedule of row chunks over a matrix of known geometry.
+
+    Attributes
+    ----------
+    n_rows, n_cols:
+        Matrix shape.
+    chunk_rows:
+        The steady-state window size in rows (the final chunk, ramp-up
+        chunks, and shard-boundary fragments may be smaller).
+    bounds:
+        The exact ``(start, stop)`` pairs, in order, tiling ``[0, n_rows)``.
+    row_bytes:
+        Bytes per row (for I/O accounting).
+    aligned:
+        Whether bounds were split so no chunk crosses a shard boundary.
+    """
+
+    n_rows: int
+    n_cols: int
+    chunk_rows: int
+    bounds: Tuple[Tuple[int, int], ...]
+    row_bytes: int
+    aligned: bool = False
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of chunks in the plan."""
+        return len(self.bounds)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes in the whole matrix."""
+        return self.n_rows * self.row_bytes
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self.bounds)
+
+
+def _ramp_bounds(n_rows: int, chunk_rows: int, initial_rows: int) -> List[Tuple[int, int]]:
+    """Bounds that double from ``initial_rows`` up to ``chunk_rows``.
+
+    This reuses the :class:`~repro.vmem.readahead.AdaptiveReadAhead` window
+    discipline: start small so the first ``partial_fit`` happens after one
+    cheap read, double while the scan stays sequential (it always does here),
+    cap at the steady-state window.
+    """
+    bounds: List[Tuple[int, int]] = []
+    window = max(1, min(initial_rows, chunk_rows))
+    start = 0
+    while start < n_rows:
+        stop = min(start + window, n_rows)
+        bounds.append((start, stop))
+        start = stop
+        window = min(window * 2, chunk_rows)
+    return bounds
+
+
+def plan_chunks(
+    matrix: Any,
+    chunk_rows: Optional[int] = None,
+    align_shards: bool = True,
+    adaptive: Optional[bool] = None,
+    target_chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> ChunkPlan:
+    """Build a :class:`ChunkPlan` for any 2-D matrix-like object.
+
+    Parameters
+    ----------
+    matrix:
+        Anything with ``shape`` and ``dtype`` — ndarray, memmap,
+        ``MmapMatrix``, ``ShardedMatrix`` or a ``Dataset``.
+    chunk_rows:
+        Steady-state rows per chunk.  ``None`` sizes the window from
+        ``target_chunk_bytes`` and enables the adaptive ramp (unless
+        ``adaptive`` overrides it).
+    align_shards:
+        Split chunks at shard boundaries so each chunk is served as a
+        zero-copy single-shard view.
+    adaptive:
+        Force the doubling ramp on/off; defaults to on only when
+        ``chunk_rows`` was auto-sized.
+    """
+    if not hasattr(matrix, "shape") or len(matrix.shape) != 2:
+        raise ValueError("matrix must be 2-D")
+    n_rows, n_cols = int(matrix.shape[0]), int(matrix.shape[1])
+    row_bytes = n_cols * np.dtype(matrix.dtype).itemsize
+    if chunk_rows is None:
+        chunk_rows = max(1, target_chunk_bytes // max(row_bytes, 1))
+        if adaptive is None:
+            adaptive = True
+    elif chunk_rows <= 0:
+        raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+    chunk_rows = max(1, min(chunk_rows, max(n_rows, 1)))
+
+    if adaptive:
+        initial_rows = max(1, min(chunk_rows, INITIAL_CHUNK_BYTES // max(row_bytes, 1)))
+        raw = _ramp_bounds(n_rows, chunk_rows, initial_rows)
+    else:
+        raw = [(start, min(start + chunk_rows, n_rows)) for start in range(0, n_rows, chunk_rows)]
+
+    starts = shard_row_starts(matrix) if align_shards else ()
+    aligned = bool(starts)
+    if aligned:
+        cuts = np.asarray(starts, dtype=np.int64)
+        bounds: List[Tuple[int, int]] = []
+        for start, stop in raw:
+            # Split [start, stop) at every shard start strictly inside it.
+            inner = cuts[(cuts > start) & (cuts < stop)]
+            edges = [start, *[int(c) for c in inner], stop]
+            bounds.extend(zip(edges[:-1], edges[1:]))
+    else:
+        bounds = raw
+
+    return ChunkPlan(
+        n_rows=n_rows,
+        n_cols=n_cols,
+        chunk_rows=chunk_rows,
+        bounds=tuple(bounds),
+        row_bytes=row_bytes,
+        aligned=aligned,
+    )
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One row block of the stream: matrix rows plus the matching labels."""
+
+    index: int
+    start: int
+    stop: int
+    X: Any
+    y: Optional[np.ndarray] = None
+    read_s: float = 0.0
+
+    @property
+    def rows(self) -> int:
+        """Number of rows in the chunk."""
+        return self.stop - self.start
+
+
+@dataclass
+class ChunkStreamStats:
+    """Aggregated (and sampled per-chunk) timing of one chunk stream.
+
+    ``read_s`` is producer time spent materialising chunks; ``io_wait_s`` is
+    consumer time blocked waiting for a chunk (with prefetch, reads that
+    overlap compute do not show up here); ``compute_s`` is consumer time
+    between chunk deliveries — the training work the reads hide behind.
+    """
+
+    chunks: int = 0
+    rows: int = 0
+    bytes_read: int = 0
+    read_s: float = 0.0
+    io_wait_s: float = 0.0
+    compute_s: float = 0.0
+    prefetched: bool = False
+    #: Per-chunk ``(read_s, wait_s, compute_s)`` samples (capped).
+    samples: List[Tuple[float, float, float]] = field(default_factory=list)
+
+    def record(self, read_s: float, wait_s: float, compute_s: float, rows: int, nbytes: int) -> None:
+        """Fold one chunk's timings into the aggregate."""
+        self.chunks += 1
+        self.rows += rows
+        self.bytes_read += nbytes
+        self.read_s += read_s
+        self.io_wait_s += wait_s
+        self.compute_s += compute_s
+        if len(self.samples) < MAX_TIMING_SAMPLES:
+            self.samples.append((read_s, wait_s, compute_s))
+
+    def record_trailing_compute(self, compute_s: float) -> None:
+        """Attribute the time after the last delivery to the last chunk.
+
+        Compute time is measured *between* deliveries, so the work done on
+        the final chunk only becomes visible when the stream reports
+        exhaustion — without this, a single-chunk stream would claim zero
+        compute.
+        """
+        if self.chunks == 0 or compute_s <= 0.0:
+            return
+        self.compute_s += compute_s
+        if self.samples:
+            read_s, wait_s, prior = self.samples[-1]
+            self.samples[-1] = (read_s, wait_s, prior + compute_s)
+
+    def merge(self, other: "ChunkStreamStats") -> None:
+        """Fold another stream's aggregate (e.g. one training pass) into this."""
+        self.chunks += other.chunks
+        self.rows += other.rows
+        self.bytes_read += other.bytes_read
+        self.read_s += other.read_s
+        self.io_wait_s += other.io_wait_s
+        self.compute_s += other.compute_s
+        self.prefetched = self.prefetched or other.prefetched
+        free = MAX_TIMING_SAMPLES - len(self.samples)
+        if free > 0:
+            self.samples.extend(other.samples[:free])
+
+    @property
+    def io_overlap(self) -> float:
+        """Fraction of read time hidden behind compute: ``1 - wait/read``.
+
+        1.0 means every byte was prefetched before the trainer asked for it;
+        0.0 means the stream was fully synchronous.
+        """
+        if self.read_s <= 0.0:
+            return 1.0
+        return max(0.0, min(1.0, 1.0 - self.io_wait_s / self.read_s))
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary (no per-chunk samples)."""
+        return {
+            "chunks": self.chunks,
+            "rows": self.rows,
+            "bytes_read": self.bytes_read,
+            "read_s": self.read_s,
+            "io_wait_s": self.io_wait_s,
+            "compute_s": self.compute_s,
+            "io_overlap": self.io_overlap,
+            "prefetched": self.prefetched,
+        }
+
+
+class ChunkIterator:
+    """Synchronously yield :class:`Chunk` blocks of a matrix (and labels).
+
+    Reads go through whatever object is passed — an
+    :class:`~repro.core.mmap_matrix.MmapMatrix` keeps recording its access
+    trace, a :class:`~repro.api.sharded.ShardedMatrix` serves shard-aligned
+    bounds as zero-copy views, a plain ndarray just slices.  Labels may be an
+    ndarray, a memmap or a lazy :class:`~repro.api.sharded.ShardedLabels`
+    view; they are sliced per chunk, never materialised wholesale.
+    """
+
+    def __init__(
+        self,
+        matrix: Any,
+        labels: Optional[Any] = None,
+        plan: Optional[ChunkPlan] = None,
+        chunk_rows: Optional[int] = None,
+        align_shards: bool = True,
+    ) -> None:
+        self.matrix = matrix
+        self.labels = labels
+        self.plan = plan if plan is not None else plan_chunks(
+            matrix, chunk_rows=chunk_rows, align_shards=align_shards
+        )
+        if labels is not None and len(labels) != self.plan.n_rows:
+            raise ValueError(
+                f"labels have {len(labels)} entries but the plan covers "
+                f"{self.plan.n_rows} rows"
+            )
+        self.stats = ChunkStreamStats()
+        self._bounds = iter(enumerate(self.plan.bounds))
+        self._last_yield: Optional[float] = None
+
+    def __iter__(self) -> "ChunkIterator":
+        return self
+
+    def _read(self, index: int, start: int, stop: int) -> Chunk:
+        began = time.perf_counter()
+        X = self.matrix[start:stop]
+        y = None
+        if self.labels is not None:
+            y = np.asarray(self.labels[start:stop])
+        read_s = time.perf_counter() - began
+        return Chunk(index=index, start=start, stop=stop, X=X, y=y, read_s=read_s)
+
+    def __next__(self) -> Chunk:
+        now = time.perf_counter()
+        compute_s = now - self._last_yield if self._last_yield is not None else 0.0
+        try:
+            index, (start, stop) = next(self._bounds)
+        except StopIteration:
+            self.stats.record_trailing_compute(compute_s)
+            self._last_yield = None
+            raise
+        chunk = self._read(index, start, stop)
+        # Synchronous stream: the consumer waits for the whole read.
+        self.stats.record(
+            chunk.read_s, chunk.read_s, compute_s, chunk.rows, chunk.rows * self.plan.row_bytes
+        )
+        self._last_yield = time.perf_counter()
+        return chunk
+
+    def close(self) -> None:
+        """Stop iterating (synchronous streams hold no resources)."""
+        self._bounds = iter(())
+
+    def __enter__(self) -> "ChunkIterator":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+class _EndOfStream:
+    """Sentinel the producer enqueues after the last chunk (or an error)."""
+
+    def __init__(self, error: Optional[BaseException] = None) -> None:
+        self.error = error
+
+
+class PrefetchingChunkIterator:
+    """Double-buffered wrapper: read chunk *k+1* while chunk *k* trains.
+
+    A daemon thread drains the inner iterator into a bounded queue of
+    ``depth`` chunks (``depth=2`` is classic double buffering: one chunk being
+    consumed, one ready, one in flight).  The consumer's ``__next__`` only
+    blocks when the producer has fallen behind — that blocked time is the
+    stream's true I/O wait, recorded per chunk in :attr:`stats` alongside the
+    producer's read time, so ``stats.io_overlap`` measures how much of the
+    I/O the pipeline actually hid.
+
+    Always close (or exhaust) the iterator; it is a context manager, and
+    ``close()`` is what stops the producer thread early.
+    """
+
+    def __init__(self, inner: ChunkIterator, depth: int = 2) -> None:
+        if depth < 1:
+            raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+        self.inner = inner
+        self.depth = depth
+        self.stats = ChunkStreamStats(prefetched=True)
+        self._queue: "queue.Queue" = queue.Queue(maxsize=depth)
+        self._stop = threading.Event()
+        self._last_yield: Optional[float] = None
+        self._finished = False
+        # The thread target closes over (inner, queue, stop) but NOT self:
+        # an abandoned iterator stays collectable, and __del__ then stops the
+        # producer instead of leaking a spinning thread for the process
+        # lifetime.
+        self._thread = threading.Thread(
+            target=self._produce,
+            args=(inner, self._queue, self._stop),
+            name="m3-chunk-prefetch",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- producer ----------------------------------------------------------
+
+    @staticmethod
+    def _produce(inner: ChunkIterator, out: "queue.Queue", stop: threading.Event) -> None:
+        try:
+            for index, (start, stop_row) in enumerate(inner.plan.bounds):
+                if stop.is_set():
+                    return
+                chunk = inner._read(index, start, stop_row)
+                if not PrefetchingChunkIterator._put(out, stop, chunk):
+                    return
+            PrefetchingChunkIterator._put(out, stop, _EndOfStream())
+        except BaseException as error:  # noqa: BLE001 — relayed to the consumer
+            PrefetchingChunkIterator._put(out, stop, _EndOfStream(error))
+
+    @staticmethod
+    def _put(out: "queue.Queue", stop: threading.Event, item: Any) -> bool:
+        """Enqueue ``item``, giving up promptly when the consumer closed us."""
+        while not stop.is_set():
+            try:
+                out.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    # -- consumer ----------------------------------------------------------
+
+    @property
+    def plan(self) -> ChunkPlan:
+        """The plan being streamed."""
+        return self.inner.plan
+
+    def __iter__(self) -> "PrefetchingChunkIterator":
+        return self
+
+    def __next__(self) -> Chunk:
+        if self._finished:
+            raise StopIteration
+        now = time.perf_counter()
+        compute_s = now - self._last_yield if self._last_yield is not None else 0.0
+        item = self._queue.get()
+        wait_s = time.perf_counter() - now
+        if isinstance(item, _EndOfStream):
+            self.stats.record_trailing_compute(compute_s)
+            self._finished = True
+            self._last_yield = None
+            if item.error is not None:
+                raise item.error
+            raise StopIteration
+        self.stats.record(
+            item.read_s, wait_s, compute_s, item.rows, item.rows * self.plan.row_bytes
+        )
+        self._last_yield = time.perf_counter()
+        return item
+
+    def close(self) -> None:
+        """Stop the producer thread and drop any buffered chunks."""
+        self._stop.set()
+        while True:
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
+        self._thread.join(timeout=5.0)
+        self._finished = True
+
+    def __del__(self) -> None:
+        # Last-resort cleanup for abandoned iterators: signal the producer
+        # (it polls the stop event while blocked on a full queue) without
+        # joining — never block in a finalizer.  ``_stop`` may not exist if
+        # __init__ raised during validation.
+        stop = getattr(self, "_stop", None)
+        if stop is not None:
+            stop.set()
+
+    def __enter__(self) -> "PrefetchingChunkIterator":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+def open_chunk_stream(
+    matrix: Any,
+    labels: Optional[Any] = None,
+    chunk_rows: Optional[int] = None,
+    align_shards: bool = True,
+    prefetch: bool = True,
+    prefetch_depth: int = 2,
+    plan: Optional[ChunkPlan] = None,
+) -> "ChunkIterator | PrefetchingChunkIterator":
+    """Build a (possibly prefetching) chunk stream in one call."""
+    inner = ChunkIterator(
+        matrix, labels=labels, plan=plan, chunk_rows=chunk_rows, align_shards=align_shards
+    )
+    if not prefetch:
+        return inner
+    return PrefetchingChunkIterator(inner, depth=prefetch_depth)

@@ -24,7 +24,8 @@ backend and engine.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Union
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -35,11 +36,134 @@ from repro.api.storage import (
     MemoryBackend,
     SpecLike,
     StorageBackend,
+    StorageHandle,
     make_backend,
     parse_spec,
 )
 from repro.core.advice import AccessAdvice
 from repro.core.config import M3Config
+
+PoolKey = Tuple[str, str, str, Any]  # (scheme, location, mode, advice)
+
+
+class _PoolEntry:
+    """One pooled backend handle: the handle, its users, its freshness token."""
+
+    __slots__ = ("key", "handle", "refs", "fingerprint", "invalidated")
+
+    def __init__(self, key: PoolKey, handle: StorageHandle, fingerprint: Any) -> None:
+        self.key = key
+        self.handle = handle
+        self.refs = 0
+        self.fingerprint = fingerprint
+        self.invalidated = False
+
+
+class HandlePool:
+    """LRU pool of open :class:`StorageHandle`\\ s, keyed by
+    ``(scheme, location, mode, advice)``.
+
+    Repeated :meth:`Session.open` calls on a hot dataset reuse the pooled
+    handle (one set of memory maps, refcounted across the `Dataset` handles
+    sharing it) instead of re-opening files.  Correctness rules:
+
+    * an entry is **invalidated** — removed from the reuse map — whenever a
+      dataset sharing it is closed or flushed, or the location is rewritten
+      through :meth:`Session.create`; the underlying handle is only really
+      closed once its last user closes;
+    * before reuse, the backend's ``fingerprint`` (file mtime/size) is
+      compared against the one captured at open, so a dataset rewritten on
+      disk *behind the session's back* is re-opened, never served from a
+      stale memory map;
+    * at most ``capacity`` entries are tracked; opening beyond that drops the
+      least-recently-used entry from the reuse map (its handle stays alive
+      with its datasets and closes with them).
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[PoolKey, _PoolEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: PoolKey) -> bool:
+        return key in self._entries
+
+    def acquire(self, key: PoolKey, opener: Any, fingerprint: Any) -> _PoolEntry:
+        """A pooled entry for ``key``: reused when fresh, opened otherwise."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            token = fingerprint()
+            if token == entry.fingerprint:
+                entry.refs += 1
+                self._entries.move_to_end(key)
+                return entry
+            self._remove(entry)  # stale: the dataset changed on disk
+        if self.capacity == 0:
+            entry = _PoolEntry(key, opener(), None)
+            entry.refs += 1
+            entry.invalidated = True  # untracked: close with its last user
+            return entry
+        entry = _PoolEntry(key, opener(), fingerprint())
+        entry.refs += 1
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            evicted.invalidated = True
+            self._close_if_unused(evicted)
+        return entry
+
+    def release(self, entry: _PoolEntry) -> None:
+        """A dataset sharing ``entry`` closed: invalidate, refcount, close."""
+        entry.refs = max(0, entry.refs - 1)
+        self._remove(entry)
+
+    def invalidate(self, entry: _PoolEntry) -> None:
+        """Drop ``entry`` from the reuse map (live users keep their handle)."""
+        self._pop_if_current(entry)
+        entry.invalidated = True
+
+    def invalidate_location(self, scheme: str, location: str) -> None:
+        """Drop every entry for ``location`` (any mode) — it was rewritten."""
+        for key in [k for k in self._entries if k[0] == scheme and k[1] == location]:
+            entry = self._entries.pop(key)
+            entry.invalidated = True
+            self._close_if_unused(entry)
+
+    def close_idle(self) -> None:
+        """Close every tracked handle that no dataset is using any more."""
+        for key in list(self._entries):
+            entry = self._entries[key]
+            if entry.refs == 0:
+                del self._entries[key]
+                entry.invalidated = True
+                self._close_handle(entry)
+
+    def _pop_if_current(self, entry: _PoolEntry) -> None:
+        """Drop ``entry`` from the map only if it is still the mapped entry.
+
+        A key may have been re-opened with a fresh entry after this one was
+        invalidated; releasing the old entry must not evict the new one.
+        """
+        if self._entries.get(entry.key) is entry:
+            del self._entries[entry.key]
+
+    def _remove(self, entry: _PoolEntry) -> None:
+        self._pop_if_current(entry)
+        entry.invalidated = True
+        self._close_if_unused(entry)
+
+    def _close_if_unused(self, entry: _PoolEntry) -> None:
+        if entry.refs == 0 and entry.invalidated:
+            self._close_handle(entry)
+
+    @staticmethod
+    def _close_handle(entry: _PoolEntry) -> None:
+        if entry.handle.closer is not None:
+            entry.handle.closer()
 
 
 class Session:
@@ -51,9 +175,14 @@ class Session:
         Runtime configuration; see :class:`~repro.core.config.M3Config`.
     engine:
         Default execution engine for :meth:`fit` — a name (``"local"``,
-        ``"simulated"``, ``"distributed"``), an
+        ``"simulated"``, ``"streaming"``, ``"distributed"``), an
         :class:`~repro.api.engines.ExecutionEngine` instance, or ``None`` for
         local execution.
+    handle_pool_size:
+        Capacity of the LRU :class:`HandlePool` behind :meth:`open`.  While a
+        dataset spec is hot (opened handles not yet all closed), further
+        ``open`` calls share its backend handle instead of re-mapping files —
+        the high-QPS serving path.  ``0`` disables pooling.
 
     Notes
     -----
@@ -67,11 +196,13 @@ class Session:
         self,
         config: Optional[M3Config] = None,
         engine: Union[str, ExecutionEngine, None] = None,
+        handle_pool_size: int = 8,
     ) -> None:
         self.config = config or M3Config()
         self.default_engine = resolve_engine(engine)
         self._backends: Dict[str, StorageBackend] = {}
         self._datasets: list[Dataset] = []
+        self._pool = HandlePool(handle_pool_size)
         self._closed = False
 
     # -- backends ----------------------------------------------------------
@@ -99,21 +230,50 @@ class Session:
 
         ``mode``, ``advice`` and ``record_trace`` default to the session
         config's ``mode``, ``default_advice`` and ``record_traces``.
+
+        Handles are served through the session's :class:`HandlePool`: while a
+        spec is hot, repeated opens share one set of backend resources.  The
+        pool entry is invalidated whenever a sharing dataset is closed or
+        flushed (and revalidated against the backend's freshness fingerprint
+        on reuse), so a dataset file rewritten between opens is always
+        re-opened, never served stale.
         """
         self._check_open()
         parsed, backend = self._resolve(spec)
-        handle = backend.open(parsed.location, mode=mode or self.config.mode)
+        resolved_mode = mode or self.config.mode
+        resolved_advice = advice or self.config.default_advice
+        # Advice is part of the key: madvise applies to the whole mapping, so
+        # handles are only shared between opens that want the same advice.
+        entry = self._pool.acquire(
+            (parsed.scheme, parsed.location, resolved_mode, resolved_advice),
+            opener=lambda: backend.open(parsed.location, mode=resolved_mode),
+            fingerprint=lambda: backend.fingerprint(parsed.location),
+        )
         dataset = Dataset(
-            handle,
+            entry.handle,
             spec=str(parsed),
             backend=backend,
-            advice=advice or self.config.default_advice,
+            advice=resolved_advice,
             record_trace=(
                 self.config.record_traces if record_trace is None else record_trace
             ),
+            on_close=lambda closed: self._forget(closed, entry),
+            on_flush=lambda _dataset: self._pool.invalidate(entry),
         )
         self._datasets.append(dataset)
         return dataset
+
+    def _forget(self, dataset: Dataset, entry: _PoolEntry) -> None:
+        """Release ``dataset``'s pool entry and stop tracking it.
+
+        Pruning closed datasets keeps a long-lived session's bookkeeping flat
+        under the open/close churn of a serving loop.
+        """
+        self._pool.release(entry)
+        try:
+            self._datasets.remove(dataset)
+        except ValueError:
+            pass
 
     def create(
         self,
@@ -125,11 +285,13 @@ class Session:
         """Materialise ``data`` (and ``labels``) at ``spec``; return the spec.
 
         Backend-specific ``options`` are forwarded (e.g. ``shard_rows=`` for
-        the sharded backend).
+        the sharded backend).  Any pooled handles for the location are
+        invalidated — the dataset was just rewritten.
         """
         self._check_open()
         parsed, backend = self._resolve(spec)
         backend.create(parsed.location, data, labels, **options)
+        self._pool.invalidate_location(parsed.scheme, parsed.location)
         return str(parsed)
 
     def from_arrays(
@@ -217,12 +379,17 @@ class Session:
             raise RuntimeError("session is closed")
 
     def close(self) -> None:
-        """Close every dataset the session opened.  Idempotent."""
+        """Close every dataset the session opened.  Idempotent.
+
+        Released datasets (see :meth:`release`) keep their handles; any other
+        idle pooled handles are closed with the session.
+        """
         if self._closed:
             return
-        for dataset in self._datasets:
-            dataset.close()
+        for dataset in list(self._datasets):
+            dataset.close()  # prunes itself from _datasets via its hook
         self._datasets = []
+        self._pool.close_idle()
         self._closed = True
 
     def __enter__(self) -> "Session":

@@ -118,6 +118,15 @@ class StorageHandle:
     closer: Optional[Any] = None
 
 
+def _stat_token(path: Path) -> Optional[Tuple[int, int]]:
+    """``(mtime_ns, size)`` of ``path``, or ``None`` when it does not exist."""
+    try:
+        stat = path.stat()
+    except OSError:
+        return None
+    return (stat.st_mtime_ns, stat.st_size)
+
+
 def _reject_options(scheme: str, options: Dict[str, Any]) -> None:
     """Fail loudly on options a backend does not understand."""
     if options:
@@ -153,6 +162,16 @@ class StorageBackend(abc.ABC):
     @abc.abstractmethod
     def exists(self, location: str) -> bool:
         """Whether a dataset exists at ``location``."""
+
+    def fingerprint(self, location: str) -> Any:
+        """A cheap freshness token for the dataset at ``location``.
+
+        The session handle pool compares fingerprints before reusing a cached
+        handle, so a dataset rewritten on disk between opens is re-opened
+        instead of served from a stale memory map.  ``None`` (the default)
+        means the backend has no rewrite signal to offer.
+        """
+        return None
 
 
 class MemoryBackend(StorageBackend):
@@ -262,6 +281,9 @@ class MmapBackend(StorageBackend):
     def exists(self, location: str) -> bool:
         return Path(location).is_file()
 
+    def fingerprint(self, location: str) -> Any:
+        return _stat_token(Path(location))
+
 
 class ShardedBackend(StorageBackend):
     """A directory of M3 shard files tiling the matrix row-wise."""
@@ -275,7 +297,9 @@ class ShardedBackend(StorageBackend):
         matrix = ShardedMatrix(Path(location), mode=mode)
         return StorageHandle(
             matrix=matrix,
-            labels=matrix.read_labels(),
+            # Labels stay a lazy per-shard view: in-core consumers materialise
+            # them once via np.asarray, the streaming engine slices per chunk.
+            labels=matrix.lazy_labels,
             data_offset=0,
             metadata={
                 "backend": self.scheme,
@@ -321,6 +345,16 @@ class ShardedBackend(StorageBackend):
 
     def exists(self, location: str) -> bool:
         return (Path(location) / MANIFEST_NAME).is_file()
+
+    def fingerprint(self, location: str) -> Any:
+        directory = Path(location)
+        tokens = [_stat_token(directory / MANIFEST_NAME)]
+        try:
+            manifest = read_manifest(directory)
+        except (ValueError, OSError, KeyError):
+            return tuple(tokens)
+        tokens.extend(_stat_token(directory / shard.filename) for shard in manifest.shards)
+        return tuple(tokens)
 
 
 #: Default backend classes, keyed by URI scheme.

@@ -8,7 +8,9 @@ reproduction entry points:
 * ``m3 train`` — train logistic regression or k-means on a dataset through
   the unified :class:`~repro.api.Session` API; ``--engine simulated``
   additionally replays the recorded access trace through the paper-scale
-  virtual-memory simulator.
+  virtual-memory simulator; ``--engine streaming [--chunk-rows N]`` trains
+  through the chunk pipeline (``partial_fit`` over prefetched shard-aligned
+  row blocks) and reports per-chunk I/O-wait vs compute time.
 * ``m3 figure1a`` / ``m3 figure1b`` / ``m3 table1`` / ``m3 utilization`` —
   regenerate the paper's figures and table as plain-text tables.
 
@@ -59,30 +61,54 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    from repro.api import Session
-    from repro.ml import KMeans, LogisticRegression, SoftmaxRegression
+    from repro.api import Session, StreamingEngine
+    from repro.ml import KMeans, LogisticRegression, MiniBatchKMeans, SoftmaxRegression
 
+    streaming = args.engine == "streaming"
+    engine = (
+        StreamingEngine(chunk_rows=args.chunk_rows) if streaming else args.engine
+    )
     with Session() as session:
         dataset = session.open(args.dataset)
         if args.algorithm == "logistic":
             labels = np.asarray(dataset.labels)
-            if np.unique(labels).shape[0] > 2:
-                model = SoftmaxRegression(max_iterations=args.iterations)
+            multiclass = np.unique(labels).shape[0] > 2
+            # The streaming engine trains through partial_fit, which the
+            # linear models implement for their SGD solver.
+            solver = "sgd" if streaming else "lbfgs"
+            if multiclass:
+                model = SoftmaxRegression(max_iterations=args.iterations, solver=solver)
             else:
-                model = LogisticRegression(max_iterations=args.iterations)
-            result = session.fit(model, dataset, y=labels, engine=args.engine)
+                model = LogisticRegression(max_iterations=args.iterations, solver=solver)
+            result = session.fit(model, dataset, y=labels, engine=engine)
             accuracy = result.model.score(dataset.matrix, labels)
             print(
                 f"trained in {result.wall_time_s:.2f}s ({result.engine} engine, "
                 f"{dataset.backend_name} backend), training accuracy {accuracy:.3f}"
             )
         else:
-            model = KMeans(n_clusters=args.clusters, max_iterations=args.iterations, seed=0)
-            result = session.fit(model, dataset, engine=args.engine)
+            if streaming:
+                model = MiniBatchKMeans(
+                    n_clusters=args.clusters, max_epochs=args.iterations, seed=0
+                )
+            else:
+                model = KMeans(
+                    n_clusters=args.clusters, max_iterations=args.iterations, seed=0
+                )
+            result = session.fit(model, dataset, engine=engine)
             print(
                 f"trained in {result.wall_time_s:.2f}s ({result.engine} engine, "
                 f"{dataset.backend_name} backend), inertia {result.model.inertia_:.4g}, "
                 f"{result.model.n_iter_} iterations"
+            )
+        if streaming:
+            details = result.details
+            print(
+                f"chunk pipeline: {details['chunks']} chunks of <= "
+                f"{details['chunk_rows']} rows over {details['passes']} pass(es), "
+                f"{details['bytes_read'] / 1e6:.1f} MB read in {details['read_s']:.2f}s, "
+                f"io-wait {details['io_wait_s']:.2f}s, compute {details['compute_s']:.2f}s, "
+                f"{details['io_overlap'] * 100:.0f}% of reads overlapped with compute"
             )
         if result.simulation is not None:
             sim = result.simulation
@@ -188,11 +214,18 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("dataset", type=str,
                        help="a labelled dataset: path or URI spec (mmap://, shard://)")
     train.add_argument("--algorithm", choices=["logistic", "kmeans"], default="logistic")
-    train.add_argument("--engine", choices=["local", "simulated"], default="local",
+    train.add_argument("--engine", choices=["local", "simulated", "streaming"],
+                       default="local",
                        help="execution engine; 'simulated' also replays the access "
-                            "trace through the paper-scale virtual-memory simulator")
+                            "trace through the paper-scale virtual-memory simulator; "
+                            "'streaming' trains via partial_fit over prefetched "
+                            "shard-aligned chunks and reports I/O-wait vs compute")
     train.add_argument("--iterations", type=int, default=10)
     train.add_argument("--clusters", type=int, default=5)
+    train.add_argument("--chunk-rows", type=int, default=None,
+                       help="rows per streaming chunk (streaming engine only; "
+                            "defaults to the model's batch size, or an "
+                            "auto-sized adaptive window)")
     train.set_defaults(func=_cmd_train)
 
     figure1a = sub.add_parser("figure1a", help="regenerate Figure 1a (runtime vs size)")

@@ -62,7 +62,10 @@ class M3:
         from repro.api.session import Session
 
         self.config = config or M3Config()
-        self.session = Session(self.config)
+        # Pooling is disabled: legacy callers hold bare (matrix, labels)
+        # tuples and rely on garbage collection to release mappings, so
+        # handles must not be shared or tracked beyond their Dataset.
+        self.session = Session(self.config, handle_pool_size=0)
         self._thread_state = threading.local()
 
     # -- deprecated shared-trace attribute ------------------------------------
@@ -149,7 +152,13 @@ class M3:
         self.session.release(dataset)
         if dataset.trace is not None:
             self._remember_trace(dataset.trace)
-        return dataset.matrix, dataset.labels
+        labels = dataset.labels
+        if labels is not None:
+            # The legacy shape promises a plain int64 ndarray; materialise
+            # lazy label views (the sharded backend's) here so old callers
+            # can keep using ndarray operators on the result.
+            labels = np.asarray(labels)
+        return dataset.matrix, labels
 
     def load_matrix(
         self,

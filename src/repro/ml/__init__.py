@@ -21,7 +21,13 @@ Contents:
   and chunk-aware feature scaling.
 """
 
-from repro.ml.base import BaseEstimator, ClassifierMixin, ClustererMixin, TransformerMixin
+from repro.ml.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    ClustererMixin,
+    StreamingEstimator,
+    TransformerMixin,
+)
 from repro.ml.optim import (
     GradientDescent,
     LBFGS,
@@ -39,6 +45,7 @@ __all__ = [
     "BaseEstimator",
     "ClassifierMixin",
     "ClustererMixin",
+    "StreamingEstimator",
     "TransformerMixin",
     "LBFGS",
     "GradientDescent",

@@ -83,6 +83,88 @@ class BaseEstimator:
             )
 
 
+class StreamingEstimator:
+    """Mixin for estimators that train as chunk-streaming consumers.
+
+    The contract has one required method and three optional hooks:
+
+    ``partial_fit(X, y=None, classes=None)``
+        Consume one row chunk, updating internal state (and the public fitted
+        attributes, so a partially trained model is already usable).
+        Classifiers need ``classes`` on (or before) the first call when the
+        first chunk may not contain every class.
+    ``streaming_passes``
+        How many passes over the data one full training run makes
+        (epochs for SGD-style models, 1 for single-pass accumulators).
+    ``_end_streaming_pass(epoch)``
+        Called after each pass; return ``True`` to stop early (convergence).
+    ``finalize_streaming(X)``
+        Called once after the last pass with a matrix-like handle to the full
+        dataset, for summary attributes that need a final read pass
+        (``inertia_``, ``result_``); must be cheap or a sequential scan.
+
+    :meth:`fit_streaming` ties these together, and is the *single* training
+    loop shared by in-core ``fit`` (which feeds it in-memory chunks) and the
+    out-of-core streaming engine (which feeds it prefetched chunks from any
+    storage backend) — the M3 transparency property, now for training loops.
+    """
+
+    _streaming_state: Any = None
+
+    @property
+    def streaming_passes(self) -> int:
+        """Number of passes over the data a full training run makes."""
+        return 1
+
+    def partial_fit(self, X: Any, y: Any = None, classes: Any = None) -> "StreamingEstimator":
+        """Consume one chunk of rows.  Subclasses must implement this."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support chunk-streaming training"
+        )
+
+    def fit_streaming(
+        self,
+        make_stream: Any,
+        classes: Any = None,
+        finalize: Any = None,
+    ) -> "StreamingEstimator":
+        """Train by looping ``partial_fit`` over a restartable chunk stream.
+
+        Parameters
+        ----------
+        make_stream:
+            Zero-argument callable returning a fresh iterable of
+            ``(X_chunk, y_chunk)`` pairs — one call per pass.
+        classes:
+            Class labels forwarded to every ``partial_fit`` call.
+        finalize:
+            Optional matrix-like handle passed to :meth:`finalize_streaming`.
+        """
+        self._reset_streaming()
+        epoch = 0
+        for epoch in range(1, max(1, int(self.streaming_passes)) + 1):
+            for chunk_X, chunk_y in make_stream():
+                self.partial_fit(chunk_X, chunk_y, classes=classes)
+            if self._end_streaming_pass(epoch):
+                break
+        self._streaming_epochs_ = epoch
+        if finalize is not None:
+            self.finalize_streaming(finalize)
+        return self
+
+    def _reset_streaming(self) -> None:
+        """Forget accumulated streaming state so training starts fresh."""
+        self._streaming_state = None
+
+    def _end_streaming_pass(self, epoch: int) -> bool:
+        """Pass-boundary hook; return ``True`` to stop early."""
+        return False
+
+    def finalize_streaming(self, X: Any) -> None:
+        """Post-training hook for attributes needing a final look at ``X``."""
+        return None
+
+
 class ClassifierMixin:
     """Adds accuracy scoring to classifiers."""
 

@@ -14,11 +14,26 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.ml.base import BaseEstimator, ClustererMixin, as_matrix, iter_row_chunks
+from repro.ml.base import (
+    BaseEstimator,
+    ClustererMixin,
+    StreamingEstimator,
+    as_matrix,
+    iter_row_chunks,
+)
 from repro.ml.cluster.init import kmeans_plus_plus_init, random_init
 
 
-class MiniBatchKMeans(BaseEstimator, ClustererMixin):
+class _MiniBatchState:
+    """Mutable centroid state shared by ``fit`` and ``partial_fit``."""
+
+    def __init__(self, rng: np.random.Generator, centroids: np.ndarray) -> None:
+        self.rng = rng
+        self.centroids = centroids
+        self.counts = np.zeros(centroids.shape[0], dtype=np.int64)
+
+
+class MiniBatchKMeans(BaseEstimator, ClustererMixin, StreamingEstimator):
     """Mini-batch k-means clustering.
 
     Parameters
@@ -78,12 +93,10 @@ class MiniBatchKMeans(BaseEstimator, ClustererMixin):
             raise ValueError(
                 f"n_clusters={self.n_clusters} exceeds number of rows {X.shape[0]}"
             )
+        # Full-dataset initialisation (chunk-streamed internally), then the
+        # same per-batch update partial_fit uses.
         rng = np.random.default_rng(self.seed)
-        if self.init == "k-means++":
-            centroids = kmeans_plus_plus_init(X, self.n_clusters, rng, self.batch_size)
-        else:
-            centroids = random_init(X, self.n_clusters, rng, self.batch_size)
-        counts = np.zeros(self.n_clusters, dtype=np.int64)
+        self._streaming_state = _MiniBatchState(rng, self._init_centroids(X, rng))
 
         bounds = list(iter_row_chunks(X, self.batch_size))
         epoch = 0
@@ -91,24 +104,73 @@ class MiniBatchKMeans(BaseEstimator, ClustererMixin):
             order = rng.permutation(len(bounds)) if self.shuffle else np.arange(len(bounds))
             for index in order:
                 start, stop = bounds[int(index)]
-                chunk = np.asarray(X[start:stop], dtype=np.float64)
-                sq_dist = (
-                    np.einsum("ij,ij->i", chunk, chunk)[:, None]
-                    - 2.0 * (chunk @ centroids.T)
-                    + np.einsum("ij,ij->i", centroids, centroids)[None, :]
-                )
-                assignments = np.argmin(sq_dist, axis=1)
-                for cluster in np.unique(assignments):
-                    members = chunk[assignments == cluster]
-                    for row in members:
-                        counts[cluster] += 1
-                        eta = 1.0 / counts[cluster]
-                        centroids[cluster] = (1.0 - eta) * centroids[cluster] + eta * row
+                self._update_batch(np.asarray(X[start:stop], dtype=np.float64))
 
-        self.cluster_centers_ = centroids
+        self.cluster_centers_ = self._streaming_state.centroids
         self.n_iter_ = epoch
         self.inertia_ = self.inertia(X)
         return self
+
+    # -- streaming (partial_fit) -------------------------------------------
+
+    @property
+    def streaming_passes(self) -> int:
+        """Epochs one full training run makes."""
+        return self.max_epochs
+
+    def partial_fit(self, X: Any, y: Any = None, classes: Any = None) -> "MiniBatchKMeans":
+        """Consume one mini-batch of rows (``y``/``classes`` are ignored).
+
+        The first chunk seeds the centroids (k-means++ or random, per
+        ``init``), so it must contain at least ``n_clusters`` rows; every
+        subsequent chunk is one Sculley-style centroid update.
+        """
+        X = as_matrix(X)
+        state = self._streaming_state
+        if state is None:
+            if X.shape[0] < self.n_clusters:
+                raise ValueError(
+                    f"the first chunk must hold at least n_clusters="
+                    f"{self.n_clusters} rows to seed centroids, got {X.shape[0]}"
+                )
+            rng = np.random.default_rng(self.seed)
+            state = self._streaming_state = _MiniBatchState(
+                rng, self._init_centroids(X, rng)
+            )
+        self._update_batch(np.asarray(X[0 : X.shape[0]], dtype=np.float64))
+        self.cluster_centers_ = state.centroids
+        return self
+
+    def _init_centroids(self, X: Any, rng: np.random.Generator) -> np.ndarray:
+        if self.init == "k-means++":
+            return kmeans_plus_plus_init(X, self.n_clusters, rng, self.batch_size)
+        return random_init(X, self.n_clusters, rng, self.batch_size)
+
+    def _update_batch(self, chunk: np.ndarray) -> None:
+        """One mini-batch centroid update (Sculley 2010) on ``chunk``."""
+        state = self._streaming_state
+        centroids, counts = state.centroids, state.counts
+        sq_dist = (
+            np.einsum("ij,ij->i", chunk, chunk)[:, None]
+            - 2.0 * (chunk @ centroids.T)
+            + np.einsum("ij,ij->i", centroids, centroids)[None, :]
+        )
+        assignments = np.argmin(sq_dist, axis=1)
+        for cluster in np.unique(assignments):
+            members = chunk[assignments == cluster]
+            for row in members:
+                counts[cluster] += 1
+                eta = 1.0 / counts[cluster]
+                centroids[cluster] = (1.0 - eta) * centroids[cluster] + eta * row
+
+    def finalize_streaming(self, X: Any) -> None:
+        """Set the summary attributes that need one look at the full matrix."""
+        state = self._streaming_state
+        if state is None:
+            return
+        self.cluster_centers_ = state.centroids
+        self.n_iter_ = getattr(self, "_streaming_epochs_", self.max_epochs)
+        self.inertia_ = self.inertia(X)
 
     def predict(self, X: Any) -> np.ndarray:
         """Index of the nearest centroid for every row of ``X``."""

@@ -6,14 +6,19 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.ml.base import BaseEstimator, ClassifierMixin, as_labels, as_matrix
+from repro.ml.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    as_labels,
+    as_matrix,
+    iter_row_chunks,
+)
 from repro.ml.linear_model.objectives import DEFAULT_CHUNK_ROWS, LogisticRegressionObjective
+from repro.ml.linear_model.sgd_streaming import LinearSGDStreamingMixin
 from repro.ml.optim.lbfgs import LBFGS
-from repro.ml.optim.result import OptimizationResult
-from repro.ml.optim.sgd import SGD
 
 
-class LogisticRegression(BaseEstimator, ClassifierMixin):
+class LogisticRegression(BaseEstimator, ClassifierMixin, LinearSGDStreamingMixin):
     """Binary logistic regression.
 
     The defaults mirror the M3 experiments: L-BFGS with 10 iterations.  The
@@ -81,8 +86,17 @@ class LogisticRegression(BaseEstimator, ClassifierMixin):
             raise ValueError(
                 f"binary logistic regression requires exactly 2 classes, got {classes.shape[0]}"
             )
-        binary = (y == classes[1]).astype(np.int64)
 
+        if self.solver == "sgd":
+            # In-core SGD training is the same streaming loop the out-of-core
+            # engine drives: one partial_fit per contiguous row chunk.
+            def make_stream():
+                for start, stop in iter_row_chunks(X, self.chunk_size):
+                    yield X[start:stop], y[start:stop]
+
+            return self.fit_streaming(make_stream, classes=classes, finalize=X)
+
+        binary = (y == classes[1]).astype(np.int64)
         objective = LogisticRegressionObjective(
             X,
             binary,
@@ -90,7 +104,8 @@ class LogisticRegression(BaseEstimator, ClassifierMixin):
             fit_intercept=self.fit_intercept,
             chunk_size=self.chunk_size,
         )
-        result = self._minimize(objective)
+        optimizer = LBFGS(max_iterations=self.max_iterations, tolerance=self.tolerance)
+        result = optimizer.minimize(objective)
 
         params = result.params
         self.classes_ = classes
@@ -100,17 +115,35 @@ class LogisticRegression(BaseEstimator, ClassifierMixin):
         self._objective_template = objective
         return self
 
-    def _minimize(self, objective: LogisticRegressionObjective) -> OptimizationResult:
-        if self.solver == "lbfgs":
-            optimizer = LBFGS(max_iterations=self.max_iterations, tolerance=self.tolerance)
-            return optimizer.minimize(objective)
-        optimizer = SGD(
-            max_epochs=self.max_iterations,
-            batch_size=self.chunk_size,
-            seed=self.seed,
-            tolerance=self.tolerance,
+    # -- streaming (partial_fit) -------------------------------------------
+    # The loop itself lives in LinearSGDStreamingMixin; these hooks supply
+    # the binary-logistic specifics.
+
+    def _check_stream_classes(self, classes: np.ndarray) -> None:
+        if classes.shape[0] != 2:
+            raise ValueError(
+                f"binary logistic regression requires exactly 2 classes, got {classes.shape[0]}"
+            )
+
+    def _stream_param_count(self, classes: np.ndarray, n_features: int) -> int:
+        return n_features + (1 if self.fit_intercept else 0)
+
+    def _stream_objective(self, X: Any, encoded: np.ndarray, classes: np.ndarray) -> Any:
+        # ``encoded`` indexes into the sorted class pair, so it is already
+        # the 0/1 vector the binary objective expects.
+        return LogisticRegressionObjective(
+            X,
+            encoded.astype(np.int64),
+            l2_penalty=self.l2_penalty,
+            fit_intercept=self.fit_intercept,
+            chunk_size=self.chunk_size,
         )
-        return optimizer.minimize(objective)
+
+    def _publish_streaming_params(self) -> None:
+        state = self._streaming_state
+        self.classes_ = state.classes
+        self.coef_ = state.params[: state.n_features].copy()
+        self.intercept_ = float(state.params[state.n_features]) if self.fit_intercept else 0.0
 
     # -- inference -----------------------------------------------------------
 

@@ -13,13 +13,19 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.ml.base import BaseEstimator, ClassifierMixin, as_labels, as_matrix
+from repro.ml.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    as_labels,
+    as_matrix,
+    iter_row_chunks,
+)
 from repro.ml.linear_model.objectives import DEFAULT_CHUNK_ROWS, SoftmaxRegressionObjective
+from repro.ml.linear_model.sgd_streaming import LinearSGDStreamingMixin
 from repro.ml.optim.lbfgs import LBFGS
-from repro.ml.optim.sgd import SGD
 
 
-class SoftmaxRegression(BaseEstimator, ClassifierMixin):
+class SoftmaxRegression(BaseEstimator, ClassifierMixin, LinearSGDStreamingMixin):
     """Multinomial logistic regression trained with L-BFGS (or SGD).
 
     Attributes
@@ -58,10 +64,19 @@ class SoftmaxRegression(BaseEstimator, ClassifierMixin):
         """Fit the model; labels may be any hashable values (they are re-indexed)."""
         X = as_matrix(X)
         y = as_labels(y, X.shape[0])
-        classes, indexed = np.unique(y, return_inverse=True)
+        classes = np.unique(y)
         if classes.shape[0] < 2:
             raise ValueError("softmax regression requires at least 2 classes")
 
+        if self.solver == "sgd":
+            # One streaming code path for in-core and out-of-core training.
+            def make_stream():
+                for start, stop in iter_row_chunks(X, self.chunk_size):
+                    yield X[start:stop], y[start:stop]
+
+            return self.fit_streaming(make_stream, classes=classes, finalize=X)
+
+        indexed = np.searchsorted(classes, y)
         objective = SoftmaxRegressionObjective(
             X,
             indexed,
@@ -70,17 +85,8 @@ class SoftmaxRegression(BaseEstimator, ClassifierMixin):
             fit_intercept=self.fit_intercept,
             chunk_size=self.chunk_size,
         )
-        if self.solver == "lbfgs":
-            optimizer = LBFGS(max_iterations=self.max_iterations, tolerance=self.tolerance)
-            result = optimizer.minimize(objective)
-        else:
-            optimizer = SGD(
-                max_epochs=self.max_iterations,
-                batch_size=self.chunk_size,
-                seed=self.seed,
-                tolerance=self.tolerance,
-            )
-            result = optimizer.minimize(objective)
+        optimizer = LBFGS(max_iterations=self.max_iterations, tolerance=self.tolerance)
+        result = optimizer.minimize(objective)
 
         weight_dim = X.shape[1] + (1 if self.fit_intercept else 0)
         W = result.params.reshape(weight_dim, classes.shape[0])
@@ -91,6 +97,40 @@ class SoftmaxRegression(BaseEstimator, ClassifierMixin):
         )
         self.result_ = result
         return self
+
+    # -- streaming (partial_fit) -------------------------------------------
+    # The loop itself lives in LinearSGDStreamingMixin; these hooks supply
+    # the multinomial specifics.
+
+    def _check_stream_classes(self, classes: np.ndarray) -> None:
+        if classes.shape[0] < 2:
+            raise ValueError("softmax regression requires at least 2 classes")
+
+    def _stream_param_count(self, classes: np.ndarray, n_features: int) -> int:
+        weight_dim = n_features + (1 if self.fit_intercept else 0)
+        return weight_dim * classes.shape[0]
+
+    def _stream_objective(self, X: Any, encoded: np.ndarray, classes: np.ndarray) -> Any:
+        return SoftmaxRegressionObjective(
+            X,
+            encoded,
+            n_classes=classes.shape[0],
+            l2_penalty=self.l2_penalty,
+            fit_intercept=self.fit_intercept,
+            chunk_size=self.chunk_size,
+        )
+
+    def _publish_streaming_params(self) -> None:
+        state = self._streaming_state
+        weight_dim = state.n_features + (1 if self.fit_intercept else 0)
+        W = state.params.reshape(weight_dim, state.classes.shape[0])
+        self.classes_ = state.classes
+        self.coef_ = W[: state.n_features, :].copy()
+        self.intercept_ = (
+            W[state.n_features, :].copy()
+            if self.fit_intercept
+            else np.zeros(state.classes.shape[0])
+        )
 
     def decision_function(self, X: Any) -> np.ndarray:
         """Per-class logits, shape ``(n_rows, n_classes)``."""

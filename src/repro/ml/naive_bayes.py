@@ -13,10 +13,28 @@ from typing import Any
 
 import numpy as np
 
-from repro.ml.base import BaseEstimator, ClassifierMixin, as_labels, as_matrix, iter_row_chunks
+from repro.ml.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    StreamingEstimator,
+    as_labels,
+    as_matrix,
+    iter_row_chunks,
+)
 
 
-class GaussianNaiveBayes(BaseEstimator, ClassifierMixin):
+class _GaussianStats:
+    """Per-class count/sum/sum-of-squares accumulators (order-independent)."""
+
+    def __init__(self, classes: np.ndarray, n_features: int) -> None:
+        self.classes = classes
+        self.n_features = n_features
+        self.counts = np.zeros(classes.shape[0], dtype=np.int64)
+        self.sums = np.zeros((classes.shape[0], n_features), dtype=np.float64)
+        self.sq_sums = np.zeros((classes.shape[0], n_features), dtype=np.float64)
+
+
+class GaussianNaiveBayes(BaseEstimator, ClassifierMixin, StreamingEstimator):
     """Naive Bayes with per-class Gaussian feature likelihoods.
 
     Parameters
@@ -46,43 +64,74 @@ class GaussianNaiveBayes(BaseEstimator, ClassifierMixin):
         self.chunk_size = chunk_size
 
     def fit(self, X: Any, y: Any) -> "GaussianNaiveBayes":
-        """Fit class-conditional Gaussians in one streaming pass."""
+        """Fit class-conditional Gaussians in one streaming pass.
+
+        This is the same loop the streaming engine drives — one
+        ``partial_fit`` per contiguous row chunk; the accumulators are
+        associative, so chunked and one-shot training are *exactly* equal.
+        """
         X = as_matrix(X)
         y = as_labels(y, X.shape[0])
         classes = np.unique(y)
-        n_classes = classes.shape[0]
-        n_features = X.shape[1]
-        index_of = {label: i for i, label in enumerate(classes)}
 
-        counts = np.zeros(n_classes, dtype=np.int64)
-        sums = np.zeros((n_classes, n_features), dtype=np.float64)
-        sq_sums = np.zeros((n_classes, n_features), dtype=np.float64)
+        def make_stream():
+            for start, stop in iter_row_chunks(X, self.chunk_size):
+                yield X[start:stop], y[start:stop]
 
-        for start, stop in iter_row_chunks(X, self.chunk_size):
-            chunk = np.asarray(X[start:stop], dtype=np.float64)
-            chunk_labels = y[start:stop]
-            for label in np.unique(chunk_labels):
-                mask = chunk_labels == label
-                index = index_of[label]
-                members = chunk[mask]
-                counts[index] += members.shape[0]
-                sums[index] += members.sum(axis=0)
-                sq_sums[index] += (members ** 2).sum(axis=0)
+        return self.fit_streaming(make_stream, classes=classes, finalize=X)
 
-        if np.any(counts == 0):
-            raise ValueError("every class must have at least one training example")
+    # -- streaming (partial_fit) -------------------------------------------
 
-        theta = sums / counts[:, None]
-        var = sq_sums / counts[:, None] - theta ** 2
+    def partial_fit(self, X: Any, y: Any = None, classes: Any = None) -> "GaussianNaiveBayes":
+        """Fold one chunk of rows into the per-class accumulators.
+
+        ``classes`` must list every label the stream will ever produce; it is
+        mandatory on the first call unless the first chunk contains all of
+        them.  Fitted attributes are refreshed after every chunk (once each
+        declared class has been seen), so the model is usable mid-stream.
+        """
+        X = as_matrix(X)
+        y = as_labels(y, X.shape[0])
+        state = self._streaming_state
+        if state is None:
+            known = np.unique(np.asarray(classes)) if classes is not None else np.unique(y)
+            state = self._streaming_state = _GaussianStats(known, X.shape[1])
+        elif X.shape[1] != state.n_features:
+            raise ValueError(f"chunk has {X.shape[1]} features, expected {state.n_features}")
+
+        chunk = np.asarray(X[0 : X.shape[0]], dtype=np.float64)
+        for label in np.unique(y):
+            index = int(np.searchsorted(state.classes, label))
+            if index >= state.classes.shape[0] or state.classes[index] != label:
+                raise ValueError(f"chunk contains label {label!r} outside classes")
+            members = chunk[y == label]
+            state.counts[index] += members.shape[0]
+            state.sums[index] += members.sum(axis=0)
+            state.sq_sums[index] += (members ** 2).sum(axis=0)
+
+        if np.all(state.counts > 0):
+            self._publish_streaming_params()
+        return self
+
+    def _publish_streaming_params(self) -> None:
+        state = self._streaming_state
+        counts = state.counts
+        theta = state.sums / counts[:, None]
+        var = state.sq_sums / counts[:, None] - theta ** 2
         var = np.clip(var, 0.0, None)
         epsilon = self.var_smoothing * float(var.max()) if var.max() > 0 else self.var_smoothing
         var = var + max(epsilon, 1e-12)
 
-        self.classes_ = classes
+        self.classes_ = state.classes
         self.class_prior_ = counts / counts.sum()
         self.theta_ = theta
         self.var_ = var
-        return self
+
+    def finalize_streaming(self, X: Any) -> None:
+        """Validate that every declared class was actually observed."""
+        state = self._streaming_state
+        if state is None or np.any(state.counts == 0):
+            raise ValueError("every class must have at least one training example")
 
     def _joint_log_likelihood(self, X: Any) -> np.ndarray:
         self._check_fitted("theta_")

@@ -1,0 +1,236 @@
+"""Tests for the chunk pipeline: plans, iterators and background prefetch."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.api.chunks import (
+    ChunkIterator,
+    PrefetchingChunkIterator,
+    open_chunk_stream,
+    plan_chunks,
+)
+from repro.api.sharded import ShardedMatrix, write_sharded_dataset
+
+
+@pytest.fixture()
+def sharded_matrix(tmp_path):
+    """A 25x4 matrix with labels split across shards of 7 rows."""
+    X = np.arange(100.0).reshape(25, 4)
+    y = np.arange(25) % 3
+    write_sharded_dataset(tmp_path / "ds", X, y, shard_rows=7)
+    return ShardedMatrix(tmp_path / "ds"), X, y
+
+
+def _covers(bounds, n_rows):
+    """Bounds tile [0, n_rows) contiguously in order."""
+    expected = 0
+    for start, stop in bounds:
+        assert start == expected and stop > start
+        expected = stop
+    assert expected == n_rows
+
+
+class TestPlanChunks:
+    def test_fixed_chunks_with_partial_tail(self):
+        plan = plan_chunks(np.zeros((10, 3)), chunk_rows=4)
+        assert plan.bounds == ((0, 4), (4, 8), (8, 10))
+        _covers(plan.bounds, 10)
+
+    def test_chunk_rows_larger_than_matrix(self):
+        plan = plan_chunks(np.zeros((5, 3)), chunk_rows=1000)
+        assert plan.bounds == ((0, 5),)
+
+    def test_empty_matrix(self):
+        plan = plan_chunks(np.zeros((0, 3)), chunk_rows=4)
+        assert plan.bounds == ()
+        assert plan.num_chunks == 0
+
+    def test_invalid_chunk_rows_rejected(self):
+        with pytest.raises(ValueError, match="chunk_rows"):
+            plan_chunks(np.zeros((10, 3)), chunk_rows=0)
+
+    def test_shard_alignment_splits_at_boundaries(self, sharded_matrix):
+        matrix, _, _ = sharded_matrix
+        plan = plan_chunks(matrix, chunk_rows=5, align_shards=True)
+        assert plan.aligned
+        _covers(plan.bounds, 25)
+        # Shards start at 0, 7, 14, 21: no chunk may straddle those rows.
+        for start, stop in plan.bounds:
+            for boundary in (7, 14, 21):
+                assert not (start < boundary < stop)
+
+    def test_alignment_can_be_disabled(self, sharded_matrix):
+        matrix, _, _ = sharded_matrix
+        plan = plan_chunks(matrix, chunk_rows=5, align_shards=False)
+        assert not plan.aligned
+        assert plan.bounds == ((0, 5), (5, 10), (10, 15), (15, 20), (20, 25))
+
+    def test_adaptive_ramp_doubles_up_to_window(self):
+        # 1 KiB rows: the auto window is DEFAULT_CHUNK_BYTES / 1 KiB = 8192
+        # rows, the ramp starts at INITIAL_CHUNK_BYTES / 1 KiB = 1024 rows.
+        plan = plan_chunks(np.zeros((20000, 128)), chunk_rows=None)
+        sizes = [stop - start for start, stop in plan.bounds]
+        assert sizes[0] == 1024
+        assert sizes[1] == 2048
+        assert max(sizes) <= plan.chunk_rows
+        _covers(plan.bounds, 20000)
+
+
+class TestChunkIterator:
+    def test_reconstructs_matrix_and_labels(self, sharded_matrix):
+        matrix, X, y = sharded_matrix
+        chunks = list(ChunkIterator(matrix, labels=matrix.lazy_labels, chunk_rows=4))
+        np.testing.assert_array_equal(np.concatenate([np.asarray(c.X) for c in chunks]), X)
+        np.testing.assert_array_equal(np.concatenate([c.y for c in chunks]), y)
+        assert [c.index for c in chunks] == list(range(len(chunks)))
+
+    def test_shard_aligned_chunks_are_zero_copy_views(self, sharded_matrix):
+        matrix, _, _ = sharded_matrix
+        for chunk in ChunkIterator(matrix, chunk_rows=4):
+            assert any(np.shares_memory(chunk.X, shard_map) for shard_map in matrix._maps)
+
+    def test_label_length_mismatch_rejected(self, sharded_matrix):
+        matrix, _, _ = sharded_matrix
+        with pytest.raises(ValueError, match="labels"):
+            ChunkIterator(matrix, labels=np.zeros(7), chunk_rows=4)
+
+    def test_stats_accounting(self):
+        X = np.zeros((10, 3))
+        iterator = ChunkIterator(X, chunk_rows=4)
+        list(iterator)
+        assert iterator.stats.chunks == 3
+        assert iterator.stats.rows == 10
+        assert iterator.stats.bytes_read == 10 * 3 * 8
+        assert not iterator.stats.prefetched
+
+
+class _SlowMatrix:
+    """A matrix whose row reads take a fixed amount of wall time."""
+
+    def __init__(self, X, delay_s):
+        self._X = X
+        self.delay_s = delay_s
+        self.shape = X.shape
+        self.dtype = X.dtype
+
+    def __getitem__(self, key):
+        time.sleep(self.delay_s)
+        return self._X[key]
+
+
+class TestPrefetchingChunkIterator:
+    def test_yields_same_chunks_as_synchronous(self, sharded_matrix):
+        matrix, X, y = sharded_matrix
+        sync = [
+            (c.start, c.stop, np.asarray(c.X).copy(), c.y.copy())
+            for c in ChunkIterator(matrix, labels=matrix.lazy_labels, chunk_rows=4)
+        ]
+        with open_chunk_stream(
+            matrix, labels=matrix.lazy_labels, chunk_rows=4, prefetch=True
+        ) as stream:
+            fetched = [(c.start, c.stop, np.asarray(c.X).copy(), c.y.copy()) for c in stream]
+        assert len(sync) == len(fetched)
+        for (s1, e1, x1, y1), (s2, e2, x2, y2) in zip(sync, fetched):
+            assert (s1, e1) == (s2, e2)
+            np.testing.assert_array_equal(x1, x2)
+            np.testing.assert_array_equal(y1, y2)
+
+    def test_overlaps_reads_with_compute(self):
+        # 8 chunks x 20ms read, consumer computes ~20ms per chunk: with
+        # double buffering nearly every read hides behind compute, so the
+        # consumer-visible wait must be far below the producer's read time.
+        X = _SlowMatrix(np.random.default_rng(0).normal(size=(64, 4)), delay_s=0.02)
+        with PrefetchingChunkIterator(ChunkIterator(X, chunk_rows=8), depth=2) as stream:
+            for _ in stream:
+                time.sleep(0.02)
+        stats = stream.stats
+        assert stats.chunks == 8
+        assert stats.read_s >= 8 * 0.02
+        # All reads but the first overlap with compute; allow generous slack
+        # for scheduler jitter on CI machines.
+        assert stats.io_wait_s < 0.5 * stats.read_s
+        assert stats.io_overlap > 0.5
+
+    def test_last_chunk_compute_time_recorded(self):
+        # Compute time is measured between deliveries; the time spent on the
+        # final chunk must be folded in when the stream reports exhaustion —
+        # the single-chunk case would otherwise claim zero compute.
+        for prefetch in (False, True):
+            with open_chunk_stream(np.zeros((8, 2)), chunk_rows=100, prefetch=prefetch) as stream:
+                for _ in stream:
+                    time.sleep(0.02)
+            assert stream.stats.chunks == 1
+            assert stream.stats.compute_s >= 0.015
+            assert stream.stats.samples[-1][2] >= 0.015
+
+    def test_serial_stream_records_full_wait(self):
+        X = _SlowMatrix(np.zeros((16, 2)), delay_s=0.005)
+        iterator = ChunkIterator(X, chunk_rows=4)
+        list(iterator)
+        # Synchronous iteration cannot hide reads: wait equals read time.
+        assert iterator.stats.io_wait_s == iterator.stats.read_s
+        assert iterator.stats.io_overlap == 0.0
+
+    def test_producer_exception_propagates(self):
+        class ExplodingMatrix:
+            shape = (10, 2)
+            dtype = np.dtype(np.float64)
+
+            def __getitem__(self, key):
+                raise OSError("disk on fire")
+
+        with pytest.raises(OSError, match="disk on fire"):
+            with PrefetchingChunkIterator(
+                ChunkIterator(ExplodingMatrix(), chunk_rows=4)
+            ) as stream:
+                list(stream)
+
+    def test_close_mid_stream_stops_producer(self):
+        X = _SlowMatrix(np.zeros((1000, 4)), delay_s=0.001)
+        stream = PrefetchingChunkIterator(ChunkIterator(X, chunk_rows=1), depth=2)
+        next(stream)
+        stream.close()
+        assert not stream._thread.is_alive()
+        with pytest.raises(StopIteration):
+            next(stream)
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError, match="depth"):
+            PrefetchingChunkIterator(ChunkIterator(np.zeros((4, 2)), chunk_rows=2), depth=0)
+
+    def test_abandoned_iterator_is_collectable_and_stops_producer(self):
+        # The producer thread must not strongly reference the iterator:
+        # dropping an unexhausted stream lets GC finalize it, which signals
+        # the producer to exit instead of spinning for the process lifetime.
+        import gc
+        import weakref
+
+        stream = PrefetchingChunkIterator(
+            ChunkIterator(np.zeros((1000, 4)), chunk_rows=1), depth=2
+        )
+        next(stream)
+        thread = stream._thread
+        ref = weakref.ref(stream)
+        del stream
+        gc.collect()
+        assert ref() is None
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+
+
+class TestPlanUnwrapping:
+    def test_dataset_input_keeps_shard_alignment(self, tmp_path):
+        from repro.api import Session
+
+        X = np.arange(100.0).reshape(25, 4)
+        with Session() as session:
+            spec = f"shard://{tmp_path}/plan_ds"
+            session.create(spec, X, shard_rows=7)
+            dataset = session.open(spec)
+            plan = plan_chunks(dataset, chunk_rows=5)
+            assert plan.aligned
+            for start, stop in plan.bounds:
+                for boundary in (7, 14, 21):
+                    assert not (start < boundary < stop)

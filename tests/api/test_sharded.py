@@ -205,3 +205,85 @@ class TestLifecycle:
         (directory / "manifest.json").write_text(json.dumps(payload))
         with pytest.raises(ValueError, match="manifest expects"):
             ShardedMatrix(directory)
+
+
+class TestLazyLabels:
+    def test_labels_not_stitched_until_asked(self, sharded_dir):
+        directory, _, y = sharded_dir
+        matrix = ShardedMatrix(directory)
+        labels = matrix.lazy_labels
+        assert not labels.is_materialized
+        np.testing.assert_array_equal(np.asarray(labels), y)
+        assert labels.is_materialized
+
+    def test_range_gather_without_materialising(self, sharded_dir):
+        directory, _, y = sharded_dir
+        labels = ShardedMatrix(directory).lazy_labels
+        # Within one shard, straddling a boundary, and the ragged tail.
+        np.testing.assert_array_equal(labels.range(1, 6), y[1:6])
+        np.testing.assert_array_equal(labels[5:10], y[5:10])
+        np.testing.assert_array_equal(labels[20:25], y[20:25])
+        np.testing.assert_array_equal(labels[0:0], y[0:0])
+        assert labels[3] == int(y[3])
+        assert not labels.is_materialized
+        assert len(labels) == 25 and labels.shape == (25,)
+
+    def test_single_shard_range_is_view(self, sharded_dir):
+        directory, _, _ = sharded_dir
+        matrix = ShardedMatrix(directory)
+        piece = matrix.lazy_labels.range(0, 7)
+        assert any(
+            lab is not None and np.shares_memory(piece, lab)
+            for lab in matrix._label_maps
+        )
+
+    def test_unique_without_materialising(self, sharded_dir):
+        directory, _, y = sharded_dir
+        labels = ShardedMatrix(directory).lazy_labels
+        np.testing.assert_array_equal(labels.unique(), np.unique(y))
+        assert not labels.is_materialized
+
+    def test_read_labels_returns_cached_stitch(self, sharded_dir):
+        directory, _, y = sharded_dir
+        matrix = ShardedMatrix(directory)
+        first = matrix.read_labels()
+        np.testing.assert_array_equal(first, y)
+        assert matrix.read_labels() is first  # cached, stitched once
+
+    def test_no_labels_view(self, tmp_path):
+        write_sharded_dataset(tmp_path / "nl2", np.zeros((6, 2)), shard_rows=4)
+        assert ShardedMatrix(tmp_path / "nl2").lazy_labels is None
+
+
+class TestIterShardChunks:
+    def test_whole_shards_by_default(self, sharded_dir):
+        directory, X, _ = sharded_dir
+        matrix = ShardedMatrix(directory)
+        blocks = list(matrix.iter_shard_chunks())
+        assert [(start, stop) for start, stop, _ in blocks] == [
+            (0, 7), (7, 14), (14, 21), (21, 25)
+        ]
+        np.testing.assert_array_equal(
+            np.concatenate([np.asarray(view) for _, _, view in blocks]), X
+        )
+
+    def test_subdivided_blocks_never_cross_shards(self, sharded_dir):
+        directory, X, _ = sharded_dir
+        matrix = ShardedMatrix(directory)
+        blocks = list(matrix.iter_shard_chunks(chunk_rows=3))
+        for start, stop, view in blocks:
+            assert stop - start <= 3
+            for boundary in (7, 14, 21):
+                assert not (start < boundary < stop)
+            np.testing.assert_array_equal(np.asarray(view), X[start:stop])
+
+    def test_blocks_are_zero_copy_views(self, sharded_dir):
+        directory, _, _ = sharded_dir
+        matrix = ShardedMatrix(directory)
+        for _, _, view in matrix.iter_shard_chunks(chunk_rows=4):
+            assert any(np.shares_memory(view, shard_map) for shard_map in matrix._maps)
+
+    def test_invalid_chunk_rows_rejected(self, sharded_dir):
+        directory, _, _ = sharded_dir
+        with pytest.raises(ValueError, match="chunk_rows"):
+            list(ShardedMatrix(directory).iter_shard_chunks(chunk_rows=0))

@@ -1,0 +1,209 @@
+"""Tests for the streaming execution engine.
+
+The acceptance bar of the streaming refactor: ``session.fit(model, ds,
+engine="streaming")`` trains SGD logistic regression, mini-batch k-means and
+naive Bayes on every storage backend, produces models equivalent to
+``engine="local"``, and reports per-chunk prefetch / I/O-wait accounting in
+``FitResult.details``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import Session, StreamingEngine, resolve_engine
+from repro.api.sharded import ShardedLabels
+from repro.ml import (
+    GaussianNaiveBayes,
+    KMeans,
+    LogisticRegression,
+    MiniBatchKMeans,
+    SoftmaxRegression,
+)
+
+BACKENDS = ["memory", "mmap", "shard"]
+SHARD_ROWS = 128
+CHUNK = 64  # divides SHARD_ROWS, so shard alignment preserves batch bounds
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(99)
+    X = rng.normal(size=(600, 12))
+    true_coef = rng.normal(size=12)
+    y = (X @ true_coef + 0.1 * rng.normal(size=600) > 0).astype(np.int64)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def session(tmp_path_factory, problem):
+    X, y = problem
+    tmp_path = tmp_path_factory.mktemp("streaming_engine")
+    with Session() as session:
+        specs = {
+            "memory": "memory://train",
+            "mmap": f"mmap://{tmp_path}/train.m3",
+            "shard": f"shard://{tmp_path}/train_shards",
+        }
+        session.create(specs["memory"], X, y)
+        session.create(specs["mmap"], X, y)
+        session.create(specs["shard"], X, y, shard_rows=SHARD_ROWS)
+        session.specs = specs
+        yield session
+
+
+class TestEquivalenceWithLocal:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_sgd_logistic_regression_matches_local(self, session, backend):
+        args = dict(max_iterations=6, solver="sgd", chunk_size=CHUNK)
+        local = session.fit(
+            LogisticRegression(**args), session.open(session.specs[backend])
+        ).model
+        streamed = session.fit(
+            LogisticRegression(**args),
+            session.open(session.specs[backend]),
+            engine="streaming",
+        ).model
+        # Chunk bounds equal SGD batch bounds, so the update sequences are
+        # identical and the models must agree to float precision.
+        np.testing.assert_allclose(streamed.coef_, local.coef_, rtol=0, atol=1e-12)
+        assert abs(streamed.intercept_ - local.intercept_) < 1e-12
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_naive_bayes_matches_local(self, session, backend):
+        local = session.fit(
+            GaussianNaiveBayes(chunk_size=CHUNK), session.open(session.specs[backend])
+        ).model
+        streamed = session.fit(
+            GaussianNaiveBayes(chunk_size=CHUNK),
+            session.open(session.specs[backend]),
+            engine="streaming",
+        ).model
+        np.testing.assert_allclose(streamed.theta_, local.theta_, atol=1e-12)
+        np.testing.assert_allclose(streamed.var_, local.var_, atol=1e-12)
+        np.testing.assert_allclose(streamed.class_prior_, local.class_prior_, atol=1e-15)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_minibatch_kmeans_equivalent_quality(self, session, backend):
+        args = dict(n_clusters=4, max_epochs=4, batch_size=CHUNK, seed=0)
+        local = session.fit(
+            MiniBatchKMeans(**args), session.open(session.specs[backend])
+        ).model
+        streamed = session.fit(
+            MiniBatchKMeans(**args),
+            session.open(session.specs[backend]),
+            engine="streaming",
+        ).model
+        assert streamed.cluster_centers_.shape == local.cluster_centers_.shape
+        assert np.isfinite(streamed.inertia_)
+        # Initialisation differs (full-matrix vs first-chunk k-means++), so
+        # demand equivalent clustering quality rather than equal centroids.
+        assert streamed.inertia_ <= 1.5 * local.inertia_
+
+    def test_softmax_sgd_matches_local(self, session, problem):
+        X, _ = problem
+        y4 = (np.arange(X.shape[0]) % 4).astype(np.int64)
+        args = dict(max_iterations=4, solver="sgd", chunk_size=CHUNK)
+        local = session.fit(
+            SoftmaxRegression(**args), session.open(session.specs["mmap"]), y=y4
+        ).model
+        streamed = session.fit(
+            SoftmaxRegression(**args),
+            session.open(session.specs["mmap"]),
+            y=y4,
+            engine="streaming",
+        ).model
+        np.testing.assert_allclose(streamed.coef_, local.coef_, rtol=0, atol=1e-12)
+
+
+class TestStreamingDetails:
+    def test_details_report_chunk_pipeline_accounting(self, session):
+        result = session.fit(
+            LogisticRegression(max_iterations=3, solver="sgd", chunk_size=CHUNK),
+            session.open(session.specs["shard"]),
+            engine="streaming",
+        )
+        details = result.details
+        assert result.engine == "streaming"
+        assert details["passes"] == 3
+        assert details["chunks"] == details["chunks_per_pass"] * details["passes"]
+        assert details["rows"] == 600 * 3
+        assert details["bytes_read"] == 600 * 12 * 8 * 3
+        assert details["shard_aligned"] is True
+        assert details["prefetch_depth"] == 2
+        for key in ("read_s", "io_wait_s", "compute_s", "io_overlap"):
+            assert details[key] >= 0.0
+        assert len(details["per_chunk"]) == details["chunks"]
+        assert set(details["per_chunk"][0]) == {"read_s", "io_wait_s", "compute_s"}
+
+    def test_prefetch_can_be_disabled(self, session):
+        engine = StreamingEngine(prefetch=False, chunk_rows=100)
+        result = session.fit(
+            GaussianNaiveBayes(), session.open(session.specs["mmap"]), engine=engine
+        )
+        assert result.details["prefetch_depth"] == 0
+        assert result.details["prefetched"] is False
+        assert result.details["chunk_rows"] == 100
+
+    def test_trace_recorded_when_requested(self, session):
+        dataset = session.open(session.specs["mmap"], record_trace=True)
+        result = session.fit(
+            GaussianNaiveBayes(chunk_size=CHUNK), dataset, engine="streaming"
+        )
+        assert result.trace is not None
+        assert len(result.trace) > 0 and result.trace.total_bytes > 0
+
+
+class TestStreamingProtocol:
+    def test_resolves_by_name(self):
+        assert isinstance(resolve_engine("streaming"), StreamingEngine)
+
+    def test_rejects_non_streaming_models(self, session):
+        with pytest.raises(TypeError, match="chunk-streaming"):
+            session.fit(
+                KMeans(n_clusters=3),
+                session.open(session.specs["memory"]),
+                engine="streaming",
+            )
+
+    def test_lbfgs_logistic_regression_rejected(self, session):
+        with pytest.raises(ValueError, match="solver='sgd'"):
+            session.fit(
+                LogisticRegression(solver="lbfgs"),
+                session.open(session.specs["memory"]),
+                engine="streaming",
+            )
+
+    def test_invalid_prefetch_depth_rejected(self):
+        with pytest.raises(ValueError, match="prefetch_depth"):
+            StreamingEngine(prefetch_depth=0)
+
+
+class TestLazyLabels:
+    """Fresh sessions per test: the handle pool shares label caches."""
+
+    @pytest.fixture()
+    def shard_spec(self, tmp_path, problem):
+        X, y = problem
+        with Session() as setup:
+            spec = f"shard://{tmp_path}/lazy_shards"
+            setup.create(spec, X, y, shard_rows=SHARD_ROWS)
+        return spec
+
+    def test_sharded_labels_stay_lazy_through_streaming(self, shard_spec):
+        with Session() as fresh:
+            dataset = fresh.open(shard_spec)
+            labels = dataset.labels
+            assert isinstance(labels, ShardedLabels)
+            assert not labels.is_materialized
+            fresh.fit(GaussianNaiveBayes(chunk_size=CHUNK), dataset, engine="streaming")
+            # The engine sliced labels per chunk and computed classes per
+            # shard; it never needed the stitched vector.
+            assert not labels.is_materialized
+
+    def test_local_engine_still_materialises_lazily(self, shard_spec):
+        with Session() as fresh:
+            dataset = fresh.open(shard_spec)
+            labels = dataset.labels
+            assert not labels.is_materialized
+            fresh.fit(GaussianNaiveBayes(chunk_size=CHUNK), dataset)
+            assert labels.is_materialized

@@ -187,3 +187,17 @@ class TestSessionShim:
             assert runtime.last_trace is recorded
             runtime.load_matrix(path, record_trace=False)
             assert runtime.last_trace is recorded
+
+
+def test_open_dataset_sharded_labels_are_plain_ndarray(tmp_path):
+    """Legacy bare-tuple consumers use ndarray operators on labels."""
+    import numpy as np
+    from repro.api.sharded import write_sharded_dataset
+    from repro.core.m3 import M3
+
+    X = np.arange(40.0).reshape(10, 4)
+    y = np.arange(10) % 3
+    write_sharded_dataset(tmp_path / "legacy_shards", X, y, shard_rows=4)
+    _, labels = M3().open_dataset(f"shard://{tmp_path / 'legacy_shards'}")
+    assert isinstance(labels, np.ndarray)
+    assert int((labels > 1).sum()) == int((y > 1).sum())

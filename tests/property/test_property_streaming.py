@@ -1,0 +1,115 @@
+"""Property tests for the streaming training pipeline.
+
+Two invariants, explored over random geometries and chunkings:
+
+* chunk plans always tile the matrix exactly, whatever the chunk size, shard
+  layout or adaptive ramp — no row dropped, duplicated or reordered;
+* streaming ``partial_fit`` matches one-shot ``fit`` on the same data: bit
+  for bit when chunk bounds coincide with the model's batch bounds, within
+  float tolerance for arbitrary chunkings of the order-independent
+  accumulator models.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.chunks import plan_chunks
+from repro.api.sharded import ShardedMatrix, write_sharded_dataset
+from repro.ml import GaussianNaiveBayes, LogisticRegression
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_rows=st.integers(min_value=0, max_value=500),
+    n_cols=st.integers(min_value=1, max_value=8),
+    chunk_rows=st.one_of(st.none(), st.integers(min_value=1, max_value=600)),
+)
+def test_plan_tiles_matrix_exactly(n_rows, n_cols, chunk_rows):
+    plan = plan_chunks(np.zeros((n_rows, n_cols)), chunk_rows=chunk_rows)
+    expected = 0
+    for start, stop in plan.bounds:
+        assert start == expected and stop > start
+        expected = stop
+    assert expected == n_rows
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_rows=st.integers(min_value=1, max_value=200),
+    shard_rows=st.integers(min_value=1, max_value=60),
+    chunk_rows=st.integers(min_value=1, max_value=250),
+)
+def test_aligned_plan_never_crosses_shards(tmp_path_factory, n_rows, shard_rows, chunk_rows):
+    tmp_path = tmp_path_factory.mktemp("plan_shards")
+    X = np.arange(float(n_rows * 3)).reshape(n_rows, 3)
+    write_sharded_dataset(tmp_path / "ds", X, shard_rows=shard_rows)
+    matrix = ShardedMatrix(tmp_path / "ds")
+    try:
+        plan = plan_chunks(matrix, chunk_rows=chunk_rows, align_shards=True)
+        starts = {shard.start_row for shard in matrix.manifest.shards}
+        covered = 0
+        for start, stop in plan.bounds:
+            assert start == covered
+            covered = stop
+            for boundary in starts:
+                assert not (start < boundary < stop)
+        assert covered == n_rows
+    finally:
+        matrix.close()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_rows=st.integers(min_value=20, max_value=200),
+    chunk_rows=st.integers(min_value=1, max_value=250),
+)
+def test_streaming_naive_bayes_matches_one_shot_fit(seed, n_rows, chunk_rows):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n_rows, 4))
+    y = rng.integers(0, 3, size=n_rows)
+    y[:3] = [0, 1, 2]  # every class observed at least once
+
+    one_shot = GaussianNaiveBayes(chunk_size=chunk_rows).fit(X, y)
+    streamed = GaussianNaiveBayes(chunk_size=chunk_rows)
+    for start in range(0, n_rows, chunk_rows):
+        streamed.partial_fit(
+            X[start : start + chunk_rows],
+            y[start : start + chunk_rows],
+            classes=np.unique(y),
+        )
+    # Same chunk boundaries -> identical float operations -> exact equality.
+    np.testing.assert_array_equal(streamed.theta_, one_shot.theta_)
+    np.testing.assert_array_equal(streamed.var_, one_shot.var_)
+    np.testing.assert_array_equal(streamed.class_prior_, one_shot.class_prior_)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    chunk_rows=st.integers(min_value=8, max_value=120),
+    epochs=st.integers(min_value=1, max_value=4),
+)
+def test_streaming_sgd_matches_one_shot_fit(seed, chunk_rows, epochs):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(150, 5))
+    y = (X @ rng.normal(size=5) > 0).astype(np.int64)
+    if np.unique(y).shape[0] < 2:
+        y[0] = 1 - y[0]
+
+    one_shot = LogisticRegression(
+        max_iterations=epochs, solver="sgd", chunk_size=chunk_rows
+    ).fit(X, y)
+    streamed = LogisticRegression(
+        max_iterations=epochs, solver="sgd", chunk_size=chunk_rows
+    )
+    for _ in range(one_shot.result_.iterations):
+        for start in range(0, 150, chunk_rows):
+            streamed.partial_fit(
+                X[start : start + chunk_rows],
+                y[start : start + chunk_rows],
+                classes=np.unique(y),
+            )
+    np.testing.assert_array_equal(streamed.coef_, one_shot.coef_)
+    assert streamed.intercept_ == one_shot.intercept_

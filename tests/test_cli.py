@@ -42,6 +42,27 @@ class TestGenerateAndTrain:
         assert exit_code == 0
         assert "inertia" in capsys.readouterr().out
 
+    def test_train_streaming_engine(self, tmp_path, capsys):
+        dataset = tmp_path / "stream.m3"
+        write_infimnist_dataset(dataset, num_examples=200, seed=0)
+        exit_code = main(["train", str(dataset), "--algorithm", "logistic",
+                          "--iterations", "2", "--engine", "streaming",
+                          "--chunk-rows", "64"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "streaming engine" in out
+        assert "chunk pipeline" in out and "io-wait" in out
+
+    def test_train_streaming_kmeans(self, tmp_path, capsys):
+        dataset = tmp_path / "stream_km.m3"
+        write_infimnist_dataset(dataset, num_examples=150, seed=0)
+        exit_code = main(["train", str(dataset), "--algorithm", "kmeans",
+                          "--clusters", "3", "--iterations", "2",
+                          "--engine", "streaming"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "inertia" in out and "chunk pipeline" in out
+
     def test_train_simulated_engine(self, tmp_path, capsys):
         dataset = tmp_path / "sim.m3"
         write_infimnist_dataset(dataset, num_examples=150, seed=0)
