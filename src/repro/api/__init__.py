@@ -14,31 +14,40 @@ engines:
     with Session() as session:
         data = session.open("mmap://train.m3")          # or shard://dir/, memory://name
         result = session.fit(LogisticRegression(), data, engine="local")
+        served = session.predict(data, result.model, engine="streaming")
 
 Choosing an execution engine
 ----------------------------
 
+Every engine implements both halves of the lifecycle: ``Session.fit`` trains,
+``Session.predict`` serves a fitted model's predictions.
+
 ===============  ============================================================
-``local``        In-process ``model.fit`` on the (possibly memory-mapped)
-                 matrix — the paper's M3 execution model.  Default.
-``simulated``    Local training plus an automatic replay of the recorded
-                 access trace through the paper-scale virtual-memory
-                 simulator (32 GB RAM desktop, PCIe SSD) — use it to predict
-                 out-of-core behaviour at sizes this machine cannot hold.
-``streaming``    Chunk-pipelined ``partial_fit`` training: shard-aligned row
-                 blocks are prefetched by a background thread while the
-                 previous block trains, so I/O overlaps compute; per-chunk
-                 read / I/O-wait / compute times are reported in
-                 ``FitResult.details``.  Requires a streaming estimator
+``local``        In-process ``model.fit`` / ``model.predict`` on the
+                 (possibly memory-mapped) matrix — the paper's M3 execution
+                 model.  Default.
+``simulated``    Local execution plus an automatic replay of the recorded
+                 access trace (training or inference) through the paper-scale
+                 virtual-memory simulator (32 GB RAM desktop, PCIe SSD) — use
+                 it to predict out-of-core behaviour at sizes this machine
+                 cannot hold.
+``streaming``    Chunk-pipelined execution: shard-aligned row blocks are
+                 prefetched by a background thread while the previous block
+                 trains (``partial_fit``) or predicts (``predict_chunk`` into
+                 a preallocated output buffer), so I/O overlaps compute;
+                 per-chunk read / I/O-wait / compute times are reported in
+                 ``FitResult.details`` / ``PredictResult.details``.  Training
+                 requires a streaming estimator
                  (``LogisticRegression(solver="sgd")``,
                  ``SoftmaxRegression(solver="sgd")``, ``MiniBatchKMeans``,
-                 ``GaussianNaiveBayes``).  The engine for datasets that do
-                 not fit in RAM — and the only one that never materialises a
-                 sharded dataset's labels.
-``distributed``  The Spark-MLlib-style baseline: the estimator is swapped
-                 for its distributed counterpart and trained on the mini RDD
-                 engine — use it to reproduce the paper's M3-vs-Spark
-                 comparisons.
+                 ``GaussianNaiveBayes``); serving works with every fitted
+                 estimator (``StreamingPredictor``).  The engine for datasets
+                 that do not fit in RAM — and the only one that never
+                 materialises a sharded dataset's labels.
+``distributed``  The Spark-MLlib-style baseline: training swaps the estimator
+                 for its distributed counterpart, inference maps the fitted
+                 model over the mini RDD's partitions — use it to reproduce
+                 the paper's M3-vs-Spark comparisons.
 ===============  ============================================================
 
 The legacy ``repro.core.open_dataset`` / ``load_matrix`` helpers remain as
@@ -49,6 +58,7 @@ from repro.api.chunks import (
     Chunk,
     ChunkIterator,
     ChunkPlan,
+    ChunkStreamError,
     ChunkStreamStats,
     PrefetchingChunkIterator,
     open_chunk_stream,
@@ -61,6 +71,7 @@ from repro.api.engines import (
     ExecutionEngine,
     FitResult,
     LocalEngine,
+    PredictResult,
     SimulatedEngine,
     StreamingEngine,
     register_engine,
@@ -91,6 +102,7 @@ __all__ = [
     "Session",
     "Dataset",
     "FitResult",
+    "PredictResult",
     # storage
     "StorageBackend",
     "StorageHandle",
@@ -113,6 +125,7 @@ __all__ = [
     "ChunkPlan",
     "ChunkIterator",
     "PrefetchingChunkIterator",
+    "ChunkStreamError",
     "ChunkStreamStats",
     "plan_chunks",
     "open_chunk_stream",

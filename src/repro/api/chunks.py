@@ -20,7 +20,9 @@ on the kernel alone:
   not assumed.
 
 Estimators never see any of this: the :class:`~repro.api.engines.StreamingEngine`
-drives their ``partial_fit`` with the chunks this module produces.
+drives their ``partial_fit`` with the chunks this module produces for training,
+and their per-chunk ``predict``/``predict_proba`` (via
+:class:`~repro.ml.base.StreamingPredictor`) with the same chunks for serving.
 """
 
 from __future__ import annotations
@@ -43,6 +45,15 @@ INITIAL_CHUNK_BYTES = 1024 * 1024
 
 #: Maximum per-chunk timing samples kept in :class:`ChunkStreamStats`.
 MAX_TIMING_SAMPLES = 4096
+
+
+class ChunkStreamError(RuntimeError):
+    """A prefetching chunk stream's producer thread failed.
+
+    Raised on the consumer side of :class:`PrefetchingChunkIterator`, chained
+    (``raise ... from``) to the producer's original exception so both the
+    consumer call site and the producer's read stack appear in the traceback.
+    """
 
 
 def _unwrap(matrix: Any) -> Any:
@@ -264,14 +275,17 @@ class ChunkStreamStats:
             self.samples.extend(other.samples[:free])
 
     @property
-    def io_overlap(self) -> float:
+    def io_overlap(self) -> Optional[float]:
         """Fraction of read time hidden behind compute: ``1 - wait/read``.
 
-        1.0 means every byte was prefetched before the trainer asked for it;
-        0.0 means the stream was fully synchronous.
+        1.0 means every byte was prefetched before the consumer asked for it;
+        0.0 means the stream was fully synchronous.  ``None`` means the stream
+        recorded no read time at all — there was nothing to hide, which is not
+        the same thing as hiding everything (a stream that never read a byte
+        must not report itself as perfectly prefetched).
         """
         if self.read_s <= 0.0:
-            return 1.0
+            return None
         return max(0.0, min(1.0, 1.0 - self.io_wait_s / self.read_s))
 
     def as_dict(self) -> dict:
@@ -350,6 +364,17 @@ class ChunkIterator:
         self._last_yield = time.perf_counter()
         return chunk
 
+    def blocks(self) -> Iterator[Tuple[int, int, Any]]:
+        """Iterate ``(start, stop, X)`` row blocks — the inference-side view.
+
+        This is the output-aware consumption shape: a predictor scatters each
+        block's result into ``out[start:stop]`` of a preallocated buffer (see
+        :meth:`repro.ml.base.StreamingPredictor.predict_streaming`), so the
+        stream's timing still lands in :attr:`stats` while the consumer never
+        holds more than one chunk's worth of input rows.
+        """
+        return _iter_blocks(self)
+
     def close(self) -> None:
         """Stop iterating (synchronous streams hold no resources)."""
         self._bounds = iter(())
@@ -359,6 +384,12 @@ class ChunkIterator:
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         self.close()
+
+
+def _iter_blocks(stream: Iterator[Chunk]) -> Iterator[Tuple[int, int, Any]]:
+    """The one definition of the ``(start, stop, X)`` block shape."""
+    for chunk in stream:
+        yield chunk.start, chunk.stop, chunk.X
 
 
 class _EndOfStream:
@@ -450,10 +481,17 @@ class PrefetchingChunkIterator:
         wait_s = time.perf_counter() - now
         if isinstance(item, _EndOfStream):
             self.stats.record_trailing_compute(compute_s)
+            # Mark the stream exhausted *before* raising: a consumer that
+            # catches the producer's error and keeps iterating gets a clean
+            # StopIteration on every later call, never a re-raised error.
             self._finished = True
             self._last_yield = None
+            self._stop.set()  # producer already exited; unblocks close()
             if item.error is not None:
-                raise item.error
+                raise ChunkStreamError(
+                    f"chunk stream producer failed while reading "
+                    f"{self.plan.num_chunks} planned chunk(s): {item.error!r}"
+                ) from item.error
             raise StopIteration
         self.stats.record(
             item.read_s, wait_s, compute_s, item.rows, item.rows * self.plan.row_bytes
@@ -461,8 +499,21 @@ class PrefetchingChunkIterator:
         self._last_yield = time.perf_counter()
         return item
 
+    def blocks(self) -> Iterator[Tuple[int, int, Any]]:
+        """Iterate ``(start, stop, X)`` row blocks — the inference-side view.
+
+        Same contract as :meth:`ChunkIterator.blocks`, with the blocks read
+        ahead by the producer thread.
+        """
+        return _iter_blocks(self)
+
     def close(self) -> None:
-        """Stop the producer thread and drop any buffered chunks."""
+        """Stop and join the producer thread, dropping any buffered chunks.
+
+        Idempotent.  The producer polls the stop event even while blocked on
+        a full queue, so the join completes promptly; the timeout is a
+        last-resort bound so ``close()`` can never hang a serving loop.
+        """
         self._stop.set()
         while True:
             try:

@@ -21,14 +21,24 @@ An :class:`ExecutionEngine` takes an unmodified estimator and a
     thread prefetches the next block, and the per-chunk read / I/O-wait /
     compute times land in ``FitResult.details`` so the overlap is measurable.
 
-Every engine returns a :class:`FitResult` carrying the fitted model plus the
-engine-specific accounting, so callers can switch engines without changing
-how they consume results.
+Every engine also serves the *inference* half of the lifecycle through
+:meth:`ExecutionEngine.predict`: ``local`` predicts in-core, ``simulated``
+replays the recorded inference trace through the virtual-memory simulator,
+``distributed`` maps the model over the mini RDD's partitions, and
+``streaming`` drives the model's per-chunk prediction hooks
+(:class:`~repro.ml.base.StreamingPredictor`) through the prefetching chunk
+pipeline into a preallocated output buffer.
+
+Every engine returns a :class:`FitResult` from training and a
+:class:`PredictResult` from inference, each carrying the engine-specific
+accounting, so callers can switch engines without changing how they consume
+results.
 """
 
 from __future__ import annotations
 
 import abc
+import copy
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Type, Union
@@ -77,6 +87,53 @@ class FitResult:
     details: Dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass
+class PredictResult:
+    """Outcome of :meth:`repro.api.Session.predict`.
+
+    The inference-side mirror of :class:`FitResult`.
+
+    Attributes
+    ----------
+    predictions:
+        The model's output for every row of the dataset, in row order —
+        labels for ``predict``, per-class probabilities for
+        ``predict_proba``, and so on.
+    model:
+        The fitted estimator that served the predictions.
+    engine:
+        Name of the engine that ran the inference.
+    method:
+        The prediction method that was driven (``"predict"``,
+        ``"predict_proba"``, …).
+    wall_time_s:
+        Measured wall-clock inference time on this machine.
+    trace:
+        The access trace recorded during inference, when the engine records
+        one.
+    simulation:
+        Paper-scale replay of ``trace``, when the engine simulates one.
+    details:
+        Engine-specific extras — the streaming engine reports the chunk
+        pipeline's per-chunk read / I/O-wait / compute accounting here,
+        mirroring ``FitResult.details``.
+    """
+
+    predictions: np.ndarray
+    model: Any
+    engine: str
+    method: str
+    wall_time_s: float
+    trace: Optional[AccessTrace] = None
+    simulation: Optional[SimulationResult] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows served."""
+        return int(self.predictions.shape[0])
+
+
 class ExecutionEngine(abc.ABC):
     """Protocol implemented by every execution engine."""
 
@@ -89,6 +146,15 @@ class ExecutionEngine(abc.ABC):
 
         ``y`` overrides the dataset's own labels; clusterers may run with no
         labels at all.
+        """
+
+    @abc.abstractmethod
+    def predict(self, model: Any, dataset: Dataset, method: str = "predict") -> PredictResult:
+        """Run ``model``'s ``method`` over ``dataset``; return a :class:`PredictResult`.
+
+        ``model`` must already be fitted; ``method`` names any of its
+        row-wise prediction methods (``predict``, ``predict_proba``,
+        ``decision_function``, …).
         """
 
     @staticmethod
@@ -107,6 +173,19 @@ class ExecutionEngine(abc.ABC):
             model.fit(X, y)
         return time.perf_counter() - start
 
+    @staticmethod
+    def _predict_fn(model: Any, method: str) -> Any:
+        """The bound prediction method, validated to exist and be public."""
+        if not method or method.startswith("_"):
+            raise ValueError(f"invalid prediction method {method!r}")
+        fn = getattr(model, method, None)
+        if not callable(fn):
+            raise TypeError(
+                f"{type(model).__name__} has no {method}() method; cannot "
+                f"serve predictions with it"
+            )
+        return fn
+
 
 class LocalEngine(ExecutionEngine):
     """In-process training on the dataset's matrix (the M3 model)."""
@@ -119,6 +198,20 @@ class LocalEngine(ExecutionEngine):
         return FitResult(
             model=model,
             engine=self.name,
+            wall_time_s=elapsed,
+            trace=dataset.trace,
+        )
+
+    def predict(self, model: Any, dataset: Dataset, method: str = "predict") -> PredictResult:
+        fn = self._predict_fn(model, method)
+        start = time.perf_counter()
+        predictions = np.asarray(fn(dataset.matrix))
+        elapsed = time.perf_counter() - start
+        return PredictResult(
+            predictions=predictions,
+            model=model,
+            engine=self.name,
+            method=method,
             wall_time_s=elapsed,
             trace=dataset.trace,
         )
@@ -139,22 +232,58 @@ class SimulatedEngine(ExecutionEngine):
     def __init__(self, vm_config: Optional[VirtualMemoryConfig] = None) -> None:
         self.vm_config = vm_config or VirtualMemoryConfig()
 
-    def fit(self, model: Any, dataset: Dataset, y: Optional[Any] = None) -> FitResult:
-        labels = self._resolve_labels(dataset, y)
+    def _traced_replay(self, dataset: Dataset, description: str, action: Any):
+        """Run ``action()`` recording a fresh access trace, then replay it.
+
+        The record-and-replay choreography shared by training and inference:
+        bracket the work with a fresh trace (restoring any pre-attached one),
+        then replay the recorded accesses through the paper-scale simulator.
+        Returns ``(output, elapsed_s, trace, simulation)``.
+        """
         previous = dataset.trace
-        trace = dataset.start_trace(description=f"simulated fit on {dataset.spec}")
+        trace = dataset.start_trace(description=description)
+        start = time.perf_counter()
         try:
-            elapsed = self._run_fit(model, dataset.matrix, labels)
+            output = action()
         finally:
+            elapsed = time.perf_counter() - start
             dataset.stop_trace()
             if previous is not None:
                 dataset.matrix.attach_trace(previous)
         simulator = VirtualMemorySimulator(self.vm_config)
         file_bytes = max(trace.max_offset, dataset.nbytes + dataset.matrix.data_offset)
         simulation = simulator.run_trace(trace, file_bytes=file_bytes)
+        return output, elapsed, trace, simulation
+
+    def fit(self, model: Any, dataset: Dataset, y: Optional[Any] = None) -> FitResult:
+        labels = self._resolve_labels(dataset, y)
+        _, elapsed, trace, simulation = self._traced_replay(
+            dataset,
+            f"simulated fit on {dataset.spec}",
+            lambda: self._run_fit(model, dataset.matrix, labels),
+        )
         return FitResult(
             model=model,
             engine=self.name,
+            wall_time_s=elapsed,
+            trace=trace,
+            simulation=simulation,
+            details={"simulated_wall_time_s": simulation.wall_time_s},
+        )
+
+    def predict(self, model: Any, dataset: Dataset, method: str = "predict") -> PredictResult:
+        """Predict in-core while recording the inference trace, then replay it."""
+        fn = self._predict_fn(model, method)
+        predictions, elapsed, trace, simulation = self._traced_replay(
+            dataset,
+            f"simulated {method} on {dataset.spec}",
+            lambda: np.asarray(fn(dataset.matrix)),
+        )
+        return PredictResult(
+            predictions=predictions,
+            model=model,
+            engine=self.name,
+            method=method,
             wall_time_s=elapsed,
             trace=trace,
             simulation=simulation,
@@ -237,17 +366,58 @@ class DistributedEngine(ExecutionEngine):
             details=details,
         )
 
+    def predict(self, model: Any, dataset: Dataset, method: str = "predict") -> PredictResult:
+        """Map the fitted model's ``method`` over the dataset's RDD partitions.
+
+        The dataset is split into ``num_partitions`` row-range partitions and
+        the prediction runs partition by partition (through the scheduler when
+        one is attached); results concatenate back in row order.  Any fitted
+        estimator works — the ``Distributed*`` models a distributed ``fit``
+        returns, or a locally trained one being served at Spark-comparison
+        scale.
+        """
+        from repro.distributed.rdd import RDD
+
+        fn = self._predict_fn(model, method)
+        start = time.perf_counter()
+        rdd = RDD.from_matrix(
+            dataset.matrix,
+            num_partitions=self.num_partitions,
+            scheduler=self.scheduler,
+        )
+        pieces = rdd.map_partitions(
+            lambda part: np.asarray(fn(part[0]))
+        ).collect()
+        predictions = (
+            np.concatenate(pieces, axis=0)
+            if pieces
+            else np.empty((0,), dtype=np.float64)
+        )
+        elapsed = time.perf_counter() - start
+        return PredictResult(
+            predictions=predictions,
+            model=model,
+            engine=self.name,
+            method=method,
+            wall_time_s=elapsed,
+            trace=dataset.trace,
+            details={"num_partitions": self.num_partitions},
+        )
+
 
 class StreamingEngine(ExecutionEngine):
-    """Chunk-pipelined training: ``partial_fit`` over prefetched row blocks.
+    """Chunk-pipelined training and serving over prefetched row blocks.
 
-    The estimator must implement the chunk-streaming protocol of
-    :class:`~repro.ml.base.StreamingEstimator` (``partial_fit`` /
-    ``fit_streaming``).  Each training pass streams the dataset as
-    shard-aligned row chunks; with ``prefetch`` enabled a background thread
-    reads chunk *k+1* while chunk *k* trains, which is what lets an
-    out-of-core ``shard://`` dataset keep the CPU busy.  Labels are sliced
-    per chunk — a sharded dataset's lazy label view is never materialised.
+    For :meth:`fit` the estimator must implement the chunk-streaming protocol
+    of :class:`~repro.ml.base.StreamingEstimator` (``partial_fit`` /
+    ``fit_streaming``); for :meth:`predict` it must implement
+    :class:`~repro.ml.base.StreamingPredictor` (``predict_chunk`` /
+    ``predict_streaming``), which every estimator in :mod:`repro.ml` does.
+    Each pass streams the dataset as shard-aligned row chunks; with
+    ``prefetch`` enabled a background thread reads chunk *k+1* while chunk *k*
+    trains (or predicts), which is what lets an out-of-core ``shard://``
+    dataset keep the CPU busy.  Labels are sliced per chunk — a sharded
+    dataset's lazy label view is never materialised.
 
     Parameters
     ----------
@@ -273,12 +443,22 @@ class StreamingEngine(ExecutionEngine):
         prefetch_depth: int = 2,
         align_shards: bool = True,
     ) -> None:
+        if chunk_rows is not None and chunk_rows <= 0:
+            raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
         if prefetch_depth < 1:
             raise ValueError(f"prefetch_depth must be >= 1, got {prefetch_depth}")
         self.chunk_rows = chunk_rows
         self.prefetch = prefetch
         self.prefetch_depth = prefetch_depth
         self.align_shards = align_shards
+
+    def with_chunk_rows(self, chunk_rows: Optional[int]) -> "StreamingEngine":
+        """A copy of this engine (subclass and all settings) with ``chunk_rows`` overridden."""
+        if chunk_rows is not None and chunk_rows <= 0:
+            raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+        clone = copy.copy(self)
+        clone.chunk_rows = chunk_rows
+        return clone
 
     @staticmethod
     def _model_chunk_hint(model: Any) -> Optional[int]:
@@ -339,10 +519,21 @@ class StreamingEngine(ExecutionEngine):
         fit_streaming(make_stream, classes=classes, finalize=dataset.matrix)
         elapsed = time.perf_counter() - start
 
+        details = self._pipeline_details(stats, plan)
+        details["passes"] = passes
+        return FitResult(
+            model=model,
+            engine=self.name,
+            wall_time_s=elapsed,
+            trace=dataset.trace,
+            details=details,
+        )
+
+    def _pipeline_details(self, stats: ChunkStreamStats, plan: Any) -> Dict[str, Any]:
+        """The chunk pipeline's accounting, shared by ``fit`` and ``predict``."""
         details: Dict[str, Any] = stats.as_dict()
         details.update(
             {
-                "passes": passes,
                 "chunk_rows": plan.chunk_rows,
                 "chunks_per_pass": plan.num_chunks,
                 "shard_aligned": plan.aligned,
@@ -353,9 +544,56 @@ class StreamingEngine(ExecutionEngine):
                 ],
             }
         )
-        return FitResult(
+        return details
+
+    def predict(self, model: Any, dataset: Dataset, method: str = "predict") -> PredictResult:
+        """Serve predictions chunk by chunk through the prefetch pipeline.
+
+        The model's :class:`~repro.ml.base.StreamingPredictor` hooks consume
+        shard-aligned row blocks (read ahead by the producer thread) and
+        scatter each block's predictions into one preallocated output buffer,
+        so serving never materialises more than a chunk of input rows — while
+        the result is bit-identical to the in-core ``model.predict`` (the
+        prediction methods are row-wise).  ``PredictResult.details`` carries
+        the same read / I/O-wait / compute accounting as streaming ``fit``.
+        """
+        self._predict_fn(model, method)  # validate before opening the stream
+        if not callable(getattr(model, "predict_streaming", None)):
+            raise TypeError(
+                f"{type(model).__name__} does not implement the streaming "
+                f"inference protocol (predict_chunk/predict_streaming); mix in "
+                f"repro.ml.base.StreamingPredictor, or use engine='local'"
+            )
+        chunk_rows = self.chunk_rows if self.chunk_rows is not None else self._model_chunk_hint(model)
+        plan = plan_chunks(
+            dataset.matrix, chunk_rows=chunk_rows, align_shards=self.align_shards
+        )
+        start = time.perf_counter()
+        if plan.num_chunks == 0:
+            # An empty dataset has no chunks to infer output geometry from;
+            # the in-core method returns the right empty array directly.
+            predictions = np.asarray(self._predict_fn(model, method)(dataset.matrix))
+            elapsed = time.perf_counter() - start
+            stats = ChunkStreamStats(prefetched=False)
+        else:
+            stream = open_chunk_stream(
+                dataset.matrix,
+                plan=plan,
+                prefetch=self.prefetch,
+                prefetch_depth=self.prefetch_depth,
+            )
+            with stream:
+                predictions = model.predict_streaming(
+                    stream.blocks(), plan.n_rows, method=method
+                )
+            elapsed = time.perf_counter() - start
+            stats = stream.stats
+        details = self._pipeline_details(stats, plan)
+        return PredictResult(
+            predictions=predictions,
             model=model,
             engine=self.name,
+            method=method,
             wall_time_s=elapsed,
             trace=dataset.trace,
             details=details,

@@ -3,7 +3,8 @@
 A ``Session`` owns an :class:`~repro.core.config.M3Config`, resolves
 URI-style dataset specs to :class:`~repro.api.storage.StorageBackend`
 instances, hands out :class:`~repro.api.Dataset` handles, and dispatches
-training to an :class:`~repro.api.engines.ExecutionEngine`:
+training (:meth:`Session.fit`) and serving (:meth:`Session.predict`) to an
+:class:`~repro.api.engines.ExecutionEngine`:
 
 .. code-block:: python
 
@@ -30,7 +31,13 @@ from typing import Any, Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.api.dataset import Dataset
-from repro.api.engines import ExecutionEngine, FitResult, resolve_engine
+from repro.api.engines import (
+    ExecutionEngine,
+    FitResult,
+    PredictResult,
+    StreamingEngine,
+    resolve_engine,
+)
 from repro.api.storage import (
     DatasetSpec,
     MemoryBackend,
@@ -366,6 +373,68 @@ class Session:
             return resolved.fit(model, dataset, y=y)
         with self.open(dataset) as handle:
             return resolved.fit(model, handle, y=y)
+
+    # -- inference ---------------------------------------------------------
+
+    def predict(
+        self,
+        dataset: Union[Dataset, SpecLike],
+        model: Any,
+        method: str = "predict",
+        engine: Union[str, ExecutionEngine, None] = None,
+        chunk_rows: Optional[int] = None,
+    ) -> PredictResult:
+        """Serve ``model``'s predictions over ``dataset`` with an engine.
+
+        The inference half of :meth:`fit`: the same dataset resolution and
+        engine dispatch, driving a *fitted* model's prediction method instead
+        of training.  With ``engine="streaming"`` the predictions are computed
+        chunk by chunk through the prefetching pipeline — a sharded dataset is
+        served without ever materialising its matrix — and are bit-identical
+        to the in-core ``model.predict`` result.
+
+        Parameters
+        ----------
+        dataset:
+            An open :class:`Dataset`, or a spec that is opened (and closed)
+            for the duration of the call.
+        model:
+            A fitted estimator exposing ``method``.
+        method:
+            The prediction method to drive — ``"predict"`` (default),
+            ``"predict_proba"``, ``"decision_function"``, …
+        engine:
+            Engine override; defaults to the session's ``engine``.
+        chunk_rows:
+            Steady-state rows per streaming chunk.  Only meaningful when the
+            resolved engine is the streaming engine; forwarded to it.
+
+        Returns
+        -------
+        PredictResult
+            The predictions plus engine-specific accounting.
+        """
+        self._check_open()
+        # fit takes (model, dataset); predict takes (dataset, model) — the
+        # serving call reads "predict this dataset with that model".  Catch a
+        # mirrored call before the estimator is misparsed as a dataset spec.
+        if callable(getattr(dataset, "predict", None)) and not isinstance(dataset, Dataset):
+            raise TypeError(
+                "Session.predict takes (dataset, model) — the arguments "
+                "appear to be swapped"
+            )
+        resolved = self.default_engine if engine is None else resolve_engine(engine)
+        if chunk_rows is not None:
+            if not isinstance(resolved, StreamingEngine):
+                raise ValueError(
+                    f"chunk_rows only applies to the streaming engine, not "
+                    f"{resolved.name!r}"
+                )
+            resolved = resolved.with_chunk_rows(chunk_rows)
+        if isinstance(dataset, Dataset):
+            return resolved.predict(model, dataset, method=method)
+        with self.open(dataset) as handle:
+            return resolved.predict(model, handle, method=method)
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -10,7 +10,12 @@ reproduction entry points:
   additionally replays the recorded access trace through the paper-scale
   virtual-memory simulator; ``--engine streaming [--chunk-rows N]`` trains
   through the chunk pipeline (``partial_fit`` over prefetched shard-aligned
-  row blocks) and reports per-chunk I/O-wait vs compute time.
+  row blocks) and reports per-chunk I/O-wait vs compute time;
+  ``--save-model PATH`` persists the fitted model as JSON for serving.
+* ``m3 predict`` — serve a saved model's predictions over a dataset;
+  ``--engine streaming`` predicts chunk by chunk through the prefetching
+  pipeline (bounded memory on sharded datasets), ``--proba`` emits class
+  probabilities, ``--output`` writes the predictions as ``.npy``.
 * ``m3 figure1a`` / ``m3 figure1b`` / ``m3 table1`` / ``m3 utilization`` —
   regenerate the paper's figures and table as plain-text tables.
 
@@ -27,6 +32,36 @@ from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be strictly positive integers.
+
+    Rejecting 0/negative here gives a one-line usage error instead of a
+    traceback from deep inside the chunk planner.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _overlap_text(io_overlap) -> str:
+    """Human-readable io_overlap (which is None when nothing was read)."""
+    if io_overlap is None:
+        return "no reads recorded"
+    return f"{io_overlap * 100:.0f}% of reads overlapped with compute"
+
+
+def _chunk_rows_misused(args: argparse.Namespace) -> bool:
+    """True (after printing the usage error) when --chunk-rows lacks --engine streaming."""
+    if args.chunk_rows is not None and args.engine != "streaming":
+        print("error: --chunk-rows requires --engine streaming", file=sys.stderr)
+        return True
+    return False
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -65,6 +100,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from repro.ml import KMeans, LogisticRegression, MiniBatchKMeans, SoftmaxRegression
 
     streaming = args.engine == "streaming"
+    if _chunk_rows_misused(args):
+        return 2
     engine = (
         StreamingEngine(chunk_rows=args.chunk_rows) if streaming else args.engine
     )
@@ -108,7 +145,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 f"{details['chunk_rows']} rows over {details['passes']} pass(es), "
                 f"{details['bytes_read'] / 1e6:.1f} MB read in {details['read_s']:.2f}s, "
                 f"io-wait {details['io_wait_s']:.2f}s, compute {details['compute_s']:.2f}s, "
-                f"{details['io_overlap'] * 100:.0f}% of reads overlapped with compute"
+                f"{_overlap_text(details['io_overlap'])}"
             )
         if result.simulation is not None:
             sim = result.simulation
@@ -117,6 +154,64 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 f"disk utilisation {sim.io_utilization * 100:.1f}%, "
                 f"cpu utilisation {sim.cpu_utilization * 100:.1f}%"
             )
+        if args.save_model is not None:
+            from repro.ml import save_model
+
+            save_model(args.save_model, result.model)
+            print(f"saved {type(result.model).__name__} to {args.save_model}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.api import Session
+    from repro.ml import load_model
+
+    if _chunk_rows_misused(args):
+        return 2
+    model = load_model(args.model)
+    method = "predict_proba" if args.proba else "predict"
+    with Session() as session:
+        dataset = session.open(args.dataset)
+        result = session.predict(
+            dataset,
+            model,
+            method=method,
+            engine=args.engine,
+            chunk_rows=args.chunk_rows,
+        )
+        rows = result.n_rows
+        rate = rows / result.wall_time_s if result.wall_time_s > 0 else float("inf")
+        print(
+            f"served {rows} predictions ({method}) with {type(model).__name__} "
+            f"in {result.wall_time_s:.2f}s ({result.engine} engine, "
+            f"{dataset.backend_name} backend, {rate:.0f} rows/s)"
+        )
+        if args.engine == "streaming":
+            details = result.details
+            print(
+                f"chunk pipeline: {details['chunks']} chunks of <= "
+                f"{details['chunk_rows']} rows, "
+                f"{details['bytes_read'] / 1e6:.1f} MB read in {details['read_s']:.2f}s, "
+                f"io-wait {details['io_wait_s']:.2f}s, compute {details['compute_s']:.2f}s, "
+                f"{_overlap_text(details['io_overlap'])}"
+            )
+        if result.simulation is not None:
+            sim = result.simulation
+            print(
+                f"simulated paper-scale machine: wall time {sim.wall_time_s:.2f}s, "
+                f"disk utilisation {sim.io_utilization * 100:.1f}%, "
+                f"cpu utilisation {sim.cpu_utilization * 100:.1f}%"
+            )
+        # Only classifiers predict in label space; a clusterer's arbitrary
+        # cluster indices must not be scored against class labels.
+        if method == "predict" and dataset.has_labels and hasattr(model, "classes_"):
+            labels = np.asarray(dataset.labels)
+            if result.predictions.shape == labels.shape:
+                accuracy = float(np.mean(result.predictions == labels))
+                print(f"accuracy against the dataset's labels: {accuracy:.3f}")
+    if args.output is not None:
+        np.save(args.output, result.predictions)
+        print(f"wrote predictions to {args.output}")
     return 0
 
 
@@ -222,11 +317,35 @@ def build_parser() -> argparse.ArgumentParser:
                             "shard-aligned chunks and reports I/O-wait vs compute")
     train.add_argument("--iterations", type=int, default=10)
     train.add_argument("--clusters", type=int, default=5)
-    train.add_argument("--chunk-rows", type=int, default=None,
+    train.add_argument("--chunk-rows", type=_positive_int, default=None,
                        help="rows per streaming chunk (streaming engine only; "
                             "defaults to the model's batch size, or an "
                             "auto-sized adaptive window)")
+    train.add_argument("--save-model", type=Path, default=None,
+                       help="write the fitted model to this path as JSON "
+                            "(servable with 'm3 predict --model')")
     train.set_defaults(func=_cmd_train)
+
+    predict = sub.add_parser("predict", help="serve a saved model's predictions")
+    predict.add_argument("dataset", type=str,
+                         help="a dataset: path or URI spec (mmap://, shard://)")
+    predict.add_argument("--model", type=Path, required=True,
+                         help="saved model JSON (from 'm3 train --save-model')")
+    predict.add_argument("--engine", choices=["local", "simulated", "streaming"],
+                         default="local",
+                         help="execution engine; 'streaming' predicts chunk by "
+                              "chunk through the prefetching pipeline (bounded "
+                              "memory on sharded datasets), 'simulated' replays "
+                              "the inference trace through the paper-scale "
+                              "virtual-memory simulator")
+    predict.add_argument("--chunk-rows", type=_positive_int, default=None,
+                         help="rows per streaming chunk (streaming engine only)")
+    predict.add_argument("--proba", action="store_true",
+                         help="emit class probabilities (predict_proba) instead "
+                              "of labels")
+    predict.add_argument("--output", type=Path, default=None,
+                         help="write the predictions to this path as .npy")
+    predict.set_defaults(func=_cmd_predict)
 
     figure1a = sub.add_parser("figure1a", help="regenerate Figure 1a (runtime vs size)")
     figure1a.add_argument("--sizes", type=float, nargs="+", default=[10, 40, 70, 100, 130, 160, 190])

@@ -26,8 +26,10 @@ from repro.ml.base import (
     ClassifierMixin,
     ClustererMixin,
     StreamingEstimator,
+    StreamingPredictor,
     TransformerMixin,
 )
+from repro.ml.persistence import load_model, save_model
 from repro.ml.optim import (
     GradientDescent,
     LBFGS,
@@ -46,7 +48,10 @@ __all__ = [
     "ClassifierMixin",
     "ClustererMixin",
     "StreamingEstimator",
+    "StreamingPredictor",
     "TransformerMixin",
+    "save_model",
+    "load_model",
     "LBFGS",
     "GradientDescent",
     "SGD",

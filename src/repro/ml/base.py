@@ -165,6 +165,89 @@ class StreamingEstimator:
         return None
 
 
+class StreamingPredictor:
+    """Mixin for serving fitted estimators chunk by chunk.
+
+    The training half of the streaming story is :class:`StreamingEstimator`
+    (``partial_fit`` over a restartable chunk stream); this is the inference
+    half.  Every estimator whose prediction methods are *row-wise* — the
+    prediction for a row depends only on that row and the fitted parameters,
+    which is true of all the estimators in :mod:`repro.ml` — gets streaming
+    inference for free from the two defaults here:
+
+    ``predict_chunk(X, method=...)``
+        Predictions for one row block, by delegating to the estimator's own
+        in-core method (``predict``, ``predict_proba``, …).  Because the
+        methods are row-wise, per-chunk results are bit-identical to the
+        corresponding rows of an in-core full-matrix call.
+    ``predict_streaming(blocks, n_rows, method=..., out=...)``
+        The default chunked implementation: loop ``predict_chunk`` over
+        ``(start, stop, X)`` row blocks, scattering each result into a single
+        output buffer preallocated from the first block's geometry — so
+        serving a billion-row stream holds one chunk of input and one output
+        vector, never the stitched matrix.
+
+    Estimators with cheaper chunk-local paths (or non-row-wise methods) can
+    override either hook; the streaming engine only relies on this protocol.
+    """
+
+    def predict_chunk(self, X: Any, method: str = "predict") -> np.ndarray:
+        """Predictions for one row block via the in-core ``method``."""
+        if method.startswith("_"):
+            raise ValueError(f"invalid prediction method {method!r}")
+        fn = getattr(self, method, None)
+        if not callable(fn):
+            raise TypeError(
+                f"{type(self).__name__} has no {method}() method to stream"
+            )
+        return fn(X)
+
+    def predict_streaming(
+        self,
+        blocks: Iterator[Tuple[int, int, Any]],
+        n_rows: int,
+        method: str = "predict",
+        out: Any = None,
+    ) -> np.ndarray:
+        """Predict over ``(start, stop, X)`` blocks into one preallocated buffer.
+
+        Parameters
+        ----------
+        blocks:
+            Iterable of ``(start, stop, X)`` row blocks tiling ``[0, n_rows)``
+            in any order (e.g. ``stream.blocks()`` of a chunk iterator).
+        n_rows:
+            Total rows the blocks cover; fixes the output buffer's length.
+        method:
+            Prediction method to drive per chunk (``predict``,
+            ``predict_proba``, ``decision_function``, …).
+        out:
+            Optional preallocated output buffer of leading dimension
+            ``n_rows``; allocated from the first block's result geometry when
+            omitted.
+        """
+        n_rows = int(n_rows)
+        filled = 0
+        for start, stop, X in blocks:
+            block = np.asarray(self.predict_chunk(X, method=method))
+            if block.shape[0] != stop - start:
+                raise ValueError(
+                    f"{method} returned {block.shape[0]} rows for a "
+                    f"{stop - start}-row chunk [{start}, {stop})"
+                )
+            if out is None:
+                out = np.empty((n_rows, *block.shape[1:]), dtype=block.dtype)
+            out[start:stop] = block
+            filled += stop - start
+        if filled != n_rows:
+            raise ValueError(
+                f"prediction stream covered {filled} of {n_rows} rows"
+            )
+        if out is None:  # n_rows == 0 and an empty stream
+            return np.empty((0,), dtype=np.float64)
+        return out
+
+
 class ClassifierMixin:
     """Adds accuracy scoring to classifiers."""
 

@@ -14,11 +14,17 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.ml.base import BaseEstimator, ClustererMixin, as_matrix, iter_row_chunks
+from repro.ml.base import (
+    BaseEstimator,
+    ClustererMixin,
+    StreamingPredictor,
+    as_matrix,
+    iter_row_chunks,
+)
 from repro.ml.cluster.init import kmeans_plus_plus_init, random_init
 
 
-class KMeans(BaseEstimator, ClustererMixin):
+class KMeans(BaseEstimator, ClustererMixin, StreamingPredictor):
     """K-means clustering with Lloyd's algorithm.
 
     Parameters

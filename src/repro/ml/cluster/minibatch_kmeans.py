@@ -18,6 +18,7 @@ from repro.ml.base import (
     BaseEstimator,
     ClustererMixin,
     StreamingEstimator,
+    StreamingPredictor,
     as_matrix,
     iter_row_chunks,
 )
@@ -33,7 +34,7 @@ class _MiniBatchState:
         self.counts = np.zeros(centroids.shape[0], dtype=np.int64)
 
 
-class MiniBatchKMeans(BaseEstimator, ClustererMixin, StreamingEstimator):
+class MiniBatchKMeans(BaseEstimator, ClustererMixin, StreamingEstimator, StreamingPredictor):
     """Mini-batch k-means clustering.
 
     Parameters

@@ -12,12 +12,12 @@ from typing import Any
 
 import numpy as np
 
-from repro.ml.base import BaseEstimator, as_matrix, iter_row_chunks
+from repro.ml.base import BaseEstimator, StreamingPredictor, as_matrix, iter_row_chunks
 from repro.ml.linear_model.objectives import DEFAULT_CHUNK_ROWS, LinearRegressionObjective
 from repro.ml.optim.lbfgs import LBFGS
 
 
-class LinearRegression(BaseEstimator):
+class LinearRegression(BaseEstimator, StreamingPredictor):
     """Linear regression with an optional L2 (ridge) penalty.
 
     Two solvers are offered:

@@ -9,6 +9,7 @@ import numpy as np
 from repro.ml.base import (
     BaseEstimator,
     ClassifierMixin,
+    StreamingPredictor,
     as_labels,
     as_matrix,
     iter_row_chunks,
@@ -18,7 +19,9 @@ from repro.ml.linear_model.sgd_streaming import LinearSGDStreamingMixin
 from repro.ml.optim.lbfgs import LBFGS
 
 
-class LogisticRegression(BaseEstimator, ClassifierMixin, LinearSGDStreamingMixin):
+class LogisticRegression(
+    BaseEstimator, ClassifierMixin, StreamingPredictor, LinearSGDStreamingMixin
+):
     """Binary logistic regression.
 
     The defaults mirror the M3 experiments: L-BFGS with 10 iterations.  The

@@ -16,6 +16,7 @@ import numpy as np
 from repro.ml.base import (
     BaseEstimator,
     ClassifierMixin,
+    StreamingPredictor,
     as_labels,
     as_matrix,
     iter_row_chunks,
@@ -25,7 +26,9 @@ from repro.ml.linear_model.sgd_streaming import LinearSGDStreamingMixin
 from repro.ml.optim.lbfgs import LBFGS
 
 
-class SoftmaxRegression(BaseEstimator, ClassifierMixin, LinearSGDStreamingMixin):
+class SoftmaxRegression(
+    BaseEstimator, ClassifierMixin, StreamingPredictor, LinearSGDStreamingMixin
+):
     """Multinomial logistic regression trained with L-BFGS (or SGD).
 
     Attributes

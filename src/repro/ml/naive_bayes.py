@@ -17,6 +17,7 @@ from repro.ml.base import (
     BaseEstimator,
     ClassifierMixin,
     StreamingEstimator,
+    StreamingPredictor,
     as_labels,
     as_matrix,
     iter_row_chunks,
@@ -34,7 +35,7 @@ class _GaussianStats:
         self.sq_sums = np.zeros((classes.shape[0], n_features), dtype=np.float64)
 
 
-class GaussianNaiveBayes(BaseEstimator, ClassifierMixin, StreamingEstimator):
+class GaussianNaiveBayes(BaseEstimator, ClassifierMixin, StreamingEstimator, StreamingPredictor):
     """Naive Bayes with per-class Gaussian feature likelihoods.
 
     Parameters

@@ -7,6 +7,8 @@ import pytest
 
 from repro.api.chunks import (
     ChunkIterator,
+    ChunkStreamError,
+    ChunkStreamStats,
     PrefetchingChunkIterator,
     open_chunk_stream,
     plan_chunks,
@@ -47,9 +49,12 @@ class TestPlanChunks:
         assert plan.bounds == ()
         assert plan.num_chunks == 0
 
-    def test_invalid_chunk_rows_rejected(self):
-        with pytest.raises(ValueError, match="chunk_rows"):
-            plan_chunks(np.zeros((10, 3)), chunk_rows=0)
+    @pytest.mark.parametrize("bad", [0, -1, -1000])
+    def test_invalid_chunk_rows_rejected(self, bad):
+        # The plan layer must reject non-positive windows outright — a zero
+        # window would loop forever, a negative one would produce no chunks.
+        with pytest.raises(ValueError, match="chunk_rows must be positive"):
+            plan_chunks(np.zeros((10, 3)), chunk_rows=bad)
 
     def test_shard_alignment_splits_at_boundaries(self, sharded_matrix):
         matrix, _, _ = sharded_matrix
@@ -104,6 +109,43 @@ class TestChunkIterator:
         assert iterator.stats.rows == 10
         assert iterator.stats.bytes_read == 10 * 3 * 8
         assert not iterator.stats.prefetched
+
+    def test_blocks_view_matches_chunks(self, sharded_matrix):
+        matrix, X, _ = sharded_matrix
+        blocks = list(ChunkIterator(matrix, chunk_rows=4).blocks())
+        assert all(len(block) == 3 for block in blocks)
+        np.testing.assert_array_equal(
+            np.concatenate([np.asarray(b) for _, _, b in blocks]), X
+        )
+        assert [(s, e) for s, e, _ in blocks] == [
+            (c.start, c.stop) for c in ChunkIterator(matrix, chunk_rows=4)
+        ]
+
+
+class TestIoOverlap:
+    """`io_overlap` distinguishes 'no reads' from 'fully hidden reads'."""
+
+    def test_no_reads_is_undefined_not_perfect(self):
+        stats = ChunkStreamStats()
+        assert stats.read_s == 0.0
+        assert stats.io_overlap is None
+        assert stats.as_dict()["io_overlap"] is None
+
+    def test_hidden_reads_are_perfect_overlap(self):
+        stats = ChunkStreamStats()
+        stats.record(read_s=0.5, wait_s=0.0, compute_s=1.0, rows=10, nbytes=80)
+        assert stats.io_overlap == 1.0
+
+    def test_synchronous_reads_are_zero_overlap(self):
+        stats = ChunkStreamStats()
+        stats.record(read_s=0.5, wait_s=0.5, compute_s=0.0, rows=10, nbytes=80)
+        assert stats.io_overlap == 0.0
+
+    def test_empty_stream_reports_undefined_overlap(self):
+        iterator = ChunkIterator(np.zeros((0, 3)), chunk_rows=4)
+        list(iterator)
+        assert iterator.stats.chunks == 0
+        assert iterator.stats.io_overlap is None
 
 
 class _SlowMatrix:
@@ -173,7 +215,7 @@ class TestPrefetchingChunkIterator:
         assert iterator.stats.io_wait_s == iterator.stats.read_s
         assert iterator.stats.io_overlap == 0.0
 
-    def test_producer_exception_propagates(self):
+    def test_producer_exception_chained_to_consumer_raise(self):
         class ExplodingMatrix:
             shape = (10, 2)
             dtype = np.dtype(np.float64)
@@ -181,11 +223,57 @@ class TestPrefetchingChunkIterator:
             def __getitem__(self, key):
                 raise OSError("disk on fire")
 
-        with pytest.raises(OSError, match="disk on fire"):
+        with pytest.raises(ChunkStreamError, match="producer failed") as excinfo:
             with PrefetchingChunkIterator(
                 ChunkIterator(ExplodingMatrix(), chunk_rows=4)
             ) as stream:
                 list(stream)
+        # The producer's original exception is the explicit cause, so the
+        # traceback shows both the consumer call site and the failing read.
+        assert isinstance(excinfo.value.__cause__, OSError)
+        assert "disk on fire" in str(excinfo.value.__cause__)
+
+    def test_next_after_error_raises_stop_iteration(self):
+        class ExplodingMatrix:
+            shape = (10, 2)
+            dtype = np.dtype(np.float64)
+
+            def __getitem__(self, key):
+                raise OSError("disk on fire")
+
+        stream = PrefetchingChunkIterator(ChunkIterator(ExplodingMatrix(), chunk_rows=4))
+        with pytest.raises(ChunkStreamError):
+            next(stream)
+        # A consumer that swallows the error gets clean exhaustion afterwards,
+        # never a second raise of the producer's exception.
+        with pytest.raises(StopIteration):
+            next(stream)
+        with pytest.raises(StopIteration):
+            next(stream)
+        stream.close()
+
+    def test_close_after_error_joins_producer(self):
+        class ExplodingMatrix:
+            shape = (10, 2)
+            dtype = np.dtype(np.float64)
+
+            def __getitem__(self, key):
+                raise OSError("disk on fire")
+
+        stream = PrefetchingChunkIterator(ChunkIterator(ExplodingMatrix(), chunk_rows=4))
+        with pytest.raises(ChunkStreamError):
+            next(stream)
+        stream.close()
+        assert not stream._thread.is_alive()
+
+    def test_close_is_idempotent_and_joins(self):
+        stream = PrefetchingChunkIterator(
+            ChunkIterator(np.zeros((100, 4)), chunk_rows=10), depth=2
+        )
+        next(stream)
+        stream.close()
+        stream.close()
+        assert not stream._thread.is_alive()
 
     def test_close_mid_stream_stops_producer(self):
         X = _SlowMatrix(np.zeros((1000, 4)), delay_s=0.001)

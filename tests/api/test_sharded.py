@@ -255,6 +255,77 @@ class TestLazyLabels:
         assert ShardedMatrix(tmp_path / "nl2").lazy_labels is None
 
 
+class TestLazyLabelsEdgeCases:
+    """Negative/empty slices, multi-shard straddles and missing label files."""
+
+    def test_negative_slices_match_numpy(self, sharded_dir):
+        directory, _, y = sharded_dir
+        labels = ShardedMatrix(directory).lazy_labels
+        np.testing.assert_array_equal(labels[-5:], y[-5:])
+        np.testing.assert_array_equal(labels[:-20], y[:-20])
+        np.testing.assert_array_equal(labels[-10:-3], y[-10:-3])
+        assert not labels.is_materialized
+
+    def test_negative_integer_indices(self, sharded_dir):
+        directory, _, y = sharded_dir
+        labels = ShardedMatrix(directory).lazy_labels
+        assert labels[-1] == int(y[-1])
+        assert labels[-25] == int(y[0])
+        with pytest.raises(IndexError):
+            labels[-26]
+        with pytest.raises(IndexError):
+            labels[25]
+
+    def test_empty_and_inverted_slices(self, sharded_dir):
+        directory, _, _ = sharded_dir
+        labels = ShardedMatrix(directory).lazy_labels
+        assert labels[10:10].shape == (0,)
+        assert labels[12:5].shape == (0,)  # inverted: empty, like NumPy
+        assert labels.range(30, 40).shape == (0,)  # past the end
+        assert labels[10:10].dtype == np.int64
+
+    def test_range_straddling_three_or_more_shards(self, sharded_dir):
+        # Shards hold rows [0,7) [7,14) [14,21) [21,25): [2, 23) overlaps
+        # all four, [5, 16) overlaps three.
+        directory, _, y = sharded_dir
+        labels = ShardedMatrix(directory).lazy_labels
+        np.testing.assert_array_equal(labels.range(5, 16), y[5:16])
+        np.testing.assert_array_equal(labels[2:23], y[2:23])
+        np.testing.assert_array_equal(labels.range(0, 25), y)
+        assert not labels.is_materialized
+
+    @pytest.fixture()
+    def labels_with_missing_shard(self, sharded_dir):
+        """The lazy view of a dataset where one shard's label map is gone."""
+        directory, _, y = sharded_dir
+        matrix = ShardedMatrix(directory)
+        matrix._label_maps[1] = None  # simulate a shard written without labels
+        return matrix.lazy_labels, y
+
+    def test_unique_skips_shards_with_missing_label_files(self, labels_with_missing_shard):
+        labels, y = labels_with_missing_shard
+        # unique() is documented to compute shard by shard; a label-less
+        # shard contributes nothing instead of crashing the whole scan.
+        expected = np.unique(np.concatenate([y[:7], y[14:]]))
+        np.testing.assert_array_equal(labels.unique(), expected)
+
+    def test_unique_with_all_label_files_missing(self, sharded_dir):
+        directory, _, _ = sharded_dir
+        matrix = ShardedMatrix(directory)
+        matrix._label_maps = [None] * len(matrix._label_maps)
+        result = matrix.lazy_labels.unique()
+        assert result.shape == (0,)
+        assert result.dtype == np.int64
+
+    def test_range_into_missing_shard_raises(self, labels_with_missing_shard):
+        labels, _ = labels_with_missing_shard
+        with pytest.raises(ValueError, match="no labels"):
+            labels.range(5, 10)  # straddles into the label-less shard
+        # Ranges that avoid the damaged shard still work.
+        assert labels.range(0, 7).shape == (7,)
+        assert labels.range(14, 25).shape == (11,)
+
+
 class TestIterShardChunks:
     def test_whole_shards_by_default(self, sharded_dir):
         directory, X, _ = sharded_dir

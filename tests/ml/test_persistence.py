@@ -1,0 +1,131 @@
+"""Tests for JSON model persistence (`save_model` / `load_model`)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GaussianNaiveBayes,
+    KMeans,
+    LinearRegression,
+    LogisticRegression,
+    MiniBatchKMeans,
+    SoftmaxRegression,
+    load_model,
+    save_model,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(42)
+    X = rng.normal(size=(300, 10))
+    y = (X @ rng.normal(size=10) > 0).astype(np.int64)
+    return X, y
+
+
+FITTERS = {
+    "logistic": lambda X, y: LogisticRegression(max_iterations=4).fit(X, y),
+    "softmax": lambda X, y: SoftmaxRegression(max_iterations=3).fit(
+        X, (np.arange(X.shape[0]) % 3).astype(np.int64)
+    ),
+    "linear": lambda X, y: LinearRegression().fit(X, y.astype(np.float64)),
+    "kmeans": lambda X, y: KMeans(n_clusters=3, max_iterations=3, seed=0).fit(X),
+    "minibatch_kmeans": lambda X, y: MiniBatchKMeans(
+        n_clusters=3, max_epochs=2, seed=0
+    ).fit(X),
+    "naive_bayes": lambda X, y: GaussianNaiveBayes().fit(X, y),
+}
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(FITTERS))
+    def test_predictions_survive_round_trip(self, tmp_path, problem, name):
+        X, y = problem
+        model = FITTERS[name](X, y)
+        path = save_model(tmp_path / f"{name}.json", model)
+        loaded = load_model(path)
+        assert type(loaded) is type(model)
+        np.testing.assert_array_equal(loaded.predict(X), model.predict(X))
+
+    def test_params_survive_round_trip(self, tmp_path, problem):
+        X, y = problem
+        model = LogisticRegression(
+            max_iterations=7, l2_penalty=0.5, fit_intercept=False, chunk_size=128
+        ).fit(X, y)
+        loaded = load_model(save_model(tmp_path / "m.json", model))
+        assert loaded.get_params() == model.get_params()
+        np.testing.assert_array_equal(loaded.coef_, model.coef_)
+        np.testing.assert_array_equal(loaded.classes_, model.classes_)
+
+    def test_array_dtypes_preserved(self, tmp_path, problem):
+        X, y = problem
+        model = GaussianNaiveBayes().fit(X, y)
+        loaded = load_model(save_model(tmp_path / "nb.json", model))
+        assert loaded.classes_.dtype == model.classes_.dtype
+        assert loaded.theta_.dtype == np.float64
+
+    def test_unencodable_params_dropped_not_smuggled(self, tmp_path, problem):
+        X, _ = problem
+        model = KMeans(n_clusters=3, max_iterations=2, seed=0, callback=lambda *a: None).fit(X)
+        path = save_model(tmp_path / "km.json", model)
+        payload = json.loads(path.read_text())
+        assert "callback" in payload["skipped"]
+        assert "callback" not in payload["params"]
+        loaded = load_model(path)
+        assert loaded.callback is None  # constructor default, not a marker dict
+        loaded.fit(X)  # and the loaded model still trains
+
+    def test_attribute_names_validated_on_load(self, tmp_path, problem):
+        X, y = problem
+        model = GaussianNaiveBayes().fit(X, y)
+        path = save_model(tmp_path / "nb.json", model)
+        payload = json.loads(path.read_text())
+        payload["attributes"]["predict"] = [1, 2, 3]  # would shadow the method
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="invalid fitted attribute"):
+            load_model(path)
+
+    def test_non_data_attributes_recorded_as_skipped(self, tmp_path, problem):
+        X, y = problem
+        model = LogisticRegression(max_iterations=3).fit(X, y)
+        path = save_model(tmp_path / "m.json", model)
+        payload = json.loads(path.read_text())
+        assert "result_" in payload["skipped"]  # OptimizationResult is derived
+        loaded = load_model(path)
+        assert not hasattr(loaded, "result_")
+
+
+class TestErrors:
+    def test_unknown_class_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "format": "m3-model", "version": 1, "class": "EvilEstimator",
+            "params": {}, "attributes": {},
+        }))
+        with pytest.raises(ValueError, match="EvilEstimator"):
+            load_model(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "notamodel.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ValueError, match="not a saved"):
+            load_model(path)
+
+    def test_missing_sections_rejected(self, tmp_path):
+        path = tmp_path / "truncated.json"
+        path.write_text(json.dumps({
+            "format": "m3-model", "version": 1, "class": "KMeans",
+        }))
+        with pytest.raises(ValueError, match="params/attributes"):
+            load_model(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({
+            "format": "m3-model", "version": 99, "class": "KMeans",
+            "params": {}, "attributes": {},
+        }))
+        with pytest.raises(ValueError, match="version"):
+            load_model(path)

@@ -88,6 +88,108 @@ class TestGenerateAndTrain:
         assert "shard backend" in capsys.readouterr().out
 
 
+class TestChunkRowsValidation:
+    """--chunk-rows must be rejected at the CLI layer, not deep in the planner."""
+
+    @pytest.mark.parametrize("command", ["train", "predict"])
+    @pytest.mark.parametrize("bad", ["0", "-4", "x"])
+    def test_non_positive_chunk_rows_rejected(self, command, bad, capsys):
+        extra = ["--model", "m.json"] if command == "predict" else []
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "whatever.m3", *extra, "--engine", "streaming",
+                  "--chunk-rows", bad])
+        assert excinfo.value.code == 2  # argparse usage error, no traceback
+        err = capsys.readouterr().err
+        assert "chunk-rows" in err
+        assert "positive integer" in err or "integer" in err
+
+    def test_chunk_rows_without_streaming_engine_rejected(self, tmp_path, capsys):
+        model_path = tmp_path / "m.json"
+        model_path.write_text("{}")
+        exit_code = main(["predict", "whatever.m3", "--model", str(model_path),
+                          "--engine", "local", "--chunk-rows", "64"])
+        assert exit_code == 2
+        assert "--engine streaming" in capsys.readouterr().err
+
+    def test_train_chunk_rows_without_streaming_engine_rejected(self, capsys):
+        # train must reject the combination like predict does, not silently
+        # discard the flag.
+        exit_code = main(["train", "whatever.m3", "--engine", "local",
+                          "--chunk-rows", "64"])
+        assert exit_code == 2
+        assert "--engine streaming" in capsys.readouterr().err
+
+
+class TestPredict:
+    @pytest.fixture()
+    def trained(self, tmp_path):
+        dataset = tmp_path / "serve.m3"
+        write_infimnist_dataset(dataset, num_examples=200, seed=0)
+        model_path = tmp_path / "model.json"
+        assert main(["train", str(dataset), "--algorithm", "logistic",
+                     "--iterations", "2", "--save-model", str(model_path)]) == 0
+        return dataset, model_path
+
+    def test_train_saves_model(self, trained):
+        _, model_path = trained
+        assert model_path.exists()
+        payload = model_path.read_text()
+        assert '"m3-model"' in payload and "SoftmaxRegression" in payload
+
+    def test_predict_local(self, trained, capsys):
+        dataset, model_path = trained
+        exit_code = main(["predict", str(dataset), "--model", str(model_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "served 200 predictions" in out
+        assert "accuracy against the dataset's labels" in out
+
+    def test_predict_streaming_reports_pipeline(self, trained, capsys):
+        dataset, model_path = trained
+        exit_code = main(["predict", str(dataset), "--model", str(model_path),
+                          "--engine", "streaming", "--chunk-rows", "64"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "streaming engine" in out
+        assert "chunk pipeline" in out and "io-wait" in out
+
+    def test_predict_writes_output_and_proba(self, trained, tmp_path, capsys):
+        dataset, model_path = trained
+        output = tmp_path / "preds.npy"
+        exit_code = main(["predict", str(dataset), "--model", str(model_path),
+                          "--proba", "--output", str(output)])
+        assert exit_code == 0
+        assert "predict_proba" in capsys.readouterr().out
+        preds = np.load(output)
+        assert preds.shape == (200, 10)  # ten digit classes
+        assert np.allclose(preds.sum(axis=1), 1.0)
+
+    def test_predict_with_clusterer_reports_no_accuracy(self, tmp_path, capsys):
+        # Cluster indices are not class labels: scoring them against the
+        # dataset's labels would print a meaningless accuracy.
+        dataset = tmp_path / "cluster.m3"
+        write_infimnist_dataset(dataset, num_examples=150, seed=0)
+        model_path = tmp_path / "km.json"
+        assert main(["train", str(dataset), "--algorithm", "kmeans",
+                     "--clusters", "3", "--iterations", "2",
+                     "--save-model", str(model_path)]) == 0
+        capsys.readouterr()
+        assert main(["predict", str(dataset), "--model", str(model_path)]) == 0
+        out = capsys.readouterr().out
+        assert "served 150 predictions" in out
+        assert "accuracy" not in out
+
+    def test_predict_streaming_matches_local(self, trained, tmp_path):
+        dataset, model_path = trained
+        out_local = tmp_path / "local.npy"
+        out_stream = tmp_path / "stream.npy"
+        assert main(["predict", str(dataset), "--model", str(model_path),
+                     "--output", str(out_local)]) == 0
+        assert main(["predict", str(dataset), "--model", str(model_path),
+                     "--engine", "streaming", "--output", str(out_stream)]) == 0
+        np.testing.assert_array_equal(np.load(out_local), np.load(out_stream))
+
+
 class TestInfo:
     def test_info_mmap_file(self, tmp_path, capsys):
         dataset = tmp_path / "info.m3"
