@@ -55,12 +55,16 @@ thin shims over this API.
 """
 
 from repro.api.chunks import (
+    BufferLease,
     Chunk,
+    ChunkBufferPool,
     ChunkIterator,
     ChunkPlan,
     ChunkStreamError,
     ChunkStreamStats,
+    ParallelPrefetcher,
     PrefetchingChunkIterator,
+    ReadaheadHinter,
     open_chunk_stream,
     plan_chunks,
 )
@@ -125,6 +129,10 @@ __all__ = [
     "ChunkPlan",
     "ChunkIterator",
     "PrefetchingChunkIterator",
+    "ParallelPrefetcher",
+    "ChunkBufferPool",
+    "BufferLease",
+    "ReadaheadHinter",
     "ChunkStreamError",
     "ChunkStreamStats",
     "plan_chunks",

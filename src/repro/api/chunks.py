@@ -18,6 +18,18 @@ on the kernel alone:
   trains on chunk *k*.  Per-chunk read, wait and compute times are recorded
   in a :class:`ChunkStreamStats` so the I/O-compute overlap is measurable,
   not assumed.
+* :class:`ParallelPrefetcher` — the multi-reader executor: a pool of reader
+  threads (one per shard by default) pulls upcoming chunks off the plan in
+  claim order, a bounded reorder buffer re-emits them in plan order, and a
+  :class:`ChunkBufferPool` of preallocated arrays absorbs the chunks that
+  need stitching so steady-state streaming performs zero per-chunk
+  allocations.  Shard-aligned chunks that resolve to contiguous memmap views
+  are emitted zero-copy, exactly as the single-reader pipeline emits them.
+* :class:`ReadaheadHinter` — OS readahead hints per upcoming chunk:
+  ``mmap.madvise(SEQUENTIAL/WILLNEED/DONTNEED)`` on shard memmaps, falling
+  back to ``os.posix_fadvise`` on the raw files, and to a graceful no-op on
+  platforms offering neither.  Applied hint counts land in
+  :class:`ChunkStreamStats`.
 
 Estimators never see any of this: the :class:`~repro.api.engines.StreamingEngine`
 drives their ``partial_fit`` with the chunks this module produces for training,
@@ -27,15 +39,18 @@ and their per-chunk ``predict``/``predict_proba`` (via
 
 from __future__ import annotations
 
+import mmap as _mmap
+import os
 import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.api.sharded import ShardedMatrix
+from repro.api.sharded import ShardedLabels, ShardedMatrix
 
 DEFAULT_CHUNK_BYTES = 8 * 1024 * 1024
 """Target bytes per chunk when no explicit ``chunk_rows`` is given."""
@@ -71,6 +86,17 @@ def shard_row_starts(matrix: Any) -> Tuple[int, ...]:
     if isinstance(backing, ShardedMatrix):
         return tuple(shard.start_row for shard in backing.manifest.shards)
     return ()
+
+
+def _range_straddles(cuts: np.ndarray, start: int, stop: int) -> bool:
+    """Whether rows ``[start, stop)`` cross any shard boundary in ``cuts``.
+
+    The one definition of the stitching predicate: pool sizing and the
+    reader's copy-vs-view decision must always agree on it.
+    """
+    if cuts.size == 0:
+        return False
+    return bool(np.any((cuts > start) & (cuts < stop)))
 
 
 @dataclass(frozen=True)
@@ -200,7 +226,14 @@ def plan_chunks(
 
 @dataclass(frozen=True)
 class Chunk:
-    """One row block of the stream: matrix rows plus the matching labels."""
+    """One row block of the stream: matrix rows plus the matching labels.
+
+    A chunk served out of a :class:`ChunkBufferPool` carries the buffer
+    ``lease`` backing its arrays; consumers call :meth:`release` when they are
+    done with the chunk so the buffer returns to the pool.  Chunks served as
+    zero-copy views carry no lease and :meth:`release` is a no-op, so every
+    consumer can release unconditionally.
+    """
 
     index: int
     start: int
@@ -208,11 +241,23 @@ class Chunk:
     X: Any
     y: Optional[np.ndarray] = None
     read_s: float = 0.0
+    lease: Optional["BufferLease"] = None
 
     @property
     def rows(self) -> int:
         """Number of rows in the chunk."""
         return self.stop - self.start
+
+    def retain(self) -> "Chunk":
+        """Take an extra reference on the backing buffer (no-op for views)."""
+        if self.lease is not None:
+            self.lease.retain()
+        return self
+
+    def release(self) -> None:
+        """Drop one reference on the backing buffer (no-op for views)."""
+        if self.lease is not None:
+            self.lease.release()
 
 
 @dataclass
@@ -232,6 +277,8 @@ class ChunkStreamStats:
     io_wait_s: float = 0.0
     compute_s: float = 0.0
     prefetched: bool = False
+    #: OS readahead hints (madvise/posix_fadvise) successfully applied.
+    hints_applied: int = 0
     #: Per-chunk ``(read_s, wait_s, compute_s)`` samples (capped).
     samples: List[Tuple[float, float, float]] = field(default_factory=list)
 
@@ -261,6 +308,11 @@ class ChunkStreamStats:
             read_s, wait_s, prior = self.samples[-1]
             self.samples[-1] = (read_s, wait_s, prior + compute_s)
 
+    def record_hints(self, count: int) -> None:
+        """Fold ``count`` successfully applied OS readahead hints in."""
+        if count > 0:
+            self.hints_applied += count
+
     def merge(self, other: "ChunkStreamStats") -> None:
         """Fold another stream's aggregate (e.g. one training pass) into this."""
         self.chunks += other.chunks
@@ -269,6 +321,7 @@ class ChunkStreamStats:
         self.read_s += other.read_s
         self.io_wait_s += other.io_wait_s
         self.compute_s += other.compute_s
+        self.hints_applied += other.hints_applied
         self.prefetched = self.prefetched or other.prefetched
         free = MAX_TIMING_SAMPLES - len(self.samples)
         if free > 0:
@@ -299,6 +352,7 @@ class ChunkStreamStats:
             "compute_s": self.compute_s,
             "io_overlap": self.io_overlap,
             "prefetched": self.prefetched,
+            "hints_applied": self.hints_applied,
         }
 
 
@@ -424,6 +478,7 @@ class PrefetchingChunkIterator:
         self._stop = threading.Event()
         self._last_yield: Optional[float] = None
         self._finished = False
+        self._closed = False
         # The thread target closes over (inner, queue, stop) but NOT self:
         # an abandoned iterator stays collectable, and __del__ then stops the
         # producer instead of leaking a spinning thread for the process
@@ -510,29 +565,777 @@ class PrefetchingChunkIterator:
     def close(self) -> None:
         """Stop and join the producer thread, dropping any buffered chunks.
 
-        Idempotent.  The producer polls the stop event even while blocked on
-        a full queue, so the join completes promptly; the timeout is a
-        last-resort bound so ``close()`` can never hang a serving loop.
+        Idempotent: a second ``close()`` returns immediately.  The producer
+        polls the stop event even while blocked on a full queue, so the join
+        completes promptly; the timeout is a last-resort bound so ``close()``
+        can never hang a serving loop.  Every step is shielded so a close
+        racing interpreter shutdown (when the ``queue``/``threading`` module
+        globals may already be torn down) stays silent instead of raising a
+        spurious exception out of a finalizer or an exiting ``with`` block.
         """
-        self._stop.set()
-        while True:
-            try:
-                self._queue.get_nowait()
-            except queue.Empty:
-                break
-        self._thread.join(timeout=5.0)
+        if getattr(self, "_closed", False):
+            self._finished = True
+            return
+        self._closed = True
         self._finished = True
+        try:
+            self._stop.set()
+            while True:
+                try:
+                    self._queue.get_nowait()
+                except queue.Empty:
+                    break
+            self._thread.join(timeout=5.0)
+        except Exception:  # noqa: BLE001 — shutdown teardown must stay silent
+            pass
 
     def __del__(self) -> None:
         # Last-resort cleanup for abandoned iterators: signal the producer
         # (it polls the stop event while blocked on a full queue) without
         # joining — never block in a finalizer.  ``_stop`` may not exist if
-        # __init__ raised during validation.
-        stop = getattr(self, "_stop", None)
-        if stop is not None:
-            stop.set()
+        # __init__ raised during validation, and during interpreter shutdown
+        # even ``Event.set`` may fail once its module globals are gone, so
+        # the whole signal is shielded.
+        try:
+            stop = getattr(self, "_stop", None)
+            if stop is not None:
+                stop.set()
+        except Exception:  # noqa: BLE001
+            pass
 
     def __enter__(self) -> "PrefetchingChunkIterator":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+class BufferLease:
+    """One leased ``(X, y)`` buffer pair of a :class:`ChunkBufferPool`.
+
+    Reference counted: the pool hands the lease out with one reference;
+    :meth:`retain`/:meth:`release` adjust it, and the buffer returns to the
+    pool's free ring when the count reaches zero.  Releasing an already-free
+    lease raises — double releases alias buffers between in-flight chunks,
+    which is exactly the bug the refcount exists to prevent.
+    """
+
+    __slots__ = ("X", "y", "_pool", "_refs", "_lock")
+
+    def __init__(self, pool: "ChunkBufferPool", X: np.ndarray, y: Optional[np.ndarray]) -> None:
+        self._pool = pool
+        self.X = X
+        self.y = y
+        self._refs = 0
+        self._lock = threading.Lock()
+
+    @property
+    def refs(self) -> int:
+        """Current reference count (0 = sitting in the pool's free ring)."""
+        return self._refs
+
+    def _activate(self) -> "BufferLease":
+        with self._lock:
+            self._refs = 1
+        return self
+
+    def retain(self) -> "BufferLease":
+        """Add a reference (a second consumer now holds the buffer)."""
+        with self._lock:
+            if self._refs <= 0:
+                raise RuntimeError("cannot retain a released buffer lease")
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop a reference; the last release returns the buffer to the pool."""
+        with self._lock:
+            if self._refs <= 0:
+                raise RuntimeError("buffer lease released more times than retained")
+            self._refs -= 1
+            last = self._refs == 0
+        if last:
+            self._pool._return(self)
+
+
+class ChunkBufferPool:
+    """A ring of preallocated chunk buffers, leased to in-flight chunks.
+
+    The parallel reader pool copies *stitched* chunks (the ones that straddle
+    a shard boundary, which a zero-copy view cannot serve) into buffers from
+    this ring instead of allocating a fresh array per chunk, so steady-state
+    streaming performs zero per-chunk allocations: peak memory is bounded by
+    ``buffers × chunk bytes`` regardless of how many chunks flow through.
+
+    Parameters
+    ----------
+    buffers:
+        Number of ``(X, y)`` buffer pairs in the ring.
+    chunk_rows:
+        Capacity of each buffer in rows (the plan's steady-state window).
+    n_cols, dtype:
+        Matrix geometry the ``X`` buffers are allocated with.
+    label_dtype:
+        Dtype of the ``y`` buffers; ``None`` for unlabelled streams.
+    """
+
+    def __init__(
+        self,
+        buffers: int,
+        chunk_rows: int,
+        n_cols: int,
+        dtype: Any,
+        label_dtype: Optional[Any] = None,
+    ) -> None:
+        if buffers < 1:
+            raise ValueError(f"buffer pool needs at least 1 buffer, got {buffers}")
+        if chunk_rows < 1 or n_cols < 1:
+            raise ValueError(
+                f"buffer geometry must be positive, got ({chunk_rows}, {n_cols})"
+            )
+        self.buffers = buffers
+        self.chunk_rows = chunk_rows
+        self.n_cols = n_cols
+        self.dtype = np.dtype(dtype)
+        self.label_dtype = None if label_dtype is None else np.dtype(label_dtype)
+        self.leases_served = 0
+        self._free: "queue.Queue[BufferLease]" = queue.Queue()
+        for _ in range(buffers):
+            X = np.empty((chunk_rows, n_cols), dtype=self.dtype)
+            y = None if self.label_dtype is None else np.empty(chunk_rows, dtype=self.label_dtype)
+            self._free.put(BufferLease(self, X, y))
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes preallocated by the ring (the steady-state bound)."""
+        per_x = self.chunk_rows * self.n_cols * self.dtype.itemsize
+        per_y = 0 if self.label_dtype is None else self.chunk_rows * self.label_dtype.itemsize
+        return self.buffers * (per_x + per_y)
+
+    @property
+    def available(self) -> int:
+        """Buffers currently sitting in the free ring."""
+        return self._free.qsize()
+
+    def lease(self, stop: Optional[threading.Event] = None) -> Optional[BufferLease]:
+        """Take a buffer from the ring, blocking until one is free.
+
+        Returns ``None`` instead of blocking forever when ``stop`` is set —
+        a reader pool being closed must not deadlock on an exhausted ring.
+        """
+        while True:
+            try:
+                lease = self._free.get(timeout=0.05)
+            except queue.Empty:
+                if stop is not None and stop.is_set():
+                    return None
+                continue
+            self.leases_served += 1
+            return lease._activate()
+
+    def _return(self, lease: BufferLease) -> None:
+        self._free.put(lease)
+
+
+_MADVISE_OPTIONS = {
+    "sequential": ("MADV_SEQUENTIAL", "POSIX_FADV_SEQUENTIAL"),
+    "willneed": ("MADV_WILLNEED", "POSIX_FADV_WILLNEED"),
+    "dontneed": ("MADV_DONTNEED", "POSIX_FADV_DONTNEED"),
+}
+
+
+class _HintSegment:
+    """One hintable storage segment: a row range backed by one mapped file."""
+
+    __slots__ = ("start_row", "stop_row", "row_bytes", "mm", "array_offset",
+                 "file_offset", "path", "fd")
+
+    def __init__(self, start_row, stop_row, row_bytes, mm, array_offset, file_offset, path):
+        self.start_row = start_row
+        self.stop_row = stop_row
+        self.row_bytes = row_bytes
+        self.mm = mm                      # the shard's mmap object (or None)
+        self.array_offset = array_offset  # byte offset of row start_row in mm
+        self.file_offset = file_offset    # byte offset of row start_row on disk
+        self.path = path                  # backing file for the fadvise fallback
+        self.fd: Optional[int] = None
+
+
+class ReadaheadHinter:
+    """Issues OS readahead hints for upcoming (or consumed) chunk ranges.
+
+    The paper's thesis is that the kernel already streams sequential scans
+    well; this class tells the kernel *explicitly* what the chunk plan is
+    about to do, which is the engine-level analogue of
+    :class:`~repro.vmem.readahead.AdaptiveReadAhead` growing its window:
+
+    * :meth:`advise_sequential` — once per stream, marks every shard mapping
+      ``MADV_SEQUENTIAL`` so kernel readahead ramps aggressively;
+    * :meth:`will_need` — per upcoming chunk, asks the kernel to start the
+      read *now* (``MADV_WILLNEED`` is asynchronous, so the call returns
+      immediately while the device works);
+    * :meth:`dont_need` — per consumed chunk, releases page cache behind a
+      strictly-forward scan.
+
+    Every call degrades gracefully: ``mmap.madvise`` first, then
+    ``os.posix_fadvise`` against the backing file, then a counted no-op on
+    platforms (or backings, e.g. plain in-memory arrays) that support
+    neither.  The return value is the number of hints actually applied, so
+    callers can surface honest counts in :class:`ChunkStreamStats`.
+    """
+
+    def __init__(self, matrix: Any) -> None:
+        self._segments: List[_HintSegment] = []
+        self._lock = threading.Lock()
+        self.applied = 0
+        try:
+            self._segments = self._resolve_segments(_unwrap(matrix))
+        except Exception:  # noqa: BLE001 — an unhintable matrix is a no-op, not an error
+            self._segments = []
+
+    @staticmethod
+    def _resolve_segments(backing: Any) -> List[_HintSegment]:
+        segments: List[_HintSegment] = []
+        if isinstance(backing, ShardedMatrix):
+            row_bytes = backing.shape[1] * backing.dtype.itemsize
+            for shard, data in zip(backing.manifest.shards, backing._maps):
+                segments.append(
+                    _HintSegment(
+                        start_row=shard.start_row,
+                        stop_row=shard.stop_row,
+                        row_bytes=row_bytes,
+                        mm=getattr(data, "_mmap", None),
+                        array_offset=ReadaheadHinter._array_offset(data),
+                        file_offset=int(getattr(data, "offset", 0)),
+                        path=ReadaheadHinter._filename(data, backing.directory / shard.filename),
+                    )
+                )
+        elif isinstance(backing, np.memmap):
+            row_bytes = int(backing.shape[1]) * backing.dtype.itemsize
+            segments.append(
+                _HintSegment(
+                    start_row=0,
+                    stop_row=int(backing.shape[0]),
+                    row_bytes=row_bytes,
+                    mm=getattr(backing, "_mmap", None),
+                    array_offset=ReadaheadHinter._array_offset(backing),
+                    file_offset=int(getattr(backing, "offset", 0)),
+                    path=ReadaheadHinter._filename(backing, None),
+                )
+            )
+        return segments
+
+    @staticmethod
+    def _array_offset(memmap_array: np.memmap) -> int:
+        # numpy maps from the nearest allocation-granularity boundary below
+        # ``offset``; the array's bytes start this far into the mmap buffer.
+        return int(getattr(memmap_array, "offset", 0)) % _mmap.ALLOCATIONGRANULARITY
+
+    @staticmethod
+    def _filename(memmap_array: np.memmap, fallback: Optional[Path]) -> Optional[Path]:
+        name = getattr(memmap_array, "filename", None)
+        if name is not None:
+            return Path(name)
+        return fallback
+
+    @property
+    def supported(self) -> bool:
+        """Whether the matrix resolved to at least one hintable segment."""
+        return bool(self._segments)
+
+    def advise_sequential(self) -> int:
+        """Mark every segment's whole mapping sequential; returns hints applied."""
+        applied = 0
+        for segment in self._segments:
+            applied += self._advise(segment, "sequential", 0, None)
+        with self._lock:
+            self.applied += applied
+        return applied
+
+    def will_need(self, start: int, stop: int) -> int:
+        """Ask the kernel to read rows ``[start, stop)`` ahead of the consumer."""
+        return self._advise_range(start, stop, "willneed")
+
+    def dont_need(self, start: int, stop: int) -> int:
+        """Release cache for consumed rows ``[start, stop)`` (forward scans)."""
+        return self._advise_range(start, stop, "dontneed")
+
+    def _advise_range(self, start: int, stop: int, kind: str) -> int:
+        applied = 0
+        for segment in self._segments:
+            lo = max(start, segment.start_row)
+            hi = min(stop, segment.stop_row)
+            if hi <= lo:
+                continue
+            offset = (lo - segment.start_row) * segment.row_bytes
+            length = (hi - lo) * segment.row_bytes
+            applied += self._advise(segment, kind, offset, length)
+        with self._lock:
+            self.applied += applied
+        return applied
+
+    def _advise(self, segment: _HintSegment, kind: str, offset: int, length: Optional[int]) -> int:
+        madv_name, fadv_name = _MADVISE_OPTIONS[kind]
+        if self._madvise(segment, madv_name, offset, length):
+            return 1
+        if self._fadvise(segment, fadv_name, offset, length):
+            return 1
+        return 0
+
+    @staticmethod
+    def _madvise(segment: _HintSegment, option_name: str, offset: int, length: Optional[int]) -> bool:
+        mm = segment.mm
+        option = getattr(_mmap, option_name, None)
+        if mm is None or option is None or not hasattr(mm, "madvise"):
+            return False
+        try:
+            if length is None:  # whole mapping
+                mm.madvise(option)
+                return True
+            page = _mmap.PAGESIZE
+            raw = segment.array_offset + offset
+            aligned = (raw // page) * page
+            span = min(length + (raw - aligned), len(mm) - aligned)
+            if span <= 0:
+                return False
+            mm.madvise(option, aligned, span)
+            return True
+        except (AttributeError, OSError, OverflowError, ValueError):
+            return False
+
+    @staticmethod
+    def _fadvise(segment: _HintSegment, option_name: str, offset: int, length: Optional[int]) -> bool:
+        option = getattr(os, option_name, None)
+        fadvise = getattr(os, "posix_fadvise", None)
+        if option is None or fadvise is None or segment.path is None:
+            return False
+        try:
+            if segment.fd is None:
+                segment.fd = os.open(str(segment.path), os.O_RDONLY)
+            fadvise(segment.fd, segment.file_offset + offset, length or 0, option)
+            return True
+        except OSError:
+            return False
+
+    def close(self) -> None:
+        """Close any file descriptors opened for the fadvise fallback."""
+        for segment in self._segments:
+            if segment.fd is not None:
+                try:
+                    os.close(segment.fd)
+                except OSError:
+                    pass
+                segment.fd = None
+
+    def __enter__(self) -> "ReadaheadHinter":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+class _ReaderPoolState:
+    """Shared state of a :class:`ParallelPrefetcher` reader pool.
+
+    Reader threads reference *this* object, never the prefetcher itself, so
+    an abandoned prefetcher stays garbage-collectable; its finalizer then
+    sets :attr:`stop`, which every reader polls, instead of the pool pinning
+    the stream alive for the process lifetime (the same discipline as the
+    single-reader :class:`PrefetchingChunkIterator`'s producer).
+    """
+
+    def __init__(
+        self,
+        inner: ChunkIterator,
+        cuts: np.ndarray,
+        pool: Optional[ChunkBufferPool],
+        hinter: Optional[ReadaheadHinter],
+        depth: int,
+        readers: int,
+    ) -> None:
+        self.inner = inner
+        self.plan = inner.plan
+        self.cuts = cuts
+        self.pool = pool
+        self.hinter = hinter
+        # Re-entrant: the consumer re-acquires while finishing inside the
+        # wait loop's critical section.
+        self.cond = threading.Condition(threading.RLock())
+        self.stop = threading.Event()
+        self.window = threading.Semaphore(depth)
+        self.results: Dict[int, Chunk] = {}
+        self.error: Optional[Tuple[int, BaseException]] = None
+        self.next_claim = 0
+        self.pending_hints = 0
+        self.live_workers = 0
+        self.reader_log: List[List[Tuple[int, int]]] = [[] for _ in range(readers)]
+        self.reader_stats: List[Dict[str, Any]] = [
+            {"reader": r, "chunks": 0, "rows": 0, "bytes_read": 0, "read_s": 0.0}
+            for r in range(readers)
+        ]
+
+    # -- reader loop ---------------------------------------------------------
+
+    def work(self, reader: int) -> None:
+        plan = self.plan
+        acct = self.reader_stats[reader]
+        index = 0
+        try:
+            while not self.stop.is_set():
+                if not self.window.acquire(timeout=0.05):
+                    continue
+                with self.cond:
+                    if self.next_claim >= plan.num_chunks:
+                        self.window.release()
+                        return
+                    index = self.next_claim
+                    self.next_claim += 1
+                start, stop_row = plan.bounds[index]
+                self.reader_log[reader].append((start, stop_row))
+                hinted = self.hinter.will_need(start, stop_row) if self.hinter is not None else 0
+                chunk = self.read_chunk(index, start, stop_row)
+                acct["chunks"] += 1
+                acct["rows"] += chunk.rows
+                acct["bytes_read"] += chunk.rows * plan.row_bytes
+                acct["read_s"] += chunk.read_s
+                with self.cond:
+                    # After another reader errored, chunks *behind* the failed
+                    # index still post — the consumer's contract is that
+                    # everything before the error is delivered in order.
+                    # Chunks past the error can never be consumed; drop them.
+                    if self.error is not None and index > self.error[0]:
+                        chunk.release()
+                        return
+                    self.results[index] = chunk
+                    self.pending_hints += hinted
+                    self.cond.notify_all()
+        except BaseException as error:  # noqa: BLE001 — relayed to the consumer
+            try:
+                with self.cond:
+                    if self.error is None or index < self.error[0]:
+                        self.error = (index, error)
+                    self.stop.set()
+                    self.cond.notify_all()
+            except Exception:  # noqa: BLE001 — interpreter-shutdown teardown
+                pass
+        finally:
+            try:
+                with self.cond:
+                    self.live_workers -= 1
+                    self.cond.notify_all()
+            except Exception:  # noqa: BLE001 — interpreter-shutdown teardown
+                pass
+
+    def read_chunk(self, index: int, start: int, stop: int) -> Chunk:
+        """Materialise one chunk: zero-copy view when possible, pooled copy otherwise."""
+        matrix = self.inner.matrix
+        labels = self.inner.labels
+        began = time.perf_counter()
+        lease: Optional[BufferLease] = None
+        if self.pool is not None and self.straddles(start, stop):
+            lease = self.pool.lease(stop=self.stop)
+            if lease is None:  # closed while waiting for a buffer
+                raise ChunkStreamError("chunk stream closed while leasing a buffer")
+            X = self._gather_matrix(matrix, start, stop, lease.X)
+            y = None
+            if labels is not None:
+                y = self._gather_labels(labels, start, stop, lease.y)
+        else:
+            # Shard-aligned (or single-backing) ranges resolve to contiguous
+            # zero-copy views — no defensive copy, the consumer reads the
+            # mapped pages directly.
+            X = matrix[start:stop]
+            y = None
+            if labels is not None:
+                y = np.asarray(labels[start:stop])
+        read_s = time.perf_counter() - began
+        return Chunk(index=index, start=start, stop=stop, X=X, y=y, read_s=read_s, lease=lease)
+
+    def straddles(self, start: int, stop: int) -> bool:
+        """Whether ``[start, stop)`` crosses a shard boundary (needs stitching)."""
+        return _range_straddles(self.cuts, start, stop)
+
+    @staticmethod
+    def _gather_matrix(matrix: Any, start: int, stop: int, out: np.ndarray) -> np.ndarray:
+        backing = _unwrap(matrix)
+        if isinstance(backing, ShardedMatrix):
+            view = backing.gather_into(start, stop, out)
+            record = getattr(matrix, "record_read", None)
+            if callable(record):
+                record(start, stop)
+            return view
+        view = out[: stop - start]
+        np.copyto(view, matrix[start:stop])
+        return view
+
+    @staticmethod
+    def _gather_labels(labels: Any, start: int, stop: int, out: Optional[np.ndarray]) -> np.ndarray:
+        if out is None:
+            return np.asarray(labels[start:stop])
+        if isinstance(labels, ShardedLabels):
+            return labels.gather_into(start, stop, out)
+        view = out[: stop - start]
+        np.copyto(view, labels[start:stop])
+        return view
+
+
+class ParallelPrefetcher:
+    """Multi-reader chunk prefetch: a reader pool feeding a plan-order stream.
+
+    Where :class:`PrefetchingChunkIterator` hides I/O behind compute with one
+    producer thread, this executor restructures the producer side around the
+    storage layout: ``io_workers`` reader threads (one per shard by default)
+    claim upcoming chunks off the plan, issue an OS readahead hint for each
+    claim, materialise the chunk — zero-copy when the range resolves to one
+    contiguous memmap view, copied into a :class:`ChunkBufferPool` buffer
+    when it must be stitched across shards — and post it into a bounded
+    reorder buffer.  The consumer re-emits chunks in exact plan order, so
+    downstream training and inference see the identical chunk sequence the
+    synchronous iterator produces.
+
+    Parameters
+    ----------
+    inner:
+        The synchronous iterator carrying the matrix, labels and plan.
+    io_workers:
+        Reader threads.  ``None``/``0`` = one per shard (falling back to
+        ``depth`` readers for single-file and in-memory matrices).
+    depth:
+        Reorder-buffer window: maximum chunks claimed but not yet consumed.
+        Defaults to ``max(2, 2 × io_workers)`` so every reader can stay busy
+        while the consumer computes.
+    buffer_pool:
+        ``None`` = preallocate a ring automatically when (and only when) the
+        plan contains stitched chunks; an ``int`` = ring size to preallocate;
+        a :class:`ChunkBufferPool` = share an existing ring (e.g. across the
+        passes of one training run).
+    hints:
+        Issue ``madvise``/``posix_fadvise`` readahead hints per claimed chunk.
+    """
+
+    def __init__(
+        self,
+        inner: ChunkIterator,
+        io_workers: Optional[int] = None,
+        depth: Optional[int] = None,
+        buffer_pool: Optional["int | ChunkBufferPool"] = None,
+        hints: bool = True,
+    ) -> None:
+        self.inner = inner
+        plan = inner.plan
+        starts = shard_row_starts(inner.matrix)
+        if io_workers is not None and io_workers < 0:
+            raise ValueError(f"io_workers must be >= 0, got {io_workers}")
+        if depth is not None and depth < 1:
+            raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+        if not io_workers:  # None or 0: one reader per shard, else `depth` readers
+            io_workers = len(starts) if len(starts) > 1 else (depth or 2)
+        self.io_workers = max(1, min(int(io_workers), max(plan.num_chunks, 1)))
+        self.depth = depth if depth is not None else max(2, 2 * self.io_workers)
+        if self.depth < self.io_workers:
+            self.depth = self.io_workers
+
+        cuts = np.asarray(starts, dtype=np.int64)
+        self.pool = self._resolve_pool(buffer_pool, plan, cuts)
+        if self.pool is not None:
+            # The in-flight window must never exceed the buffer ring: with a
+            # wider window, readers of *later* chunks can lease every buffer
+            # while they sit unconsumable in the reorder buffer, starving the
+            # reader of the next-expected chunk — a permanent deadlock.  With
+            # window <= buffers the expected chunk's reader always finds a
+            # free buffer (at most window-1 other chunks hold leases).
+            self.depth = max(1, min(self.depth, self.pool.buffers))
+        self.hinter = ReadaheadHinter(inner.matrix) if hints else None
+
+        self.stats = ChunkStreamStats(prefetched=True)
+        self._state = _ReaderPoolState(
+            inner, cuts, self.pool, self.hinter, self.depth, self.io_workers
+        )
+        self._expected = 0
+        self._last_yield: Optional[float] = None
+        self._finished = False
+        self._closed = False
+        self._hints_folded = False
+
+        if self.hinter is not None:
+            self.stats.record_hints(self.hinter.advise_sequential())
+        self._threads: List[threading.Thread] = []
+        state = self._state
+        for reader in range(self.io_workers):
+            thread = threading.Thread(
+                target=state.work,
+                args=(reader,),
+                name=f"m3-chunk-reader-{reader}",
+                daemon=True,
+            )
+            state.live_workers += 1
+            thread.start()
+            self._threads.append(thread)
+
+    # -- construction helpers ----------------------------------------------
+
+    def _resolve_pool(self, buffer_pool, plan: ChunkPlan, cuts: np.ndarray) -> Optional[ChunkBufferPool]:
+        if isinstance(buffer_pool, ChunkBufferPool):
+            return buffer_pool
+        if plan.num_chunks == 0:
+            return None
+        needs_pool = any(
+            _range_straddles(cuts, start, stop) for start, stop in plan.bounds
+        )
+        if buffer_pool is None and not needs_pool:
+            return None
+        size = buffer_pool if isinstance(buffer_pool, int) else self.depth
+        labels = self.inner.labels
+        label_dtype = None
+        if labels is not None:
+            label_dtype = getattr(labels, "dtype", None)
+            if label_dtype is None:
+                # Labels without a dtype (plain lists): probe one element so
+                # the ring's buffers match what the slices actually hold.
+                probe = np.asarray(labels[:1])
+                label_dtype = probe.dtype if probe.size else np.dtype(np.int64)
+        return ChunkBufferPool(
+            buffers=max(1, size),
+            chunk_rows=max(1, max(stop - start for start, stop in plan.bounds)),
+            n_cols=plan.n_cols,
+            dtype=np.dtype(self.inner.matrix.dtype),
+            label_dtype=label_dtype,
+        )
+
+    # -- pool accounting -----------------------------------------------------
+
+    @property
+    def reader_log(self) -> List[List[Tuple[int, int]]]:
+        """Per-reader ordered ``(start, stop)`` claims — the multi-reader
+        schedule, replayable through the simulated engine."""
+        return self._state.reader_log
+
+    @property
+    def reader_stats(self) -> List[Dict[str, Any]]:
+        """Per-reader accounting: chunks, rows, bytes and read seconds."""
+        return self._state.reader_stats
+
+    # -- consumer ------------------------------------------------------------
+
+    @property
+    def plan(self) -> ChunkPlan:
+        """The plan being streamed."""
+        return self.inner.plan
+
+    def __iter__(self) -> "ParallelPrefetcher":
+        return self
+
+    def __next__(self) -> Chunk:
+        if self._finished:
+            raise StopIteration
+        now = time.perf_counter()
+        compute_s = now - self._last_yield if self._last_yield is not None else 0.0
+        plan = self.inner.plan
+        state = self._state
+        if self._expected >= plan.num_chunks:
+            self._finish(compute_s)
+            raise StopIteration
+        with state.cond:
+            while self._expected not in state.results:
+                # Readers wind down on error, but their in-flight chunks still
+                # land; everything before the failed chunk is delivered in
+                # order before the error surfaces at the gap.
+                if state.live_workers == 0:
+                    if state.error is not None:
+                        _, error = state.error
+                        self._finish(compute_s)
+                        raise ChunkStreamError(
+                            f"chunk stream reader failed while reading "
+                            f"{plan.num_chunks} planned chunk(s): {error!r}"
+                        ) from error
+                    if state.stop.is_set():
+                        self._finish(compute_s)
+                        raise StopIteration
+                state.cond.wait(timeout=0.05)
+            chunk = state.results.pop(self._expected)
+            self._expected += 1
+            pending_hints = state.pending_hints
+            state.pending_hints = 0
+        wait_s = time.perf_counter() - now
+        state.window.release()
+        self.stats.record_hints(pending_hints)
+        self.stats.record(
+            chunk.read_s, wait_s, compute_s, chunk.rows, chunk.rows * plan.row_bytes
+        )
+        self._last_yield = time.perf_counter()
+        return chunk
+
+    def _finish(self, trailing_compute_s: float) -> None:
+        self.stats.record_trailing_compute(trailing_compute_s)
+        self._finished = True
+        self._last_yield = None
+        self._state.stop.set()
+        self._fold_hints()
+        with self._state.cond:
+            self._state.cond.notify_all()
+
+    def _fold_hints(self) -> None:
+        if self._hints_folded:
+            return
+        self._hints_folded = True
+        with self._state.cond:
+            pending = self._state.pending_hints
+            self._state.pending_hints = 0
+        self.stats.record_hints(pending)
+
+    def blocks(self) -> Iterator[Tuple[int, int, Any]]:
+        """Iterate ``(start, stop, X)`` blocks, releasing each buffer afterwards.
+
+        Same contract as :meth:`ChunkIterator.blocks`; pooled buffers are
+        handed back to the ring once the consumer advances past the block, so
+        a sequential consumer can drive this without knowing about leases.
+        """
+        for chunk in self:
+            try:
+                yield chunk.start, chunk.stop, chunk.X
+            finally:
+                chunk.release()
+
+    def close(self) -> None:
+        """Stop and join the reader pool, returning buffered chunks to the pool.
+
+        Idempotent and shutdown-safe, like
+        :meth:`PrefetchingChunkIterator.close`.
+        """
+        if getattr(self, "_closed", False):
+            self._finished = True
+            return
+        self._closed = True
+        self._finished = True
+        try:
+            state = self._state
+            state.stop.set()
+            with state.cond:
+                state.cond.notify_all()
+            for thread in self._threads:
+                thread.join(timeout=5.0)
+            with state.cond:
+                leftovers = list(state.results.values())
+                state.results.clear()
+            for chunk in leftovers:
+                chunk.release()
+            self._fold_hints()
+            if self.hinter is not None:
+                self.hinter.close()
+        except Exception:  # noqa: BLE001 — shutdown teardown must stay silent
+            pass
+
+    def __del__(self) -> None:
+        # The reader threads reference only _state, so an abandoned stream is
+        # collectable; this finalizer then tells the pool to wind down.
+        try:
+            state = getattr(self, "_state", None)
+            if state is not None:
+                state.stop.set()
+        except Exception:  # noqa: BLE001
+            pass
+
+    def __enter__(self) -> "ParallelPrefetcher":
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
@@ -547,11 +1350,30 @@ def open_chunk_stream(
     prefetch: bool = True,
     prefetch_depth: int = 2,
     plan: Optional[ChunkPlan] = None,
-) -> "ChunkIterator | PrefetchingChunkIterator":
-    """Build a (possibly prefetching) chunk stream in one call."""
+    io_workers: Optional[int] = None,
+    buffer_pool: Optional["int | ChunkBufferPool"] = None,
+    hints: bool = True,
+    parallel_depth: Optional[int] = None,
+) -> "ChunkIterator | PrefetchingChunkIterator | ParallelPrefetcher":
+    """Build a chunk stream in one call.
+
+    ``io_workers=None`` keeps the classic executors: synchronous when
+    ``prefetch`` is off, the single-reader double-buffered pipeline otherwise.
+    Any other value selects the multi-reader :class:`ParallelPrefetcher`
+    (``0`` = one reader per shard, ``n >= 1`` = exactly ``n`` readers), with
+    ``buffer_pool``/``hints``/``parallel_depth`` forwarded to it.
+    """
     inner = ChunkIterator(
         matrix, labels=labels, plan=plan, chunk_rows=chunk_rows, align_shards=align_shards
     )
+    if io_workers is not None:
+        return ParallelPrefetcher(
+            inner,
+            io_workers=io_workers,
+            depth=parallel_depth,
+            buffer_pool=buffer_pool,
+            hints=hints,
+        )
     if not prefetch:
         return inner
     return PrefetchingChunkIterator(inner, depth=prefetch_depth)

@@ -45,7 +45,12 @@ from typing import Any, Dict, Optional, Type, Union
 
 import numpy as np
 
-from repro.api.chunks import ChunkStreamStats, open_chunk_stream, plan_chunks
+from repro.api.chunks import (
+    ChunkBufferPool,
+    ChunkStreamStats,
+    open_chunk_stream,
+    plan_chunks,
+)
 from repro.api.dataset import Dataset
 from repro.api.sharded import ShardedLabels
 from repro.vmem.trace import AccessTrace
@@ -255,6 +260,49 @@ class SimulatedEngine(ExecutionEngine):
         simulation = simulator.run_trace(trace, file_bytes=file_bytes)
         return output, elapsed, trace, simulation
 
+    def replay_reader_log(
+        self,
+        plan: Any,
+        reader_log: Any,
+        data_offset: int = 0,
+        cpu_cost_per_chunk_s: float = 0.0,
+    ) -> SimulationResult:
+        """Replay a multi-reader chunk schedule through the paper-scale machine.
+
+        ``reader_log`` is the per-reader ordered ``(start, stop)`` row bounds a
+        :class:`~repro.api.chunks.ParallelPrefetcher` recorded (its
+        ``reader_log`` attribute), or any hand-built schedule of the same
+        shape.  The per-reader streams are interleaved round-robin — the
+        storage-level arrival order of a reader pool draining its claims
+        concurrently — into one :class:`~repro.vmem.trace.AccessTrace` and
+        replayed through the simulator, so engine-level multi-reader
+        prefetching can be compared head-to-head against the kernel
+        read-ahead policies in :mod:`repro.vmem.readahead` (configure
+        ``vm_config.readahead`` with e.g.
+        :class:`~repro.vmem.readahead.PipelinedReadAhead`).
+        """
+        trace = AccessTrace(
+            description=f"multi-reader replay ({len(reader_log)} readers)"
+        )
+        pending = [iter(log) for log in reader_log]
+        while pending:
+            still_running = []
+            for stream in pending:
+                try:
+                    start, stop = next(stream)
+                except StopIteration:
+                    continue
+                trace.record(
+                    offset=data_offset + start * plan.row_bytes,
+                    length=(stop - start) * plan.row_bytes,
+                    cpu_cost_s=cpu_cost_per_chunk_s,
+                )
+                still_running.append(stream)
+            pending = still_running
+        simulator = VirtualMemorySimulator(self.vm_config)
+        file_bytes = max(trace.max_offset, data_offset + plan.total_bytes)
+        return simulator.run_trace(trace, file_bytes=file_bytes)
+
     def fit(self, model: Any, dataset: Dataset, y: Optional[Any] = None) -> FitResult:
         labels = self._resolve_labels(dataset, y)
         _, elapsed, trace, simulation = self._traced_replay(
@@ -432,6 +480,24 @@ class StreamingEngine(ExecutionEngine):
         Chunks the prefetcher may buffer ahead (2 = double buffering).
     align_shards:
         Split chunks at shard boundaries for zero-copy single-shard views.
+    io_workers:
+        ``None`` (default) keeps the single-reader pipeline.  Any other value
+        switches to the multi-reader
+        :class:`~repro.api.chunks.ParallelPrefetcher`: ``0`` = one reader per
+        shard, ``n >= 1`` = exactly ``n`` readers.
+    compute_workers:
+        Worker threads for data-parallel streaming ``predict``: chunk
+        inference fans across the pool, each worker writing a disjoint slice
+        of the preallocated output buffer (bit-identical to in-core).
+        ``1`` (default) keeps inference sequential.  Training is unaffected
+        (``partial_fit`` is an ordered reduction).
+    buffer_pool:
+        Buffer ring for stitched chunks: ``None`` = auto, an ``int`` = ring
+        size, a :class:`~repro.api.chunks.ChunkBufferPool` = shared ring.
+        Only used with ``io_workers``.
+    hints:
+        Issue OS readahead hints (madvise/posix_fadvise) per upcoming chunk
+        when the multi-reader pipeline is active.
     """
 
     name = "streaming"
@@ -442,18 +508,56 @@ class StreamingEngine(ExecutionEngine):
         prefetch: bool = True,
         prefetch_depth: int = 2,
         align_shards: bool = True,
+        io_workers: Optional[int] = None,
+        compute_workers: int = 1,
+        buffer_pool: Optional[Any] = None,
+        hints: bool = True,
     ) -> None:
-        if chunk_rows is not None and chunk_rows <= 0:
-            raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
-        if prefetch_depth < 1:
-            raise ValueError(f"prefetch_depth must be >= 1, got {prefetch_depth}")
         self.chunk_rows = chunk_rows
         self.prefetch = prefetch
         self.prefetch_depth = prefetch_depth
         self.align_shards = align_shards
+        self.io_workers = io_workers
+        self.compute_workers = compute_workers
+        self.buffer_pool = buffer_pool
+        self.hints = hints
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.chunk_rows is not None and self.chunk_rows <= 0:
+            raise ValueError(f"chunk_rows must be positive, got {self.chunk_rows}")
+        if self.prefetch_depth < 1:
+            raise ValueError(f"prefetch_depth must be >= 1, got {self.prefetch_depth}")
+        if self.io_workers is not None and self.io_workers < 0:
+            raise ValueError(f"io_workers must be >= 0, got {self.io_workers}")
+        if self.compute_workers < 1:
+            raise ValueError(
+                f"compute_workers must be >= 1, got {self.compute_workers}"
+            )
+
+    def with_options(self, **overrides: Any) -> "StreamingEngine":
+        """A copy of this engine (subclass and all settings) with overrides applied.
+
+        ``None`` values are ignored, so callers can forward optional knobs
+        (``chunk_rows``, ``io_workers``, ``compute_workers``, …) untouched.
+        """
+        clone = copy.copy(self)
+        for key, value in overrides.items():
+            if value is None:
+                continue
+            if not hasattr(clone, key):
+                raise ValueError(f"StreamingEngine has no option {key!r}")
+            setattr(clone, key, value)
+        clone._validate()
+        return clone
 
     def with_chunk_rows(self, chunk_rows: Optional[int]) -> "StreamingEngine":
-        """A copy of this engine (subclass and all settings) with ``chunk_rows`` overridden."""
+        """A copy of this engine with ``chunk_rows`` overridden.
+
+        Unlike :meth:`with_options` (which ignores ``None`` so optional knobs
+        forward untouched), ``None`` here is an explicit value: it resets the
+        clone to auto-sized chunks.
+        """
         if chunk_rows is not None and chunk_rows <= 0:
             raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
         clone = copy.copy(self)
@@ -499,27 +603,35 @@ class StreamingEngine(ExecutionEngine):
 
         stats = ChunkStreamStats()
         passes = 0
+        # Shared across passes: the first pass's stream allocates (or adopts)
+        # the buffer ring, later passes reuse it — steady-state training makes
+        # zero per-chunk allocations even across epochs.
+        shared: Dict[str, Any] = {"pool": self.buffer_pool, "readers": [], "log": None}
 
         def make_stream():
             nonlocal passes
             passes += 1
-            stream = open_chunk_stream(
-                dataset.matrix,
-                labels=labels,
-                plan=plan,
-                prefetch=self.prefetch,
-                prefetch_depth=self.prefetch_depth,
+            stream = self._open_stream(
+                dataset.matrix, labels=labels, plan=plan, pool=shared["pool"]
             )
             with stream:
                 for chunk in stream:
-                    yield chunk.X, chunk.y
+                    try:
+                        yield chunk.X, chunk.y
+                    finally:
+                        chunk.release()
             stats.merge(stream.stats)
+            shared["pool"] = getattr(stream, "pool", None) or shared["pool"]
+            self._merge_reader_stats(shared["readers"], stream)
+            if getattr(stream, "reader_log", None):
+                shared["log"] = stream.reader_log
 
         start = time.perf_counter()
         fit_streaming(make_stream, classes=classes, finalize=dataset.matrix)
         elapsed = time.perf_counter() - start
 
-        details = self._pipeline_details(stats, plan)
+        details = self._pipeline_details(stats, plan, readers=shared["readers"],
+                                         pool=shared["pool"], reader_log=shared["log"])
         details["passes"] = passes
         return FitResult(
             model=model,
@@ -529,7 +641,43 @@ class StreamingEngine(ExecutionEngine):
             details=details,
         )
 
-    def _pipeline_details(self, stats: ChunkStreamStats, plan: Any) -> Dict[str, Any]:
+    def _open_stream(self, matrix: Any, labels: Optional[Any] = None,
+                     plan: Optional[Any] = None, pool: Optional[Any] = None):
+        """One chunk stream over ``matrix`` with this engine's pipeline knobs."""
+        return open_chunk_stream(
+            matrix,
+            labels=labels,
+            plan=plan,
+            prefetch=self.prefetch,
+            prefetch_depth=self.prefetch_depth,
+            io_workers=self.io_workers,
+            buffer_pool=pool if pool is not None else self.buffer_pool,
+            hints=self.hints,
+        )
+
+    @staticmethod
+    def _merge_reader_stats(accumulated: list, stream: Any) -> None:
+        """Fold a stream's per-reader accounting into the across-pass totals."""
+        reader_stats = getattr(stream, "reader_stats", None)
+        if not reader_stats:
+            return
+        while len(accumulated) < len(reader_stats):
+            accumulated.append(
+                {"reader": len(accumulated), "chunks": 0, "rows": 0,
+                 "bytes_read": 0, "read_s": 0.0}
+            )
+        for into, entry in zip(accumulated, reader_stats):
+            for key in ("chunks", "rows", "bytes_read", "read_s"):
+                into[key] += entry[key]
+
+    def _pipeline_details(
+        self,
+        stats: ChunkStreamStats,
+        plan: Any,
+        readers: Optional[list] = None,
+        pool: Optional[Any] = None,
+        reader_log: Optional[list] = None,
+    ) -> Dict[str, Any]:
         """The chunk pipeline's accounting, shared by ``fit`` and ``predict``."""
         details: Dict[str, Any] = stats.as_dict()
         details.update(
@@ -538,12 +686,24 @@ class StreamingEngine(ExecutionEngine):
                 "chunks_per_pass": plan.num_chunks,
                 "shard_aligned": plan.aligned,
                 "prefetch_depth": self.prefetch_depth if self.prefetch else 0,
+                "compute_workers": self.compute_workers,
                 "per_chunk": [
                     {"read_s": r, "io_wait_s": w, "compute_s": c}
                     for r, w, c in stats.samples
                 ],
             }
         )
+        if readers:
+            details["io_workers"] = len(readers)
+            details["readers"] = [dict(entry) for entry in readers]
+        else:
+            details["io_workers"] = 1 if self.prefetch else 0
+        if isinstance(pool, ChunkBufferPool):
+            details["buffer_pool_buffers"] = pool.buffers
+            details["buffer_pool_bytes"] = pool.nbytes
+            details["buffer_pool_leases"] = pool.leases_served
+        if reader_log is not None:
+            details["reader_log"] = reader_log
         return details
 
     def predict(self, model: Any, dataset: Dataset, method: str = "predict") -> PredictResult:
@@ -568,6 +728,9 @@ class StreamingEngine(ExecutionEngine):
         plan = plan_chunks(
             dataset.matrix, chunk_rows=chunk_rows, align_shards=self.align_shards
         )
+        readers: list = []
+        pool = None
+        reader_log = None
         start = time.perf_counter()
         if plan.num_chunks == 0:
             # An empty dataset has no chunks to infer output geometry from;
@@ -576,19 +739,30 @@ class StreamingEngine(ExecutionEngine):
             elapsed = time.perf_counter() - start
             stats = ChunkStreamStats(prefetched=False)
         else:
-            stream = open_chunk_stream(
-                dataset.matrix,
-                plan=plan,
-                prefetch=self.prefetch,
-                prefetch_depth=self.prefetch_depth,
-            )
+            stream = self._open_stream(dataset.matrix, plan=plan)
+            fan_out = getattr(model, "predict_streaming_parallel", None)
             with stream:
-                predictions = model.predict_streaming(
-                    stream.blocks(), plan.n_rows, method=method
-                )
+                if self.compute_workers > 1 and callable(fan_out):
+                    # Data-parallel serving: chunks fan across a worker pool,
+                    # each worker writing its disjoint out[start:stop] slice —
+                    # bit-identical to the sequential path because the
+                    # prediction methods are row-wise.
+                    predictions = fan_out(
+                        stream, plan.n_rows, method=method,
+                        workers=self.compute_workers,
+                    )
+                else:
+                    predictions = model.predict_streaming(
+                        stream.blocks(), plan.n_rows, method=method
+                    )
             elapsed = time.perf_counter() - start
             stats = stream.stats
-        details = self._pipeline_details(stats, plan)
+            pool = getattr(stream, "pool", None)
+            self._merge_reader_stats(readers, stream)
+            reader_log = getattr(stream, "reader_log", None)
+        details = self._pipeline_details(
+            stats, plan, readers=readers, pool=pool, reader_log=reader_log
+        )
         return PredictResult(
             predictions=predictions,
             model=model,

@@ -341,12 +341,37 @@ class Session:
 
     # -- training ----------------------------------------------------------
 
+    @staticmethod
+    def _streaming_overrides(
+        resolved: ExecutionEngine,
+        **overrides: Any,
+    ) -> ExecutionEngine:
+        """Apply streaming-only pipeline knobs to the resolved engine.
+
+        ``chunk_rows``, ``io_workers``, ``compute_workers`` and
+        ``buffer_pool`` only make sense for the streaming engine; passing any
+        of them with another engine is a caller error worth failing loudly on.
+        """
+        given = {key: value for key, value in overrides.items() if value is not None}
+        if not given:
+            return resolved
+        if not isinstance(resolved, StreamingEngine):
+            names = ", ".join(sorted(given))
+            raise ValueError(
+                f"{names} only applies to the streaming engine, not "
+                f"{resolved.name!r}"
+            )
+        return resolved.with_options(**given)
+
     def fit(
         self,
         model: Any,
         dataset: Union[Dataset, SpecLike],
         y: Optional[Any] = None,
         engine: Union[str, ExecutionEngine, None] = None,
+        chunk_rows: Optional[int] = None,
+        io_workers: Optional[int] = None,
+        compute_workers: Optional[int] = None,
     ) -> FitResult:
         """Train ``model`` on ``dataset`` with an execution engine.
 
@@ -361,6 +386,14 @@ class Session:
             Label override; defaults to the dataset's own labels.
         engine:
             Engine override; defaults to the session's ``engine``.
+        chunk_rows:
+            Steady-state rows per streaming chunk (streaming engine only).
+        io_workers:
+            Reader threads for the parallel chunk pipeline (streaming engine
+            only): ``0`` = one reader per shard, ``n >= 1`` = exactly ``n``.
+        compute_workers:
+            Inference worker threads — accepted here for symmetry with
+            :meth:`predict`; training itself stays an ordered reduction.
 
         Returns
         -------
@@ -369,6 +402,12 @@ class Session:
         """
         self._check_open()
         resolved = self.default_engine if engine is None else resolve_engine(engine)
+        resolved = self._streaming_overrides(
+            resolved,
+            chunk_rows=chunk_rows,
+            io_workers=io_workers,
+            compute_workers=compute_workers,
+        )
         if isinstance(dataset, Dataset):
             return resolved.fit(model, dataset, y=y)
         with self.open(dataset) as handle:
@@ -383,6 +422,8 @@ class Session:
         method: str = "predict",
         engine: Union[str, ExecutionEngine, None] = None,
         chunk_rows: Optional[int] = None,
+        io_workers: Optional[int] = None,
+        compute_workers: Optional[int] = None,
     ) -> PredictResult:
         """Serve ``model``'s predictions over ``dataset`` with an engine.
 
@@ -408,6 +449,12 @@ class Session:
         chunk_rows:
             Steady-state rows per streaming chunk.  Only meaningful when the
             resolved engine is the streaming engine; forwarded to it.
+        io_workers:
+            Reader threads for the parallel chunk pipeline (streaming engine
+            only): ``0`` = one reader per shard, ``n >= 1`` = exactly ``n``.
+        compute_workers:
+            Worker threads for data-parallel chunk inference (streaming
+            engine only); each writes a disjoint slice of the output buffer.
 
         Returns
         -------
@@ -424,13 +471,12 @@ class Session:
                 "appear to be swapped"
             )
         resolved = self.default_engine if engine is None else resolve_engine(engine)
-        if chunk_rows is not None:
-            if not isinstance(resolved, StreamingEngine):
-                raise ValueError(
-                    f"chunk_rows only applies to the streaming engine, not "
-                    f"{resolved.name!r}"
-                )
-            resolved = resolved.with_chunk_rows(chunk_rows)
+        resolved = self._streaming_overrides(
+            resolved,
+            chunk_rows=chunk_rows,
+            io_workers=io_workers,
+            compute_workers=compute_workers,
+        )
         if isinstance(dataset, Dataset):
             return resolved.predict(model, dataset, method=method)
         with self.open(dataset) as handle:

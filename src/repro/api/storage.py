@@ -310,6 +310,13 @@ class ShardedBackend(StorageBackend):
                 "has_labels": matrix.manifest.has_labels,
                 "nbytes": matrix.nbytes,
                 "num_shards": matrix.num_shards,
+                # One file per shard: the parallel chunk pipeline sizes its
+                # reader pool from this layout, and the readahead hinter's
+                # posix_fadvise fallback targets these files directly.
+                "shard_paths": [
+                    str(Path(location) / shard.filename)
+                    for shard in matrix.manifest.shards
+                ],
             },
             closer=matrix.close,
         )

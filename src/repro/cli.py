@@ -11,11 +11,15 @@ reproduction entry points:
   virtual-memory simulator; ``--engine streaming [--chunk-rows N]`` trains
   through the chunk pipeline (``partial_fit`` over prefetched shard-aligned
   row blocks) and reports per-chunk I/O-wait vs compute time;
+  ``--io-workers N`` switches to the multi-reader parallel pipeline
+  (``0`` = one reader per shard) with OS readahead hints;
   ``--save-model PATH`` persists the fitted model as JSON for serving.
 * ``m3 predict`` — serve a saved model's predictions over a dataset;
   ``--engine streaming`` predicts chunk by chunk through the prefetching
-  pipeline (bounded memory on sharded datasets), ``--proba`` emits class
-  probabilities, ``--output`` writes the predictions as ``.npy``.
+  pipeline (bounded memory on sharded datasets), ``--io-workers`` /
+  ``--compute-workers`` parallelise the read and inference sides of the
+  pipeline, ``--proba`` emits class probabilities, ``--output`` writes the
+  predictions as ``.npy``.
 * ``m3 figure1a`` / ``m3 figure1b`` / ``m3 table1`` / ``m3 utilization`` —
   regenerate the paper's figures and table as plain-text tables.
 
@@ -49,6 +53,17 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _non_negative_int(text: str) -> int:
+    """argparse type for flags where 0 is meaningful (``--io-workers 0`` = auto)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be a non-negative integer, got {value}")
+    return value
+
+
 def _overlap_text(io_overlap) -> str:
     """Human-readable io_overlap (which is None when nothing was read)."""
     if io_overlap is None:
@@ -56,12 +71,42 @@ def _overlap_text(io_overlap) -> str:
     return f"{io_overlap * 100:.0f}% of reads overlapped with compute"
 
 
-def _chunk_rows_misused(args: argparse.Namespace) -> bool:
-    """True (after printing the usage error) when --chunk-rows lacks --engine streaming."""
-    if args.chunk_rows is not None and args.engine != "streaming":
-        print("error: --chunk-rows requires --engine streaming", file=sys.stderr)
-        return True
+def _streaming_flags_misused(args: argparse.Namespace) -> bool:
+    """True (after printing the usage error) when a streaming-only flag lacks
+    ``--engine streaming``."""
+    if args.engine == "streaming":
+        return False
+    for flag, value in (
+        ("--chunk-rows", args.chunk_rows),
+        ("--io-workers", getattr(args, "io_workers", None)),
+        ("--compute-workers", getattr(args, "compute_workers", None)),
+    ):
+        if value is not None:
+            print(f"error: {flag} requires --engine streaming", file=sys.stderr)
+            return True
     return False
+
+
+def _print_pipeline_details(details: dict) -> None:
+    """The chunk pipeline's accounting line(s), shared by train and predict."""
+    print(
+        f"chunk pipeline: {details['chunks']} chunks of <= "
+        f"{details['chunk_rows']} rows"
+        + (f" over {details['passes']} pass(es)" if "passes" in details else "")
+        + f", {details['bytes_read'] / 1e6:.1f} MB read in {details['read_s']:.2f}s, "
+        f"io-wait {details['io_wait_s']:.2f}s, compute {details['compute_s']:.2f}s, "
+        f"{_overlap_text(details['io_overlap'])}"
+    )
+    readers = details.get("readers")
+    if readers:
+        per_reader = ", ".join(
+            f"r{entry['reader']}: {entry['chunks']} chunks / {entry['read_s']:.2f}s"
+            for entry in readers
+        )
+        print(
+            f"parallel readers: {details['io_workers']} "
+            f"({per_reader}), {details['hints_applied']} readahead hints applied"
+        )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -100,10 +145,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from repro.ml import KMeans, LogisticRegression, MiniBatchKMeans, SoftmaxRegression
 
     streaming = args.engine == "streaming"
-    if _chunk_rows_misused(args):
+    if _streaming_flags_misused(args):
         return 2
     engine = (
-        StreamingEngine(chunk_rows=args.chunk_rows) if streaming else args.engine
+        StreamingEngine(
+            chunk_rows=args.chunk_rows,
+            io_workers=args.io_workers,
+            compute_workers=args.compute_workers or 1,
+        )
+        if streaming
+        else args.engine
     )
     with Session() as session:
         dataset = session.open(args.dataset)
@@ -139,14 +190,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 f"{result.model.n_iter_} iterations"
             )
         if streaming:
-            details = result.details
-            print(
-                f"chunk pipeline: {details['chunks']} chunks of <= "
-                f"{details['chunk_rows']} rows over {details['passes']} pass(es), "
-                f"{details['bytes_read'] / 1e6:.1f} MB read in {details['read_s']:.2f}s, "
-                f"io-wait {details['io_wait_s']:.2f}s, compute {details['compute_s']:.2f}s, "
-                f"{_overlap_text(details['io_overlap'])}"
-            )
+            _print_pipeline_details(result.details)
         if result.simulation is not None:
             sim = result.simulation
             print(
@@ -166,7 +210,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     from repro.api import Session
     from repro.ml import load_model
 
-    if _chunk_rows_misused(args):
+    if _streaming_flags_misused(args):
         return 2
     model = load_model(args.model)
     method = "predict_proba" if args.proba else "predict"
@@ -178,6 +222,8 @@ def _cmd_predict(args: argparse.Namespace) -> int:
             method=method,
             engine=args.engine,
             chunk_rows=args.chunk_rows,
+            io_workers=args.io_workers,
+            compute_workers=args.compute_workers,
         )
         rows = result.n_rows
         rate = rows / result.wall_time_s if result.wall_time_s > 0 else float("inf")
@@ -187,14 +233,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
             f"{dataset.backend_name} backend, {rate:.0f} rows/s)"
         )
         if args.engine == "streaming":
-            details = result.details
-            print(
-                f"chunk pipeline: {details['chunks']} chunks of <= "
-                f"{details['chunk_rows']} rows, "
-                f"{details['bytes_read'] / 1e6:.1f} MB read in {details['read_s']:.2f}s, "
-                f"io-wait {details['io_wait_s']:.2f}s, compute {details['compute_s']:.2f}s, "
-                f"{_overlap_text(details['io_overlap'])}"
-            )
+            _print_pipeline_details(result.details)
         if result.simulation is not None:
             sim = result.simulation
             print(
@@ -321,6 +360,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rows per streaming chunk (streaming engine only; "
                             "defaults to the model's batch size, or an "
                             "auto-sized adaptive window)")
+    train.add_argument("--io-workers", type=_non_negative_int, default=None,
+                       help="reader threads for the parallel chunk pipeline "
+                            "(streaming engine only; 0 = one reader per shard, "
+                            "omit = single-reader prefetch)")
+    train.add_argument("--compute-workers", type=_positive_int, default=None,
+                       help="inference worker threads (streaming engine only; "
+                            "training itself stays an ordered reduction)")
     train.add_argument("--save-model", type=Path, default=None,
                        help="write the fitted model to this path as JSON "
                             "(servable with 'm3 predict --model')")
@@ -340,6 +386,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "virtual-memory simulator")
     predict.add_argument("--chunk-rows", type=_positive_int, default=None,
                          help="rows per streaming chunk (streaming engine only)")
+    predict.add_argument("--io-workers", type=_non_negative_int, default=None,
+                         help="reader threads for the parallel chunk pipeline "
+                              "(streaming engine only; 0 = one reader per shard)")
+    predict.add_argument("--compute-workers", type=_positive_int, default=None,
+                         help="worker threads for data-parallel chunk inference "
+                              "(streaming engine only; each writes a disjoint "
+                              "slice of the output buffer)")
     predict.add_argument("--proba", action="store_true",
                          help="emit class probabilities (predict_proba) instead "
                               "of labels")

@@ -118,6 +118,15 @@ class MmapMatrix:
             kind,
         )
 
+    def record_read(self, start: int, stop: int) -> None:
+        """Record a read of rows ``[start, stop)`` performed out of band.
+
+        Readers that gather rows straight into preallocated buffers (the
+        parallel chunk pipeline's buffer pool) bypass ``__getitem__``; this
+        keeps the handle's access trace complete anyway.
+        """
+        self._record_rows(start, stop, AccessKind.READ)
+
     def _bounds_from_key(self, key: Any) -> Optional[Tuple[int, int]]:
         """Row bounds touched by an indexing key, or ``None`` if unknown."""
         rows = self.shape[0]

@@ -247,6 +247,103 @@ class StreamingPredictor:
             return np.empty((0,), dtype=np.float64)
         return out
 
+    def predict_streaming_parallel(
+        self,
+        chunks: Any,
+        n_rows: int,
+        method: str = "predict",
+        workers: int = 2,
+        out: Any = None,
+    ) -> np.ndarray:
+        """Data-parallel :meth:`predict_streaming`: fan chunks over a thread pool.
+
+        Each chunk's ``predict_chunk`` runs on a pool worker that writes the
+        result into its **disjoint** ``out[start:stop]`` slice of one
+        preallocated buffer, so the output is bit-identical to the sequential
+        path (the prediction methods are row-wise) no matter how chunks
+        interleave.  The first chunk is served inline to fix the output
+        geometry; in-flight work is bounded to ``2 × workers`` chunks so an
+        upstream buffer pool is never drained faster than it refills.
+
+        Parameters
+        ----------
+        chunks:
+            Iterable of chunk-like objects with ``start``, ``stop`` and ``X``
+            attributes — :class:`~repro.api.chunks.Chunk` instances from any
+            chunk stream.  Chunks exposing ``release()`` (pooled buffers) are
+            released as soon as their worker is done with them.
+        n_rows:
+            Total rows the chunks cover; fixes the output buffer's length.
+        method:
+            Prediction method to drive per chunk.
+        workers:
+            Worker threads; ``1`` degrades to the sequential loop's behaviour.
+        out:
+            Optional preallocated output of leading dimension ``n_rows``.
+        """
+        from collections import deque
+        from concurrent.futures import ThreadPoolExecutor
+
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        n_rows = int(n_rows)
+        filled = 0
+
+        def serve(chunk: Any) -> int:
+            try:
+                block = np.asarray(self.predict_chunk(chunk.X, method=method))
+                rows = chunk.stop - chunk.start
+                if block.shape[0] != rows:
+                    raise ValueError(
+                        f"{method} returned {block.shape[0]} rows for a "
+                        f"{rows}-row chunk [{chunk.start}, {chunk.stop})"
+                    )
+                out[chunk.start : chunk.stop] = block
+                return rows
+            finally:
+                release = getattr(chunk, "release", None)
+                if callable(release):
+                    release()
+
+        iterator = iter(chunks)
+        first = next(iterator, None)
+        if first is not None:
+            # Inline: the first block's geometry sizes the shared buffer
+            # before any worker writes into it.
+            try:
+                block = np.asarray(self.predict_chunk(first.X, method=method))
+                if block.shape[0] != first.stop - first.start:
+                    raise ValueError(
+                        f"{method} returned {block.shape[0]} rows for a "
+                        f"{first.stop - first.start}-row chunk "
+                        f"[{first.start}, {first.stop})"
+                    )
+                if out is None:
+                    out = np.empty((n_rows, *block.shape[1:]), dtype=block.dtype)
+                out[first.start : first.stop] = block
+                filled += first.stop - first.start
+            finally:
+                release = getattr(first, "release", None)
+                if callable(release):
+                    release()
+            pending: "deque" = deque()
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="m3-predict"
+            ) as pool:
+                for chunk in iterator:
+                    pending.append(pool.submit(serve, chunk))
+                    while len(pending) >= 2 * workers:
+                        filled += pending.popleft().result()
+                while pending:
+                    filled += pending.popleft().result()
+        if filled != n_rows:
+            raise ValueError(
+                f"prediction stream covered {filled} of {n_rows} rows"
+            )
+        if out is None:  # n_rows == 0 and an empty stream
+            return np.empty((0,), dtype=np.float64)
+        return out
+
 
 class ClassifierMixin:
     """Adds accuracy scoring to classifiers."""

@@ -26,7 +26,13 @@ from repro.vmem.replacement import (
     ReplacementPolicy,
     make_policy,
 )
-from repro.vmem.readahead import AdaptiveReadAhead, FixedReadAhead, NoReadAhead, ReadAheadPolicy
+from repro.vmem.readahead import (
+    AdaptiveReadAhead,
+    FixedReadAhead,
+    NoReadAhead,
+    PipelinedReadAhead,
+    ReadAheadPolicy,
+)
 from repro.vmem.disk import DiskModel, DiskProfile, HDD_7200RPM, NVME_SSD, SATA_SSD
 from repro.vmem.page_cache import PageCache, PageCacheConfig
 from repro.vmem.stats import IoStats, PageCacheStats, UtilizationSample, UtilizationTimeline
@@ -56,6 +62,7 @@ __all__ = [
     "NoReadAhead",
     "FixedReadAhead",
     "AdaptiveReadAhead",
+    "PipelinedReadAhead",
     "DiskModel",
     "DiskProfile",
     "SATA_SSD",

@@ -9,6 +9,9 @@ three policies:
 * :class:`FixedReadAhead` — always prefetch a fixed window of subsequent pages.
 * :class:`AdaptiveReadAhead` — Linux-like: start with a small window, double it
   while the access pattern stays sequential, collapse on a random access.
+* :class:`PipelinedReadAhead` — engine-level: models M3's explicit
+  multi-reader prefetch pool (``io_workers`` in the streaming engine), where
+  ``readers`` parallel streams each keep ``window`` pages in flight.
 """
 
 from __future__ import annotations
@@ -98,8 +101,40 @@ class AdaptiveReadAhead(ReadAheadPolicy):
         return self._window
 
 
+class PipelinedReadAhead(ReadAheadPolicy):
+    """Engine-level pipelined read-ahead: a pool of parallel reader streams.
+
+    Models the :class:`~repro.api.chunks.ParallelPrefetcher`'s behaviour at
+    the page level so it can be replayed through the virtual-memory simulator
+    and compared against the kernel policies above: a pool of ``readers``
+    sequential streams each keeps ``window`` pages in flight, so any demand
+    fault triggers prefetch of the union of the pool's outstanding windows —
+    ``readers × window`` consecutive pages.  Unlike
+    :class:`AdaptiveReadAhead` the window never collapses: the engine *knows*
+    the chunk plan is a sequential scan, it does not have to re-detect it
+    after every shard boundary.
+    """
+
+    def __init__(self, readers: int = 4, window: int = 8) -> None:
+        if readers <= 0:
+            raise ValueError(f"readers must be positive, got {readers}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.readers = readers
+        self.window = window
+
+    def prefetch_window(self, page_id: PageId) -> List[PageId]:
+        return [page_id + i for i in range(1, self.readers * self.window + 1)]
+
+    @property
+    def total_window(self) -> int:
+        """Pages the pool keeps in flight (``readers × window``)."""
+        return self.readers * self.window
+
+
 def make_readahead(name: str, **kwargs: int) -> ReadAheadPolicy:
-    """Create a read-ahead policy by name (``"none"``, ``"fixed"``, ``"adaptive"``)."""
+    """Create a read-ahead policy by name
+    (``"none"``, ``"fixed"``, ``"adaptive"``, ``"pipelined"``)."""
     key = name.lower()
     if key in ("none", "off"):
         return NoReadAhead()
@@ -107,4 +142,8 @@ def make_readahead(name: str, **kwargs: int) -> ReadAheadPolicy:
         return FixedReadAhead(**kwargs)
     if key == "adaptive":
         return AdaptiveReadAhead(**kwargs)
-    raise ValueError(f"unknown read-ahead policy {name!r}; choose from none, fixed, adaptive")
+    if key == "pipelined":
+        return PipelinedReadAhead(**kwargs)
+    raise ValueError(
+        f"unknown read-ahead policy {name!r}; choose from none, fixed, adaptive, pipelined"
+    )

@@ -1,0 +1,447 @@
+"""Tests for the parallel chunk pipeline: reader pools, buffer ring, hints.
+
+The acceptance bar of the parallel I/O refactor: the multi-reader
+:class:`~repro.api.chunks.ParallelPrefetcher` is a *drop-in* upgrade behind
+the chunk-iterator seam — chunks re-emit in exact plan order under any reader
+count, shard-aligned chunks stay zero-copy memmap views, stitched chunks
+reuse a bounded buffer ring with no aliasing between in-flight chunks, and
+OS readahead hints degrade to honest no-ops on platforms without them.
+"""
+
+import gc
+import weakref
+
+import numpy as np
+import pytest
+
+from repro.api.chunks import (
+    ChunkBufferPool,
+    ChunkIterator,
+    ChunkStreamError,
+    ChunkStreamStats,
+    ParallelPrefetcher,
+    PrefetchingChunkIterator,
+    ReadaheadHinter,
+    open_chunk_stream,
+)
+from repro.api.sharded import ShardedMatrix, write_sharded_dataset
+
+
+@pytest.fixture()
+def sharded_matrix(tmp_path):
+    """A 60x4 matrix with labels split across shards of 13 rows (5 shards)."""
+    X = np.arange(240.0).reshape(60, 4)
+    y = np.arange(60) % 3
+    write_sharded_dataset(tmp_path / "ds", X, y, shard_rows=13)
+    return ShardedMatrix(tmp_path / "ds"), X, y
+
+
+class TestPlanOrderDeterminism:
+    @pytest.mark.parametrize("io_workers", [1, 2, 8])
+    def test_reemits_chunks_in_plan_order(self, sharded_matrix, io_workers):
+        matrix, X, y = sharded_matrix
+        sync = [
+            (c.index, c.start, c.stop, np.asarray(c.X).copy(), c.y.copy())
+            for c in ChunkIterator(matrix, labels=matrix.lazy_labels, chunk_rows=7)
+        ]
+        with open_chunk_stream(
+            matrix, labels=matrix.lazy_labels, chunk_rows=7, io_workers=io_workers
+        ) as stream:
+            fetched = [
+                (c.index, c.start, c.stop, np.asarray(c.X).copy(), c.y.copy())
+                for c in stream
+            ]
+        assert [f[:3] for f in fetched] == [s[:3] for s in sync]
+        for (_, _, _, x1, y1), (_, _, _, x2, y2) in zip(sync, fetched):
+            np.testing.assert_array_equal(x1, x2)
+            np.testing.assert_array_equal(y1, y2)
+
+    @pytest.mark.parametrize("io_workers", [1, 2, 8])
+    def test_reconstructs_matrix_with_straddling_chunks(self, sharded_matrix, io_workers):
+        matrix, X, y = sharded_matrix
+        pieces, label_pieces = [], []
+        with open_chunk_stream(
+            matrix,
+            labels=matrix.lazy_labels,
+            chunk_rows=9,
+            align_shards=False,  # every chunk boundary ignores shards
+            io_workers=io_workers,
+        ) as stream:
+            for chunk in stream:
+                pieces.append(np.asarray(chunk.X).copy())
+                label_pieces.append(np.asarray(chunk.y).copy())
+                chunk.release()
+        np.testing.assert_array_equal(np.concatenate(pieces), X)
+        np.testing.assert_array_equal(np.concatenate(label_pieces), y)
+
+    def test_default_reader_count_is_one_per_shard(self, sharded_matrix):
+        matrix, _, _ = sharded_matrix
+        with open_chunk_stream(matrix, chunk_rows=7, io_workers=0) as stream:
+            list(stream)
+        assert stream.io_workers == matrix.num_shards
+
+    def test_single_file_matrix_falls_back_to_depth_readers(self):
+        X = np.zeros((40, 3))
+        with ParallelPrefetcher(ChunkIterator(X, chunk_rows=5), depth=3) as stream:
+            list(stream)
+        assert stream.io_workers == 3
+
+    def test_reader_accounting_covers_every_chunk(self, sharded_matrix):
+        matrix, _, _ = sharded_matrix
+        with open_chunk_stream(matrix, chunk_rows=7, io_workers=4) as stream:
+            chunks = list(stream)
+        assert sum(entry["chunks"] for entry in stream.reader_stats) == len(chunks)
+        assert sum(entry["rows"] for entry in stream.reader_stats) == 60
+        logged = sorted(
+            bound for log in stream.reader_log for bound in log
+        )
+        assert logged == sorted(stream.plan.bounds)
+
+
+class TestZeroCopyFastPath:
+    def test_aligned_chunks_are_zero_copy_views(self, sharded_matrix):
+        # The perf fast path: a shard-aligned chunk is served as a contiguous
+        # view of the shard's memmap — no defensive copy, no buffer lease.
+        matrix, _, _ = sharded_matrix
+        with open_chunk_stream(matrix, chunk_rows=7, io_workers=4) as stream:
+            for chunk in stream:
+                assert chunk.lease is None
+                assert any(
+                    np.shares_memory(chunk.X, shard_map) for shard_map in matrix._maps
+                )
+
+    def test_aligned_plan_allocates_no_buffer_pool(self, sharded_matrix):
+        matrix, _, _ = sharded_matrix
+        with open_chunk_stream(matrix, chunk_rows=7, io_workers=2) as stream:
+            list(stream)
+        assert stream.pool is None
+
+    def test_straddling_chunks_do_not_share_memory_with_shards(self, sharded_matrix):
+        matrix, _, _ = sharded_matrix
+        with open_chunk_stream(
+            matrix, chunk_rows=9, align_shards=False, io_workers=2
+        ) as stream:
+            for chunk in stream:
+                if chunk.lease is not None:
+                    assert not any(
+                        np.shares_memory(chunk.X, shard_map)
+                        for shard_map in matrix._maps
+                    )
+                chunk.release()
+
+
+class TestBufferPool:
+    def test_in_flight_chunks_never_alias(self, sharded_matrix):
+        matrix, X, _ = sharded_matrix
+        held = []
+        with open_chunk_stream(
+            matrix, chunk_rows=9, align_shards=False, io_workers=2,
+            buffer_pool=16,  # large enough to hold every chunk at once
+        ) as stream:
+            for chunk in stream:
+                held.append(chunk)
+        buffered = [c for c in held if c.lease is not None]
+        assert len(buffered) >= 2  # the 13-row shards straddle 9-row chunks
+        for i, a in enumerate(buffered):
+            for b in buffered[i + 1 :]:
+                assert not np.shares_memory(a.X, b.X)
+        # Content stays intact while every chunk is still leased.
+        np.testing.assert_array_equal(
+            np.concatenate([np.asarray(c.X) for c in held]), X
+        )
+        for chunk in held:
+            chunk.release()
+
+    def test_buffers_are_reused_across_chunks(self, sharded_matrix):
+        matrix, X, _ = sharded_matrix
+        pool = ChunkBufferPool(buffers=2, chunk_rows=9, n_cols=4, dtype=np.float64,
+                               label_dtype=np.int64)
+        with open_chunk_stream(
+            matrix, labels=matrix.lazy_labels, chunk_rows=9, align_shards=False,
+            io_workers=2, buffer_pool=pool,
+        ) as stream:
+            total = 0
+            for chunk in stream:
+                total += chunk.rows
+                chunk.release()
+        assert total == 60
+        # More leases served than buffers exist: the ring recycled.
+        assert pool.leases_served > pool.buffers
+        # Every buffer came home after the stream closed.
+        assert pool.available == pool.buffers
+
+    def test_refcounted_lease_release(self):
+        pool = ChunkBufferPool(buffers=1, chunk_rows=4, n_cols=2, dtype=np.float64)
+        lease = pool.lease()
+        assert pool.available == 0
+        lease.retain()
+        lease.release()
+        assert pool.available == 0  # still one reference out
+        lease.release()
+        assert pool.available == 1
+
+    def test_double_release_raises(self):
+        pool = ChunkBufferPool(buffers=1, chunk_rows=4, n_cols=2, dtype=np.float64)
+        lease = pool.lease()
+        lease.release()
+        with pytest.raises(RuntimeError, match="released more times"):
+            lease.release()
+        with pytest.raises(RuntimeError, match="cannot retain"):
+            lease.retain()
+
+    def test_invalid_pool_geometry_rejected(self):
+        with pytest.raises(ValueError, match="at least 1 buffer"):
+            ChunkBufferPool(buffers=0, chunk_rows=4, n_cols=2, dtype=np.float64)
+        with pytest.raises(ValueError, match="geometry"):
+            ChunkBufferPool(buffers=1, chunk_rows=0, n_cols=2, dtype=np.float64)
+
+    def test_nbytes_bounds_peak_memory(self):
+        pool = ChunkBufferPool(buffers=3, chunk_rows=10, n_cols=4,
+                               dtype=np.float64, label_dtype=np.int64)
+        assert pool.nbytes == 3 * (10 * 4 * 8 + 10 * 8)
+
+    def test_ring_smaller_than_window_does_not_deadlock(self, sharded_matrix):
+        # Deadlock regression: with a 1-buffer ring and a wider reorder
+        # window, readers of later chunks could lease the only buffer while
+        # their chunks sat unconsumable in plan order, starving the reader of
+        # the next-expected chunk forever.  The window is now clamped to the
+        # ring size.
+        matrix, X, _ = sharded_matrix
+        for _ in range(5):  # the hang was racy: give it a few chances
+            with open_chunk_stream(
+                matrix, chunk_rows=9, align_shards=False,
+                io_workers=2, buffer_pool=1,
+            ) as stream:
+                assert stream.depth <= 1
+                pieces = []
+                for chunk in stream:
+                    pieces.append(np.asarray(chunk.X).copy())
+                    chunk.release()
+            np.testing.assert_array_equal(np.concatenate(pieces), X)
+
+    def test_float_labels_without_dtype_survive_pool_path(self, sharded_matrix):
+        # Dtype regression: labels passed as a plain list used to default the
+        # ring's label buffers to int64, so stitched chunks crashed casting
+        # float labels.  The pool now probes the actual element dtype.
+        matrix, _, _ = sharded_matrix
+        labels = [float(i) + 0.5 for i in range(60)]
+        with open_chunk_stream(
+            matrix, labels=labels, chunk_rows=9, align_shards=False, io_workers=2
+        ) as stream:
+            got = []
+            for chunk in stream:
+                got.append(np.asarray(chunk.y).copy())
+                chunk.release()
+        np.testing.assert_array_equal(np.concatenate(got), np.asarray(labels))
+
+
+class TestReadaheadHints:
+    def test_hints_counted_on_sharded_memmaps(self, sharded_matrix):
+        matrix, _, _ = sharded_matrix
+        with open_chunk_stream(matrix, chunk_rows=7, io_workers=2) as stream:
+            list(stream)
+        # One SEQUENTIAL per shard at open plus one WILLNEED per chunk —
+        # all of which Linux supports, so every hint applies.
+        assert stream.stats.hints_applied >= stream.plan.num_chunks
+        assert stream.stats.as_dict()["hints_applied"] == stream.stats.hints_applied
+
+    def test_plain_ndarray_is_unhintable_noop(self):
+        hinter = ReadaheadHinter(np.zeros((10, 3)))
+        assert not hinter.supported
+        assert hinter.advise_sequential() == 0
+        assert hinter.will_need(0, 10) == 0
+        assert hinter.dont_need(0, 10) == 0
+        assert hinter.applied == 0
+
+    def test_madvise_unavailable_falls_back_to_fadvise(self, sharded_matrix, monkeypatch):
+        # Model a platform without mmap.madvise (e.g. older macOS builds):
+        # the hinter must fall through to posix_fadvise on the shard files.
+        matrix, _, _ = sharded_matrix
+        monkeypatch.setattr(
+            ReadaheadHinter, "_madvise", staticmethod(lambda *args: False)
+        )
+        with ReadaheadHinter(matrix) as hinter:
+            assert hinter.supported
+            assert hinter.will_need(0, 30) > 0
+
+    def test_no_os_support_degrades_to_counted_noop(self, sharded_matrix, monkeypatch):
+        # Neither madvise nor fadvise: hints count zero, the stream still runs.
+        matrix, X, _ = sharded_matrix
+        monkeypatch.setattr(
+            ReadaheadHinter, "_madvise", staticmethod(lambda *args: False)
+        )
+        monkeypatch.setattr(
+            ReadaheadHinter, "_fadvise", staticmethod(lambda *args: False)
+        )
+        with open_chunk_stream(matrix, chunk_rows=7, io_workers=2) as stream:
+            got = np.concatenate([np.asarray(c.X).copy() for c in stream])
+        np.testing.assert_array_equal(got, X)
+        assert stream.stats.hints_applied == 0
+
+    def test_hints_can_be_disabled(self, sharded_matrix):
+        matrix, _, _ = sharded_matrix
+        with open_chunk_stream(matrix, chunk_rows=7, io_workers=2, hints=False) as stream:
+            list(stream)
+        assert stream.hinter is None
+        assert stream.stats.hints_applied == 0
+
+    def test_dont_need_releases_consumed_ranges(self, sharded_matrix):
+        matrix, _, _ = sharded_matrix
+        with ReadaheadHinter(matrix) as hinter:
+            assert hinter.dont_need(0, 13) > 0
+
+    def test_stats_merge_folds_hints(self):
+        a = ChunkStreamStats()
+        a.record_hints(3)
+        b = ChunkStreamStats()
+        b.record_hints(4)
+        a.merge(b)
+        assert a.hints_applied == 7
+
+
+class TestErrorPropagation:
+    class ExplodingAfter:
+        """Reads succeed for rows below the fuse, then the disk catches fire."""
+
+        def __init__(self, fuse_row):
+            self.shape = (40, 2)
+            self.dtype = np.dtype(np.float64)
+            self.fuse_row = fuse_row
+            self._data = np.arange(80.0).reshape(40, 2)
+
+        def __getitem__(self, key):
+            if isinstance(key, slice) and key.start >= self.fuse_row:
+                raise OSError("disk on fire")
+            return self._data[key]
+
+    def test_reader_error_chained_to_consumer(self):
+        with pytest.raises(ChunkStreamError, match="reader failed") as excinfo:
+            with ParallelPrefetcher(
+                ChunkIterator(self.ExplodingAfter(0), chunk_rows=5), io_workers=3
+            ) as stream:
+                list(stream)
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+    def test_chunks_before_error_still_delivered_in_order(self):
+        delivered = []
+        with pytest.raises(ChunkStreamError):
+            with ParallelPrefetcher(
+                ChunkIterator(self.ExplodingAfter(20), chunk_rows=5), io_workers=2
+            ) as stream:
+                for chunk in stream:
+                    delivered.append((chunk.start, chunk.stop))
+        assert delivered == [(0, 5), (5, 10), (10, 15), (15, 20)]
+
+    def test_next_after_error_raises_stop_iteration(self):
+        stream = ParallelPrefetcher(
+            ChunkIterator(self.ExplodingAfter(0), chunk_rows=5), io_workers=2
+        )
+        with pytest.raises(ChunkStreamError):
+            next(stream)
+        with pytest.raises(StopIteration):
+            next(stream)
+        stream.close()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_joins(self, sharded_matrix):
+        matrix, _, _ = sharded_matrix
+        stream = ParallelPrefetcher(ChunkIterator(matrix, chunk_rows=7), io_workers=3)
+        next(stream)
+        stream.close()
+        stream.close()
+        assert all(not thread.is_alive() for thread in stream._threads)
+        with pytest.raises(StopIteration):
+            next(stream)
+
+    def test_close_survives_torn_down_internals(self, sharded_matrix):
+        # Interpreter-shutdown regression: close() must stay silent even when
+        # the condition/queue internals are already gone.
+        matrix, _, _ = sharded_matrix
+        stream = ParallelPrefetcher(ChunkIterator(matrix, chunk_rows=7), io_workers=2)
+        list(stream)
+        stream._cond = None  # simulate module teardown
+        stream.close()  # must not raise
+
+    def test_del_safe_on_partially_constructed_instance(self):
+        # __init__ may raise before _stop exists; the finalizer still runs.
+        stream = object.__new__(ParallelPrefetcher)
+        stream.__del__()  # must not raise
+        prefetcher = object.__new__(PrefetchingChunkIterator)
+        prefetcher.__del__()  # must not raise
+
+    def test_abandoned_stream_is_collectable_and_stops_readers(self, sharded_matrix):
+        matrix, _, _ = sharded_matrix
+        stream = ParallelPrefetcher(ChunkIterator(matrix, chunk_rows=2), io_workers=2)
+        next(stream)
+        threads = list(stream._threads)
+        ref = weakref.ref(stream)
+        del stream
+        gc.collect()
+        assert ref() is None
+        for thread in threads:
+            thread.join(timeout=2.0)
+            assert not thread.is_alive()
+
+    def test_empty_plan_exhausts_immediately(self):
+        with ParallelPrefetcher(
+            ChunkIterator(np.zeros((0, 3)), chunk_rows=4), io_workers=2
+        ) as stream:
+            assert list(stream) == []
+        assert stream.stats.chunks == 0
+
+
+class TestPrefetchingCloseHardening:
+    """Satellite regression: single-reader close()/__del__ shutdown safety."""
+
+    def test_close_is_idempotent(self):
+        stream = PrefetchingChunkIterator(
+            ChunkIterator(np.zeros((100, 4)), chunk_rows=10), depth=2
+        )
+        next(stream)
+        stream.close()
+        stream.close()
+        stream.close()
+        assert not stream._thread.is_alive()
+
+    def test_close_survives_torn_down_queue_module(self):
+        # During interpreter shutdown the queue module's globals may already
+        # be None; close() must swallow the resulting failures silently.
+        stream = PrefetchingChunkIterator(
+            ChunkIterator(np.zeros((20, 4)), chunk_rows=10), depth=2
+        )
+        list(stream)
+        stream._queue = None  # any drain attempt now explodes
+        stream._closed = False  # force the close body to run again
+        stream.close()  # must not raise
+
+    def test_del_survives_missing_stop_event(self):
+        stream = PrefetchingChunkIterator(
+            ChunkIterator(np.zeros((20, 4)), chunk_rows=10), depth=2
+        )
+        stream.close()
+        del stream._stop
+        stream.__del__()  # must not raise
+
+
+class TestGatherInto:
+    def test_sharded_matrix_gather_into_matches_slicing(self, sharded_matrix):
+        matrix, X, _ = sharded_matrix
+        out = np.empty((20, 4), dtype=np.float64)
+        view = matrix.gather_into(5, 25, out)  # straddles shards 0/1/2
+        np.testing.assert_array_equal(view, X[5:25])
+        assert np.shares_memory(view, out)
+
+    def test_sharded_labels_gather_into_matches_slicing(self, sharded_matrix):
+        matrix, _, y = sharded_matrix
+        out = np.empty(20, dtype=np.int64)
+        view = matrix.lazy_labels.gather_into(5, 25, out)
+        np.testing.assert_array_equal(view, y[5:25])
+        assert np.shares_memory(view, out)
+
+    def test_too_small_buffer_rejected(self, sharded_matrix):
+        matrix, _, _ = sharded_matrix
+        with pytest.raises(ValueError, match="cannot hold"):
+            matrix.gather_into(0, 30, np.empty((5, 4)))
+        with pytest.raises(ValueError, match="needs"):
+            matrix.lazy_labels.gather_into(0, 30, np.empty(5, dtype=np.int64))

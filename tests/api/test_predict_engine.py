@@ -309,3 +309,78 @@ class TestBoundedMemory:
         # whole serving pass must stay far below the 2 MB matrix — the point
         # of streaming inference.  Generous bound for allocator slack.
         assert peak < matrix_bytes / 2, f"peak traced allocation {peak} bytes"
+
+
+class TestDataParallelPredict:
+    """compute_workers fans chunk inference across a pool — bit-identical."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("name", ["logistic", "softmax", "kmeans"])
+    def test_parallel_predict_bit_identical(self, session, models, problem, backend, name):
+        X, _ = problem
+        model = models[name]
+        expected = np.asarray(model.predict(np.asarray(X)))
+        result = session.predict(
+            session.open(session.specs[backend]),
+            model,
+            engine="streaming",
+            compute_workers=4,
+        )
+        assert np.array_equal(result.predictions, expected)
+        assert result.details["compute_workers"] == 4
+
+    def test_parallel_predict_proba_bit_identical(self, session, models, problem):
+        X, _ = problem
+        model = models["softmax"]
+        expected = model.predict_proba(np.asarray(X))
+        result = session.predict(
+            session.open(session.specs["shard"]),
+            model,
+            method="predict_proba",
+            engine="streaming",
+            io_workers=0,       # one reader per shard
+            compute_workers=3,  # data-parallel inference
+        )
+        assert np.array_equal(result.predictions, expected)
+
+    def test_parallel_readers_with_sequential_compute(self, session, models, problem):
+        X, _ = problem
+        model = models["logistic"]
+        result = session.predict(
+            session.open(session.specs["shard"]),
+            model,
+            engine="streaming",
+            io_workers=4,
+        )
+        assert np.array_equal(result.predictions, model.predict(np.asarray(X)))
+        details = result.details
+        assert details["io_workers"] == 4
+        assert sum(r["chunks"] for r in details["readers"]) == details["chunks"]
+
+    def test_parallel_predict_on_straddling_chunks_releases_buffers(self, session, models, problem):
+        # Unaligned chunks force the buffer-pool path; the worker pool must
+        # release every lease or the stream deadlocks on an exhausted ring.
+        X, _ = problem
+        model = models["logistic"]
+        engine = StreamingEngine(
+            chunk_rows=100, align_shards=False, io_workers=2, compute_workers=3,
+            buffer_pool=2,  # deliberately tiny: forces reuse while in flight
+        )
+        result = session.predict(session.open(session.specs["shard"]), model, engine=engine)
+        assert np.array_equal(result.predictions, model.predict(np.asarray(X)))
+        assert result.details["buffer_pool_buffers"] == 2
+        assert result.details["buffer_pool_leases"] > 2  # the ring recycled
+
+    def test_predict_streaming_parallel_protocol_directly(self, models, problem):
+        from repro.api.chunks import ChunkIterator
+
+        X, _ = problem
+        model = models["linear"]
+        chunks = ChunkIterator(X, chunk_rows=64)
+        out = model.predict_streaming_parallel(chunks, X.shape[0], workers=4)
+        np.testing.assert_array_equal(out, model.predict(X))
+
+    def test_invalid_worker_count_rejected(self, models, problem):
+        X, _ = problem
+        with pytest.raises(ValueError, match="workers"):
+            models["linear"].predict_streaming_parallel(iter([]), 0, workers=0)

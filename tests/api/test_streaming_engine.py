@@ -207,3 +207,116 @@ class TestLazyLabels:
             assert not labels.is_materialized
             fresh.fit(GaussianNaiveBayes(chunk_size=CHUNK), dataset)
             assert labels.is_materialized
+
+
+class TestParallelPipeline:
+    """The multi-reader pipeline is a drop-in upgrade: same models, new knobs."""
+
+    @pytest.mark.parametrize("io_workers", [1, 2, 0])  # 0 = one reader per shard
+    def test_parallel_fit_matches_single_reader(self, session, io_workers):
+        args = dict(max_iterations=5, solver="sgd", chunk_size=CHUNK)
+        single = session.fit(
+            LogisticRegression(**args),
+            session.open(session.specs["shard"]),
+            engine="streaming",
+        ).model
+        parallel = session.fit(
+            LogisticRegression(**args),
+            session.open(session.specs["shard"]),
+            engine="streaming",
+            io_workers=io_workers,
+        ).model
+        # Plan-order re-emission means the update sequence is identical.
+        np.testing.assert_array_equal(parallel.coef_, single.coef_)
+        assert parallel.intercept_ == single.intercept_
+
+    def test_parallel_details_report_reader_accounting(self, session):
+        result = session.fit(
+            GaussianNaiveBayes(chunk_size=CHUNK),
+            session.open(session.specs["shard"]),
+            engine="streaming",
+            io_workers=3,
+        )
+        details = result.details
+        assert details["io_workers"] == 3
+        assert len(details["readers"]) == 3
+        assert sum(r["chunks"] for r in details["readers"]) == details["chunks"]
+        assert sum(r["rows"] for r in details["readers"]) == details["rows"]
+        assert details["hints_applied"] >= 0
+        assert details["compute_workers"] == 1
+        # The multi-reader schedule is recorded for simulator replay.
+        assert sum(len(log) for log in details["reader_log"]) == details["chunks"]
+
+    def test_session_rejects_parallel_knobs_on_non_streaming_engine(self, session):
+        with pytest.raises(ValueError, match="io_workers"):
+            session.fit(
+                GaussianNaiveBayes(),
+                session.open(session.specs["memory"]),
+                engine="local",
+                io_workers=2,
+            )
+        with pytest.raises(ValueError, match="compute_workers"):
+            session.predict(
+                session.open(session.specs["memory"]),
+                session.fit(
+                    GaussianNaiveBayes(), session.open(session.specs["memory"])
+                ).model,
+                engine="local",
+                compute_workers=2,
+            )
+
+    def test_engine_validates_parallel_knobs(self):
+        with pytest.raises(ValueError, match="io_workers"):
+            StreamingEngine(io_workers=-1)
+        with pytest.raises(ValueError, match="compute_workers"):
+            StreamingEngine(compute_workers=0)
+        with pytest.raises(ValueError, match="no option"):
+            StreamingEngine().with_options(warp_drive=9)
+
+    def test_with_options_preserves_other_settings(self):
+        engine = StreamingEngine(chunk_rows=64, prefetch_depth=3, hints=False)
+        clone = engine.with_options(io_workers=4, compute_workers=2)
+        assert (clone.chunk_rows, clone.prefetch_depth, clone.hints) == (64, 3, False)
+        assert (clone.io_workers, clone.compute_workers) == (4, 2)
+        assert engine.io_workers is None  # original untouched
+
+
+class TestMultiReaderReplay:
+    """The simulated engine replays a reader pool's schedule at paper scale."""
+
+    def test_replay_reader_log_runs_the_simulator(self, session):
+        from repro.api import SimulatedEngine
+        from repro.api.chunks import plan_chunks
+
+        result = session.fit(
+            GaussianNaiveBayes(chunk_size=CHUNK),
+            session.open(session.specs["shard"]),
+            engine="streaming",
+            io_workers=2,
+        )
+        dataset = session.open(session.specs["shard"])
+        plan = plan_chunks(dataset.matrix, chunk_rows=CHUNK)
+        simulation = SimulatedEngine().replay_reader_log(
+            plan, result.details["reader_log"]
+        )
+        assert simulation.wall_time_s > 0
+        assert simulation.io_stats.bytes_read > 0
+
+    def test_replay_compares_readahead_policies(self, session):
+        # The point of the replay: compare the engine-level multi-reader
+        # schedule under different kernel readahead policies.
+        from repro.api import SimulatedEngine
+        from repro.api.chunks import plan_chunks
+        from repro.vmem import PipelinedReadAhead, NoReadAhead
+        from repro.vmem.vm_simulator import VirtualMemoryConfig
+
+        dataset = session.open(session.specs["shard"])
+        plan = plan_chunks(dataset.matrix, chunk_rows=CHUNK)
+        log = [[bound for i, bound in enumerate(plan.bounds) if i % 2 == r] for r in range(2)]
+        blind = SimulatedEngine(
+            VirtualMemoryConfig(readahead=NoReadAhead())
+        ).replay_reader_log(plan, log)
+        pipelined = SimulatedEngine(
+            VirtualMemoryConfig(readahead=PipelinedReadAhead(readers=2, window=8))
+        ).replay_reader_log(plan, log)
+        assert pipelined.io_stats.read_requests <= blind.io_stats.read_requests

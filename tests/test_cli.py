@@ -240,3 +240,64 @@ class TestReproductionCommands:
         out = capsys.readouterr().out
         assert "Figure 1b" in out
         assert "4x Spark" in out
+
+
+class TestParallelPipelineFlags:
+    """--io-workers / --compute-workers: the parallel chunk pipeline knobs."""
+
+    @pytest.fixture()
+    def sharded(self, tmp_path):
+        from repro.api import Session
+
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(400, 8))
+        y = (X @ rng.normal(size=8) > 0).astype(np.int64)
+        spec = f"shard://{tmp_path}/cli_shards"
+        with Session() as session:
+            session.create(spec, X, y, shard_rows=100)
+        return spec
+
+    def test_train_with_parallel_readers(self, sharded, capsys):
+        exit_code = main(["train", sharded, "--algorithm", "logistic",
+                          "--iterations", "2", "--engine", "streaming",
+                          "--chunk-rows", "100", "--io-workers", "0"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "parallel readers: 4" in out  # one per shard
+        assert "readahead hints" in out
+
+    def test_predict_with_parallel_pipeline(self, sharded, tmp_path, capsys):
+        model_path = tmp_path / "par.json"
+        assert main(["train", sharded, "--algorithm", "logistic",
+                     "--iterations", "2", "--engine", "streaming",
+                     "--save-model", str(model_path)]) == 0
+        capsys.readouterr()
+        exit_code = main(["predict", sharded, "--model", str(model_path),
+                          "--engine", "streaming", "--io-workers", "2",
+                          "--compute-workers", "2"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "served 400 predictions" in out
+        assert "parallel readers: 2" in out
+
+    @pytest.mark.parametrize("flag", ["--io-workers", "--compute-workers"])
+    def test_flags_require_streaming_engine(self, tmp_path, flag, capsys):
+        model_path = tmp_path / "m.json"
+        model_path.write_text("{}")
+        exit_code = main(["predict", "whatever.m3", "--model", str(model_path),
+                          "--engine", "local", flag, "2"])
+        assert exit_code == 2
+        assert f"{flag} requires --engine streaming" in capsys.readouterr().err
+
+    def test_train_flags_require_streaming_engine(self, capsys):
+        exit_code = main(["train", "whatever.m3", "--engine", "local",
+                          "--io-workers", "2"])
+        assert exit_code == 2
+        assert "--io-workers requires --engine streaming" in capsys.readouterr().err
+
+    def test_negative_io_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["train", "whatever.m3", "--engine", "streaming",
+                  "--io-workers", "-1"])
+        assert excinfo.value.code == 2
+        assert "non-negative" in capsys.readouterr().err

@@ -79,3 +79,36 @@ class TestMakeReadahead:
     def test_unknown_rejected(self):
         with pytest.raises(ValueError):
             make_readahead("psychic")
+
+
+class TestPipelinedReadAhead:
+    def test_window_is_union_of_reader_windows(self):
+        from repro.vmem.readahead import PipelinedReadAhead
+
+        policy = PipelinedReadAhead(readers=3, window=4)
+        assert policy.prefetch_window(10) == list(range(11, 23))
+        assert policy.total_window == 12
+
+    def test_window_never_collapses_on_random_access(self):
+        # Unlike the adaptive kernel policy, the engine knows the plan is a
+        # sequential scan; a shard-boundary jump must not shrink the window.
+        from repro.vmem.readahead import PipelinedReadAhead
+
+        policy = PipelinedReadAhead(readers=2, window=8)
+        assert len(policy.prefetch_window(0)) == 16
+        assert len(policy.prefetch_window(1000)) == 16
+
+    def test_invalid_parameters_rejected(self):
+        from repro.vmem.readahead import PipelinedReadAhead
+
+        with pytest.raises(ValueError, match="readers"):
+            PipelinedReadAhead(readers=0)
+        with pytest.raises(ValueError, match="window"):
+            PipelinedReadAhead(window=0)
+
+    def test_make_readahead_pipelined(self):
+        from repro.vmem.readahead import PipelinedReadAhead, make_readahead
+
+        policy = make_readahead("pipelined", readers=2, window=4)
+        assert isinstance(policy, PipelinedReadAhead)
+        assert policy.total_window == 8
