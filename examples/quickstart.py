@@ -45,6 +45,12 @@ engine         fit                         predict
                                            worker pool (bit-identical)
 ``distributed``  the Spark-MLlib-style     map the fitted model over the
                RDD baseline                RDD's partitions
+*(serving)*    —                           request-level traffic goes to
+                                           ``session.serve`` instead: a
+                                           micro-batching model server
+                                           dispatching through the engine's
+                                           ``serve_batch`` seam — see
+                                           *Serving requests* below
 =============  ==========================  ===============================
 
 The streaming engine additionally takes ``io_workers`` (the parallel reader
@@ -71,8 +77,9 @@ Tuning the streaming pipeline
     ``2 × io_workers`` so every reader can stay busy.
 ``io_workers``
     Reader threads for the parallel pipeline.  ``None`` keeps the PR 3
-    single-reader prefetch; ``0`` = one reader per shard (the natural choice
-    when shards live on independent devices); ``n`` = exactly ``n`` readers.
+    single-reader prefetch; ``0`` = one reader per distinct storage device
+    (shards grouped by ``st_dev``, so a single-disk dataset does not spawn
+    threads that contend for one spindle); ``n`` = exactly ``n`` readers.
     Chunks are re-emitted in plan order regardless, so results never depend
     on the reader count.  Worth it when the storage is the bottleneck —
     multiple NVMe queues, network-backed shards, cold page cache; useless
@@ -97,6 +104,48 @@ Tuning the streaming pipeline
     actually landed).  They help most on cold page cache and sequential
     scans of data much larger than RAM — exactly the paper's regime; they do
     nothing measurable on warm, in-RAM datasets.
+
+Serving requests
+----------------
+
+Everything above is *scan-level*: one call walks one whole dataset.  Online
+traffic — single rows arriving concurrently from many clients — goes through
+the serving daemon instead::
+
+    with session.serve(model, max_batch=256, workers=2) as serving:
+        result = serving.predict_one(x)            # one row, synchronously
+        future = serving.submit(x)                 # future-style async
+        batch  = serving.predict_many(X[:32])      # or a dataset spec
+        serving.swap("retrained.json")             # atomic hot-swap under load
+        print(serving.stats().as_dict())           # p50/p99 queue-wait, batches
+
+``session.serve`` publishes the model into a hot-model registry and stands up
+a :class:`~repro.serve.ModelServer`: concurrent requests are coalesced into
+micro-batches and dispatched through the engine's ``serve_batch`` seam (the
+per-chunk ``StreamingPredictor`` path), so every served prediction is
+bit-identical to in-core ``predict`` — and the per-call overhead that
+dominates single-row inference is amortised across the batch, which is where
+the >= 3x throughput of ``BENCH_serving.json`` comes from.  The knobs:
+
+``max_batch``
+    Maximum rows coalesced into one dispatch.
+``max_delay_ms``
+    How long an underfull batch waits for company.  ``0`` (default)
+    dispatches immediately — batches still form under load, because requests
+    arriving while a batch computes coalesce into the next dispatch.  Raise
+    it only for open-loop traffic worth trading latency for batch size.
+``workers``
+    Dispatcher threads, each serving one micro-batch at a time.
+``max_pending``
+    Bounded queue depth; beyond it ``submit`` blocks (backpressure) or
+    raises ``ServerSaturated``.
+
+Each response is a ``ServeResult`` carrying exactly one model version
+(``name@version``) plus its queue-wait / batch / compute latency split; a
+hot-swap mid-flight never tears a batch.  The daemon form is ``m3 serve
+--model model.json`` (JSONL requests on stdin, responses on stdout), and
+``m3 predict --server`` routes a whole dataset row-by-row through the same
+server to demonstrate the equivalence.
 
 Migration from the legacy facade::
 
@@ -233,7 +282,7 @@ def main() -> None:
             f"{accuracy(labels, served.predictions):.3f}"
         )
 
-        # 8. Parallelise the pipeline: one reader per shard (io_workers=0)
+        # 8. Parallelise the pipeline: topology-sized readers (io_workers=0)
         #    plus data-parallel chunk inference (compute_workers=2).  Chunks
         #    re-emit in plan order and workers write disjoint output slices,
         #    so the result is still bit-identical — only the wall clock and
@@ -254,10 +303,37 @@ def main() -> None:
             f"predictions unchanged"
         )
 
+        # 9. Serve requests: the scan above answered one dataset; online
+        #    traffic is single rows from many clients.  session.serve stands
+        #    up the micro-batching model server — concurrent requests
+        #    coalesce into batched dispatches, every response names exactly
+        #    one model version, and a hot-swap lands atomically under load.
+        X = np.asarray(sharded)
+        with session.serve(streaming_clf, max_batch=64, workers=2) as serving:
+            one = serving.predict_one(X[0])
+            futures = [serving.submit(X[i]) for i in range(1, 65)]
+            answers = [f.result() for f in futures]
+            assert one.predictions[0] == in_core_predictions[0]
+            assert all(
+                a.predictions[0] == in_core_predictions[1 + i]
+                for i, a in enumerate(answers)
+            ), "served rows must match in-core predict"
+            swapped = serving.swap(in_core_sgd)  # retrained model, same traffic
+            assert serving.predict_one(X[0]).model_version == swapped.version
+            stats = serving.stats().as_dict()
+        print(
+            f"request serving: {stats['requests']} requests in "
+            f"{stats['batches']} micro-batches (mean "
+            f"{stats['mean_batch_rows']:.1f} rows/batch), queue-wait p99 "
+            f"{stats['queue_wait_p99_s'] * 1e3:.2f}ms, served by "
+            f"{one.model_key} then hot-swapped to @{swapped.version}"
+        )
+
         print(
             "quickstart finished: memory-mapped, in-memory, sharded and "
-            "streaming training all agree — and streaming serving matches "
-            "in-core inference bit for bit, sequential or parallel"
+            "streaming training all agree — streaming serving matches "
+            "in-core inference bit for bit, and the model server answers "
+            "request-level traffic from the same session"
         )
 
 

@@ -48,6 +48,13 @@ Every engine implements both halves of the lifecycle: ``Session.fit`` trains,
                  for its distributed counterpart, inference maps the fitted
                  model over the mini RDD's partitions — use it to reproduce
                  the paper's M3-vs-Spark comparisons.
+*(serving)*      Request-level traffic (single rows / small batches from
+                 concurrent clients) does not scan at all: ``session.serve``
+                 publishes the model into the hot-model registry of
+                 :mod:`repro.serve` and answers requests through a
+                 micro-batching server, dispatching each coalesced batch via
+                 the engine's ``serve_batch`` seam — bit-identical to in-core
+                 ``predict``, with hot-swap and backpressure.
 ===============  ============================================================
 
 The legacy ``repro.core.open_dataset`` / ``load_matrix`` helpers remain as
@@ -67,6 +74,7 @@ from repro.api.chunks import (
     ReadaheadHinter,
     open_chunk_stream,
     plan_chunks,
+    shard_devices,
 )
 from repro.api.dataset import Dataset
 from repro.api.engines import (
@@ -137,6 +145,7 @@ __all__ = [
     "ChunkStreamStats",
     "plan_chunks",
     "open_chunk_stream",
+    "shard_devices",
     # engines
     "ExecutionEngine",
     "LocalEngine",

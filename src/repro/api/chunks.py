@@ -88,6 +88,44 @@ def shard_row_starts(matrix: Any) -> Tuple[int, ...]:
     return ()
 
 
+def shard_devices(matrix: Any) -> Tuple[int, ...]:
+    """``st_dev`` of each shard's backing file, in shard order.
+
+    The storage topology behind ``io_workers=0``: shards sharing a device id
+    share one spindle/namespace and gain nothing from extra readers, while
+    shards on distinct devices can genuinely stream concurrently.  Empty when
+    the matrix is not sharded or any shard cannot be ``stat``-ed (the caller
+    then falls back to per-shard sizing).
+    """
+    backing = _unwrap(matrix)
+    if not isinstance(backing, ShardedMatrix):
+        return ()
+    devices = []
+    for shard in backing.manifest.shards:
+        try:
+            devices.append(os.stat(backing.directory / shard.filename).st_dev)
+        except OSError:
+            return ()
+    return tuple(devices)
+
+
+def _physical_ram_bytes() -> int:
+    """Physical RAM in bytes, or a huge sentinel when the platform can't say.
+
+    Gates the auto mode of releasing page cache behind the scan cursor: only
+    scans larger than RAM benefit (smaller scans *want* their pages kept for
+    the next pass), so an unknown RAM size means the auto mode stays off.
+    """
+    try:
+        pages = os.sysconf("SC_PHYS_PAGES")
+        page = os.sysconf("SC_PAGE_SIZE")
+        if pages > 0 and page > 0:
+            return pages * page
+    except (ValueError, OSError, AttributeError):
+        pass
+    return 1 << 62
+
+
 def _range_straddles(cuts: np.ndarray, start: int, stop: int) -> bool:
     """Whether rows ``[start, stop)`` cross any shard boundary in ``cuts``.
 
@@ -279,6 +317,8 @@ class ChunkStreamStats:
     prefetched: bool = False
     #: OS readahead hints (madvise/posix_fadvise) successfully applied.
     hints_applied: int = 0
+    #: ``dont_need`` hints applied behind the scan cursor (pages released).
+    hints_released: int = 0
     #: Per-chunk ``(read_s, wait_s, compute_s)`` samples (capped).
     samples: List[Tuple[float, float, float]] = field(default_factory=list)
 
@@ -313,6 +353,11 @@ class ChunkStreamStats:
         if count > 0:
             self.hints_applied += count
 
+    def record_released(self, count: int) -> None:
+        """Fold ``count`` applied behind-the-cursor ``dont_need`` hints in."""
+        if count > 0:
+            self.hints_released += count
+
     def merge(self, other: "ChunkStreamStats") -> None:
         """Fold another stream's aggregate (e.g. one training pass) into this."""
         self.chunks += other.chunks
@@ -322,6 +367,7 @@ class ChunkStreamStats:
         self.io_wait_s += other.io_wait_s
         self.compute_s += other.compute_s
         self.hints_applied += other.hints_applied
+        self.hints_released += other.hints_released
         self.prefetched = self.prefetched or other.prefetched
         free = MAX_TIMING_SAMPLES - len(self.samples)
         if free > 0:
@@ -353,6 +399,7 @@ class ChunkStreamStats:
             "io_overlap": self.io_overlap,
             "prefetched": self.prefetched,
             "hints_applied": self.hints_applied,
+            "hints_released": self.hints_released,
         }
 
 
@@ -1098,8 +1145,11 @@ class ParallelPrefetcher:
     inner:
         The synchronous iterator carrying the matrix, labels and plan.
     io_workers:
-        Reader threads.  ``None``/``0`` = one per shard (falling back to
-        ``depth`` readers for single-file and in-memory matrices).
+        Reader threads.  ``None``/``0`` = sized from the storage topology:
+        one reader per distinct *device* behind the shards (via
+        :func:`shard_devices`), falling back to one per shard when device
+        identity is unknowable, and to ``depth`` readers for single-file and
+        in-memory matrices.
     depth:
         Reorder-buffer window: maximum chunks claimed but not yet consumed.
         Defaults to ``max(2, 2 × io_workers)`` so every reader can stay busy
@@ -1111,6 +1161,12 @@ class ParallelPrefetcher:
         passes of one training run).
     hints:
         Issue ``madvise``/``posix_fadvise`` readahead hints per claimed chunk.
+    release_behind:
+        ``dont_need`` the pages strictly behind the consumer's scan cursor so
+        a strictly-forward scan larger than RAM never evicts pages *ahead* of
+        itself.  ``None`` (default) enables it automatically when the plan's
+        bytes exceed physical RAM; ``True``/``False`` force it.  Applied
+        release hints are counted in ``stats.hints_released``.
     """
 
     def __init__(
@@ -1120,6 +1176,7 @@ class ParallelPrefetcher:
         depth: Optional[int] = None,
         buffer_pool: Optional["int | ChunkBufferPool"] = None,
         hints: bool = True,
+        release_behind: Optional[bool] = None,
     ) -> None:
         self.inner = inner
         plan = inner.plan
@@ -1128,8 +1185,8 @@ class ParallelPrefetcher:
             raise ValueError(f"io_workers must be >= 0, got {io_workers}")
         if depth is not None and depth < 1:
             raise ValueError(f"prefetch depth must be >= 1, got {depth}")
-        if not io_workers:  # None or 0: one reader per shard, else `depth` readers
-            io_workers = len(starts) if len(starts) > 1 else (depth or 2)
+        if not io_workers:  # None or 0: size the pool from storage topology
+            io_workers = self._default_io_workers(inner.matrix, starts, depth)
         self.io_workers = max(1, min(int(io_workers), max(plan.num_chunks, 1)))
         self.depth = depth if depth is not None else max(2, 2 * self.io_workers)
         if self.depth < self.io_workers:
@@ -1146,6 +1203,10 @@ class ParallelPrefetcher:
             # free buffer (at most window-1 other chunks hold leases).
             self.depth = max(1, min(self.depth, self.pool.buffers))
         self.hinter = ReadaheadHinter(inner.matrix) if hints else None
+        self.release_behind = (
+            self.hinter is not None
+            and self._resolve_release_behind(release_behind, plan)
+        )
 
         self.stats = ChunkStreamStats(prefetched=True)
         self._state = _ReaderPoolState(
@@ -1156,6 +1217,11 @@ class ParallelPrefetcher:
         self._finished = False
         self._closed = False
         self._hints_folded = False
+        # The dont_need cursor: rows in [0, _released_through) have had their
+        # page cache handed back; _prev_start is the last emitted chunk, kept
+        # cached because the consumer may still be computing on it.
+        self._released_through = 0
+        self._prev_start: Optional[int] = None
 
         if self.hinter is not None:
             self.stats.record_hints(self.hinter.advise_sequential())
@@ -1173,6 +1239,32 @@ class ParallelPrefetcher:
             self._threads.append(thread)
 
     # -- construction helpers ----------------------------------------------
+
+    @staticmethod
+    def _default_io_workers(matrix: Any, starts: Tuple[int, ...], depth: Optional[int]) -> int:
+        """Reader count for ``io_workers=0``: one reader per distinct device.
+
+        Readers exist to keep independent devices streaming concurrently;
+        shards that share a device share its queue, so sizing the pool from
+        ``st_dev`` topology (rather than one reader per shard) stops a
+        single-disk dataset from spawning a pile of threads contending for
+        one spindle.  Falls back to one reader per shard when device identity
+        cannot be established, and to ``depth`` readers for single-file and
+        in-memory matrices (where there is no topology to read).
+        """
+        if len(starts) <= 1:
+            return depth or 2
+        devices = shard_devices(matrix)
+        if devices:
+            return len(set(devices))
+        return len(starts)
+
+    @staticmethod
+    def _resolve_release_behind(release_behind: Optional[bool], plan: ChunkPlan) -> bool:
+        """Whether to ``dont_need`` pages behind the cursor (auto: scan > RAM)."""
+        if release_behind is not None:
+            return bool(release_behind)
+        return plan.total_bytes > _physical_ram_bytes()
 
     def _resolve_pool(self, buffer_pool, plan: ChunkPlan, cuts: np.ndarray) -> Optional[ChunkBufferPool]:
         if isinstance(buffer_pool, ChunkBufferPool):
@@ -1259,6 +1351,18 @@ class ParallelPrefetcher:
         wait_s = time.perf_counter() - now
         state.window.release()
         self.stats.record_hints(pending_hints)
+        if self.release_behind:
+            # The plan tiles rows strictly forward, so everything before the
+            # *previous* chunk is permanently behind the cursor: hand those
+            # pages back so a scan larger than RAM never evicts pages ahead
+            # of itself.  The previous chunk itself stays cached — the
+            # consumer may still be computing on a zero-copy view of it.
+            if self._prev_start is not None and self._prev_start > self._released_through:
+                self.stats.record_released(
+                    self.hinter.dont_need(self._released_through, self._prev_start)
+                )
+                self._released_through = self._prev_start
+            self._prev_start = chunk.start
         self.stats.record(
             chunk.read_s, wait_s, compute_s, chunk.rows, chunk.rows * plan.row_bytes
         )
@@ -1354,14 +1458,16 @@ def open_chunk_stream(
     buffer_pool: Optional["int | ChunkBufferPool"] = None,
     hints: bool = True,
     parallel_depth: Optional[int] = None,
+    release_behind: Optional[bool] = None,
 ) -> "ChunkIterator | PrefetchingChunkIterator | ParallelPrefetcher":
     """Build a chunk stream in one call.
 
     ``io_workers=None`` keeps the classic executors: synchronous when
     ``prefetch`` is off, the single-reader double-buffered pipeline otherwise.
     Any other value selects the multi-reader :class:`ParallelPrefetcher`
-    (``0`` = one reader per shard, ``n >= 1`` = exactly ``n`` readers), with
-    ``buffer_pool``/``hints``/``parallel_depth`` forwarded to it.
+    (``0`` = one reader per distinct storage device, ``n >= 1`` = exactly
+    ``n`` readers), with ``buffer_pool``/``hints``/``parallel_depth``/
+    ``release_behind`` forwarded to it.
     """
     inner = ChunkIterator(
         matrix, labels=labels, plan=plan, chunk_rows=chunk_rows, align_shards=align_shards
@@ -1373,6 +1479,7 @@ def open_chunk_stream(
             depth=parallel_depth,
             buffer_pool=buffer_pool,
             hints=hints,
+            release_behind=release_behind,
         )
     if not prefetch:
         return inner

@@ -191,6 +191,38 @@ class ExecutionEngine(abc.ABC):
             )
         return fn
 
+    def serve_batch(self, model: Any, X: Any, method: str = "predict") -> np.ndarray:
+        """Predictions for one coalesced micro-batch of request rows.
+
+        The request-level dispatch seam used by
+        :class:`repro.serve.ModelServer`: where :meth:`predict` scans a whole
+        dataset, this answers one micro-batch of rows gathered from
+        concurrent requests.  The default drives the model's
+        :class:`~repro.ml.base.StreamingPredictor` per-chunk hook
+        (``predict_chunk``), which delegates to the in-core ``method`` — so a
+        served row is bit-identical to the corresponding row of an in-core
+        full-matrix call.  Engines with their own batch-serving strategy
+        (partitioning, replay, remote dispatch) override this.
+
+        A lone row is computed as a duplicated 2-row batch (result sliced
+        back): BLAS routes 1-row inputs through matrix-*vector* kernels whose
+        last ULP can differ from the matrix-matrix path every larger batch
+        (and the scan engines) takes, and pinning the kernel keeps a served
+        row's bits independent of how much traffic it happened to share a
+        batch with.
+        """
+        if not method or method.startswith("_"):
+            raise ValueError(f"invalid prediction method {method!r}")
+        single = int(X.shape[0]) == 1
+        if single:
+            X = np.concatenate([np.asarray(X)] * 2, axis=0)
+        chunk_fn = getattr(model, "predict_chunk", None)
+        if callable(chunk_fn):
+            predictions = np.asarray(chunk_fn(X, method=method))
+        else:
+            predictions = np.asarray(self._predict_fn(model, method)(X))
+        return predictions[:1] if single else predictions
+
 
 class LocalEngine(ExecutionEngine):
     """In-process training on the dataset's matrix (the M3 model)."""
@@ -498,6 +530,11 @@ class StreamingEngine(ExecutionEngine):
     hints:
         Issue OS readahead hints (madvise/posix_fadvise) per upcoming chunk
         when the multi-reader pipeline is active.
+    release_behind:
+        ``dont_need`` page cache strictly behind the scan cursor (multi-reader
+        pipeline only).  ``None`` = auto (on when the plan is larger than
+        physical RAM); ``True``/``False`` force it.  Applied release hints
+        are reported as ``hints_released`` in the result details.
     """
 
     name = "streaming"
@@ -512,6 +549,7 @@ class StreamingEngine(ExecutionEngine):
         compute_workers: int = 1,
         buffer_pool: Optional[Any] = None,
         hints: bool = True,
+        release_behind: Optional[bool] = None,
     ) -> None:
         self.chunk_rows = chunk_rows
         self.prefetch = prefetch
@@ -521,6 +559,7 @@ class StreamingEngine(ExecutionEngine):
         self.compute_workers = compute_workers
         self.buffer_pool = buffer_pool
         self.hints = hints
+        self.release_behind = release_behind
         self._validate()
 
     def _validate(self) -> None:
@@ -653,6 +692,7 @@ class StreamingEngine(ExecutionEngine):
             io_workers=self.io_workers,
             buffer_pool=pool if pool is not None else self.buffer_pool,
             hints=self.hints,
+            release_behind=self.release_behind,
         )
 
     @staticmethod

@@ -390,7 +390,7 @@ class Session:
             Steady-state rows per streaming chunk (streaming engine only).
         io_workers:
             Reader threads for the parallel chunk pipeline (streaming engine
-            only): ``0`` = one reader per shard, ``n >= 1`` = exactly ``n``.
+            only): ``0`` = one reader per storage device, ``n >= 1`` = exactly ``n``.
         compute_workers:
             Inference worker threads — accepted here for symmetry with
             :meth:`predict`; training itself stays an ordered reduction.
@@ -451,7 +451,7 @@ class Session:
             resolved engine is the streaming engine; forwarded to it.
         io_workers:
             Reader threads for the parallel chunk pipeline (streaming engine
-            only): ``0`` = one reader per shard, ``n >= 1`` = exactly ``n``.
+            only): ``0`` = one reader per storage device, ``n >= 1`` = exactly ``n``.
         compute_workers:
             Worker threads for data-parallel chunk inference (streaming
             engine only); each writes a disjoint slice of the output buffer.
@@ -481,6 +481,71 @@ class Session:
             return resolved.predict(model, dataset, method=method)
         with self.open(dataset) as handle:
             return resolved.predict(model, handle, method=method)
+
+    # -- request-level serving ---------------------------------------------
+
+    def serve(
+        self,
+        model_or_path: Any,
+        name: str = "default",
+        engine: Union[str, ExecutionEngine, None] = None,
+        max_batch: int = 256,
+        max_delay_ms: float = 0.0,
+        workers: int = 1,
+        max_pending: int = 1024,
+    ) -> Any:
+        """Stand up a request-level server for ``model_or_path``.
+
+        Where :meth:`predict` serves *scan-level* traffic (one call, one full
+        dataset), the returned :class:`~repro.serve.Serving` answers
+        **requests**: single rows or small batches submitted concurrently by
+        many clients.  Concurrent requests are coalesced into micro-batches
+        of up to ``max_batch`` rows (waiting at most ``max_delay_ms`` for
+        company) and dispatched through the engine's ``serve_batch`` seam —
+        the :class:`~repro.ml.base.StreamingPredictor` per-chunk path, so
+        every served prediction is bit-identical to in-core ``predict``.
+
+        Parameters
+        ----------
+        model_or_path:
+            A fitted estimator, or a path to a saved-model JSON file
+            (``m3 train --save-model``).
+        name:
+            Registry name the model is published under; ``Serving.swap``
+            republishes it (atomic hot-swap under load).
+        engine:
+            Engine whose ``serve_batch`` computes each micro-batch; defaults
+            to the session's engine.
+        max_batch, max_delay_ms, workers, max_pending:
+            Micro-batching and backpressure knobs — see
+            :class:`~repro.serve.ModelServer`.
+
+        Returns
+        -------
+        Serving
+            ``predict_one`` / ``predict_many`` / ``submit`` (future-style) /
+            ``swap`` / ``stats``, usable as a context manager.  Dataset specs
+            passed to ``predict_many`` resolve through this session's handle
+            pool.
+        """
+        from repro.serve import ModelRegistry, ModelServer, Serving
+
+        self._check_open()
+        resolved = self.default_engine if engine is None else resolve_engine(engine)
+        # Publish (load + validate) before the server exists: a bad model
+        # file must raise here, not after dispatcher threads were spawned.
+        registry = ModelRegistry()
+        registry.publish(name, model_or_path)
+        server = ModelServer(
+            registry=registry,
+            engine=resolved,
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            workers=workers,
+            max_pending=max_pending,
+            session=self,
+        )
+        return Serving(server, name=name)
 
     # -- lifecycle ---------------------------------------------------------
 

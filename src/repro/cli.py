@@ -12,14 +12,21 @@ reproduction entry points:
   through the chunk pipeline (``partial_fit`` over prefetched shard-aligned
   row blocks) and reports per-chunk I/O-wait vs compute time;
   ``--io-workers N`` switches to the multi-reader parallel pipeline
-  (``0`` = one reader per shard) with OS readahead hints;
+  (``0`` = one reader per storage device) with OS readahead hints;
   ``--save-model PATH`` persists the fitted model as JSON for serving.
 * ``m3 predict`` — serve a saved model's predictions over a dataset;
   ``--engine streaming`` predicts chunk by chunk through the prefetching
   pipeline (bounded memory on sharded datasets), ``--io-workers`` /
   ``--compute-workers`` parallelise the read and inference sides of the
   pipeline, ``--proba`` emits class probabilities, ``--output`` writes the
-  predictions as ``.npy``.
+  predictions as ``.npy``; ``--server`` routes every row as an individual
+  request through the micro-batching model server instead of the scan path
+  (same predictions, request-level accounting).
+* ``m3 serve`` — the long-lived serving daemon: load a saved model into the
+  hot-model registry and answer JSONL predict requests from stdin (or
+  ``--input``), coalescing concurrent requests into micro-batches
+  (``--max-batch``, ``--max-delay-ms``, ``--workers``); responses carry the
+  serving model version and per-request queue-wait/compute latency.
 * ``m3 figure1a`` / ``m3 figure1b`` / ``m3 table1`` / ``m3 utilization`` —
   regenerate the paper's figures and table as plain-text tables.
 
@@ -33,7 +40,7 @@ import argparse
 import sys
 import tempfile
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -206,14 +213,99 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_serve_stats(stats: "Any") -> None:
+    """One accounting line for the micro-batching server, shared by
+    ``m3 serve`` and ``m3 predict --server``."""
+    summary = stats.as_dict()
+    print(
+        f"server: {summary['requests']} requests ({summary['rows']} rows) in "
+        f"{summary['batches']} micro-batches "
+        f"(mean {summary['mean_batch_rows']:.1f} rows/batch), queue-wait "
+        f"p50 {summary['queue_wait_p50_s'] * 1e3:.2f}ms / "
+        f"p99 {summary['queue_wait_p99_s'] * 1e3:.2f}ms, compute "
+        f"{summary['compute_s']:.2f}s, {summary['errors']} errors, "
+        f"{summary['rejected']} rejected",
+        file=sys.stderr,
+    )
+
+
+def _predict_via_server(session, dataset, model, method: str, args) -> "Any":
+    """Route every dataset row through the micro-batching model server.
+
+    The request-level counterpart of the scan path below: each row becomes
+    one asynchronous request, the server coalesces whatever is in flight
+    into micro-batches, and the gathered predictions are identical to the
+    scan's.  Demonstrates (and exercises) the serving daemon without a
+    client process.
+    """
+    import time
+
+    X = dataset.matrix
+    n_rows = int(X.shape[0])
+    began = time.perf_counter()
+    with session.serve(
+        model,
+        engine=args.engine,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        workers=args.workers,
+    ) as serving:
+        futures = [
+            serving.submit(np.asarray(X[i : i + 1]), method=method)
+            for i in range(n_rows)
+        ]
+        pieces = [future.result().predictions for future in futures]
+        stats = serving.stats()
+    elapsed = time.perf_counter() - began
+    predictions = (
+        np.concatenate(pieces, axis=0) if pieces else np.empty((0,), dtype=np.float64)
+    )
+    rate = n_rows / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"served {n_rows} predictions ({method}) with {type(model).__name__} "
+        f"in {elapsed:.2f}s (model server, {dataset.backend_name} backend, "
+        f"{rate:.0f} rows/s)"
+    )
+    _print_serve_stats(stats)
+    return predictions
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     from repro.api import Session
     from repro.ml import load_model
 
     if _streaming_flags_misused(args):
         return 2
+    if args.server:
+        # The server path dispatches micro-batches, not a chunked scan: the
+        # scan-pipeline knobs would silently do nothing, so reject them.
+        for flag, value in (
+            ("--chunk-rows", args.chunk_rows),
+            ("--io-workers", args.io_workers),
+            ("--compute-workers", args.compute_workers),
+        ):
+            if value is not None:
+                print(
+                    f"error: {flag} does not apply to --server (use "
+                    f"--max-batch/--max-delay-ms/--workers)",
+                    file=sys.stderr,
+                )
+                return 2
     model = load_model(args.model)
     method = "predict_proba" if args.proba else "predict"
+    if args.server:
+        with Session() as session:
+            dataset = session.open(args.dataset)
+            predictions = _predict_via_server(session, dataset, model, method, args)
+            if method == "predict" and dataset.has_labels and hasattr(model, "classes_"):
+                labels = np.asarray(dataset.labels)
+                if predictions.shape == labels.shape:
+                    accuracy = float(np.mean(predictions == labels))
+                    print(f"accuracy against the dataset's labels: {accuracy:.3f}")
+        if args.output is not None:
+            np.save(args.output, predictions)
+            print(f"wrote predictions to {args.output}")
+        return 0
     with Session() as session:
         dataset = session.open(args.dataset)
         result = session.predict(
@@ -251,6 +343,110 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     if args.output is not None:
         np.save(args.output, result.predictions)
         print(f"wrote predictions to {args.output}")
+    return 0
+
+
+def _parse_serve_request(line: str, default_method: str):
+    """One JSONL request line -> (id, rows, method).
+
+    Accepts a bare JSON array (one row, or a batch of rows) or an object
+    ``{"id": ..., "x": <row or rows>, "method": ...}``.
+    """
+    import json
+
+    payload = json.loads(line)
+    if isinstance(payload, list):
+        return None, payload, default_method
+    if isinstance(payload, dict) and "x" in payload:
+        return payload.get("id"), payload["x"], payload.get("method", default_method)
+    raise ValueError(
+        "a request line must be a JSON array of features or an object with "
+        "an 'x' field"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The serving daemon: a JSONL request/response loop over a ModelServer.
+
+    Reads one request per line from stdin (or ``--input``), answers one JSON
+    response per line on stdout (or ``--output``), in request order.
+    Requests are submitted asynchronously, so concurrent lines coalesce into
+    micro-batches exactly as concurrent network clients would; completed
+    responses are flushed as soon as every earlier request has completed.
+    """
+    import json
+    from collections import deque
+
+    from repro.serve import ModelRegistry, ModelServer
+
+    default_method = "predict_proba" if args.proba else "predict"
+    registry = ModelRegistry()
+    version = registry.publish("default", args.model)
+    source = sys.stdin if args.input is None else open(args.input, "r", encoding="utf-8")
+    sink = sys.stdout if args.output is None else open(args.output, "w", encoding="utf-8")
+
+    def respond(request_id, future) -> None:
+        error = future.exception()
+        if error is not None:
+            payload = {"id": request_id, "error": str(error)}
+        else:
+            result = future.result()
+            payload = {
+                "id": request_id,
+                "predictions": np.asarray(result.predictions).tolist(),
+                "model": result.model_key,
+                "queue_wait_ms": result.queue_wait_s * 1e3,
+                "compute_ms": result.compute_s * 1e3,
+                "batch_rows": result.batch_rows,
+            }
+        print(json.dumps(payload), file=sink, flush=True)
+
+    served = 0
+    try:
+        with ModelServer(
+            registry=registry,
+            engine=args.engine,
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            workers=args.workers,
+            max_pending=args.max_pending,
+        ) as server:
+            print(
+                f"serving {type(version.model).__name__} as {version.key} "
+                f"(max_batch={args.max_batch}, max_delay={args.max_delay_ms}ms, "
+                f"workers={args.workers}); one JSONL request per line",
+                file=sys.stderr,
+            )
+            pending: "deque" = deque()
+            for line in source:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request_id, rows, method = _parse_serve_request(line, default_method)
+                    pending.append((request_id, server.submit(rows, method=method)))
+                except Exception as error:  # noqa: BLE001 — reported per line
+                    # Flush responses in order before reporting the bad line.
+                    while pending:
+                        respond(*pending.popleft())
+                        served += 1
+                    print(json.dumps({"id": None, "error": str(error)}), file=sink, flush=True)
+                    continue
+                # Emit every response that is ready behind the head, keeping
+                # request order without stalling the submit loop.
+                while pending and pending[0][1].done():
+                    respond(*pending.popleft())
+                    served += 1
+            while pending:
+                respond(*pending.popleft())
+                served += 1
+            _print_serve_stats(server.stats())
+    finally:
+        if source is not sys.stdin:
+            source.close()
+        if sink is not sys.stdout:
+            sink.close()
+    print(f"served {served} request(s)", file=sys.stderr)
     return 0
 
 
@@ -362,7 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "auto-sized adaptive window)")
     train.add_argument("--io-workers", type=_non_negative_int, default=None,
                        help="reader threads for the parallel chunk pipeline "
-                            "(streaming engine only; 0 = one reader per shard, "
+                            "(streaming engine only; 0 = one reader per device, "
                             "omit = single-reader prefetch)")
     train.add_argument("--compute-workers", type=_positive_int, default=None,
                        help="inference worker threads (streaming engine only; "
@@ -388,7 +584,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="rows per streaming chunk (streaming engine only)")
     predict.add_argument("--io-workers", type=_non_negative_int, default=None,
                          help="reader threads for the parallel chunk pipeline "
-                              "(streaming engine only; 0 = one reader per shard)")
+                              "(streaming engine only; 0 = one reader per device)")
     predict.add_argument("--compute-workers", type=_positive_int, default=None,
                          help="worker threads for data-parallel chunk inference "
                               "(streaming engine only; each writes a disjoint "
@@ -398,7 +594,49 @@ def build_parser() -> argparse.ArgumentParser:
                               "of labels")
     predict.add_argument("--output", type=Path, default=None,
                          help="write the predictions to this path as .npy")
+    predict.add_argument("--server", action="store_true",
+                         help="route every row as an individual request through "
+                              "the micro-batching model server instead of the "
+                              "scan path (same predictions, request-level "
+                              "accounting)")
+    predict.add_argument("--max-batch", type=_positive_int, default=256,
+                         help="rows per coalesced micro-batch (with --server)")
+    predict.add_argument("--max-delay-ms", type=float, default=0.0,
+                         help="how long an underfull micro-batch waits for "
+                              "company; 0 = dispatch immediately (with "
+                              "--server)")
+    predict.add_argument("--workers", type=_positive_int, default=1,
+                         help="dispatcher threads (with --server)")
     predict.set_defaults(func=_cmd_predict)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the serving daemon: JSONL predict requests over a hot model",
+    )
+    serve.add_argument("--model", type=Path, required=True,
+                       help="saved model JSON (from 'm3 train --save-model') "
+                            "published into the hot-model registry")
+    serve.add_argument("--engine", choices=["local", "streaming"], default="local",
+                       help="engine whose serve_batch computes each micro-batch "
+                            "(both drive the same per-chunk predict path)")
+    serve.add_argument("--max-batch", type=_positive_int, default=256,
+                       help="rows per coalesced micro-batch")
+    serve.add_argument("--max-delay-ms", type=float, default=0.0,
+                       help="how long an underfull micro-batch waits for more "
+                            "requests before dispatching; 0 = dispatch "
+                            "immediately (batches still form under load)")
+    serve.add_argument("--workers", type=_positive_int, default=1,
+                       help="dispatcher threads")
+    serve.add_argument("--max-pending", type=_positive_int, default=1024,
+                       help="bounded request-queue depth (backpressure beyond it)")
+    serve.add_argument("--proba", action="store_true",
+                       help="default to predict_proba for requests that name "
+                            "no method")
+    serve.add_argument("--input", type=Path, default=None,
+                       help="read JSONL requests from this file instead of stdin")
+    serve.add_argument("--output", type=Path, default=None,
+                       help="write JSONL responses to this file instead of stdout")
+    serve.set_defaults(func=_cmd_serve)
 
     figure1a = sub.add_parser("figure1a", help="regenerate Figure 1a (runtime vs size)")
     figure1a.add_argument("--sizes", type=float, nargs="+", default=[10, 40, 70, 100, 130, 160, 190])

@@ -1,8 +1,10 @@
 """Saving and loading fitted estimators as plain JSON.
 
-The serving path (``m3 train --save-model`` → ``m3 predict --model``) needs
-fitted models to survive a process boundary.  Every estimator in
-:mod:`repro.ml` is fully described by its constructor parameters
+The serving path (``m3 train --save-model`` → ``m3 predict --model`` /
+``m3 serve``) needs fitted models to survive a process boundary.  Every
+estimator in :mod:`repro.ml` — the predictors and the ``PCA`` /
+preprocessing transformers alike — is fully described by its constructor
+parameters
 (:meth:`~repro.ml.base.BaseEstimator.get_params`) plus its fitted attributes
 (public names ending in ``_`` holding arrays or scalars), so models round-trip
 through a small JSON document — no pickle, no code execution on load, and the
@@ -39,6 +41,7 @@ def _model_registry() -> Dict[str, Type]:
     from repro.ml.linear_model.softmax_regression import SoftmaxRegression
     from repro.ml.naive_bayes import GaussianNaiveBayes
     from repro.ml.pca import PCA
+    from repro.ml.preprocessing import MinMaxScaler, StandardScaler
 
     return {
         cls.__name__: cls
@@ -50,6 +53,8 @@ def _model_registry() -> Dict[str, Type]:
             MiniBatchKMeans,
             GaussianNaiveBayes,
             PCA,
+            StandardScaler,
+            MinMaxScaler,
         )
     }
 
@@ -68,6 +73,14 @@ def _encode_value(value: Any) -> Any:
         return float(value)
     if isinstance(value, (np.bool_,)):
         return bool(value)
+    if isinstance(value, (tuple, list)):
+        # Sequence parameters (e.g. MinMaxScaler's feature_range) round-trip
+        # element-wise; tuples are tagged so load restores the exact type a
+        # constructor expects.  One unencodable element skips the whole value.
+        items = [_encode_value(item) for item in value]
+        if any(isinstance(item, dict) and "__skipped__" in item for item in items):
+            return {"__skipped__": type(value).__name__}
+        return {"__tuple__": items} if isinstance(value, tuple) else items
     if isinstance(value, (bool, int, float, str)) or value is None:
         return value
     return {"__skipped__": type(value).__name__}
@@ -82,6 +95,10 @@ def _decode_value(value: Any) -> Any:
     if isinstance(value, dict) and "__ndarray__" in value:
         array = np.array(value["__ndarray__"], dtype=np.dtype(value["dtype"]))
         return array.reshape([int(n) for n in value["shape"]])
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(_decode_value(item) for item in value["__tuple__"])
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
     return value
 
 

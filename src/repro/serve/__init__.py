@@ -1,0 +1,62 @@
+"""Request-level serving: hot-model registry plus a micro-batching server.
+
+The scan-level API (:meth:`repro.api.Session.predict`) walks whole datasets;
+this package serves **requests** — single rows or small batches arriving
+concurrently from many clients, the "heavy traffic from millions of users"
+regime.  The pieces:
+
+* :class:`ModelRegistry` — named, versioned hot models (live estimators or
+  ``m3 train --save-model`` JSON files), swapped atomically under load;
+* :class:`ModelServer` — the long-lived daemon: a bounded request queue with
+  backpressure, dispatcher threads that coalesce concurrent requests into
+  chunk-sized micro-batches, and per-request latency accounting
+  (queue-wait / batch / compute);
+* :class:`Serving` — a server bound to one published model, returned by
+  :meth:`repro.api.Session.serve`;
+* :class:`ServeResult` / :class:`ServeStats` — the request-level siblings of
+  :class:`~repro.api.engines.PredictResult` and its pipeline accounting.
+
+Batches dispatch through the engine's
+:meth:`~repro.api.engines.ExecutionEngine.serve_batch` seam — by default the
+:class:`~repro.ml.base.StreamingPredictor` per-chunk path — so every served
+prediction is bit-identical to the in-core ``model.predict`` row.
+
+.. code-block:: python
+
+    from repro.api import Session
+    from repro.ml import LogisticRegression
+
+    with Session() as session:
+        model = LogisticRegression().fit(X, y)
+        with session.serve(model, max_batch=256, max_delay_ms=2) as serving:
+            result = serving.predict_one(X[0])
+            print(result.prediction, result.model_key, result.queue_wait_s)
+            serving.swap("retrained.json")   # atomic hot-swap under load
+            print(serving.stats().as_dict())
+
+The CLI equivalent is ``m3 serve --model model.json`` — a stdin/JSONL
+request loop over the same server.
+"""
+
+from repro.serve.registry import ModelRegistry, ModelVersion
+from repro.serve.server import (
+    DEFAULT_MODEL_NAME,
+    ModelServer,
+    ServeResult,
+    ServeStats,
+    ServerClosed,
+    ServerSaturated,
+    Serving,
+)
+
+__all__ = [
+    "ModelRegistry",
+    "ModelVersion",
+    "ModelServer",
+    "Serving",
+    "ServeResult",
+    "ServeStats",
+    "ServerClosed",
+    "ServerSaturated",
+    "DEFAULT_MODEL_NAME",
+]

@@ -1,0 +1,161 @@
+"""The hot-model registry behind the request-level serving layer.
+
+A :class:`ModelRegistry` holds named, versioned *hot* models — fitted
+estimators resident in memory, ready to serve single-row requests without any
+per-request load cost.  Models enter the registry either as live estimator
+objects or as paths to the JSON documents written by
+:func:`repro.ml.persistence.save_model` (the ``m3 train --save-model``
+artifact), so the offline training pipeline and the online serving daemon
+meet at a file.
+
+Publishing is an **atomic hot-swap**: the registry builds the complete
+:class:`ModelVersion` record first and only then swings the name to it under
+the registry lock.  A request dispatched concurrently with a publish is
+served either entirely by the old version or entirely by the new one — never
+by a half-installed model — which is what the serving layer's
+exactly-one-version guarantee rests on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.ml.persistence import load_model
+
+ModelLike = Union[str, Path, Any]
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One immutable published version of a named model.
+
+    Attributes
+    ----------
+    name:
+        Registry name the version was published under.
+    version:
+        Monotonically increasing per-name version number (1 = first publish).
+    model:
+        The fitted estimator itself.
+    source:
+        The file the model was loaded from, when it was published by path.
+    published_at:
+        ``time.time()`` timestamp of the publish.
+    """
+
+    name: str
+    version: int
+    model: Any
+    source: Optional[str] = None
+    published_at: float = field(default_factory=time.time)
+
+    @property
+    def key(self) -> str:
+        """``name@version`` — the label responses carry."""
+        return f"{self.name}@{self.version}"
+
+    def __repr__(self) -> str:
+        origin = f", source={self.source!r}" if self.source else ""
+        return (
+            f"ModelVersion({self.key}, {type(self.model).__name__}{origin})"
+        )
+
+
+class ModelRegistry:
+    """Named, versioned hot models with atomic publish/swap semantics.
+
+    The registry is the serving layer's source of truth for *which* model
+    answers a request.  :meth:`resolve` returns the current
+    :class:`ModelVersion` as one immutable record, so a dispatcher that
+    resolves once per micro-batch serves the whole batch from exactly one
+    version no matter how many publishes land while it computes.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._current: Dict[str, ModelVersion] = {}
+        self._counters: Dict[str, int] = {}
+
+    # -- publishing ----------------------------------------------------------
+
+    @staticmethod
+    def _materialise(model_or_path: ModelLike) -> tuple[Any, Optional[str]]:
+        """The live estimator behind ``model_or_path`` (loading JSON files)."""
+        if isinstance(model_or_path, (str, Path)):
+            path = Path(model_or_path)
+            return load_model(path), str(path)
+        return model_or_path, None
+
+    def publish(self, name: str, model_or_path: ModelLike) -> ModelVersion:
+        """Install ``model_or_path`` as the next version of ``name``.
+
+        Accepts a fitted estimator or a path to a saved-model JSON file.  The
+        load (and any validation) happens *before* the swap, so a broken file
+        never dislodges the version currently serving traffic.
+        """
+        if not name:
+            raise ValueError("model name must be non-empty")
+        model, source = self._materialise(model_or_path)
+        if not any(
+            callable(getattr(model, method, None))
+            for method in ("predict", "predict_proba", "transform")
+        ):
+            raise TypeError(
+                f"{type(model).__name__} exposes no prediction method "
+                f"(predict/predict_proba/transform); cannot serve it"
+            )
+        with self._lock:
+            version = self._counters.get(name, 0) + 1
+            self._counters[name] = version
+            record = ModelVersion(
+                name=name, version=version, model=model, source=source
+            )
+            self._current[name] = record
+        return record
+
+    def unpublish(self, name: str) -> None:
+        """Remove ``name`` from the registry (in-flight batches keep their
+        resolved version; new requests fail with :class:`KeyError`)."""
+        with self._lock:
+            self._current.pop(name, None)
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve(self, name: str) -> ModelVersion:
+        """The current version of ``name`` as one immutable record."""
+        with self._lock:
+            try:
+                return self._current[name]
+            except KeyError:
+                known = ", ".join(sorted(self._current)) or "none"
+                raise KeyError(
+                    f"no model published under {name!r} (published: {known})"
+                ) from None
+
+    def version(self, name: str) -> int:
+        """The current version number of ``name``."""
+        return self.resolve(name).version
+
+    def names(self) -> List[str]:
+        """Sorted names currently published."""
+        with self._lock:
+            return sorted(self._current)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._current
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._current)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            entries = ", ".join(
+                self._current[name].key for name in sorted(self._current)
+            )
+        return f"ModelRegistry({entries or 'empty'})"

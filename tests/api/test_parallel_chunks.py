@@ -24,6 +24,7 @@ from repro.api.chunks import (
     ReadaheadHinter,
     open_chunk_stream,
 )
+import repro.api.chunks as chunks_module
 from repro.api.sharded import ShardedMatrix, write_sharded_dataset
 
 
@@ -74,11 +75,15 @@ class TestPlanOrderDeterminism:
         np.testing.assert_array_equal(np.concatenate(pieces), X)
         np.testing.assert_array_equal(np.concatenate(label_pieces), y)
 
-    def test_default_reader_count_is_one_per_shard(self, sharded_matrix):
-        matrix, _, _ = sharded_matrix
+    def test_default_reader_count_is_one_per_device(self, sharded_matrix):
+        # All test shards live in one tmp directory, hence on one device:
+        # io_workers=0 must size the pool from st_dev topology, not from the
+        # shard count.
+        matrix, X, _ = sharded_matrix
         with open_chunk_stream(matrix, chunk_rows=7, io_workers=0) as stream:
-            list(stream)
-        assert stream.io_workers == matrix.num_shards
+            pieces = [np.asarray(c.X).copy() for c in stream]
+        assert stream.io_workers == 1
+        np.testing.assert_array_equal(np.concatenate(pieces), X)
 
     def test_single_file_matrix_falls_back_to_depth_readers(self):
         X = np.zeros((40, 3))
@@ -445,3 +450,111 @@ class TestGatherInto:
             matrix.gather_into(0, 30, np.empty((5, 4)))
         with pytest.raises(ValueError, match="needs"):
             matrix.lazy_labels.gather_into(0, 30, np.empty(5, dtype=np.int64))
+
+
+class TestDeviceTopology:
+    """``io_workers=0`` sizes the reader pool from storage-device topology."""
+
+    def test_shard_devices_resolves_every_shard(self, sharded_matrix):
+        matrix, _, _ = sharded_matrix
+        devices = chunks_module.shard_devices(matrix)
+        assert len(devices) == matrix.num_shards
+        # tmp_path shards all live on one filesystem -> one distinct device.
+        assert len(set(devices)) == 1
+
+    def test_shard_devices_empty_for_unsharded_matrices(self):
+        assert chunks_module.shard_devices(np.zeros((10, 2))) == ()
+
+    def test_two_faked_devices_get_two_readers(self, sharded_matrix, monkeypatch):
+        matrix, X, _ = sharded_matrix
+        # Fake a topology where the 5 shards are spread across two devices.
+        monkeypatch.setattr(
+            chunks_module, "shard_devices", lambda m: (10, 10, 20, 20, 20)
+        )
+        with open_chunk_stream(matrix, chunk_rows=7, io_workers=0) as stream:
+            pieces = [np.asarray(c.X).copy() for c in stream]
+        assert stream.io_workers == 2
+        np.testing.assert_array_equal(np.concatenate(pieces), X)
+
+    def test_unknowable_topology_falls_back_to_one_reader_per_shard(
+        self, sharded_matrix, monkeypatch
+    ):
+        matrix, _, _ = sharded_matrix
+        monkeypatch.setattr(chunks_module, "shard_devices", lambda m: ())
+        with open_chunk_stream(matrix, chunk_rows=7, io_workers=0) as stream:
+            list(stream)
+        assert stream.io_workers == matrix.num_shards
+
+    def test_explicit_io_workers_ignores_topology(self, sharded_matrix, monkeypatch):
+        matrix, _, _ = sharded_matrix
+        monkeypatch.setattr(
+            chunks_module, "shard_devices", lambda m: (1, 1, 1, 1, 1)
+        )
+        with open_chunk_stream(matrix, chunk_rows=7, io_workers=3) as stream:
+            list(stream)
+        assert stream.io_workers == 3
+
+
+class TestReleaseBehind:
+    """``dont_need`` pages behind the cursor on strictly-forward big scans."""
+
+    def test_forced_release_counts_hints_and_stays_correct(self, sharded_matrix):
+        matrix, X, y = sharded_matrix
+        with open_chunk_stream(
+            matrix, labels=matrix.lazy_labels, chunk_rows=7,
+            io_workers=2, release_behind=True,
+        ) as stream:
+            pieces = [np.asarray(c.X).copy() for c in stream]
+        np.testing.assert_array_equal(np.concatenate(pieces), X)
+        # Shard memmaps are hintable on Linux/macOS; elsewhere the count is
+        # an honest zero (dont_need degraded to a no-op).
+        assert stream.stats.hints_released >= 0
+        if stream.hinter is not None and stream.hinter.supported:
+            assert stream.stats.hints_released > 0
+        assert stream.stats.as_dict()["hints_released"] == stream.stats.hints_released
+
+    def test_release_defaults_off_for_in_ram_scans(self, sharded_matrix):
+        matrix, _, _ = sharded_matrix
+        with open_chunk_stream(matrix, chunk_rows=7, io_workers=2) as stream:
+            list(stream)
+        assert stream.release_behind is False
+        assert stream.stats.hints_released == 0
+
+    def test_release_auto_enables_when_scan_exceeds_ram(self, sharded_matrix, monkeypatch):
+        matrix, X, _ = sharded_matrix
+        # Pretend the machine has 1 KB of RAM: the 60x4 float64 scan (1920 B)
+        # is now "larger than RAM" and the auto mode must kick in.
+        monkeypatch.setattr(chunks_module, "_physical_ram_bytes", lambda: 1024)
+        with open_chunk_stream(matrix, chunk_rows=7, io_workers=2) as stream:
+            pieces = [np.asarray(c.X).copy() for c in stream]
+        assert stream.release_behind is True
+        np.testing.assert_array_equal(np.concatenate(pieces), X)
+
+    def test_release_requires_hints(self, sharded_matrix):
+        # hints=False means there is no hinter to issue dont_need through.
+        matrix, _, _ = sharded_matrix
+        with open_chunk_stream(
+            matrix, chunk_rows=7, io_workers=2, hints=False, release_behind=True
+        ) as stream:
+            list(stream)
+        assert stream.release_behind is False
+        assert stream.stats.hints_released == 0
+
+    def test_release_cursor_never_touches_unconsumed_rows(self, sharded_matrix):
+        matrix, X, _ = sharded_matrix
+        released = []
+        with open_chunk_stream(
+            matrix, chunk_rows=7, io_workers=2, release_behind=True
+        ) as stream:
+            original = stream.hinter.dont_need
+            stream.hinter.dont_need = lambda start, stop: (
+                released.append((start, stop)), original(start, stop)
+            )[1]
+            consumed = []
+            for chunk in stream:
+                # Everything released so far lies strictly before the chunk
+                # the consumer saw *before* this one.
+                if released:
+                    assert max(stop for _, stop in released) <= consumed[-1]
+                consumed.append(chunk.start)
+        assert released, "a forward scan with release_behind must release pages"

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.ml import (
+    PCA,
     GaussianNaiveBayes,
     KMeans,
     LinearRegression,
@@ -15,6 +16,7 @@ from repro.ml import (
     load_model,
     save_model,
 )
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
 
 
 @pytest.fixture(scope="module")
@@ -36,18 +38,61 @@ FITTERS = {
         n_clusters=3, max_epochs=2, seed=0
     ).fit(X),
     "naive_bayes": lambda X, y: GaussianNaiveBayes().fit(X, y),
+    "pca": lambda X, y: PCA(n_components=4).fit(X),
+    "standard_scaler": lambda X, y: StandardScaler().fit(X),
+    "minmax_scaler": lambda X, y: MinMaxScaler(feature_range=(-2.0, 3.0)).fit(X),
 }
+
+
+def _serving_output(model, X):
+    """The model's serving-side output: predictions, or a transform."""
+    fn = model.predict if hasattr(model, "predict") else model.transform
+    return np.asarray(fn(X))
 
 
 class TestRoundTrip:
     @pytest.mark.parametrize("name", sorted(FITTERS))
     def test_predictions_survive_round_trip(self, tmp_path, problem, name):
+        # Every estimator the serving path can load must round-trip through
+        # JSON and then reproduce its in-core output bit for bit.
         X, y = problem
         model = FITTERS[name](X, y)
         path = save_model(tmp_path / f"{name}.json", model)
         loaded = load_model(path)
         assert type(loaded) is type(model)
-        np.testing.assert_array_equal(loaded.predict(X), model.predict(X))
+        np.testing.assert_array_equal(
+            _serving_output(loaded, X), _serving_output(model, X)
+        )
+
+    @pytest.mark.parametrize("name", sorted(FITTERS))
+    def test_fitted_attributes_survive_round_trip(self, tmp_path, problem, name):
+        # The audit behind the serving path: every public data attribute a
+        # fit produces (PCA axes, scaler statistics, …) must land in the file
+        # and come back identical — a silently dropped attribute would load a
+        # model that predicts differently from the one that was saved.
+        X, y = problem
+        model = FITTERS[name](X, y)
+        loaded = load_model(save_model(tmp_path / f"{name}.json", model))
+        for key, value in vars(model).items():
+            if not key.endswith("_") or key.startswith("_"):
+                continue
+            if key == "result_":  # derived optimiser telemetry, not data
+                continue
+            assert hasattr(loaded, key), f"{name} lost fitted attribute {key}"
+            np.testing.assert_array_equal(
+                np.asarray(getattr(loaded, key)), np.asarray(value),
+                err_msg=f"{name}.{key}",
+            )
+
+    def test_tuple_params_survive_round_trip(self, tmp_path, problem):
+        # feature_range is a tuple: it must round-trip as a tuple (the
+        # constructor validates it), not be silently dropped to the default.
+        X, _ = problem
+        model = MinMaxScaler(feature_range=(-5.0, 5.0)).fit(X)
+        loaded = load_model(save_model(tmp_path / "mm.json", model))
+        assert loaded.feature_range == (-5.0, 5.0)
+        assert isinstance(loaded.feature_range, tuple)
+        np.testing.assert_array_equal(loaded.transform(X), model.transform(X))
 
     def test_params_survive_round_trip(self, tmp_path, problem):
         X, y = problem

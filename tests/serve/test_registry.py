@@ -1,0 +1,125 @@
+"""Tests for the hot-model registry (publish / resolve / atomic swap)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.ml import LogisticRegression, save_model
+from repro.serve import ModelRegistry, ModelVersion
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(200, 6))
+    y = (X @ rng.normal(size=6) > 0).astype(np.int64)
+    return X, y
+
+
+@pytest.fixture()
+def fitted(problem):
+    X, y = problem
+    return LogisticRegression(max_iterations=4).fit(X, y)
+
+
+class TestPublish:
+    def test_publish_live_model(self, fitted):
+        registry = ModelRegistry()
+        record = registry.publish("scorer", fitted)
+        assert isinstance(record, ModelVersion)
+        assert record.version == 1
+        assert record.key == "scorer@1"
+        assert record.model is fitted
+        assert record.source is None
+
+    def test_publish_from_saved_json(self, tmp_path, problem, fitted):
+        X, _ = problem
+        path = save_model(tmp_path / "m.json", fitted)
+        registry = ModelRegistry()
+        record = registry.publish("scorer", path)
+        assert record.source == str(path)
+        np.testing.assert_array_equal(record.model.predict(X), fitted.predict(X))
+
+    def test_versions_increment_per_name(self, fitted):
+        registry = ModelRegistry()
+        assert registry.publish("a", fitted).version == 1
+        assert registry.publish("a", fitted).version == 2
+        assert registry.publish("b", fitted).version == 1
+        assert registry.version("a") == 2
+
+    def test_version_numbers_survive_unpublish(self, fitted):
+        # A name that comes back must not reuse old version numbers — clients
+        # may still hold responses labelled with them.
+        registry = ModelRegistry()
+        registry.publish("a", fitted)
+        registry.unpublish("a")
+        assert "a" not in registry
+        assert registry.publish("a", fitted).version == 2
+
+    def test_empty_name_rejected(self, fitted):
+        with pytest.raises(ValueError, match="non-empty"):
+            ModelRegistry().publish("", fitted)
+
+    def test_unservable_object_rejected(self):
+        with pytest.raises(TypeError, match="no prediction method"):
+            ModelRegistry().publish("junk", object())
+
+    def test_broken_file_does_not_dislodge_current_version(self, tmp_path, fitted):
+        registry = ModelRegistry()
+        current = registry.publish("scorer", fitted)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(ValueError):
+            registry.publish("scorer", bad)
+        assert registry.resolve("scorer") is current
+
+
+class TestResolve:
+    def test_resolve_returns_current_record(self, fitted):
+        registry = ModelRegistry()
+        first = registry.publish("scorer", fitted)
+        assert registry.resolve("scorer") is first
+        second = registry.publish("scorer", fitted)
+        assert registry.resolve("scorer") is second
+
+    def test_unknown_name_lists_published(self, fitted):
+        registry = ModelRegistry()
+        registry.publish("known", fitted)
+        with pytest.raises(KeyError, match="known"):
+            registry.resolve("missing")
+
+    def test_names_and_len(self, fitted):
+        registry = ModelRegistry()
+        registry.publish("b", fitted)
+        registry.publish("a", fitted)
+        assert registry.names() == ["a", "b"]
+        assert len(registry) == 2
+        assert "a" in registry and "c" not in registry
+
+
+class TestAtomicSwap:
+    def test_concurrent_publishes_never_tear(self, fitted):
+        """Hammering resolve during publishes always sees a complete record."""
+        registry = ModelRegistry()
+        registry.publish("scorer", fitted)
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                record = registry.resolve("scorer")
+                # A torn swap would pair a version with the wrong model.
+                if record.key != f"scorer@{record.version}" or record.model is None:
+                    failures.append(record)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for _ in range(200):
+            registry.publish("scorer", fitted)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert registry.version("scorer") == 201

@@ -263,7 +263,9 @@ class TestParallelPipelineFlags:
                           "--chunk-rows", "100", "--io-workers", "0"])
         assert exit_code == 0
         out = capsys.readouterr().out
-        assert "parallel readers: 4" in out  # one per shard
+        # io_workers=0 sizes the pool from device topology; the tmp shards
+        # all share one filesystem, so one reader serves them.
+        assert "parallel readers: 1" in out
         assert "readahead hints" in out
 
     def test_predict_with_parallel_pipeline(self, sharded, tmp_path, capsys):
@@ -301,3 +303,114 @@ class TestParallelPipelineFlags:
                   "--io-workers", "-1"])
         assert excinfo.value.code == 2
         assert "non-negative" in capsys.readouterr().err
+
+
+class TestServe:
+    @pytest.fixture()
+    def trained(self, tmp_path):
+        dataset = tmp_path / "serve_cmd.m3"
+        write_infimnist_dataset(dataset, num_examples=150, seed=3)
+        model_path = tmp_path / "model.json"
+        assert main(["train", str(dataset), "--algorithm", "logistic",
+                     "--iterations", "2", "--save-model", str(model_path)]) == 0
+        return dataset, model_path
+
+    def test_serve_jsonl_loop(self, trained, tmp_path, capsys):
+        import json
+
+        from repro.data.formats import open_binary_matrix
+        from repro.ml import load_model
+
+        dataset, model_path = trained
+        matrix, labels, _ = open_binary_matrix(dataset)
+        model = load_model(model_path)
+        expected = model.predict(np.asarray(matrix[:4]))
+        requests = tmp_path / "requests.jsonl"
+        lines = [json.dumps(list(map(float, np.asarray(matrix[i]))))
+                 for i in range(2)]
+        lines += [json.dumps({"id": i, "x": list(map(float, np.asarray(matrix[i])))})
+                  for i in (2, 3)]
+        requests.write_text("\n".join(lines) + "\n")
+        responses_path = tmp_path / "responses.jsonl"
+        exit_code = main([
+            "serve", "--model", str(model_path), "--input", str(requests),
+            "--output", str(responses_path), "--max-batch", "8",
+            "--max-delay-ms", "1",
+        ])
+        assert exit_code == 0
+        responses = [json.loads(line) for line in
+                     responses_path.read_text().splitlines()]
+        assert len(responses) == 4
+        for i, payload in enumerate(responses):
+            assert payload["model"] == "default@1"
+            assert payload["predictions"] == [int(expected[i])]
+            assert payload["queue_wait_ms"] >= 0
+            assert payload["batch_rows"] >= 1
+        assert responses[2]["id"] == 2 and responses[3]["id"] == 3
+        err = capsys.readouterr().err
+        assert "serving SoftmaxRegression as default@1" in err
+        assert "served 4 request(s)" in err
+
+    def test_serve_reports_bad_lines_and_continues(self, trained, tmp_path, capsys):
+        import json
+
+        from repro.data.formats import open_binary_matrix
+
+        dataset, model_path = trained
+        matrix, _, _ = open_binary_matrix(dataset)
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            "this is not json\n"
+            + json.dumps(list(map(float, np.asarray(matrix[0])))) + "\n"
+        )
+        responses_path = tmp_path / "responses.jsonl"
+        assert main(["serve", "--model", str(model_path),
+                     "--input", str(requests),
+                     "--output", str(responses_path)]) == 0
+        responses = [json.loads(line) for line in
+                     responses_path.read_text().splitlines()]
+        assert len(responses) == 2
+        assert "error" in responses[0]
+        assert "predictions" in responses[1]
+
+    def test_serve_request_method_override(self, trained, tmp_path):
+        import json
+
+        from repro.data.formats import open_binary_matrix
+
+        dataset, model_path = trained
+        matrix, _, _ = open_binary_matrix(dataset)
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(json.dumps({
+            "id": "p", "x": list(map(float, np.asarray(matrix[0]))),
+            "method": "predict_proba",
+        }) + "\n")
+        responses_path = tmp_path / "responses.jsonl"
+        assert main(["serve", "--model", str(model_path),
+                     "--input", str(requests),
+                     "--output", str(responses_path)]) == 0
+        payload = json.loads(responses_path.read_text().splitlines()[0])
+        assert len(payload["predictions"][0]) == 10  # 10-class probabilities
+
+    def test_predict_server_matches_scan_path(self, trained, tmp_path, capsys):
+        dataset, model_path = trained
+        scan_out = tmp_path / "scan.npy"
+        served_out = tmp_path / "served.npy"
+        assert main(["predict", str(dataset), "--model", str(model_path),
+                     "--output", str(scan_out)]) == 0
+        exit_code = main(["predict", str(dataset), "--model", str(model_path),
+                          "--server", "--max-batch", "32", "--max-delay-ms", "1",
+                          "--workers", "2", "--output", str(served_out)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "model server" in out
+        assert "accuracy against the dataset's labels" in out
+        np.testing.assert_array_equal(np.load(served_out), np.load(scan_out))
+
+    def test_server_rejects_scan_pipeline_flags(self, trained, capsys):
+        dataset, model_path = trained
+        exit_code = main(["predict", str(dataset), "--model", str(model_path),
+                          "--server", "--engine", "streaming",
+                          "--io-workers", "4"])
+        assert exit_code == 2
+        assert "--io-workers does not apply to --server" in capsys.readouterr().err
