@@ -329,11 +329,38 @@ def main() -> None:
             f"{one.model_key} then hot-swapped to @{swapped.version}"
         )
 
+        # 10. Checking concurrency invariants: everything above leaned on
+        #     locks, bounded buffer rings, and reader threads.  Two tools
+        #     keep that machinery honest.  `m3 lint src/repro` (or any
+        #     path) statically checks lock-rank discipline, resource
+        #     cleanup, and thread hygiene — exit 0 means clean.  And with
+        #     REPRO_ANALYSIS=1 in the environment (set it before building
+        #     the session), every lock in the pipeline becomes an
+        #     OrderedLock: an acquisition that inverts the declared rank
+        #     order raises LockOrderViolation immediately instead of
+        #     deadlocking some unlucky run.
+        from repro.analysis import GRAPH, LockOrderViolation, OrderedLock
+
+        first = OrderedLock("quickstart.first", rank=1)
+        second = OrderedLock("quickstart.second", rank=2)
+        with first:
+            with second:  # ranks strictly increase: fine
+                pass
+        try:
+            with second:
+                first.acquire()  # rank 1 while holding rank 2: refused
+            raise AssertionError("inversion should have been refused")
+        except LockOrderViolation as violation:
+            print(f"lock-order harness: caught inversion — {violation}")
+        finally:
+            GRAPH.clear()
+
         print(
             "quickstart finished: memory-mapped, in-memory, sharded and "
             "streaming training all agree — streaming serving matches "
-            "in-core inference bit for bit, and the model server answers "
-            "request-level traffic from the same session"
+            "in-core inference bit for bit, the model server answers "
+            "request-level traffic from the same session, and the "
+            "concurrency analyzer watches the locks that make it safe"
         )
 
 

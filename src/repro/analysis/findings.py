@@ -1,0 +1,88 @@
+"""Finding model and output formats for the ``m3 lint`` static pass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List
+
+__all__ = ["RULES", "Finding", "format_text", "report_as_dict"]
+
+#: Rule id -> one-line description (the stable public rule set).
+RULES: Dict[str, str] = {
+    "R001": (
+        "lock-order: every lock attribute has a declared rank in LOCK_ORDER; "
+        "nested acquisitions must strictly increase in rank; every .acquire() "
+        "needs a paired release"
+    ),
+    "R002": (
+        "resource discipline: leases, dataset handles, files, executors and "
+        "threads must be closed/joined on all paths (with, try/finally, or "
+        "'# lint: transfers-ownership')"
+    ),
+    "R003": (
+        "concurrency hygiene: no bare/swallowed except in thread paths, no "
+        "time.sleep polling, no mutation of shared containers outside the "
+        "owning lock"
+    ),
+    "R004": (
+        "api surface: names exported via __all__ must carry docstrings and "
+        "complete type annotations"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter diagnostic, anchored to a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The JSON-stable representation of this finding."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+    def sort_key(self) -> Any:
+        """Deterministic report order: by file, position, then rule."""
+        return (self.path, self.line, self.col, self.rule)
+
+
+def format_text(findings: Iterable[Finding]) -> List[str]:
+    """Human-readable ``path:line:col: RULE message`` lines."""
+    lines = []
+    for finding in findings:
+        where = f" [{finding.symbol}]" if finding.symbol else ""
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule} {finding.message}{where}"
+        )
+    return lines
+
+
+def report_as_dict(
+    findings: List[Finding], files: int, selected: List[str]
+) -> Dict[str, Any]:
+    """The stable JSON report schema for ``m3 lint --format json``."""
+    counts = {rule: 0 for rule in selected}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return {
+        "version": 1,
+        "tool": "m3-lint",
+        "files": files,
+        "rules": list(selected),
+        "findings": [finding.as_dict() for finding in findings],
+        "counts": counts,
+        "total": len(findings),
+    }

@@ -1,0 +1,199 @@
+"""Driver for the ``m3 lint`` static pass.
+
+Collects ``.py`` files, parses them once with :mod:`ast`, and runs the
+selected rules from :mod:`repro.analysis.rules` over every module.  Rule
+R004 additionally gets the whole-batch module index so it can resolve
+``__all__`` re-exports (the common ``__init__`` pattern) back to the
+defining module.
+
+Suppression comments
+--------------------
+A trailing ``# lint: <tags>`` comment on the flagged line adjusts the
+linter; recognised tags are ``disable=RNNN`` (mute one rule on that line),
+``transfers-ownership`` (R002: the created resource is owned elsewhere)
+and ``caller-holds-lock`` (R003, on a ``def`` line: the method is only
+called with the owning lock held).  ``# noqa`` on an ``except`` line marks
+a deliberate broad handler for R003.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.analysis.findings import RULES, Finding
+
+__all__ = ["LintError", "ParsedModule", "LintReport", "lint_paths", "collect_files"]
+
+
+class LintError(ValueError):
+    """A usage error (unknown rule, missing path, unreadable file)."""
+
+
+_LINT_TAG = re.compile(r"#\s*lint:\s*(?P<body>[^#]*)")
+
+
+@dataclass
+class ParsedModule:
+    """One parsed source file plus the source-level context rules need."""
+
+    path: Path
+    name: str
+    tree: ast.Module
+    lines: List[str]
+
+    def line(self, lineno: int) -> str:
+        """The 1-based physical source line (empty string out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def tags(self, lineno: int) -> Set[str]:
+        """``# lint:`` tags present on the given line."""
+        match = _LINT_TAG.search(self.line(lineno))
+        if not match:
+            return set()
+        body = match.group("body")
+        # Prose may follow the tags after an em-dash or double space.
+        body = body.split("—")[0].split("--")[0]
+        return {tag.strip() for tag in body.split(",") if tag.strip()}
+
+    def suppressed(self, lineno: int, rule: str) -> bool:
+        """Whether ``rule`` is muted on ``lineno`` via ``# lint: disable=``."""
+        return f"disable={rule}" in self.tags(lineno)
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding]
+    files: int
+    selected: List[str]
+    modules: List[ParsedModule] = field(default_factory=list, repr=False)
+
+    @property
+    def clean(self) -> bool:
+        """True when no findings were produced."""
+        return not self.findings
+
+
+def module_name_for(path: Path) -> str:
+    """The dotted module name for ``path``.
+
+    Files under a ``repro`` package directory get their real dotted name
+    (``repro.api.chunks``) so registry keys and re-export resolution line
+    up; stray files (test fixtures) are named by their stem.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        return ".".join(parts[index:])
+    return parts[-1] if parts else ""
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for path in paths:
+        if not path.exists():
+            raise LintError(f"path does not exist: {path}")
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise LintError(f"not a Python file or directory: {path}")
+    # De-duplicate while preserving order.
+    seen: Set[Path] = set()
+    unique = []
+    for candidate in files:
+        resolved = candidate.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(candidate)
+    return unique
+
+
+def parse_module(path: Path) -> ParsedModule:
+    """Parse one file, attaching parent links used by the rules."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise LintError(f"cannot read {path}: {error}") from error
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as error:
+        raise LintError(f"syntax error in {path}: {error}") from error
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._lint_parent = node  # type: ignore[attr-defined]
+    return ParsedModule(
+        path=path,
+        name=module_name_for(path),
+        tree=tree,
+        lines=text.splitlines(),
+    )
+
+
+def resolve_rules(select: Optional[str]) -> List[str]:
+    """Validate a ``--select`` expression into an ordered rule-id list."""
+    if not select:
+        return sorted(RULES)
+    chosen = []
+    for token in select.split(","):
+        rule = token.strip().upper()
+        if not rule:
+            continue
+        if rule not in RULES:
+            raise LintError(
+                f"unknown rule {rule!r} (known: {', '.join(sorted(RULES))})"
+            )
+        if rule not in chosen:
+            chosen.append(rule)
+    if not chosen:
+        raise LintError("--select produced an empty rule set")
+    return chosen
+
+
+def lint_paths(
+    paths: Sequence[Path], select: Optional[str] = None
+) -> LintReport:
+    """Lint ``paths`` with the selected rules and return the full report."""
+    from repro.analysis import rules as rule_impls
+
+    selected = resolve_rules(select)
+    files = collect_files([Path(path) for path in paths])
+    modules = [parse_module(path) for path in files]
+    index = {module.name: module for module in modules}
+
+    findings: List[Finding] = []
+    for module in modules:
+        if "R001" in selected:
+            findings.extend(rule_impls.check_r001(module))
+        if "R002" in selected:
+            findings.extend(rule_impls.check_r002(module))
+        if "R003" in selected:
+            findings.extend(rule_impls.check_r003(module))
+        if "R004" in selected:
+            findings.extend(rule_impls.check_r004(module, index))
+
+    # The same definition can be reached through several exporting modules
+    # (R004 re-export chasing) — keep one finding per distinct diagnostic.
+    unique = sorted(set(findings), key=lambda finding: finding.sort_key())
+    findings = unique
+    return LintReport(
+        findings=findings,
+        files=len(files),
+        selected=selected,
+        modules=modules,
+    )

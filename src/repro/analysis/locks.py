@@ -1,0 +1,83 @@
+"""The project-wide lock-rank registry.
+
+Every ``threading.Lock``/``RLock``/``Condition`` owned by ``src/repro``
+declares a **rank** here.  The discipline is the classical lock-ordering
+rule: a thread may only acquire a lock whose rank is *strictly greater*
+than every rank it already holds.  Because all threads agree on one total
+order, no cycle of lock waits — and therefore no deadlock — can form.
+
+The registry is consumed twice:
+
+* **Statically** by rule R001 of :mod:`repro.analysis.rules`: every lock
+  attribute in the tree must have an entry (keyed by its dotted
+  ``module.Class.attr`` name), and nested ``with`` acquisitions must follow
+  rank order.
+* **At runtime** by :class:`repro.analysis.runtime.OrderedLock` (enabled
+  with ``REPRO_ANALYSIS=1``): the rank check runs on every acquisition,
+  against the acquiring thread's actual held-lock stack.
+
+Ranks only need to be ordered, not dense — leave gaps so new locks can
+slot in between existing ones without renumbering.
+
+Current order (outermost first)::
+
+    rank  5   repro.core.m3._DEFAULT_LOCK        default-engine singleton
+    rank 10   ModelServer._cond                  serving queue + dispatcher wakeup
+    rank 20   Session._lock                      dataset list + handle pool
+    rank 30   ModelRegistry._lock                hot-model publish/resolve
+    rank 40   _ReaderPoolState.cond              reorder buffer + reader accounting
+    rank 45   ReadaheadHinter._lock              madvise byte accounting
+    rank 50   BufferLease._lock                  per-lease refcount (innermost)
+
+The recorded nesting that motivates the order: a reader thread holding
+``_ReaderPoolState.cond`` (40) releases a superseded chunk's
+``BufferLease._lock`` (50); a dispatcher thread resolves models
+(``ModelRegistry._lock``, 30) and opens datasets (``Session._lock``, 20)
+while *not* holding ``ModelServer._cond`` (10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["LOCK_ORDER", "rank_of", "register_lock"]
+
+#: Dotted lock name -> rank.  Acquisitions must strictly increase in rank.
+LOCK_ORDER: Dict[str, int] = {
+    # Outermost: the module-level default-engine singleton guard.
+    "repro.core.m3._DEFAULT_LOCK": 5,
+    # Serving layer.
+    "repro.serve.server.ModelServer._cond": 10,
+    "repro.api.session.Session._lock": 20,
+    "repro.serve.registry.ModelRegistry._lock": 30,
+    # Streaming pipeline.
+    "repro.api.chunks._ReaderPoolState.cond": 40,
+    "repro.api.chunks.ReadaheadHinter._lock": 45,
+    # Innermost: the per-lease refcount, taken while posting/releasing chunks.
+    "repro.api.chunks.BufferLease._lock": 50,
+    # Internal leaf locks of the instrumentation layer itself.  They guard
+    # tracker bookkeeping, are never held across another acquisition, and
+    # rank above everything so holding *any* library lock may enter them.
+    "repro.analysis.runtime.LockOrderGraph._lock": 900,
+    "repro.analysis.runtime.LeaseTracker._lock": 910,
+}
+
+
+def rank_of(name: str) -> Optional[int]:
+    """The declared rank of ``name``, or ``None`` for unregistered locks."""
+    return LOCK_ORDER.get(name)
+
+
+def register_lock(name: str, rank: int) -> None:
+    """Declare a rank for ``name`` (used by tests and downstream extensions).
+
+    Re-registering an existing name with a different rank is an error: the
+    registry is a single global order, not a per-caller preference.
+    """
+    existing = LOCK_ORDER.get(name)
+    if existing is not None and existing != rank:
+        raise ValueError(
+            f"lock {name!r} already registered with rank {existing}, "
+            f"refusing to re-register with rank {rank}"
+        )
+    LOCK_ORDER[name] = rank

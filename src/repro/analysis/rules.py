@@ -1,0 +1,901 @@
+"""Rule implementations R001–R004 for the ``m3 lint`` static pass.
+
+Each ``check_rNNN`` function takes a :class:`~repro.analysis.linter.ParsedModule`
+(whose AST nodes carry ``_lint_parent`` links) and returns a list of
+:class:`~repro.analysis.findings.Finding`.  The rules are deliberately
+syntactic and flow-insensitive: they encode the *conventions* this codebase
+commits to (rank-ordered locks, lexically scoped guards, ``finally``-based
+cleanup), which is what makes them checkable without a data-flow engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.linter import ParsedModule
+from repro.analysis.locks import LOCK_ORDER
+
+__all__ = ["check_r001", "check_r002", "check_r003", "check_r004"]
+
+_LOCK_CTORS = {"Lock", "RLock", "Condition"}
+_LOCK_FACTORIES = {"make_lock", "make_rlock", "make_condition"}
+_MUTATORS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "appendleft", "popleft",
+}
+_CLOSERS = {
+    "file": ("close",),
+    "dataset": ("close",),
+    "executor": ("shutdown",),
+    "thread": ("join",),
+    "lease": ("release",),
+}
+
+
+# -- shared AST helpers -------------------------------------------------------
+
+
+def _parent(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, "_lint_parent", None)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _unwrap_subscripts(node: ast.AST) -> ast.AST:
+    """Strip ``x[...]`` layers: ``self.results[i]`` -> ``self.results``."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``X`` when ``node`` is exactly ``self.X``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _enclosing_class(node: ast.AST) -> Optional[ast.ClassDef]:
+    current = _parent(node)
+    while current is not None:
+        if isinstance(current, ast.ClassDef):
+            return current
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Keep climbing: methods live inside their class.
+            current = _parent(current)
+            continue
+        current = _parent(current)
+    return None
+
+
+def _scope_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``func``'s body without descending into nested defs/classes."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _functions(module: ParsedModule) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _in_finally_or_handler(node: ast.AST) -> bool:
+    """Whether ``node`` sits inside a ``finally`` block or ``except`` handler."""
+    child = node
+    current = _parent(node)
+    while current is not None:
+        if isinstance(current, ast.Try):
+            for stmt in current.finalbody:
+                if child is stmt or any(child is sub for sub in ast.walk(stmt)):
+                    return True
+        if isinstance(current, ast.ExceptHandler):
+            return True
+        child = current
+        current = _parent(current)
+    return False
+
+
+def _module_ranks(module: ParsedModule) -> Dict[str, int]:
+    """A module-level ``LOCK_RANKS = {...}`` literal, if declared.
+
+    This is the extension point single-file code (and the lint fixtures)
+    use to declare ranks without touching the global registry.
+    """
+    ranks: Dict[str, int] = {}
+    for node in module.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "LOCK_RANKS" not in targets or not isinstance(node.value, ast.Dict):
+            continue
+        for key, value in zip(node.value.keys, node.value.values):
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, int)
+            ):
+                ranks[key.value] = value.value
+    return ranks
+
+
+# -- R001: lock order ---------------------------------------------------------
+
+
+def _lock_ctor_calls(value: ast.AST) -> List[Tuple[ast.Call, str]]:
+    """Lock-creating calls inside an assignment value.
+
+    Returns ``(call, kind)`` pairs where kind is ``"raw"`` for direct
+    ``threading.Lock/RLock/Condition`` construction and ``"factory"`` for
+    the sanctioned ``make_lock``/``make_rlock``/``make_condition`` helpers.
+    """
+    calls: List[Tuple[ast.Call, str]] = []
+    for node in ast.walk(value):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = _dotted(func.value)
+            if base == "threading" and func.attr in _LOCK_CTORS:
+                calls.append((node, "raw"))
+            elif func.attr in _LOCK_FACTORIES:
+                calls.append((node, "factory"))
+        elif isinstance(func, ast.Name):
+            if func.id in _LOCK_CTORS:
+                calls.append((node, "raw"))
+            elif func.id in _LOCK_FACTORIES:
+                calls.append((node, "factory"))
+    return calls
+
+
+def _rank_for_expr(
+    expr: ast.AST, module: ParsedModule, ranks: Dict[str, int], class_name: Optional[str]
+) -> Optional[Tuple[str, int]]:
+    """Resolve a lock expression (``self._lock``, ``state.cond``) to its rank."""
+    dotted = _dotted(expr)
+    if dotted is None:
+        return None
+    last = dotted.split(".")[-1]
+    if dotted.startswith("self.") and class_name:
+        key = f"{module.name}.{class_name}.{last}"
+        if key in LOCK_ORDER:
+            return key, LOCK_ORDER[key]
+    for candidate in (dotted, last):
+        if candidate in ranks:
+            return candidate, ranks[candidate]
+    suffix_matches = [k for k in LOCK_ORDER if k.endswith(f".{last}")]
+    if len(suffix_matches) == 1:
+        return suffix_matches[0], LOCK_ORDER[suffix_matches[0]]
+    return None
+
+
+def check_r001(module: ParsedModule) -> List[Finding]:
+    """Declared ranks, rank-ordered nesting, and acquire/release pairing."""
+    findings: List[Finding] = []
+    ranks = _module_ranks(module)
+
+    # (a) Every constructed lock must have a declared rank.
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Assign):
+            targets: Sequence[ast.AST] = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for call, kind in _lock_ctor_calls(value):
+            if module.suppressed(call.lineno, "R001") or module.suppressed(
+                node.lineno, "R001"
+            ):
+                continue
+            if kind == "factory":
+                if not call.args or not isinstance(call.args[0], ast.Constant):
+                    continue  # dynamic name: checked at runtime instead
+                name = call.args[0].value
+                if name not in LOCK_ORDER and name not in ranks:
+                    findings.append(
+                        Finding(
+                            rule="R001",
+                            path=str(module.path),
+                            line=call.lineno,
+                            col=call.col_offset,
+                            message=(
+                                f"lock {name!r} has no declared rank: add it "
+                                f"to repro.analysis.locks.LOCK_ORDER"
+                            ),
+                        )
+                    )
+                continue
+            # Raw threading primitive: derive the dotted registry key.
+            enclosing = _enclosing_class(node)
+            keys: List[str] = []
+            for target in targets:
+                attr = _self_attr(target)
+                if attr and enclosing is not None:
+                    keys.append(f"{module.name}.{enclosing.name}.{attr}")
+                elif isinstance(target, ast.Name):
+                    keys.append(f"{module.name}.{target.id}")
+            declared = any(
+                key in LOCK_ORDER or key.split(".")[-1] in ranks for key in keys
+            )
+            if not declared:
+                label = keys[0] if keys else "<local lock>"
+                findings.append(
+                    Finding(
+                        rule="R001",
+                        path=str(module.path),
+                        line=call.lineno,
+                        col=call.col_offset,
+                        message=(
+                            f"lock {label!r} has no declared rank: register it "
+                            f"in LOCK_ORDER (or a module LOCK_RANKS literal) "
+                            f"and construct it via repro.analysis.runtime."
+                            f"make_lock/make_rlock/make_condition"
+                        ),
+                    )
+                )
+
+    # (b) Nested `with` acquisitions must strictly increase in rank.
+    def scan_with(
+        body: Sequence[ast.stmt],
+        held: List[Tuple[str, int]],
+        class_name: Optional[str],
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.With):
+                acquired: List[Tuple[str, int]] = []
+                for item in stmt.items:
+                    resolved = _rank_for_expr(
+                        item.context_expr, module, ranks, class_name
+                    )
+                    if resolved is None:
+                        continue
+                    key, rank = resolved
+                    inner = held + acquired
+                    if (
+                        inner
+                        and key != inner[-1][0]
+                        and rank <= inner[-1][1]
+                        and not module.suppressed(stmt.lineno, "R001")
+                    ):
+                        findings.append(
+                            Finding(
+                                rule="R001",
+                                path=str(module.path),
+                                line=stmt.lineno,
+                                col=stmt.col_offset,
+                                message=(
+                                    f"acquiring {key!r} (rank {rank}) while "
+                                    f"holding {inner[-1][0]!r} (rank "
+                                    f"{inner[-1][1]}): lock ranks must "
+                                    f"strictly increase"
+                                ),
+                            )
+                        )
+                    acquired.append((key, rank))
+                scan_with(stmt.body, held + acquired, class_name)
+                continue
+            # Recurse into compound statements, keeping the held stack.
+            for field_name in ("body", "orelse", "finalbody", "handlers"):
+                child = getattr(stmt, field_name, None)
+                if not child:
+                    continue
+                if field_name == "handlers":
+                    for handler in child:
+                        scan_with(handler.body, held, class_name)
+                else:
+                    scan_with(child, held, class_name)
+
+    for func in _functions(module):
+        enclosing = _enclosing_class(func)
+        scan_with(func.body, [], enclosing.name if enclosing else None)
+
+    # (c) Explicit .acquire() calls need a paired .release() in the same scope.
+    for func in _functions(module):
+        acquires: Dict[str, ast.Call] = {}
+        releases: Set[str] = set()
+        enclosing = _enclosing_class(func)
+        class_name = enclosing.name if enclosing else None
+        for node in _scope_nodes(func):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            base = node.func.value
+            dotted = _dotted(base)
+            if dotted is None:
+                continue
+            last = dotted.split(".")[-1].lower()
+            lockish = (
+                "lock" in last
+                or "cond" in last
+                or "mutex" in last
+                or _rank_for_expr(base, module, ranks, class_name) is not None
+            )
+            if not lockish:
+                continue
+            if node.func.attr == "acquire":
+                if not module.suppressed(node.lineno, "R001"):
+                    acquires.setdefault(dotted, node)
+            elif node.func.attr == "release":
+                releases.add(dotted)
+        for dotted, call in acquires.items():
+            if dotted not in releases:
+                findings.append(
+                    Finding(
+                        rule="R001",
+                        path=str(module.path),
+                        line=call.lineno,
+                        col=call.col_offset,
+                        message=(
+                            f"{dotted}.acquire() has no paired "
+                            f"{dotted}.release() in this scope: use a `with` "
+                            f"block or try/finally"
+                        ),
+                    )
+                )
+    return findings
+
+
+# -- R002: resource discipline ------------------------------------------------
+
+
+def _creation_kind(call: ast.Call) -> Optional[str]:
+    """Classify a call that creates a resource needing explicit cleanup."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "file"
+        if func.id == "ThreadPoolExecutor":
+            return "executor"
+        if func.id == "Thread":
+            return "thread"
+    elif isinstance(func, ast.Attribute):
+        base = _dotted(func.value)
+        base_last = base.split(".")[-1] if base else ""
+        if func.attr == "open" and base_last in ("session", "_session"):
+            return "dataset"
+        if func.attr == "Thread" and base == "threading":
+            return "thread"
+        if func.attr == "ThreadPoolExecutor":
+            return "executor"
+        if func.attr == "lease":
+            return "lease"
+    return None
+
+
+def _creation_disposition(call: ast.Call) -> Tuple[str, Optional[str]]:
+    """How a creation call's value is consumed at its statement.
+
+    Returns ``(disposition, name)`` where disposition is one of ``"with"``,
+    ``"transfer"``, ``"tracked"`` (assigned to a local name, returned with
+    that name), or ``"discarded"``.
+    """
+    node: ast.AST = call
+    current = _parent(call)
+    while current is not None:
+        if isinstance(current, ast.withitem):
+            return "with", None
+        if isinstance(current, ast.Call) and node is not current.func:
+            return "transfer", None  # fed straight into another call
+        if isinstance(current, (ast.Return, ast.Yield, ast.YieldFrom)):
+            return "transfer", None
+        if isinstance(current, ast.Assign):
+            if any(
+                isinstance(t, (ast.Attribute, ast.Subscript))
+                for t in current.targets
+            ):
+                return "transfer", None
+            if len(current.targets) == 1 and isinstance(current.targets[0], ast.Name):
+                return "tracked", current.targets[0].id
+            return "transfer", None
+        if isinstance(current, ast.AnnAssign):
+            if isinstance(current.target, ast.Name):
+                return "tracked", current.target.id
+            return "transfer", None
+        if isinstance(current, ast.Expr):
+            return "discarded", None
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+            break
+        node = current
+        current = _parent(current)
+    return "transfer", None
+
+
+def _name_satisfied(func: ast.AST, name: str, kind: str) -> bool:
+    """Whether local ``name`` of resource ``kind`` is provably cleaned up."""
+    closers = _CLOSERS[kind]
+    for node in _scope_nodes(func):
+        if isinstance(node, ast.withitem):
+            dotted = _dotted(node.context_expr)
+            if dotted == name or (dotted or "").startswith(f"{name}."):
+                return True
+        if isinstance(node, ast.Call):
+            # name.close()/join()/release()/shutdown() on a cleanup path.
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in closers
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+                and _in_finally_or_handler(node)
+            ):
+                return True
+            # name handed to another call (append to a pool, wrap, etc.).
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Name) and sub.id == name:
+                        return True
+        if isinstance(node, ast.Return) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Name) and sub.id == name:
+                    return True
+        if isinstance(node, ast.Assign):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == name
+                and any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in node.targets
+                )
+            ):
+                return True
+    return False
+
+
+def check_r002(module: ParsedModule) -> List[Finding]:
+    """Leases/files/datasets/executors/threads are cleaned up on all paths."""
+    findings: List[Finding] = []
+    for func in _functions(module):
+        for node in _scope_nodes(func):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = _creation_kind(node)
+            if kind is None:
+                continue
+            if module.suppressed(node.lineno, "R002"):
+                continue
+            if "transfers-ownership" in module.tags(node.lineno):
+                continue
+            disposition, name = _creation_disposition(node)
+            if disposition in ("with", "transfer"):
+                continue
+            if disposition == "discarded":
+                findings.append(
+                    Finding(
+                        rule="R002",
+                        path=str(module.path),
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{kind} created and discarded: bind it and close "
+                            f"it, or mark the line '# lint: transfers-ownership'"
+                        ),
+                        symbol=func.name,
+                    )
+                )
+                continue
+            assert name is not None
+            if not _name_satisfied(func, name, kind):
+                closer = "/".join(_CLOSERS[kind])
+                findings.append(
+                    Finding(
+                        rule="R002",
+                        path=str(module.path),
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{kind} {name!r} may leak: use `with`, call "
+                            f".{closer}() in try/finally, or mark "
+                            f"'# lint: transfers-ownership'"
+                        ),
+                        symbol=func.name,
+                    )
+                )
+    return findings
+
+
+# -- R003: concurrency hygiene ------------------------------------------------
+
+
+def _is_broad_exception(type_node: Optional[ast.AST]) -> bool:
+    if type_node is None:
+        return False
+    names: List[str] = []
+    if isinstance(type_node, ast.Tuple):
+        names = [_dotted(el) or "" for el in type_node.elts]
+    else:
+        names = [_dotted(type_node) or ""]
+    return any(name in ("Exception", "BaseException") for name in names)
+
+
+def _class_lock_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Attribute names on ``self`` that hold locks/conditions for ``cls``."""
+    attrs: Set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign):
+            targets: Sequence[ast.AST] = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not _lock_ctor_calls(value):
+            continue
+        for target in targets:
+            attr = _self_attr(target)
+            if attr:
+                attrs.add(attr)
+    return attrs
+
+
+def check_r003(module: ParsedModule) -> List[Finding]:
+    """Bare/swallowed excepts, sleep-polling, and unlocked shared mutation."""
+    findings: List[Finding] = []
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ExceptHandler):
+            line = module.line(node.lineno)
+            if "# noqa" in line or module.suppressed(node.lineno, "R003"):
+                continue
+            if node.type is None:
+                findings.append(
+                    Finding(
+                        rule="R003",
+                        path=str(module.path),
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            "bare `except:` swallows KeyboardInterrupt and "
+                            "masks thread failures: catch a specific type"
+                        ),
+                    )
+                )
+            elif _is_broad_exception(node.type) and all(
+                isinstance(stmt, ast.Pass) for stmt in node.body
+            ):
+                findings.append(
+                    Finding(
+                        rule="R003",
+                        path=str(module.path),
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            "`except Exception: pass` silently swallows "
+                            "errors in a thread path: handle, log, or "
+                            "annotate with `# noqa: BLE001 — reason`"
+                        ),
+                    )
+                )
+        elif isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted in ("time.sleep", "sleep") and not module.suppressed(
+                node.lineno, "R003"
+            ):
+                findings.append(
+                    Finding(
+                        rule="R003",
+                        path=str(module.path),
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            "time.sleep polling in a hot path: wait on a "
+                            "Condition/Event with a timeout instead"
+                        ),
+                    )
+                )
+
+    # Unlocked mutation of shared containers in lock-owning classes.
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        lock_attrs = _class_lock_attrs(cls)
+        if not lock_attrs:
+            continue
+        guards = {f"self.{attr}" for attr in lock_attrs}
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue
+            if "caller-holds-lock" in module.tags(method.lineno):
+                continue
+            findings.extend(
+                _unlocked_mutations(module, cls, method, guards, lock_attrs)
+            )
+    return findings
+
+
+def _mutated_self_attr(node: ast.AST, lock_attrs: Set[str]) -> Optional[Tuple[str, int, int]]:
+    """``(attr, line, col)`` when ``node`` mutates a shared ``self`` container."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr not in _MUTATORS:
+            return None
+        base = _unwrap_subscripts(node.func.value)
+        attr = _self_attr(base)
+        if attr and attr not in lock_attrs:
+            return attr, node.lineno, node.col_offset
+    elif isinstance(node, (ast.Assign, ast.Delete)):
+        targets = node.targets
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                attr = _self_attr(_unwrap_subscripts(target))
+                if attr and attr not in lock_attrs:
+                    return attr, target.lineno, target.col_offset
+    elif isinstance(node, ast.AugAssign):
+        base = _unwrap_subscripts(node.target)
+        while isinstance(base, ast.Attribute) and not (
+            isinstance(base.value, ast.Name) and base.value.id == "self"
+        ):
+            base = base.value
+        attr = _self_attr(base)
+        if attr and attr not in lock_attrs:
+            return attr, node.lineno, node.col_offset
+    return None
+
+
+def _unlocked_mutations(
+    module: ParsedModule,
+    cls: ast.ClassDef,
+    method: ast.AST,
+    guards: Set[str],
+    lock_attrs: Set[str],
+) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def report(mutation: Tuple[str, int, int]) -> None:
+        attr, line, col = mutation
+        if module.suppressed(line, "R003"):
+            return
+        findings.append(
+            Finding(
+                rule="R003",
+                path=str(module.path),
+                line=line,
+                col=col,
+                message=(
+                    f"self.{attr} mutated outside `with self."
+                    f"{'/self.'.join(sorted(lock_attrs))}` in "
+                    f"lock-owning class {cls.name}: guard it or "
+                    f"annotate the method `# lint: caller-holds-lock`"
+                ),
+                symbol=f"{cls.name}.{getattr(method, 'name', '?')}",
+            )
+        )
+
+    compound = (ast.If, ast.For, ast.While, ast.Try)
+
+    def scan(body: Sequence[ast.stmt], guarded: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.With):
+                now_guarded = guarded or any(
+                    _dotted(item.context_expr) in guards for item in stmt.items
+                )
+                scan(stmt.body, now_guarded)
+                continue
+            if isinstance(stmt, compound):
+                for field_name in ("body", "orelse", "finalbody"):
+                    child = getattr(stmt, field_name, None)
+                    if child:
+                        scan(child, guarded)
+                for handler in getattr(stmt, "handlers", []) or []:
+                    scan(handler.body, guarded)
+                continue
+            if guarded:
+                continue
+            for node in ast.walk(stmt):
+                mutation = _mutated_self_attr(node, lock_attrs)
+                if mutation:
+                    report(mutation)
+
+    scan(getattr(method, "body", []), False)
+    return findings
+
+
+# -- R004: API surface --------------------------------------------------------
+
+
+def _module_exports(module: ParsedModule) -> List[str]:
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            if isinstance(node.value, (ast.List, ast.Tuple)):
+                return [
+                    el.value
+                    for el in node.value.elts
+                    if isinstance(el, ast.Constant) and isinstance(el.value, str)
+                ]
+    return []
+
+
+def _resolve_import_source(module: ParsedModule, name: str) -> Optional[str]:
+    """The dotted module an ``__all__`` name is imported from, if any."""
+    for node in module.tree.body:
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        for alias in node.names:
+            exported = alias.asname or alias.name
+            if exported != name:
+                continue
+            if node.level == 0:
+                return node.module
+            # Relative import: resolve against this module's package.
+            package_parts = module.name.split(".")
+            if node.level > len(package_parts):
+                return None
+            base = package_parts[: len(package_parts) - (node.level - 1)]
+            if node.module:
+                base = base + node.module.split(".")
+            return ".".join(base)
+    return None
+
+
+def _find_definition(
+    module: ParsedModule, name: str, index: Dict[str, ParsedModule]
+) -> Tuple[Optional[ParsedModule], Optional[ast.AST]]:
+    """Chase ``name`` through re-exports to its defining module and node."""
+    current: Optional[ParsedModule] = module
+    for _ in range(8):
+        if current is None:
+            return None, None
+        for node in current.tree.body:
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+                and node.name == name
+            ):
+                return current, node
+        source = _resolve_import_source(current, name)
+        if source is None:
+            return None, None
+        current = index.get(source)
+    return None, None
+
+
+def _unannotated_args(func: ast.AST) -> List[str]:
+    args = getattr(func, "args", None)
+    if args is None:
+        return []
+    missing = []
+    positional = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    for arg in positional:
+        if arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    return missing
+
+
+def _check_callable(
+    module: ParsedModule,
+    defining: ParsedModule,
+    node: ast.AST,
+    qualname: str,
+    require_return: bool,
+    require_docstring: bool = True,
+) -> List[Finding]:
+    findings = []
+    if module.suppressed(node.lineno, "R004") or defining.suppressed(
+        node.lineno, "R004"
+    ):
+        return findings
+    if require_docstring and ast.get_docstring(node) is None:
+        findings.append(
+            Finding(
+                rule="R004",
+                path=str(defining.path),
+                line=node.lineno,
+                col=node.col_offset,
+                message=f"exported {qualname} has no docstring",
+                symbol=qualname,
+            )
+        )
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        missing = _unannotated_args(node)
+        if missing:
+            findings.append(
+                Finding(
+                    rule="R004",
+                    path=str(defining.path),
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"exported {qualname} is missing type annotations "
+                        f"for: {', '.join(missing)}"
+                    ),
+                    symbol=qualname,
+                )
+            )
+        if require_return and node.returns is None:
+            findings.append(
+                Finding(
+                    rule="R004",
+                    path=str(defining.path),
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=f"exported {qualname} has no return annotation",
+                    symbol=qualname,
+                )
+            )
+    return findings
+
+
+def check_r004(
+    module: ParsedModule, index: Dict[str, ParsedModule]
+) -> List[Finding]:
+    """``__all__`` exports carry docstrings and complete annotations."""
+    findings: List[Finding] = []
+    exports = _module_exports(module)
+    if not exports:
+        return findings
+    seen: Set[Tuple[str, int]] = set()
+    for name in exports:
+        defining, node = _find_definition(module, name, index)
+        if defining is None or node is None:
+            continue  # external dependency or dynamically created
+        key = (str(defining.path), node.lineno)
+        if key in seen:
+            continue
+        seen.add(key)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            findings.extend(
+                _check_callable(module, defining, node, name, require_return=True)
+            )
+        elif isinstance(node, ast.ClassDef):
+            if (
+                ast.get_docstring(node) is None
+                and not defining.suppressed(node.lineno, "R004")
+            ):
+                findings.append(
+                    Finding(
+                        rule="R004",
+                        path=str(defining.path),
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=f"exported class {name} has no docstring",
+                        symbol=name,
+                    )
+                )
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == "__init__"
+                ):
+                    # The class docstring documents the parameters; __init__
+                    # itself only needs complete annotations.
+                    findings.extend(
+                        _check_callable(
+                            module,
+                            defining,
+                            item,
+                            f"{name}.__init__",
+                            require_return=False,
+                            require_docstring=False,
+                        )
+                    )
+    return findings

@@ -50,6 +50,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.runtime import LEASES, make_condition, make_lock
 from repro.api.sharded import ShardedLabels, ShardedMatrix
 
 DEFAULT_CHUNK_BYTES = 8 * 1024 * 1024
@@ -674,7 +675,7 @@ class BufferLease:
         self.X = X
         self.y = y
         self._refs = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("repro.api.chunks.BufferLease._lock")
 
     @property
     def refs(self) -> int:
@@ -684,6 +685,8 @@ class BufferLease:
     def _activate(self) -> "BufferLease":
         with self._lock:
             self._refs = 1
+        if LEASES.enabled:
+            LEASES.activated(self)
         return self
 
     def retain(self) -> "BufferLease":
@@ -702,6 +705,8 @@ class BufferLease:
             self._refs -= 1
             last = self._refs == 0
         if last:
+            if LEASES.enabled:
+                LEASES.released(self)
             self._pool._return(self)
 
 
@@ -833,7 +838,7 @@ class ReadaheadHinter:
 
     def __init__(self, matrix: Any) -> None:
         self._segments: List[_HintSegment] = []
-        self._lock = threading.Lock()
+        self._lock = make_lock("repro.api.chunks.ReadaheadHinter._lock")
         self.applied = 0
         try:
             self._segments = self._resolve_segments(_unwrap(matrix))
@@ -1007,7 +1012,7 @@ class _ReaderPoolState:
         self.hinter = hinter
         # Re-entrant: the consumer re-acquires while finishing inside the
         # wait loop's critical section.
-        self.cond = threading.Condition(threading.RLock())
+        self.cond = make_condition("repro.api.chunks._ReaderPoolState.cond")
         self.stop = threading.Event()
         self.window = threading.Semaphore(depth)
         self.results: Dict[int, Chunk] = {}
@@ -1037,8 +1042,10 @@ class _ReaderPoolState:
                         return
                     index = self.next_claim
                     self.next_claim += 1
-                start, stop_row = plan.bounds[index]
-                self.reader_log[reader].append((start, stop_row))
+                    start, stop_row = plan.bounds[index]
+                    # reader_log is read live by the accounting properties
+                    # while readers run, so it shares the cond's protection.
+                    self.reader_log[reader].append((start, stop_row))
                 hinted = self.hinter.will_need(start, stop_row) if self.hinter is not None else 0
                 chunk = self.read_chunk(index, start, stop_row)
                 acct["chunks"] += 1
@@ -1083,10 +1090,17 @@ class _ReaderPoolState:
             lease = self.pool.lease(stop=self.stop)
             if lease is None:  # closed while waiting for a buffer
                 raise ChunkStreamError("chunk stream closed while leasing a buffer")
-            X = self._gather_matrix(matrix, start, stop, lease.X)
-            y = None
-            if labels is not None:
-                y = self._gather_labels(labels, start, stop, lease.y)
+            try:
+                X = self._gather_matrix(matrix, start, stop, lease.X)
+                y = None
+                if labels is not None:
+                    y = self._gather_labels(labels, start, stop, lease.y)
+            except BaseException:
+                # A failed gather (truncated shard, bad dtype) must hand the
+                # buffer back before the error propagates, or the pool runs
+                # dry and later readers block on a lease that never returns.
+                lease.release()
+                raise
         else:
             # Shard-aligned (or single-backing) ranges resolve to contiguous
             # zero-copy views — no defensive copy, the consumer reads the
@@ -1376,6 +1390,14 @@ class ParallelPrefetcher:
         self._state.stop.set()
         self._fold_hints()
         with self._state.cond:
+            # On the error path, chunks that arrived out of order past the
+            # gap are still parked here holding pool leases.  The consumer
+            # sees ChunkStreamError and typically abandons the iterator, so
+            # hand the buffers back now rather than hoping for a close().
+            leftovers = list(self._state.results.values())
+            self._state.results.clear()
+            for chunk in leftovers:
+                chunk.release()
             self._state.cond.notify_all()
 
     def _fold_hints(self) -> None:

@@ -30,6 +30,7 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.runtime import make_rlock
 from repro.api.dataset import Dataset
 from repro.api.engines import (
     ExecutionEngine,
@@ -197,6 +198,11 @@ class Session:
     through a session stay visible to that session (and only to it — there is
     no module-level shared state).  Datasets opened by the session are closed
     when the session itself is closed or exits its ``with`` block.
+
+    Sessions are thread-safe: the dataset list, backend cache and handle
+    pool are guarded by one re-entrant session lock, so a
+    :class:`~repro.serve.ModelServer`'s dispatcher threads can resolve
+    dataset specs through the same session that clients use.
     """
 
     def __init__(
@@ -207,6 +213,9 @@ class Session:
     ) -> None:
         self.config = config or M3Config()
         self.default_engine = resolve_engine(engine)
+        # Re-entrant: open() resolves backends (which re-locks) and close()
+        # re-enters through each dataset's _forget hook.
+        self._lock = make_rlock("repro.api.session.Session._lock")
         self._backends: Dict[str, StorageBackend] = {}
         self._datasets: list[Dataset] = []
         self._pool = HandlePool(handle_pool_size)
@@ -216,9 +225,10 @@ class Session:
 
     def backend(self, scheme: str) -> StorageBackend:
         """The session's backend instance for ``scheme`` (created on demand)."""
-        if scheme not in self._backends:
-            self._backends[scheme] = make_backend(scheme)
-        return self._backends[scheme]
+        with self._lock:
+            if scheme not in self._backends:
+                self._backends[scheme] = make_backend(scheme)
+            return self._backends[scheme]
 
     def _resolve(self, spec: SpecLike) -> tuple[DatasetSpec, StorageBackend]:
         parsed = parse_spec(spec)
@@ -251,24 +261,25 @@ class Session:
         resolved_advice = advice or self.config.default_advice
         # Advice is part of the key: madvise applies to the whole mapping, so
         # handles are only shared between opens that want the same advice.
-        entry = self._pool.acquire(
-            (parsed.scheme, parsed.location, resolved_mode, resolved_advice),
-            opener=lambda: backend.open(parsed.location, mode=resolved_mode),
-            fingerprint=lambda: backend.fingerprint(parsed.location),
-        )
-        dataset = Dataset(
-            entry.handle,
-            spec=str(parsed),
-            backend=backend,
-            advice=resolved_advice,
-            record_trace=(
-                self.config.record_traces if record_trace is None else record_trace
-            ),
-            on_close=lambda closed: self._forget(closed, entry),
-            on_flush=lambda _dataset: self._pool.invalidate(entry),
-        )
-        self._datasets.append(dataset)
-        return dataset
+        with self._lock:
+            entry = self._pool.acquire(
+                (parsed.scheme, parsed.location, resolved_mode, resolved_advice),
+                opener=lambda: backend.open(parsed.location, mode=resolved_mode),
+                fingerprint=lambda: backend.fingerprint(parsed.location),
+            )
+            dataset = Dataset(
+                entry.handle,
+                spec=str(parsed),
+                backend=backend,
+                advice=resolved_advice,
+                record_trace=(
+                    self.config.record_traces if record_trace is None else record_trace
+                ),
+                on_close=lambda closed: self._forget(closed, entry),
+                on_flush=lambda _dataset: self._invalidate(entry),
+            )
+            self._datasets.append(dataset)
+            return dataset
 
     def _forget(self, dataset: Dataset, entry: _PoolEntry) -> None:
         """Release ``dataset``'s pool entry and stop tracking it.
@@ -276,11 +287,17 @@ class Session:
         Pruning closed datasets keeps a long-lived session's bookkeeping flat
         under the open/close churn of a serving loop.
         """
-        self._pool.release(entry)
-        try:
-            self._datasets.remove(dataset)
-        except ValueError:
-            pass
+        with self._lock:
+            self._pool.release(entry)
+            try:
+                self._datasets.remove(dataset)
+            except ValueError:
+                pass
+
+    def _invalidate(self, entry: _PoolEntry) -> None:
+        """Drop ``entry`` from the handle pool's reuse map (flush hook)."""
+        with self._lock:
+            self._pool.invalidate(entry)
 
     def create(
         self,
@@ -298,7 +315,8 @@ class Session:
         self._check_open()
         parsed, backend = self._resolve(spec)
         backend.create(parsed.location, data, labels, **options)
-        self._pool.invalidate_location(parsed.scheme, parsed.location)
+        with self._lock:
+            self._pool.invalidate_location(parsed.scheme, parsed.location)
         return str(parsed)
 
     def from_arrays(
@@ -333,10 +351,11 @@ class Session:
         the legacy facade, whose callers expect garbage-collection semantics
         for the handles behind their bare ``(matrix, labels)`` tuples.
         """
-        try:
-            self._datasets.remove(dataset)
-        except ValueError:
-            pass
+        with self._lock:
+            try:
+                self._datasets.remove(dataset)
+            except ValueError:
+                pass
         return dataset
 
     # -- training ----------------------------------------------------------
@@ -564,13 +583,18 @@ class Session:
         Released datasets (see :meth:`release`) keep their handles; any other
         idle pooled handles are closed with the session.
         """
-        if self._closed:
-            return
-        for dataset in list(self._datasets):
+        with self._lock:
+            if self._closed:
+                return
+            # Claim the close before releasing anything so a concurrent
+            # close() (or new open()) observes a consistent state.
+            self._closed = True
+            datasets = list(self._datasets)
+        for dataset in datasets:
             dataset.close()  # prunes itself from _datasets via its hook
-        self._datasets = []
-        self._pool.close_idle()
-        self._closed = True
+        with self._lock:
+            self._datasets = []
+            self._pool.close_idle()
 
     def __enter__(self) -> "Session":
         self._check_open()

@@ -29,6 +29,10 @@ reproduction entry points:
   serving model version and per-request queue-wait/compute latency.
 * ``m3 figure1a`` / ``m3 figure1b`` / ``m3 table1`` / ``m3 utilization`` —
   regenerate the paper's figures and table as plain-text tables.
+* ``m3 lint`` — the static half of ``repro.analysis``: project-specific
+  concurrency and resource-safety rules (lock ranks, leak-free cleanup,
+  thread hygiene, API surface) over any path, defaulting to the installed
+  ``repro`` package; exit code 0 = clean, 1 = findings, 2 = usage error.
 
 Dataset arguments accept plain paths as well as URI-style specs
 (``mmap://file.m3``, ``shard://directory/``).
@@ -521,6 +525,35 @@ def _cmd_utilization(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.findings import format_text, report_as_dict
+    from repro.analysis.linter import LintError, lint_paths
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        # Default target: the installed repro package itself.
+        paths = [Path(__file__).resolve().parent]
+    try:
+        report = lint_paths(paths, select=args.select)
+    except LintError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report_as_dict(report.findings, report.files, report.selected), indent=2))
+    else:
+        for line in format_text(report.findings):
+            print(line)
+        noun = "finding" if len(report.findings) == 1 else "findings"
+        print(
+            f"m3 lint: {len(report.findings)} {noun} in {report.files} file(s) "
+            f"(rules: {', '.join(report.selected)})"
+        )
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -653,6 +686,20 @@ def build_parser() -> argparse.ArgumentParser:
     utilization = sub.add_parser("utilization", help="report simulated disk/CPU utilisation")
     utilization.add_argument("--sizes", type=float, nargs="+", default=[10, 190])
     utilization.set_defaults(func=_cmd_utilization)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static concurrency & resource-safety analysis (rules R001-R004)",
+    )
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--select", type=str, default=None,
+                      help="comma-separated rule ids to run (e.g. R001,R003; "
+                           "default: all)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="report format (json is schema-stable for CI)")
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -36,6 +36,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.runtime import make_lock
 from repro.core.advice import AccessAdvice
 from repro.core.allocator import mmap_alloc
 from repro.core.config import M3Config
@@ -219,7 +220,7 @@ class M3:
 
 
 _DEFAULT: Optional[M3] = None
-_DEFAULT_LOCK = threading.Lock()
+_DEFAULT_LOCK = make_lock("repro.core.m3._DEFAULT_LOCK")
 
 
 def _default() -> M3:

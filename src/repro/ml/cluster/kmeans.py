@@ -10,7 +10,7 @@ of the pass.  Peak memory is ``O(chunk_size × n_features + k × n_features)``.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 import numpy as np
 
@@ -64,7 +64,7 @@ class KMeans(BaseEstimator, ClustererMixin, StreamingPredictor):
         tolerance: float = 1e-4,
         chunk_size: int = 4096,
         seed: Optional[int] = None,
-        callback=None,
+        callback: Optional[Callable[..., Any]] = None,
     ) -> None:
         if n_clusters <= 0:
             raise ValueError(f"n_clusters must be positive, got {n_clusters}")

@@ -8,7 +8,7 @@ ablation benchmarks.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -42,7 +42,7 @@ class GradientDescent(BaseEstimator):
         tolerance: float = 1e-6,
         step_size: float = 1.0,
         line_search: bool = True,
-        callback=None,
+        callback: Optional[Callable[..., Any]] = None,
     ) -> None:
         if max_iterations <= 0:
             raise ValueError(f"max_iterations must be positive, got {max_iterations}")

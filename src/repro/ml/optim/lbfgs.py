@@ -11,7 +11,7 @@ data is in RAM or memory mapped — the M3 transparency property.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 import numpy as np
 
@@ -52,7 +52,7 @@ class LBFGS(BaseEstimator):
         max_step: float = 1e20,
         wolfe_c1: float = 1e-4,
         wolfe_c2: float = 0.9,
-        callback=None,
+        callback: Optional[Callable[..., Any]] = None,
     ) -> None:
         if max_iterations <= 0:
             raise ValueError(f"max_iterations must be positive, got {max_iterations}")

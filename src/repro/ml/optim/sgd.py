@@ -14,7 +14,7 @@ objective protocol (it needs per-batch gradients), so it defines its own small
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import Callable, Optional, Protocol
 
 import numpy as np
 
@@ -77,7 +77,7 @@ class SGD(BaseEstimator):
         shuffle: bool = False,
         seed: Optional[int] = None,
         tolerance: float = 1e-8,
-        callback=None,
+        callback: Optional[Callable[..., Any]] = None,
     ) -> None:
         if max_epochs <= 0:
             raise ValueError(f"max_epochs must be positive, got {max_epochs}")

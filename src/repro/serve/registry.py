@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.analysis.runtime import make_rlock
 from repro.ml.persistence import load_model
 
 ModelLike = Union[str, Path, Any]
@@ -76,7 +77,7 @@ class ModelRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.RLock()
+        self._lock = make_rlock("repro.serve.registry.ModelRegistry._lock")
         self._current: Dict[str, ModelVersion] = {}
         self._counters: Dict[str, int] = {}
 

@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.runtime import make_condition
 from repro.api.engines import ExecutionEngine, resolve_engine
 from repro.serve.registry import ModelLike, ModelRegistry, ModelVersion
 
@@ -274,7 +275,7 @@ class ModelServer:
         self.max_pending = max_pending
         self._session = session
         self._owns_session = session is None
-        self._cond = threading.Condition()
+        self._cond = make_condition("repro.serve.server.ModelServer._cond")
         self._queue: List[_Request] = []
         self._stats = ServeStats()
         self._closed = False
@@ -430,7 +431,7 @@ class ModelServer:
                 self._cond.wait(timeout=remaining)
             return batch, time.perf_counter() - opened
 
-    def _take_matching(
+    def _take_matching(  # lint: caller-holds-lock
         self, key: Tuple[str, str, int], batch: List[_Request], budget: int
     ) -> int:
         """Move queued requests matching ``key`` into ``batch`` (FIFO order).

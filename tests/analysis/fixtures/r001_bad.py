@@ -1,0 +1,26 @@
+"""R001 positive fixture: every construct here must produce a finding."""
+
+import threading
+
+from repro.analysis.runtime import make_lock
+
+LOCK_RANKS = {"lock_low": 10, "lock_high": 20}
+
+
+class BadLocks:
+    """Undeclared locks, inverted nesting, and an unpaired acquire."""
+
+    def __init__(self):
+        self.undeclared = threading.Lock()  # no rank anywhere
+        self.mystery = make_lock("fixture.unregistered")  # name not declared
+        self.lock_low = make_lock("lock_low")
+        self.lock_high = make_lock("lock_high")
+
+    def inverted(self):
+        with self.lock_high:
+            with self.lock_low:  # rank 10 acquired while holding rank 20
+                pass
+
+    def leaky_acquire(self):
+        self.lock_low.acquire()  # never released in this scope
+        return True

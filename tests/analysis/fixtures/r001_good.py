@@ -1,0 +1,25 @@
+"""R001 negative fixture: declared ranks, ordered nesting, paired acquire."""
+
+from repro.analysis.runtime import make_lock
+
+LOCK_RANKS = {"lock_low": 10, "lock_high": 20}
+
+
+class GoodLocks:
+    """Locks declared through the factory with registered ranks."""
+
+    def __init__(self):
+        self.lock_low = make_lock("lock_low")
+        self.lock_high = make_lock("lock_high")
+
+    def ordered(self):
+        with self.lock_low:
+            with self.lock_high:  # strictly increasing rank
+                pass
+
+    def paired(self):
+        self.lock_low.acquire()
+        try:
+            return True
+        finally:
+            self.lock_low.release()

@@ -1,0 +1,19 @@
+"""R002 positive fixture: resources created but never provably cleaned up."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+def leaky_file(path):
+    handle = open(path)
+    data = handle.read()
+    return data
+
+
+def discarded_executor():
+    ThreadPoolExecutor(max_workers=2)
+
+
+def unjoined_thread(target):
+    worker = threading.Thread(target=target)
+    worker.start()

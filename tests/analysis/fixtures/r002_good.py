@@ -1,0 +1,36 @@
+"""R002 negative fixture: every resource is closed, joined, or handed off."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+def with_file(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def finally_file(path):
+    handle = open(path)
+    try:
+        return handle.read()
+    finally:
+        handle.close()
+
+
+def with_executor(target):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        return pool.submit(target)
+
+
+def joined_thread(target):
+    worker = threading.Thread(target=target)
+    worker.start()
+    try:
+        return True
+    finally:
+        worker.join()
+
+
+def tagged_transfer(path):
+    handle = open(path)  # lint: transfers-ownership — the registry closes it
+    return None if handle else None

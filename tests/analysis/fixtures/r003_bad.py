@@ -1,0 +1,37 @@
+"""R003 positive fixture: bare excepts, sleep polling, unlocked mutation."""
+
+import time
+
+from repro.analysis.runtime import make_lock
+
+LOCK_RANKS = {"r003_bad_lock": 10}
+
+
+def poll_until(flag):
+    while not flag.is_set():
+        time.sleep(0.01)  # polling instead of waiting on the event
+
+
+def bare_handler(action):
+    try:
+        action()
+    except:
+        return None
+
+
+def swallowed(action):
+    try:
+        action()
+    except Exception:
+        pass
+
+
+class SharedState:
+    """Owns a lock but mutates its shared containers without it."""
+
+    def __init__(self):
+        self._lock = make_lock("r003_bad_lock")
+        self._items = []
+
+    def add(self, item):
+        self._items.append(item)  # mutation outside `with self._lock`

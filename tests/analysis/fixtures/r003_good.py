@@ -1,0 +1,31 @@
+"""R003 negative fixture: guarded mutation, narrow handlers, real waiting."""
+
+from repro.analysis.runtime import make_lock
+
+LOCK_RANKS = {"r003_good_lock": 10}
+
+
+def wait_properly(event):
+    event.wait(timeout=0.5)
+
+
+def narrow_handler(action):
+    try:
+        action()
+    except ValueError:
+        return None
+
+
+class SharedState:
+    """Owns a lock and takes it around every shared mutation."""
+
+    def __init__(self):
+        self._lock = make_lock("r003_good_lock")
+        self._items = []
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def _add_unlocked(self, item):  # lint: caller-holds-lock
+        self._items.append(item)

@@ -1,0 +1,17 @@
+"""R004 positive fixture: exported names with missing docs/annotations."""
+
+__all__ = ["undocumented", "unannotated", "Undocumented"]
+
+
+def undocumented(x: int) -> int:
+    return x
+
+
+def unannotated(x):
+    """Documented but missing the parameter and return annotations."""
+    return x
+
+
+class Undocumented:
+    def __init__(self, value):
+        self.value = value

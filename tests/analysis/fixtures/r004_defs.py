@@ -1,0 +1,5 @@
+"""Definition module for the R004 re-export chasing fixture."""
+
+
+def helper(x):
+    return x

@@ -1,0 +1,15 @@
+"""R004 negative fixture: fully documented and annotated exports."""
+
+__all__ = ["documented", "Documented"]
+
+
+def documented(x: int) -> int:
+    """Return ``x`` unchanged."""
+    return x
+
+
+class Documented:
+    """A documented class with a fully annotated constructor."""
+
+    def __init__(self, value: int) -> None:
+        self.value = value

@@ -1,0 +1,5 @@
+"""Re-exporting module for the R004 re-export chasing fixture."""
+
+from r004_defs import helper
+
+__all__ = ["helper"]

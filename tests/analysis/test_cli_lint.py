@@ -1,0 +1,93 @@
+"""Exit-code contract and output formats for ``m3 lint``.
+
+The contract CI relies on: 0 = clean, 1 = findings, 2 = usage error; the
+JSON report is a stable machine-readable schema.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import RULES
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["lint", str(FIXTURES / "r001_good.py")]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["lint", str(FIXTURES / "r001_bad.py")]) == 1
+        assert "R001" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--select", "R999", str(FIXTURES)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "no/such/path.py"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_each_rule_has_a_fixture_that_fails(self, capsys):
+        # Acceptance check from the analyzer spec: every rule must be
+        # demonstrably enforceable through the CLI.
+        for rule in sorted(RULES):
+            fixture = FIXTURES / f"{rule.lower()}_bad.py"
+            assert fixture.exists(), fixture
+            assert main(["lint", "--select", rule, str(fixture)]) == 1
+            assert rule in capsys.readouterr().out
+
+
+class TestTextFormat:
+    def test_findings_are_path_line_col_rule(self, capsys):
+        main(["lint", "--select", "R003", str(FIXTURES / "r003_bad.py")])
+        out = capsys.readouterr().out
+        line = out.splitlines()[0]
+        path, lineno, col, rest = line.split(":", 3)
+        assert path.endswith("r003_bad.py")
+        assert lineno.isdigit() and col.isdigit()
+        assert rest.strip().startswith("R003")
+        assert "m3 lint:" in out  # trailing summary line
+
+
+class TestJsonFormat:
+    def test_schema(self, capsys):
+        assert main([
+            "lint", "--format", "json", "--select", "R002",
+            str(FIXTURES / "r002_bad.py"),
+        ]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["tool"] == "m3-lint"
+        assert payload["files"] == 1
+        assert payload["rules"] == ["R002"]
+        assert payload["total"] == len(payload["findings"]) > 0
+        assert payload["counts"] == {"R002": payload["total"]}
+        for finding in payload["findings"]:
+            assert set(finding) == {"rule", "path", "line", "col", "message", "symbol"}
+            assert finding["rule"] == "R002"
+            assert isinstance(finding["line"], int) and finding["line"] >= 1
+
+    def test_clean_json_run(self, capsys):
+        assert main([
+            "lint", "--format", "json", str(FIXTURES / "r004_good.py"),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == 0
+        assert payload["findings"] == []
+
+
+class TestSelfCheck:
+    def test_src_repro_lints_clean(self, capsys):
+        # The analyzer's own acceptance bar: the shipped package carries no
+        # violations (true positives were fixed, deliberate exceptions are
+        # annotated inline).
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        assert main(["lint", str(src)]) == 0, capsys.readouterr().out
+
+    def test_default_path_is_the_installed_package(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out

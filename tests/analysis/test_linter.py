@@ -1,0 +1,165 @@
+"""Rule-by-rule linter tests over the fixture modules.
+
+Every rule has a positive fixture (``rNNN_bad.py``) that must produce
+findings and a negative fixture (``rNNN_good.py``) that must lint clean
+under *all* rules — the good fixtures double as a check that the rules
+don't fire on idiomatic code.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintError, lint_paths
+from repro.analysis.linter import collect_files, module_name_for, resolve_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def rules_hit(report):
+    """The set of rule ids present in a report's findings."""
+    return {finding.rule for finding in report.findings}
+
+
+def messages(report):
+    return [finding.message for finding in report.findings]
+
+
+class TestR001:
+    def test_bad_fixture_flags_all_violations(self):
+        report = lint_paths([FIXTURES / "r001_bad.py"], select="R001")
+        assert rules_hit(report) == {"R001"}
+        text = "\n".join(messages(report))
+        assert "no declared rank" in text  # raw ctor and unknown factory name
+        assert "strictly increase" in text  # inverted nesting
+        assert "no paired" in text  # acquire without release
+        assert len(report.findings) == 4
+
+    def test_good_fixture_is_clean_under_all_rules(self):
+        report = lint_paths([FIXTURES / "r001_good.py"])
+        assert report.clean, messages(report)
+
+
+class TestR002:
+    def test_bad_fixture_flags_leaky_resources(self):
+        report = lint_paths([FIXTURES / "r002_bad.py"], select="R002")
+        assert rules_hit(report) == {"R002"}
+        text = "\n".join(messages(report))
+        assert "file 'handle' may leak" in text
+        assert "executor created and discarded" in text
+        assert "thread 'worker' may leak" in text
+        assert len(report.findings) == 3
+
+    def test_good_fixture_is_clean_under_all_rules(self):
+        report = lint_paths([FIXTURES / "r002_good.py"])
+        assert report.clean, messages(report)
+
+    def test_transfers_ownership_tag_suppresses(self, tmp_path):
+        source = "def f(path):\n    handle = open(path)\n    return None\n"
+        bad = tmp_path / "leak.py"
+        bad.write_text(source)
+        assert not lint_paths([bad], select="R002").clean
+        tagged = tmp_path / "tagged.py"
+        tagged.write_text(source.replace(
+            "open(path)", "open(path)  # lint: transfers-ownership"
+        ))
+        assert lint_paths([tagged], select="R002").clean
+
+
+class TestR003:
+    def test_bad_fixture_flags_hygiene_violations(self):
+        report = lint_paths([FIXTURES / "r003_bad.py"], select="R003")
+        assert rules_hit(report) == {"R003"}
+        text = "\n".join(messages(report))
+        assert "time.sleep polling" in text
+        assert "bare `except:`" in text
+        assert "silently swallows" in text
+        assert "mutated outside" in text
+        assert len(report.findings) == 4
+
+    def test_good_fixture_is_clean_under_all_rules(self):
+        report = lint_paths([FIXTURES / "r003_good.py"])
+        assert report.clean, messages(report)
+
+    def test_disable_tag_suppresses_one_line(self, tmp_path):
+        path = tmp_path / "sleepy.py"
+        path.write_text(
+            "import time\n\n"
+            "def f():\n"
+            "    time.sleep(0.1)  # lint: disable=R003\n"
+        )
+        assert lint_paths([path], select="R003").clean
+
+
+class TestR004:
+    def test_bad_fixture_flags_every_export_gap(self):
+        report = lint_paths([FIXTURES / "r004_bad.py"], select="R004")
+        assert rules_hit(report) == {"R004"}
+        text = "\n".join(messages(report))
+        assert "undocumented has no docstring" in text
+        assert "missing type annotations for: x" in text
+        assert "no return annotation" in text
+        assert "class Undocumented has no docstring" in text
+        assert "Undocumented.__init__ is missing type annotations" in text
+
+    def test_good_fixture_is_clean_under_all_rules(self):
+        report = lint_paths([FIXTURES / "r004_good.py"])
+        assert report.clean, messages(report)
+
+    def test_reexport_chased_to_defining_module(self):
+        report = lint_paths(
+            [FIXTURES / "r004_reexport.py", FIXTURES / "r004_defs.py"],
+            select="R004",
+        )
+        assert not report.clean
+        assert all("r004_defs.py" in f.path for f in report.findings)
+
+    def test_reexport_findings_deduplicated(self):
+        # Linting the definition alongside the re-exporter must not double
+        # report: the defining module has no __all__, so each diagnostic
+        # appears exactly once.
+        report = lint_paths(
+            [FIXTURES / "r004_reexport.py", FIXTURES / "r004_defs.py"],
+            select="R004",
+        )
+        keys = [(f.path, f.line, f.message) for f in report.findings]
+        assert len(keys) == len(set(keys))
+
+
+class TestDriver:
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(LintError, match="unknown rule"):
+            resolve_rules("R999")
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(LintError, match="empty rule set"):
+            resolve_rules(" , ")
+
+    def test_missing_path_rejected(self):
+        with pytest.raises(LintError, match="does not exist"):
+            collect_files([Path("no/such/dir")])
+
+    def test_non_python_file_rejected(self, tmp_path):
+        other = tmp_path / "notes.txt"
+        other.write_text("hi")
+        with pytest.raises(LintError, match="not a Python file"):
+            collect_files([other])
+
+    def test_directory_collection_skips_pycache(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x = 1")
+        (tmp_path / "mod.py").write_text("x = 1")
+        files = collect_files([tmp_path])
+        assert [f.name for f in files] == ["mod.py"]
+
+    def test_module_name_for_repro_paths(self):
+        assert module_name_for(Path("src/repro/api/chunks.py")) == "repro.api.chunks"
+        assert module_name_for(Path("src/repro/analysis/__init__.py")) == "repro.analysis"
+        assert module_name_for(Path("tests/analysis/fixtures/r001_bad.py")) == "r001_bad"
+
+    def test_findings_sorted_and_unique(self):
+        report = lint_paths([FIXTURES / "r001_bad.py", FIXTURES / "r003_bad.py"])
+        keys = [f.sort_key() for f in report.findings]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set((f.path, f.line, f.col, f.rule, f.message)
+                                    for f in report.findings))

@@ -7,8 +7,33 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.analysis.runtime import LEASES, ThreadLeakDetector
 from repro.data.formats import write_binary_matrix
 from repro.data.synthetic import make_blobs, make_classification
+
+
+@pytest.fixture(autouse=True)
+def leak_guards():
+    """Suite-wide lease and thread leak detection.
+
+    Every test runs with the :data:`~repro.analysis.runtime.LEASES` tracker
+    enabled: a buffer lease still checked out when the test ends — e.g. an
+    error path that dropped a chunk without releasing it — fails that test.
+    Likewise any new non-daemon thread left running is reported as a leak.
+    """
+    detector = ThreadLeakDetector()
+    detector.start()
+    LEASES.reset()
+    LEASES.enabled = True
+    try:
+        yield
+    finally:
+        LEASES.enabled = False
+        outstanding = LEASES.outstanding()
+        LEASES.reset()
+    assert not outstanding, f"buffer leases leaked by this test: {outstanding}"
+    leaked = detector.leaked(grace=2.0)
+    assert not leaked, f"threads leaked by this test: {leaked}"
 
 
 @pytest.fixture()
