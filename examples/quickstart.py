@@ -105,6 +105,40 @@ Tuning the streaming pipeline
     scans of data much larger than RAM — exactly the paper's regime; they do
     nothing measurable on warm, in-RAM datasets.
 
+Compressed datasets
+-------------------
+
+Sharded datasets can also be stored *compressed*: the blocked v2 format
+splits each shard into fixed-size row blocks (``block_rows``), compresses
+every block independently with a pluggable codec, and records the geometry
+in the shard manifest.  Existing datasets convert with bounded memory::
+
+    m3 convert data/train data/train.z --codec zlib          # v1 -> v2
+    m3 convert data/train.z data/train.raw --codec raw       # and back
+    m3 info shard://data/train.z                             # per-shard ratios
+
+or programmatically with ``session.create(spec, X, y, codec="zlib")`` /
+``repro.api.convert.convert_dataset``.  Everything downstream is untouched:
+``session.open`` dispatches on the manifest version, and the streaming
+pipeline's readers fetch *coded* blocks (often several times fewer bytes
+off storage) while decompression runs on the compute-worker pool directly
+into the preallocated chunk buffers — so a disk-bound scan speeds up by
+roughly the compression ratio, and ``fit``/``predict`` stay bit-identical
+because zlib is lossless.  ``details`` grows ``decode_s`` /
+``compressed_bytes`` / ``ratio`` so you can see the trade.
+
+When to reach for the other knobs:
+
+* ``--dtype float32`` halves storage when features tolerate ~7 significant
+  digits (sensor data, pixel intensities, one-hot/count features) — not for
+  ids or money.  Predictions then differ from float64 at the 1e-6 level.
+* ``--layout column`` stores one segment per column, so scans that touch a
+  small fraction of the columns fetch only those segments; full-row scans
+  prefer the default ``row`` layout.
+* ``--auto-block`` asks the virtual-memory locality advisor (SLD/TLD, miss
+  ratio, roundtrip intervals — see :mod:`repro.vmem.advisor`) to pick
+  ``block_rows`` and the layout for a declared scan workload.
+
 Serving requests
 ----------------
 

@@ -25,9 +25,11 @@ Current order (outermost first)::
     rank 10   ModelServer._cond                  serving queue + dispatcher wakeup
     rank 20   Session._lock                      dataset list + handle pool
     rank 30   ModelRegistry._lock                hot-model publish/resolve
+    rank 35   _DecodePool.cond                   block-decode task queue
     rank 40   _ReaderPoolState.cond              reorder buffer + reader accounting
     rank 45   ReadaheadHinter._lock              madvise byte accounting
-    rank 50   BufferLease._lock                  per-lease refcount (innermost)
+    rank 50   BufferLease._lock                  per-lease refcount
+    rank 55   _BlockCache._lock                  decoded-block LRU (innermost)
 
 The recorded nesting that motivates the order: a reader thread holding
 ``_ReaderPoolState.cond`` (40) releases a superseded chunk's
@@ -50,11 +52,18 @@ LOCK_ORDER: Dict[str, int] = {
     "repro.serve.server.ModelServer._cond": 10,
     "repro.api.session.Session._lock": 20,
     "repro.serve.registry.ModelRegistry._lock": 30,
-    # Streaming pipeline.
+    # Streaming pipeline.  The decode pool's condition ranks below the reader
+    # pool's: a decode worker may post a finished chunk into the reorder
+    # buffer (35 -> 40 is increasing), while a reader holding the reorder
+    # cond may never submit decode work (40 -> 35 would invert the order).
+    "repro.api.chunks._DecodePool.cond": 35,
     "repro.api.chunks._ReaderPoolState.cond": 40,
     "repro.api.chunks.ReadaheadHinter._lock": 45,
-    # Innermost: the per-lease refcount, taken while posting/releasing chunks.
+    # The per-lease refcount, taken while posting/releasing chunks.
     "repro.api.chunks.BufferLease._lock": 50,
+    # Innermost library lock: the decoded-block LRU is a pure leaf — decoding
+    # happens outside it and nothing is acquired while it is held.
+    "repro.api.sharded._BlockCache._lock": 55,
     # Internal leaf locks of the instrumentation layer itself.  They guard
     # tracker bookkeeping, are never held across another acquisition, and
     # rank above everything so holding *any* library lock may enter them.

@@ -44,14 +44,20 @@ import os
 import queue
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.runtime import LEASES, make_condition, make_lock
-from repro.api.sharded import ShardedLabels, ShardedMatrix
+from repro.api.sharded import (
+    CompressedRange,
+    CompressedShardedMatrix,
+    ShardedLabels,
+    ShardedMatrix,
+)
 
 DEFAULT_CHUNK_BYTES = 8 * 1024 * 1024
 """Target bytes per chunk when no explicit ``chunk_rows`` is given."""
@@ -87,6 +93,17 @@ def shard_row_starts(matrix: Any) -> Tuple[int, ...]:
     if isinstance(backing, ShardedMatrix):
         return tuple(shard.start_row for shard in backing.manifest.shards)
     return ()
+
+
+def compressed_backing(matrix: Any) -> Optional[CompressedShardedMatrix]:
+    """The :class:`CompressedShardedMatrix` behind ``matrix``, if any.
+
+    Non-``None`` switches the parallel pipeline into its fetch/decode split:
+    readers pull coded payloads, a decode pool decompresses them into pooled
+    buffers.
+    """
+    backing = _unwrap(matrix)
+    return backing if isinstance(backing, CompressedShardedMatrix) else None
 
 
 def shard_devices(matrix: Any) -> Tuple[int, ...]:
@@ -280,6 +297,10 @@ class Chunk:
     X: Any
     y: Optional[np.ndarray] = None
     read_s: float = 0.0
+    #: Time spent decompressing the chunk's blocks (compressed streams only).
+    decode_s: float = 0.0
+    #: Coded bytes fetched for the chunk (0 for raw streams).
+    compressed_bytes: int = 0
     lease: Optional["BufferLease"] = None
 
     @property
@@ -315,6 +336,12 @@ class ChunkStreamStats:
     read_s: float = 0.0
     io_wait_s: float = 0.0
     compute_s: float = 0.0
+    #: Time spent decompressing blocks (0 for raw streams); runs on the
+    #: decode pool, so it can overlap both reads and consumer compute.
+    decode_s: float = 0.0
+    #: Coded bytes actually fetched from storage (0 for raw streams);
+    #: ``bytes_read`` stays the *logical* byte count either way.
+    compressed_bytes: int = 0
     prefetched: bool = False
     #: OS readahead hints (madvise/posix_fadvise) successfully applied.
     hints_applied: int = 0
@@ -323,7 +350,16 @@ class ChunkStreamStats:
     #: Per-chunk ``(read_s, wait_s, compute_s)`` samples (capped).
     samples: List[Tuple[float, float, float]] = field(default_factory=list)
 
-    def record(self, read_s: float, wait_s: float, compute_s: float, rows: int, nbytes: int) -> None:
+    def record(
+        self,
+        read_s: float,
+        wait_s: float,
+        compute_s: float,
+        rows: int,
+        nbytes: int,
+        decode_s: float = 0.0,
+        compressed_bytes: int = 0,
+    ) -> None:
         """Fold one chunk's timings into the aggregate."""
         self.chunks += 1
         self.rows += rows
@@ -331,6 +367,8 @@ class ChunkStreamStats:
         self.read_s += read_s
         self.io_wait_s += wait_s
         self.compute_s += compute_s
+        self.decode_s += decode_s
+        self.compressed_bytes += compressed_bytes
         if len(self.samples) < MAX_TIMING_SAMPLES:
             self.samples.append((read_s, wait_s, compute_s))
 
@@ -367,6 +405,8 @@ class ChunkStreamStats:
         self.read_s += other.read_s
         self.io_wait_s += other.io_wait_s
         self.compute_s += other.compute_s
+        self.decode_s += other.decode_s
+        self.compressed_bytes += other.compressed_bytes
         self.hints_applied += other.hints_applied
         self.hints_released += other.hints_released
         self.prefetched = self.prefetched or other.prefetched
@@ -388,6 +428,13 @@ class ChunkStreamStats:
             return None
         return max(0.0, min(1.0, 1.0 - self.io_wait_s / self.read_s))
 
+    @property
+    def ratio(self) -> Optional[float]:
+        """Logical-to-coded byte ratio of the stream (``None`` for raw)."""
+        if self.compressed_bytes <= 0:
+            return None
+        return self.bytes_read / self.compressed_bytes
+
     def as_dict(self) -> dict:
         """JSON-friendly summary (no per-chunk samples)."""
         return {
@@ -397,6 +444,9 @@ class ChunkStreamStats:
             "read_s": self.read_s,
             "io_wait_s": self.io_wait_s,
             "compute_s": self.compute_s,
+            "decode_s": self.decode_s,
+            "compressed_bytes": self.compressed_bytes,
+            "ratio": self.ratio,
             "io_overlap": self.io_overlap,
             "prefetched": self.prefetched,
             "hints_applied": self.hints_applied,
@@ -986,6 +1036,144 @@ class ReadaheadHinter:
         self.close()
 
 
+class _DecodeTask:
+    """One fetched-but-coded chunk queued for decompression.
+
+    Created by a reader thread after the I/O half of a compressed chunk
+    (payloads fetched, labels gathered, buffer leased); run by a
+    :class:`_DecodePool` worker, which decodes into the lease and posts the
+    finished :class:`Chunk` into the reorder buffer under the same
+    error-index drop rule readers follow.  The task owns the lease until it
+    either posts (ownership moves to the chunk) or drops (released here).
+    """
+
+    __slots__ = ("state", "index", "start", "stop", "fetched", "y", "lease",
+                 "read_s", "hinted")
+
+    def __init__(self, state, index, start, stop, fetched, y, lease, read_s, hinted):
+        self.state = state
+        self.index = index
+        self.start = start
+        self.stop = stop
+        self.fetched: CompressedRange = fetched
+        self.y = y
+        self.lease: BufferLease = lease
+        self.read_s = read_s
+        self.hinted = hinted
+
+    def _dropped(self) -> bool:
+        state = self.state
+        return state.draining or (
+            state.error is not None and self.index > state.error[0]
+        )
+
+    def run(self) -> None:
+        state = self.state
+        with state.cond:
+            dropped = self._dropped()
+        if dropped:
+            self.lease.release()
+            return
+        try:
+            began = time.perf_counter()
+            X = state.compressed.decode_into(self.fetched, self.lease.X)
+            decode_s = time.perf_counter() - began
+        except BaseException as error:  # noqa: BLE001 — relayed to the consumer
+            self.lease.release()
+            try:
+                with state.cond:
+                    if state.error is None or self.index < state.error[0]:
+                        state.error = (self.index, error)
+                    state.stop.set()
+                    state.cond.notify_all()
+            except Exception:  # noqa: BLE001 — interpreter-shutdown teardown
+                pass
+            return
+        chunk = Chunk(
+            index=self.index,
+            start=self.start,
+            stop=self.stop,
+            X=X,
+            y=self.y,
+            read_s=self.read_s,
+            decode_s=decode_s,
+            compressed_bytes=self.fetched.compressed_bytes,
+            lease=self.lease,
+        )
+        with state.cond:
+            if self._dropped():
+                chunk.release()
+                return
+            state.results[self.index] = chunk
+            state.pending_hints += self.hinted
+            state.cond.notify_all()
+
+
+class _DecodePool:
+    """Worker threads decompressing fetched chunk payloads into pool leases.
+
+    The CPU half of a compressed stream: readers enqueue :class:`_DecodeTask`
+    items, workers run them concurrently (``zlib`` releases the GIL while
+    inflating, so decode genuinely parallelises across threads).  Workers
+    wind down when the pool is closed, or — so an abandoned stream never pins
+    threads — when the reader pool has stopped *and* every reader has exited
+    *and* the queue is drained; tasks enqueued before that point always run,
+    which is what delivers every pre-error chunk and returns every lease.
+    """
+
+    def __init__(self, workers: int, idle_exit: Callable[[], bool]) -> None:
+        self.workers = max(1, int(workers))
+        self._idle_exit = idle_exit
+        self.cond = make_condition("repro.api.chunks._DecodePool.cond")
+        self._tasks: "deque[_DecodeTask]" = deque()
+        self._stop = False
+        self._threads: List[threading.Thread] = []
+        for worker in range(self.workers):
+            thread = threading.Thread(
+                target=self._work, name=f"m3-chunk-decode-{worker}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def submit(self, task: _DecodeTask) -> None:
+        # Only reader threads submit, and close() runs after the readers are
+        # joined, so a submit can never race a closed pool.
+        with self.cond:
+            self._tasks.append(task)
+            self.cond.notify()
+
+    def _work(self) -> None:
+        while True:
+            with self.cond:
+                while not self._tasks and not self._stop and not self._idle_exit():
+                    self.cond.wait(timeout=0.05)
+                if self._tasks:
+                    task = self._tasks.popleft()
+                elif self._stop:
+                    return
+                else:
+                    # Idle-exit: the reader pool is stopped and drained, so
+                    # no further tasks can arrive.
+                    return
+            task.run()
+
+    def close(self) -> None:
+        """Stop the workers after the queued tasks have all run."""
+        with self.cond:
+            self._stop = True
+            self.cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        # Workers drain the queue before honouring _stop, so anything still
+        # here means a worker died abnormally; release the leases rather
+        # than leak them.
+        with self.cond:
+            leftovers = list(self._tasks)
+            self._tasks.clear()
+        for task in leftovers:
+            task.lease.release()
+
+
 class _ReaderPoolState:
     """Shared state of a :class:`ParallelPrefetcher` reader pool.
 
@@ -1004,12 +1192,17 @@ class _ReaderPoolState:
         hinter: Optional[ReadaheadHinter],
         depth: int,
         readers: int,
+        compressed: Optional[CompressedShardedMatrix] = None,
     ) -> None:
         self.inner = inner
         self.plan = inner.plan
         self.cuts = cuts
         self.pool = pool
         self.hinter = hinter
+        self.compressed = compressed
+        #: Set by the prefetcher once readers are started, when the stream is
+        #: compressed.  Readers submit fetched chunks here instead of posting.
+        self.decode_pool: Optional[_DecodePool] = None
         # Re-entrant: the consumer re-acquires while finishing inside the
         # wait loop's critical section.
         self.cond = make_condition("repro.api.chunks._ReaderPoolState.cond")
@@ -1020,6 +1213,9 @@ class _ReaderPoolState:
         self.next_claim = 0
         self.pending_hints = 0
         self.live_workers = 0
+        #: The consumer is gone (finished or closing): late posts must drop
+        #: their chunk and hand the lease back instead of parking it forever.
+        self.draining = False
         self.reader_log: List[List[Tuple[int, int]]] = [[] for _ in range(readers)]
         self.reader_stats: List[Dict[str, Any]] = [
             {"reader": r, "chunks": 0, "rows": 0, "bytes_read": 0, "read_s": 0.0}
@@ -1047,6 +1243,16 @@ class _ReaderPoolState:
                     # while readers run, so it shares the cond's protection.
                     self.reader_log[reader].append((start, stop_row))
                 hinted = self.hinter.will_need(start, stop_row) if self.hinter is not None else 0
+                if self.decode_pool is not None:
+                    task = self.fetch_chunk(index, start, stop_row, hinted)
+                    acct["chunks"] += 1
+                    acct["rows"] += stop_row - start
+                    # Compressed readers account the bytes they actually
+                    # pulled off storage, not the logical chunk size.
+                    acct["bytes_read"] += task.fetched.compressed_bytes
+                    acct["read_s"] += task.read_s
+                    self.decode_pool.submit(task)
+                    continue
                 chunk = self.read_chunk(index, start, stop_row)
                 acct["chunks"] += 1
                 acct["rows"] += chunk.rows
@@ -1111,6 +1317,34 @@ class _ReaderPoolState:
                 y = np.asarray(labels[start:stop])
         read_s = time.perf_counter() - began
         return Chunk(index=index, start=start, stop=stop, X=X, y=y, read_s=read_s, lease=lease)
+
+    def fetch_chunk(self, index: int, start: int, stop: int, hinted: int) -> _DecodeTask:
+        """The I/O half of a compressed chunk: lease + fetch payloads + labels.
+
+        Decompression is *not* done here — the returned task carries the
+        coded payloads to the decode pool, so reader threads stay busy
+        fetching while decode workers burn CPU.
+        """
+        labels = self.inner.labels
+        began = time.perf_counter()
+        lease = self.pool.lease(stop=self.stop)
+        if lease is None:  # closed while waiting for a buffer
+            raise ChunkStreamError("chunk stream closed while leasing a buffer")
+        try:
+            fetched = self.compressed.fetch_compressed(start, stop)
+            y = None
+            if labels is not None:
+                y = self._gather_labels(labels, start, stop, lease.y)
+        except BaseException:
+            # A failed fetch must hand the buffer back before the error
+            # propagates, or the pool runs dry (same rule as read_chunk).
+            lease.release()
+            raise
+        read_s = time.perf_counter() - began
+        record = getattr(self.inner.matrix, "record_read", None)
+        if callable(record):
+            record(start, stop)
+        return _DecodeTask(self, index, start, stop, fetched, y, lease, read_s, hinted)
 
     def straddles(self, start: int, stop: int) -> bool:
         """Whether ``[start, stop)`` crosses a shard boundary (needs stitching)."""
@@ -1181,6 +1415,13 @@ class ParallelPrefetcher:
         itself.  ``None`` (default) enables it automatically when the plan's
         bytes exceed physical RAM; ``True``/``False`` force it.  Applied
         release hints are counted in ``stats.hints_released``.
+    decode_workers:
+        Decompression threads for compressed (v2) matrices; ignored for raw
+        matrices.  ``None`` defaults to ``io_workers`` — one decoder per
+        fetcher keeps a balanced pipeline when decode and fetch costs are
+        comparable.  Readers fetch coded payloads only; these workers inflate
+        them into pool leases, so every compressed chunk flows through the
+        buffer ring and the hot path stays allocation-free.
     """
 
     def __init__(
@@ -1191,20 +1432,29 @@ class ParallelPrefetcher:
         buffer_pool: Optional["int | ChunkBufferPool"] = None,
         hints: bool = True,
         release_behind: Optional[bool] = None,
+        decode_workers: Optional[int] = None,
     ) -> None:
         self.inner = inner
         plan = inner.plan
         starts = shard_row_starts(inner.matrix)
+        self.compressed = compressed_backing(inner.matrix)
         if io_workers is not None and io_workers < 0:
             raise ValueError(f"io_workers must be >= 0, got {io_workers}")
         if depth is not None and depth < 1:
             raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+        if decode_workers is not None and decode_workers < 0:
+            raise ValueError(f"decode_workers must be >= 0, got {decode_workers}")
         if not io_workers:  # None or 0: size the pool from storage topology
             io_workers = self._default_io_workers(inner.matrix, starts, depth)
         self.io_workers = max(1, min(int(io_workers), max(plan.num_chunks, 1)))
         self.depth = depth if depth is not None else max(2, 2 * self.io_workers)
         if self.depth < self.io_workers:
             self.depth = self.io_workers
+        self.decode_workers = 0
+        if self.compressed is not None:
+            self.decode_workers = (
+                self.io_workers if not decode_workers else int(decode_workers)
+            )
 
         cuts = np.asarray(starts, dtype=np.int64)
         self.pool = self._resolve_pool(buffer_pool, plan, cuts)
@@ -1224,7 +1474,13 @@ class ParallelPrefetcher:
 
         self.stats = ChunkStreamStats(prefetched=True)
         self._state = _ReaderPoolState(
-            inner, cuts, self.pool, self.hinter, self.depth, self.io_workers
+            inner,
+            cuts,
+            self.pool,
+            self.hinter,
+            self.depth,
+            self.io_workers,
+            compressed=self.compressed,
         )
         self._expected = 0
         self._last_yield: Optional[float] = None
@@ -1241,6 +1497,16 @@ class ParallelPrefetcher:
             self.stats.record_hints(self.hinter.advise_sequential())
         self._threads: List[threading.Thread] = []
         state = self._state
+        self._decode_pool: Optional[_DecodePool] = None
+        if self.compressed is not None and plan.num_chunks > 0:
+            # idle_exit reads two plain attributes without taking state.cond,
+            # so a decode worker holding its own cond (rank 35) never touches
+            # the reorder cond (rank 40) just to decide whether to exit.
+            self._decode_pool = _DecodePool(
+                self.decode_workers,
+                idle_exit=lambda: state.stop.is_set() and state.live_workers == 0,
+            )
+            state.decode_pool = self._decode_pool
         for reader in range(self.io_workers):
             thread = threading.Thread(
                 target=state.work,
@@ -1282,10 +1548,13 @@ class ParallelPrefetcher:
 
     def _resolve_pool(self, buffer_pool, plan: ChunkPlan, cuts: np.ndarray) -> Optional[ChunkBufferPool]:
         if isinstance(buffer_pool, ChunkBufferPool):
+            self._validate_pool(buffer_pool, plan)
             return buffer_pool
         if plan.num_chunks == 0:
             return None
-        needs_pool = any(
+        # Compressed streams decode *every* chunk into a pooled buffer (there
+        # is no zero-copy view of coded bytes), so they always need the ring.
+        needs_pool = self.compressed is not None or any(
             _range_straddles(cuts, start, stop) for start, stop in plan.bounds
         )
         if buffer_pool is None and not needs_pool:
@@ -1307,6 +1576,36 @@ class ParallelPrefetcher:
             dtype=np.dtype(self.inner.matrix.dtype),
             label_dtype=label_dtype,
         )
+
+    def _validate_pool(self, pool: ChunkBufferPool, plan: ChunkPlan) -> None:
+        """Reject a shared pool whose buffers cannot faithfully hold the stream.
+
+        ``gather_into``/``decode_into`` copy with ``casting="unsafe"``, so a
+        float32 matrix streamed through a float64 ring would *silently upcast*
+        every pooled chunk — consumers would train on a different dtype than
+        the data — and undersized buffers would alias or truncate rows.
+        Shared rings are an optimisation for repeated passes over the *same*
+        geometry; anything else is a caller bug worth a loud error.
+        """
+        matrix_dtype = np.dtype(self.inner.matrix.dtype)
+        if pool.dtype != matrix_dtype:
+            raise ValueError(
+                f"buffer pool dtype {pool.dtype} does not match matrix dtype "
+                f"{matrix_dtype}: pooled chunks would silently change dtype "
+                f"in flight; build the pool with the matrix's own dtype"
+            )
+        if pool.n_cols != plan.n_cols:
+            raise ValueError(
+                f"buffer pool is sized for {pool.n_cols} columns but the "
+                f"plan streams {plan.n_cols}"
+            )
+        if plan.num_chunks:
+            widest = max(stop - start for start, stop in plan.bounds)
+            if pool.chunk_rows < widest:
+                raise ValueError(
+                    f"buffer pool holds {pool.chunk_rows} rows per buffer but "
+                    f"the plan's widest chunk is {widest} rows"
+                )
 
     # -- pool accounting -----------------------------------------------------
 
@@ -1378,7 +1677,13 @@ class ParallelPrefetcher:
                 self._released_through = self._prev_start
             self._prev_start = chunk.start
         self.stats.record(
-            chunk.read_s, wait_s, compute_s, chunk.rows, chunk.rows * plan.row_bytes
+            chunk.read_s,
+            wait_s,
+            compute_s,
+            chunk.rows,
+            chunk.rows * plan.row_bytes,
+            decode_s=chunk.decode_s,
+            compressed_bytes=chunk.compressed_bytes,
         )
         self._last_yield = time.perf_counter()
         return chunk
@@ -1394,6 +1699,9 @@ class ParallelPrefetcher:
             # gap are still parked here holding pool leases.  The consumer
             # sees ChunkStreamError and typically abandons the iterator, so
             # hand the buffers back now rather than hoping for a close().
+            # Decode tasks still in flight see `draining` and drop their
+            # leases instead of posting into a dict nobody will read.
+            self._state.draining = True
             leftovers = list(self._state.results.values())
             self._state.results.clear()
             for chunk in leftovers:
@@ -1437,9 +1745,15 @@ class ParallelPrefetcher:
             state = self._state
             state.stop.set()
             with state.cond:
+                state.draining = True
                 state.cond.notify_all()
             for thread in self._threads:
                 thread.join(timeout=5.0)
+            # Readers are joined, so no further decode submissions: closing
+            # the decode pool drains its queue (tasks see `draining` and
+            # release their leases) before the workers exit.
+            if self._decode_pool is not None:
+                self._decode_pool.close()
             with state.cond:
                 leftovers = list(state.results.values())
                 state.results.clear()
@@ -1481,6 +1795,7 @@ def open_chunk_stream(
     hints: bool = True,
     parallel_depth: Optional[int] = None,
     release_behind: Optional[bool] = None,
+    decode_workers: Optional[int] = None,
 ) -> "ChunkIterator | PrefetchingChunkIterator | ParallelPrefetcher":
     """Build a chunk stream in one call.
 
@@ -1489,7 +1804,10 @@ def open_chunk_stream(
     Any other value selects the multi-reader :class:`ParallelPrefetcher`
     (``0`` = one reader per distinct storage device, ``n >= 1`` = exactly
     ``n`` readers), with ``buffer_pool``/``hints``/``parallel_depth``/
-    ``release_behind`` forwarded to it.
+    ``release_behind``/``decode_workers`` forwarded to it.  A *compressed*
+    matrix behind a non-parallel executor still streams correctly — chunks
+    decode synchronously through the block cache — but only the parallel
+    executor splits fetch from decode across thread pools.
     """
     inner = ChunkIterator(
         matrix, labels=labels, plan=plan, chunk_rows=chunk_rows, align_shards=align_shards
@@ -1502,6 +1820,7 @@ def open_chunk_stream(
             buffer_pool=buffer_pool,
             hints=hints,
             release_behind=release_behind,
+            decode_workers=decode_workers,
         )
     if not prefetch:
         return inner

@@ -1,0 +1,214 @@
+"""Streaming conversion between the v1 and v2 (blocked) dataset formats.
+
+``convert_dataset`` re-encodes an existing dataset — a single ``.m3`` matrix
+file or a sharded directory, v1 or v2 — into a new sharded directory, without
+ever materialising more than one chunk of rows at a time.  It backs the
+``m3 convert`` CLI command: the usual direction is v1 → compressed v2
+(pick a codec, optionally downcast the storage dtype or switch to the column
+layout), but passing ``codec=None`` re-expands a v2 dataset back into plain
+memory-mappable v1 shards, which keeps round-trips testable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, List, Optional, Union
+
+import numpy as np
+
+from repro.api.sharded import (
+    DEFAULT_SHARD_ROWS,
+    ShardInfo,
+    ShardManifest,
+    open_sharded_matrix,
+    write_manifest,
+)
+from repro.data.codecs import Codec, get_codec
+from repro.data.formats import open_binary_matrix, write_binary_matrix
+from repro.data.formats_v2 import BlockedMatrixWriter, default_block_rows
+
+#: Rows moved per copy step; bounds converter memory to roughly
+#: ``chunk_rows * cols * itemsize`` regardless of dataset size.
+DEFAULT_CONVERT_CHUNK_ROWS = 8192
+
+
+class _Source:
+    """A uniform sliceable view over either source format."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._sharded = None
+        self._mmap_data = None
+        if path.is_dir():
+            matrix = open_sharded_matrix(path, mode="r")
+            self._sharded = matrix
+            self.data: Any = matrix
+            self.labels: Optional[Any] = matrix.lazy_labels
+            self.rows, self.cols = matrix.shape
+            self.dtype = matrix.dtype
+        elif path.is_file():
+            data, labels, header = open_binary_matrix(path, mode="r")
+            self._mmap_data = data
+            self.data = data
+            self.labels = labels
+            self.rows, self.cols = int(header.rows), int(header.cols)
+            self.dtype = header.dtype
+        else:
+            raise FileNotFoundError(
+                f"dataset source {path} is neither a .m3 file nor a shard directory"
+            )
+
+    def close(self) -> None:
+        if self._sharded is not None:
+            self._sharded.close()
+        self._mmap_data = None
+        self.data = None
+        self.labels = None
+
+
+def dataset_geometry(source: Union[str, Path]):
+    """``(rows, cols, dtype)`` of a convertible dataset, without copying it.
+
+    Used by ``m3 convert --auto-block`` to feed the advisor before deciding
+    the target encoding.
+    """
+    src = _Source(Path(source))
+    try:
+        return src.rows, src.cols, np.dtype(src.dtype)
+    finally:
+        src.close()
+
+
+def convert_dataset(
+    source: Union[str, Path],
+    destination: Union[str, Path],
+    codec: Optional[Union[str, Codec]] = "zlib",
+    block_rows: Optional[int] = None,
+    storage_dtype: Optional[Any] = None,
+    layout: str = "row",
+    shard_rows: Optional[int] = None,
+    chunk_rows: int = DEFAULT_CONVERT_CHUNK_ROWS,
+) -> ShardManifest:
+    """Re-encode ``source`` into a sharded dataset at ``destination``.
+
+    Parameters
+    ----------
+    source:
+        A ``.m3`` matrix file or a sharded dataset directory (v1 or v2).
+    destination:
+        Directory to create; must not already contain a ``manifest.json``
+        and must not be the source itself.
+    codec:
+        Target codec name (``"zlib"``, ``"none"``) for blocked v2 output, or
+        ``None`` to write raw v1 shards.
+    block_rows, storage_dtype, layout:
+        v2 encoding knobs, as in
+        :func:`repro.api.sharded.write_sharded_dataset`.
+    shard_rows:
+        Rows per output shard; defaults to the source's shard height when
+        converting a sharded dataset, else ``DEFAULT_SHARD_ROWS``.
+    chunk_rows:
+        Copy granularity; bounds converter memory.
+    """
+    source = Path(source)
+    destination = Path(destination)
+    if chunk_rows <= 0:
+        raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+    if codec is None and (block_rows is not None or storage_dtype is not None):
+        raise ValueError(
+            "block_rows/storage_dtype only apply to v2 output; pass a codec "
+            "to write blocked shards"
+        )
+    if destination.resolve() == source.resolve():
+        raise ValueError(f"cannot convert {source} onto itself")
+    if (destination / "manifest.json").exists():
+        raise ValueError(
+            f"destination {destination} already holds a sharded dataset; "
+            f"refusing to overwrite"
+        )
+
+    src = _Source(source)
+    try:
+        if shard_rows is None:
+            if src._sharded is not None and src._sharded.manifest.shards:
+                shard_rows = max(s.rows for s in src._sharded.manifest.shards)
+            else:
+                shard_rows = DEFAULT_SHARD_ROWS
+        if shard_rows <= 0:
+            raise ValueError(f"shard_rows must be positive, got {shard_rows}")
+
+        resolved_codec: Optional[Codec] = None
+        resolved_storage: Optional[np.dtype] = None
+        if codec is not None:
+            resolved_codec = get_codec(codec) if isinstance(codec, str) else codec
+            resolved_storage = np.dtype(
+                src.dtype if storage_dtype is None else storage_dtype
+            )
+            if block_rows is None:
+                block_rows = default_block_rows(src.cols, resolved_storage.itemsize)
+
+        destination.mkdir(parents=True, exist_ok=True)
+        shards: List[ShardInfo] = []
+        for index, start in enumerate(range(0, max(src.rows, 1), shard_rows)):
+            stop = min(start + shard_rows, src.rows)
+            if stop <= start and src.rows > 0:
+                break
+            if resolved_codec is None:
+                filename = f"shard-{index:05d}.m3"
+                shard_labels = (
+                    np.asarray(src.labels[start:stop], dtype=np.int64)
+                    if src.labels is not None
+                    else None
+                )
+                write_binary_matrix(
+                    destination / filename,
+                    np.asarray(src.data[start:stop]),
+                    shard_labels,
+                )
+                shards.append(
+                    ShardInfo(filename=filename, start_row=start, rows=stop - start)
+                )
+            else:
+                filename = f"shard-{index:05d}.m3b"
+                with BlockedMatrixWriter(
+                    destination / filename,
+                    cols=src.cols,
+                    block_rows=block_rows,
+                    codec=resolved_codec,
+                    dtype=src.dtype,
+                    storage_dtype=resolved_storage,
+                    layout=layout,
+                ) as writer:
+                    for lo in range(start, stop, chunk_rows):
+                        hi = min(lo + chunk_rows, stop)
+                        writer.append(np.asarray(src.data[lo:hi]))
+                        if src.labels is not None:
+                            writer.append_labels(
+                                np.asarray(src.labels[lo:hi], dtype=np.int64)
+                            )
+                    header = writer.finalize()
+                shards.append(
+                    ShardInfo(
+                        filename=filename,
+                        start_row=start,
+                        rows=stop - start,
+                        compressed_bytes=header.compressed_bytes,
+                        raw_bytes=header.raw_bytes,
+                    )
+                )
+
+        manifest = ShardManifest(
+            rows=src.rows,
+            cols=src.cols,
+            dtype=np.dtype(src.dtype),
+            has_labels=src.labels is not None,
+            shards=shards,
+            codec=resolved_codec.name if resolved_codec is not None else None,
+            block_rows=block_rows if resolved_codec is not None else None,
+            storage_dtype=resolved_storage if resolved_codec is not None else None,
+            layout=layout if resolved_codec is not None else "row",
+        )
+        write_manifest(destination, manifest)
+        return manifest
+    finally:
+        src.close()

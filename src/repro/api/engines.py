@@ -693,6 +693,9 @@ class StreamingEngine(ExecutionEngine):
             buffer_pool=pool if pool is not None else self.buffer_pool,
             hints=self.hints,
             release_behind=self.release_behind,
+            # Compressed (v2) datasets decompress on the compute pool: the
+            # same knob that sizes data-parallel predict sizes block decode.
+            decode_workers=self.compute_workers,
         )
 
     @staticmethod

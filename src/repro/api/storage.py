@@ -14,6 +14,14 @@ datasets at such a location.  Three backends ship with the library:
 ``shard``
     A directory of M3 files tiling the matrix row-wise (see
     :mod:`repro.api.sharded`); row chunks are served across shard boundaries.
+``shard`` (compressed v2)
+    The same scheme also serves blocked v2 directories — shards are
+    ``.m3b`` files of independently compressed fixed-size blocks (codec,
+    ``block_rows``, row/column layout and on-disk ``storage_dtype`` recorded
+    in the manifest).  Opening is transparent: the manifest version picks the
+    matrix class, and the streaming pipeline decodes blocks on its compute
+    pool.  Write one with ``session.create(spec, X, y, codec="zlib")`` or
+    ``m3 convert``.
 
 Locations are written as URI-style *specs* — ``"mmap:///data/train.m3"``,
 ``"shard:///data/train/"``, ``"memory://train"`` — or as bare filesystem
@@ -33,6 +41,7 @@ import numpy as np
 from repro.api.sharded import (
     MANIFEST_NAME,
     ShardedMatrix,
+    open_sharded_matrix,
     read_manifest,
     write_sharded_dataset,
 )
@@ -294,30 +303,44 @@ class ShardedBackend(StorageBackend):
         self.default_shard_rows = default_shard_rows
 
     def open(self, location: str, mode: str = "r") -> StorageHandle:
-        matrix = ShardedMatrix(Path(location), mode=mode)
+        # Dispatches on the manifest: raw v1 directories open memmap-backed,
+        # compressed v2 directories open as a CompressedShardedMatrix.
+        matrix = open_sharded_matrix(Path(location), mode=mode)
+        metadata = {
+            "backend": self.scheme,
+            "path": str(Path(location)),
+            "rows": matrix.shape[0],
+            "cols": matrix.shape[1],
+            "dtype": str(matrix.dtype),
+            "has_labels": matrix.manifest.has_labels,
+            "nbytes": matrix.nbytes,
+            "num_shards": matrix.num_shards,
+            # One file per shard: the parallel chunk pipeline sizes its
+            # reader pool from this layout, and the readahead hinter's
+            # posix_fadvise fallback targets these files directly.
+            "shard_paths": [
+                str(Path(location) / shard.filename)
+                for shard in matrix.manifest.shards
+            ],
+        }
+        if matrix.is_compressed:
+            metadata.update(
+                {
+                    "codec": matrix.codec,
+                    "block_rows": matrix.block_rows,
+                    "layout": matrix.layout,
+                    "storage_dtype": str(matrix.storage_dtype),
+                    "compressed_bytes": matrix.compressed_nbytes,
+                    "compression_ratio": matrix.manifest.ratio,
+                }
+            )
         return StorageHandle(
             matrix=matrix,
             # Labels stay a lazy per-shard view: in-core consumers materialise
             # them once via np.asarray, the streaming engine slices per chunk.
             labels=matrix.lazy_labels,
             data_offset=0,
-            metadata={
-                "backend": self.scheme,
-                "path": str(Path(location)),
-                "rows": matrix.shape[0],
-                "cols": matrix.shape[1],
-                "dtype": str(matrix.dtype),
-                "has_labels": matrix.manifest.has_labels,
-                "nbytes": matrix.nbytes,
-                "num_shards": matrix.num_shards,
-                # One file per shard: the parallel chunk pipeline sizes its
-                # reader pool from this layout, and the readahead hinter's
-                # posix_fadvise fallback targets these files directly.
-                "shard_paths": [
-                    str(Path(location) / shard.filename)
-                    for shard in matrix.manifest.shards
-                ],
-            },
+            metadata=metadata,
             closer=matrix.close,
         )
 
@@ -329,17 +352,30 @@ class ShardedBackend(StorageBackend):
         **options: Any,
     ) -> str:
         shard_rows = options.pop("shard_rows", None) or self.default_shard_rows
+        codec = options.pop("codec", None)
+        block_rows = options.pop("block_rows", None)
+        storage_dtype = options.pop("storage_dtype", None)
+        layout = options.pop("layout", None)
         _reject_options(self.scheme, options)
         data = np.asarray(data)
         if shard_rows is None:
             # Default to ~4 shards so small datasets still exercise stitching.
             shard_rows = max(1, -(-int(data.shape[0]) // 4))
-        write_sharded_dataset(Path(location), data, labels, shard_rows=shard_rows)
+        write_sharded_dataset(
+            Path(location),
+            data,
+            labels,
+            shard_rows=shard_rows,
+            codec=codec,
+            block_rows=block_rows,
+            storage_dtype=storage_dtype,
+            layout=layout or "row",
+        )
         return location
 
     def info(self, location: str) -> Dict[str, Any]:
         manifest = read_manifest(Path(location))
-        return {
+        info: Dict[str, Any] = {
             "backend": self.scheme,
             "path": str(Path(location)),
             "rows": manifest.rows,
@@ -349,6 +385,23 @@ class ShardedBackend(StorageBackend):
             "nbytes": manifest.rows * manifest.cols * manifest.dtype.itemsize,
             "num_shards": len(manifest.shards),
         }
+        if manifest.codec is not None:
+            info.update(
+                {
+                    "format_version": manifest.version,
+                    "codec": manifest.codec,
+                    "block_rows": manifest.block_rows,
+                    "layout": manifest.layout,
+                    "storage_dtype": str(manifest.storage_dtype or manifest.dtype),
+                    "compressed_bytes": manifest.compressed_bytes,
+                    "compression_ratio": manifest.ratio,
+                    "shard_ratios": [
+                        {"filename": s.filename, "ratio": s.ratio}
+                        for s in manifest.shards
+                    ],
+                }
+            )
+        return info
 
     def exists(self, location: str) -> bool:
         return (Path(location) / MANIFEST_NAME).is_file()

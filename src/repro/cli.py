@@ -4,7 +4,14 @@
 reproduction entry points:
 
 * ``m3 generate`` — materialise an Infimnist-style dataset file.
-* ``m3 info`` — describe a dataset (rows, columns, dtype, backend, shards).
+* ``m3 info`` — describe a dataset (rows, columns, dtype, backend, shards;
+  v2 datasets additionally report codec, block geometry and per-shard
+  compression ratios).
+* ``m3 convert`` — re-encode a dataset between the raw v1 format and the
+  compressed blocked v2 shard format (``--codec``, ``--block-rows``,
+  ``--dtype``, ``--layout``); ``--auto-block`` asks the virtual-memory
+  locality advisor to pick the block size and layout for a declared scan
+  workload (``--scan-columns``, ``--cache-mb``).
 * ``m3 train`` — train logistic regression or k-means on a dataset through
   the unified :class:`~repro.api.Session` API; ``--engine simulated``
   additionally replays the recorded access trace through the paper-scale
@@ -108,6 +115,14 @@ def _print_pipeline_details(details: dict) -> None:
         f"io-wait {details['io_wait_s']:.2f}s, compute {details['compute_s']:.2f}s, "
         f"{_overlap_text(details['io_overlap'])}"
     )
+    if details.get("compressed_bytes"):
+        ratio = details.get("ratio")
+        ratio_text = f"{ratio:.2f}x ratio, " if ratio else ""
+        print(
+            f"compressed stream: {details['compressed_bytes'] / 1e6:.1f} MB coded "
+            f"({ratio_text}decode {details.get('decode_s', 0.0):.2f}s on the "
+            f"compute pool)"
+        )
     readers = details.get("readers")
     if readers:
         per_reader = ", ".join(
@@ -142,12 +157,91 @@ def _cmd_info(args: argparse.Namespace) -> int:
     with Session() as session:
         info = session.info(args.dataset)
     preferred = ("backend", "path", "rows", "cols", "dtype", "has_labels",
-                 "nbytes", "file_bytes", "num_shards")
+                 "nbytes", "file_bytes", "num_shards", "format_version",
+                 "codec", "block_rows", "layout", "storage_dtype",
+                 "compressed_bytes", "compression_ratio")
     ordered = [k for k in preferred if k in info]
     ordered += [k for k in info if k not in preferred]
     width = max(len(key) for key in ordered)
     for key in ordered:
-        print(f"{key:<{width}}  {info[key]}")
+        value = info[key]
+        if key == "shard_ratios":
+            value = ", ".join(
+                f"{entry['filename']}={entry['ratio']:.2f}x"
+                if entry["ratio"] is not None
+                else f"{entry['filename']}=?"
+                for entry in value
+            )
+        elif key == "compression_ratio" and value is not None:
+            value = f"{value:.2f}"
+        print(f"{key:<{width}}  {value}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.api.convert import convert_dataset, dataset_geometry
+
+    codec = None if args.codec == "raw" else args.codec
+    block_rows = args.block_rows
+    layout = args.layout
+    if args.auto_block:
+        if codec is None:
+            print("error: --auto-block needs a compressed target (--codec raw "
+                  "has no blocks to size)", file=sys.stderr)
+            return 2
+        if block_rows is not None or layout is not None:
+            print("error: --auto-block picks --block-rows/--layout; do not "
+                  "pass them explicitly", file=sys.stderr)
+            return 2
+        from repro.vmem.advisor import advise_block_layout
+
+        rows, cols, dtype = dataset_geometry(args.source)
+        storage_itemsize = (
+            np.dtype(args.dtype).itemsize if args.dtype else dtype.itemsize
+        )
+        advice = advise_block_layout(
+            rows=rows,
+            cols=cols,
+            itemsize=storage_itemsize,
+            chunk_rows=args.scan_chunk_rows,
+            column_fraction=args.scan_columns,
+            cache_bytes=args.cache_mb * 1024 * 1024,
+        )
+        block_rows, layout = advice.block_rows, advice.layout
+        best = advice.candidates[0]
+        print(
+            f"advisor: block_rows={block_rows} layout={layout} "
+            f"(score {best.score:.3f}, {best.amplification:.2f}x read "
+            f"amplification, miss ratio "
+            f"{best.friendliness.miss_ratio * 100:.1f}% at "
+            f"{args.cache_mb} MB cache)"
+        )
+    manifest = convert_dataset(
+        args.source,
+        args.destination,
+        codec=codec,
+        block_rows=block_rows,
+        storage_dtype=args.dtype,
+        layout=layout or "row",
+        shard_rows=args.shard_rows,
+        chunk_rows=args.chunk_rows,
+    )
+    if manifest.codec is None:
+        print(
+            f"wrote {manifest.rows} x {manifest.cols} as "
+            f"{len(manifest.shards)} raw v1 shard(s) to {args.destination}"
+        )
+    else:
+        ratio = manifest.ratio
+        ratio_text = f"{ratio:.2f}x" if ratio else "n/a"
+        print(
+            f"wrote {manifest.rows} x {manifest.cols} as "
+            f"{len(manifest.shards)} {manifest.codec}-compressed v2 shard(s) "
+            f"to {args.destination} (block_rows={manifest.block_rows}, "
+            f"layout={manifest.layout}, "
+            f"storage dtype {np.dtype(manifest.storage_dtype).name}, "
+            f"compression {ratio_text})"
+        )
     return 0
 
 
@@ -572,6 +666,51 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="describe a dataset (header / shard manifest)")
     info.add_argument("dataset", type=str, help="a dataset path or URI spec")
     info.set_defaults(func=_cmd_info)
+
+    convert = sub.add_parser(
+        "convert",
+        help="re-encode a dataset (v1 <-> compressed blocked v2 shards)",
+    )
+    convert.add_argument("source", type=str,
+                         help="a .m3 matrix file or a sharded dataset directory")
+    convert.add_argument("destination", type=Path,
+                         help="output shard directory (created; must not "
+                              "already hold a dataset)")
+    convert.add_argument("--codec", choices=["zlib", "none", "raw"],
+                         default="zlib",
+                         help="target encoding: 'zlib' / 'none' write blocked "
+                              "v2 shards (compressed / merely blocked), 'raw' "
+                              "writes plain memory-mappable v1 shards")
+    convert.add_argument("--block-rows", type=_positive_int, default=None,
+                         help="rows per coded block (v2 only; default targets "
+                              "~1 MiB of raw storage per block)")
+    convert.add_argument("--dtype", choices=["float64", "float32", "float16"],
+                         default=None,
+                         help="on-disk storage dtype (v2 only; narrower than "
+                              "the logical dtype trades precision for size)")
+    convert.add_argument("--layout", choices=["row", "column"], default=None,
+                         help="v2 block layout: 'row' = one segment per "
+                              "block, 'column' = one segment per column so "
+                              "column-subset scans fetch less (default row)")
+    convert.add_argument("--shard-rows", type=_positive_int, default=None,
+                         help="rows per output shard (default: keep the "
+                              "source's shard height)")
+    convert.add_argument("--chunk-rows", type=_positive_int, default=8192,
+                         help="copy granularity; bounds converter memory")
+    convert.add_argument("--auto-block", action="store_true",
+                         help="let the vmem locality advisor pick "
+                              "--block-rows/--layout for the scan workload "
+                              "described by --scan-columns/--cache-mb")
+    convert.add_argument("--scan-columns", type=float, default=1.0,
+                         help="fraction of columns the expected workload "
+                              "scans (with --auto-block; 1.0 = full rows)")
+    convert.add_argument("--scan-chunk-rows", type=_positive_int, default=None,
+                         help="streaming chunk height the workload will scan "
+                              "with (with --auto-block)")
+    convert.add_argument("--cache-mb", type=_positive_int, default=64,
+                         help="page-cache budget the advisor scores misses "
+                              "at, in MiB (with --auto-block)")
+    convert.set_defaults(func=_cmd_convert)
 
     train = sub.add_parser("train", help="train a model on a dataset")
     train.add_argument("dataset", type=str,

@@ -95,14 +95,30 @@ def read_binary_matrix_header(path: Union[str, Path]) -> BinaryMatrixHeader:
     with path.open("rb") as handle:
         raw = handle.read(HEADER_SIZE)
     if len(raw) < _HEADER_STRUCT.size:
-        raise ValueError(f"{path} is too small to be an M3 matrix file")
+        raise ValueError(
+            f"{path} is too small to be an M3 matrix file: expected at least "
+            f"a {_HEADER_STRUCT.size}-byte header, found {len(raw)} bytes"
+        )
     magic, version, dtype_len, dtype_raw, rows, cols, has_labels, _reserved = (
         _HEADER_STRUCT.unpack(raw[: _HEADER_STRUCT.size])
     )
     if magic != MAGIC:
-        raise ValueError(f"{path} is not an M3 matrix file (bad magic {magic!r})")
+        hint = ""
+        if magic == b"M3BLOCKS":
+            hint = (
+                "; this is a v2 blocked shard — read it through "
+                "repro.data.formats_v2 or the shard:// backend"
+            )
+        raise ValueError(
+            f"{path} is not an M3 matrix file: expected magic {MAGIC!r}, "
+            f"found {magic!r}{hint}"
+        )
     if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported M3 matrix format version {version}")
+        raise ValueError(
+            f"{path}: unsupported M3 matrix format version {version} "
+            f"(this build reads version {FORMAT_VERSION}; the file may have "
+            f"been written by a newer repro)"
+        )
     dtype = np.dtype(dtype_raw[:dtype_len].decode("ascii"))
     header = BinaryMatrixHeader(
         version=version,

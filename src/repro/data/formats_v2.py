@@ -1,0 +1,652 @@
+"""The M3 v2 *blocked* matrix format: fixed-size blocks, independently coded.
+
+Where the v1 format (:mod:`repro.data.formats`) is a raw memory-mappable
+array, v2 trades the mmap property for bandwidth: the matrix is split into
+fixed-size row **blocks**, each independently compressed through a pluggable
+:mod:`~repro.data.codecs` codec, optionally stored in a narrower dtype
+(float32/float16 downcasting), and optionally laid out **column-major** inside
+each block so a column-subset scan fetches only the columns it needs.
+
+Layout::
+
+    bytes 0..7     magic  b"M3BLOCKS"
+    bytes 8..11    format version (uint32, little endian; currently 2)
+    bytes 12..15   reserved (uint32, zero)
+    bytes 16..23   header offset (uint64) — where the JSON header starts
+    bytes 24..31   header length (uint64)
+    bytes 32..     coded segments, tightly packed, in block order
+    trailer        the JSON header itself (written last, Parquet-style, so
+                   the writer can stream blocks without knowing their sizes
+                   up front)
+
+The JSON header carries the geometry (``rows``/``cols``/``block_rows``), the
+codec and layout names, the *logical* dtype (what consumers see) and the
+*storage* dtype (what is on disk), and the full block/segment table: for the
+``row`` layout each block is one segment of ``block_rows x cols`` values in C
+order; for the ``column`` layout each block holds ``cols`` segments, one per
+column, so segment ``j`` of a block can be fetched and decoded on its own.
+Labels, when present, are one coded int64 segment.
+
+Reads go through :class:`BlockedMatrixReader`, which serves rows with
+``os.pread`` — positioned reads on one shared file descriptor, so a pool of
+reader threads can fetch blocks concurrently with no lock at all.  The fetch
+(I/O) and decode (CPU) halves are separate methods, which is what lets the
+parallel chunk pipeline fetch compressed payloads on its reader pool and
+decompress them on the decode worker pool straight into reusable buffers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.data.codecs import Codec, get_codec
+
+BLOCKED_MAGIC = b"M3BLOCKS"
+BLOCKED_VERSION = 2
+BLOCKED_PREFIX = struct.Struct("<8sII QQ")
+BLOCKED_PREFIX_SIZE = 32
+DEFAULT_BLOCK_BYTES = 1024 * 1024
+"""Target raw bytes per block when no explicit ``block_rows`` is given."""
+
+LAYOUTS = ("row", "column")
+
+
+def default_block_rows(cols: int, itemsize: int, target_bytes: int = DEFAULT_BLOCK_BYTES) -> int:
+    """Rows per block targeting ``target_bytes`` of raw storage per block."""
+    return max(1, target_bytes // max(cols * itemsize, 1))
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """One block of a blocked matrix file: a row band plus its segments."""
+
+    start_row: int
+    rows: int
+    #: ``(file_offset, coded_bytes, raw_bytes)`` per segment — one segment for
+    #: the ``row`` layout, one per column for the ``column`` layout.
+    segments: Tuple[Tuple[int, int, int], ...]
+
+    @property
+    def stop_row(self) -> int:
+        """Global index one past the block's last row."""
+        return self.start_row + self.rows
+
+    @property
+    def coded_bytes(self) -> int:
+        """Total coded payload bytes of the block."""
+        return sum(segment[1] for segment in self.segments)
+
+
+@dataclass(frozen=True)
+class BlockedMatrixHeader:
+    """Parsed header of an M3 v2 blocked matrix file."""
+
+    version: int
+    codec: str
+    dtype: np.dtype
+    storage_dtype: np.dtype
+    rows: int
+    cols: int
+    block_rows: int
+    layout: str
+    has_labels: bool
+    blocks: Tuple[BlockInfo, ...]
+    label_segment: Optional[Tuple[int, int, int]]
+    raw_bytes: int
+    compressed_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        """Raw-to-coded size ratio (>= 1 means the codec saved bytes)."""
+        if self.compressed_bytes <= 0:
+            return 1.0
+        return self.raw_bytes / self.compressed_bytes
+
+
+def _normalize_layout(layout: str) -> str:
+    if layout not in LAYOUTS:
+        raise ValueError(f"layout must be one of {LAYOUTS}, got {layout!r}")
+    return layout
+
+
+class BlockedMatrixWriter:
+    """Stream rows into a blocked v2 file with bounded memory.
+
+    ``append`` buffers at most one block of rows; every full block is coded
+    and written immediately, so converting a dataset far larger than RAM
+    holds one block plus its coded payload at a time.  ``finalize`` flushes
+    the tail block, writes the label segment and the JSON header trailer,
+    and patches the prefix to point at it.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        cols: int,
+        block_rows: Optional[int] = None,
+        codec: Union[str, Codec] = "zlib",
+        dtype: Any = np.float64,
+        storage_dtype: Optional[Any] = None,
+        layout: str = "row",
+    ) -> None:
+        if cols <= 0:
+            raise ValueError(f"cols must be positive, got {cols}")
+        self.path = Path(path)
+        self.cols = int(cols)
+        self.dtype = np.dtype(dtype)
+        self.storage_dtype = self.dtype if storage_dtype is None else np.dtype(storage_dtype)
+        self.codec = get_codec(codec) if isinstance(codec, str) else codec
+        self.layout = _normalize_layout(layout)
+        if block_rows is None:
+            block_rows = default_block_rows(self.cols, self.storage_dtype.itemsize)
+        if block_rows <= 0:
+            raise ValueError(f"block_rows must be positive, got {block_rows}")
+        self.block_rows = int(block_rows)
+        self.rows_written = 0
+        self.raw_bytes = 0
+        self.compressed_bytes = 0
+        self._blocks: List[BlockInfo] = []
+        self._pending: List[np.ndarray] = []
+        self._pending_rows = 0
+        self._labels: List[np.ndarray] = []
+        self._label_segment: Optional[Tuple[int, int, int]] = None
+        self._handle = self.path.open("wb")
+        # Placeholder prefix; finalize() rewrites it with the real header
+        # offset once every segment has been written.
+        self._handle.write(
+            BLOCKED_PREFIX.pack(BLOCKED_MAGIC, BLOCKED_VERSION, 0, 0, 0)
+        )
+        self._offset = BLOCKED_PREFIX_SIZE
+        self._finalized = False
+
+    # -- appending -----------------------------------------------------------
+
+    def append(self, rows: np.ndarray) -> None:
+        """Append a band of rows (any height); blocks flush as they fill."""
+        self._check_writable()
+        rows = np.asarray(rows)
+        if rows.ndim != 2 or rows.shape[1] != self.cols:
+            raise ValueError(
+                f"expected rows of shape (n, {self.cols}), got {rows.shape}"
+            )
+        if rows.shape[0] == 0:
+            return
+        self._pending.append(rows)
+        self._pending_rows += int(rows.shape[0])
+        while self._pending_rows >= self.block_rows:
+            self._flush_block(self.block_rows)
+
+    def append_labels(self, labels: np.ndarray) -> None:
+        """Append the label slice matching previously appended rows."""
+        self._check_writable()
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.ndim != 1:
+            raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+        if labels.size:
+            self._labels.append(labels)
+
+    # -- block encoding ------------------------------------------------------
+
+    def _take_pending(self, rows: int) -> np.ndarray:
+        taken: List[np.ndarray] = []
+        needed = rows
+        while needed > 0:
+            head = self._pending[0]
+            if head.shape[0] <= needed:
+                taken.append(head)
+                needed -= head.shape[0]
+                self._pending.pop(0)
+            else:
+                taken.append(head[:needed])
+                self._pending[0] = head[needed:]
+                needed = 0
+        self._pending_rows -= rows
+        if len(taken) == 1:
+            return taken[0]
+        return np.concatenate(taken, axis=0)
+
+    def _write_segment(self, raw: bytes) -> Tuple[int, int, int]:
+        payload = self.codec.encode(raw)
+        offset = self._offset
+        self._handle.write(payload)
+        self._offset += len(payload)
+        self.raw_bytes += len(raw)
+        self.compressed_bytes += len(payload)
+        return (offset, len(payload), len(raw))
+
+    def _flush_block(self, rows: int) -> None:
+        block = self._take_pending(rows)
+        stored = np.ascontiguousarray(block, dtype=self.storage_dtype)
+        segments: List[Tuple[int, int, int]] = []
+        if self.layout == "row":
+            segments.append(self._write_segment(stored.tobytes()))
+        else:
+            for col in range(self.cols):
+                segments.append(
+                    self._write_segment(np.ascontiguousarray(stored[:, col]).tobytes())
+                )
+        self._blocks.append(
+            BlockInfo(start_row=self.rows_written, rows=rows, segments=tuple(segments))
+        )
+        self.rows_written += rows
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _check_writable(self) -> None:
+        if self._finalized:
+            raise RuntimeError(f"writer for {self.path} is already finalized")
+
+    def finalize(self) -> BlockedMatrixHeader:
+        """Flush the tail block, write labels + header trailer, close the file."""
+        self._check_writable()
+        self._finalized = True
+        if self._pending_rows > 0:
+            self._flush_block(self._pending_rows)
+        has_labels = bool(self._labels)
+        if has_labels:
+            labels = np.concatenate(self._labels) if len(self._labels) > 1 else self._labels[0]
+            if labels.shape[0] != self.rows_written:
+                self._handle.close()
+                raise ValueError(
+                    f"{self.path}: {labels.shape[0]} labels appended for "
+                    f"{self.rows_written} rows"
+                )
+            self._label_segment = self._write_segment(labels.tobytes())
+        header = {
+            "codec": self.codec.name,
+            "dtype": self.dtype.str,
+            "storage_dtype": self.storage_dtype.str,
+            "rows": self.rows_written,
+            "cols": self.cols,
+            "block_rows": self.block_rows,
+            "layout": self.layout,
+            "has_labels": has_labels,
+            "blocks": [
+                {"start_row": b.start_row, "rows": b.rows,
+                 "segments": [list(segment) for segment in b.segments]}
+                for b in self._blocks
+            ],
+            "labels": list(self._label_segment) if self._label_segment else None,
+            "raw_bytes": self.raw_bytes,
+            "compressed_bytes": self.compressed_bytes,
+        }
+        payload = json.dumps(header).encode("utf-8")
+        header_offset = self._offset
+        self._handle.write(payload)
+        self._handle.seek(0)
+        self._handle.write(
+            BLOCKED_PREFIX.pack(
+                BLOCKED_MAGIC, BLOCKED_VERSION, 0, header_offset, len(payload)
+            )
+        )
+        self._handle.close()
+        return read_blocked_header(self.path)
+
+    def __enter__(self) -> "BlockedMatrixWriter":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if exc_type is None:
+            if not self._finalized:
+                self.finalize()
+        elif not self._handle.closed:
+            self._handle.close()
+
+
+def write_blocked_matrix(
+    path: Union[str, Path],
+    data: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    block_rows: Optional[int] = None,
+    codec: Union[str, Codec] = "zlib",
+    storage_dtype: Optional[Any] = None,
+    layout: str = "row",
+) -> BlockedMatrixHeader:
+    """Write an in-memory matrix (and optional labels) as one v2 blocked file."""
+    data = np.asarray(data)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D, got shape {data.shape}")
+    writer = BlockedMatrixWriter(
+        path,
+        cols=int(data.shape[1]),
+        block_rows=block_rows,
+        codec=codec,
+        dtype=data.dtype,
+        storage_dtype=storage_dtype,
+        layout=layout,
+    )
+    writer.append(data)
+    if labels is not None:
+        writer.append_labels(labels)
+    return writer.finalize()
+
+
+def read_blocked_header(path: Union[str, Path]) -> BlockedMatrixHeader:
+    """Read and validate the header of a v2 blocked matrix file.
+
+    Errors name the offending path and the expected-vs-actual magic/version,
+    and the declared segment extents are checked against the real file size so
+    a truncated shard fails here instead of mid-decode.
+    """
+    path = Path(path)
+    actual_bytes = path.stat().st_size
+    with path.open("rb") as handle:
+        raw = handle.read(BLOCKED_PREFIX_SIZE)
+        if len(raw) < BLOCKED_PREFIX_SIZE:
+            raise ValueError(
+                f"{path} is too small to be an M3 blocked matrix file: "
+                f"expected at least a {BLOCKED_PREFIX_SIZE}-byte prefix, "
+                f"found {len(raw)} bytes"
+            )
+        magic, version, _reserved, header_offset, header_len = BLOCKED_PREFIX.unpack(raw)
+        if magic != BLOCKED_MAGIC:
+            raise ValueError(
+                f"{path} is not an M3 blocked matrix file: expected magic "
+                f"{BLOCKED_MAGIC!r}, found {magic!r}"
+            )
+        if version != BLOCKED_VERSION:
+            raise ValueError(
+                f"{path}: unsupported M3 blocked format version {version} "
+                f"(this build reads version {BLOCKED_VERSION}; the file may "
+                f"have been written by a newer repro)"
+            )
+        if header_offset + header_len > actual_bytes:
+            raise ValueError(
+                f"{path} is truncated: the header trailer is declared at "
+                f"bytes [{header_offset}, {header_offset + header_len}) but "
+                f"the file is only {actual_bytes} bytes"
+            )
+        handle.seek(header_offset)
+        payload = handle.read(header_len)
+    try:
+        parsed: Dict[str, Any] = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValueError(f"{path}: corrupt v2 header trailer: {error}") from error
+    blocks = tuple(
+        BlockInfo(
+            start_row=int(entry["start_row"]),
+            rows=int(entry["rows"]),
+            segments=tuple(tuple(int(v) for v in seg) for seg in entry["segments"]),
+        )
+        for entry in parsed["blocks"]
+    )
+    label_segment = parsed.get("labels")
+    header = BlockedMatrixHeader(
+        version=version,
+        codec=str(parsed["codec"]),
+        dtype=np.dtype(parsed["dtype"]),
+        storage_dtype=np.dtype(parsed["storage_dtype"]),
+        rows=int(parsed["rows"]),
+        cols=int(parsed["cols"]),
+        block_rows=int(parsed["block_rows"]),
+        layout=_normalize_layout(str(parsed["layout"])),
+        has_labels=bool(parsed["has_labels"]),
+        blocks=blocks,
+        label_segment=tuple(int(v) for v in label_segment) if label_segment else None,
+        raw_bytes=int(parsed["raw_bytes"]),
+        compressed_bytes=int(parsed["compressed_bytes"]),
+    )
+    for block in header.blocks:
+        for offset, coded, _raw in block.segments:
+            if offset + coded > actual_bytes:
+                raise ValueError(
+                    f"{path} is truncated: block at row {block.start_row} "
+                    f"declares a segment at bytes [{offset}, {offset + coded}) "
+                    f"but the file is only {actual_bytes} bytes"
+                )
+    return header
+
+
+@dataclass(frozen=True)
+class BlockPayload:
+    """Fetched (still-coded) payloads of one block — the I/O half of a read.
+
+    ``columns`` is ``None`` when every segment of the block was fetched, or
+    the fetched column indices for a column-subset read of a column-major
+    block.
+    """
+
+    index: int
+    payloads: Tuple[bytes, ...]
+    columns: Optional[Tuple[int, ...]]
+    compressed_bytes: int
+
+
+class BlockedMatrixReader:
+    """Random and streaming reads over a v2 blocked matrix file.
+
+    The reader keeps one file descriptor and serves every fetch with
+    ``os.pread``, so concurrent fetches from a reader pool need no locking.
+    Fetch (:meth:`fetch_block`) and decode (:meth:`decode_block_into`) are
+    separate so callers can schedule the two halves on different thread
+    pools; :meth:`read_rows_into` composes them for synchronous use.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.header = read_blocked_header(self.path)
+        self.codec = get_codec(self.header.codec)
+        self._fd: Optional[int] = os.open(str(self.path), os.O_RDONLY)
+        #: Coded bytes fetched through this reader (accounting; single-threaded
+        #: consumers read it, concurrent fetches also return their own counts).
+        self.payload_bytes_read = 0
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        """Logical row count."""
+        return self.header.rows
+
+    @property
+    def cols(self) -> int:
+        """Column count."""
+        return self.header.cols
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The logical dtype reads are served in."""
+        return self.header.dtype
+
+    def blocks_for(self, start: int, stop: int) -> range:
+        """Indices of the blocks overlapping rows ``[start, stop)``."""
+        start = max(0, start)
+        stop = min(self.header.rows, stop)
+        if stop <= start:
+            return range(0)
+        return range(start // self.header.block_rows,
+                     (stop - 1) // self.header.block_rows + 1)
+
+    # -- fetch (I/O) ---------------------------------------------------------
+
+    def _pread(self, offset: int, length: int) -> bytes:
+        fd = self._fd
+        if fd is None:
+            raise RuntimeError(f"reader for {self.path} is closed")
+        payload = os.pread(fd, length, offset)
+        if len(payload) != length:
+            raise ValueError(
+                f"{self.path} is truncated: wanted {length} bytes at offset "
+                f"{offset}, got {len(payload)}"
+            )
+        return payload
+
+    def fetch_block(
+        self, index: int, columns: Optional[Sequence[int]] = None
+    ) -> BlockPayload:
+        """Fetch the coded payload(s) of block ``index`` (I/O only, no decode).
+
+        ``columns`` restricts a **column-major** block to the named columns'
+        segments, so a column-subset scan reads only the bytes it needs;
+        row-major blocks always fetch their single full segment.
+        """
+        block = self.header.blocks[index]
+        if columns is not None and self.header.layout == "column":
+            wanted = tuple(int(c) for c in columns)
+            segments = [block.segments[c] for c in wanted]
+        else:
+            wanted = None
+            segments = list(block.segments)
+        payloads = tuple(self._pread(offset, coded) for offset, coded, _ in segments)
+        fetched = sum(coded for _, coded, _ in segments)
+        self.payload_bytes_read += fetched
+        return BlockPayload(
+            index=index, payloads=payloads, columns=wanted, compressed_bytes=fetched
+        )
+
+    # -- decode (CPU) --------------------------------------------------------
+
+    def _decode_segment(self, payload: bytes, raw_bytes: int) -> np.ndarray:
+        raw = self.codec.decode(payload, raw_bytes)
+        return np.frombuffer(raw, dtype=self.header.storage_dtype)
+
+    def decode_block_into(
+        self,
+        fetched: BlockPayload,
+        lo: int,
+        hi: int,
+        out: np.ndarray,
+        out_offset: int = 0,
+    ) -> None:
+        """Decode global rows ``[lo, hi)`` of a fetched block into ``out``.
+
+        ``out`` is a 2-D array in the *logical* dtype: decoded storage values
+        are cast on the copy, so a float32-on-disk dataset streams float64 to
+        consumers without an intermediate full-block logical array.
+        """
+        block = self.header.blocks[fetched.index]
+        lo = max(lo, block.start_row)
+        hi = min(hi, block.stop_row)
+        if hi <= lo:
+            return
+        local = slice(lo - block.start_row, hi - block.start_row)
+        dest = out[out_offset : out_offset + (hi - lo)]
+        if self.header.layout == "row":
+            values = self._decode_segment(
+                fetched.payloads[0], block.segments[0][2]
+            ).reshape(block.rows, self.header.cols)
+            np.copyto(dest, values[local], casting="unsafe")
+        else:
+            columns = (
+                fetched.columns
+                if fetched.columns is not None
+                else range(self.header.cols)
+            )
+            for position, col in enumerate(columns):
+                segment = block.segments[col]
+                values = self._decode_segment(fetched.payloads[position], segment[2])
+                target = position if fetched.columns is not None else col
+                np.copyto(dest[:, target], values[local], casting="unsafe")
+
+    # -- composed reads ------------------------------------------------------
+
+    def read_rows_into(self, start: int, stop: int, out: np.ndarray) -> np.ndarray:
+        """Fetch + decode rows ``[start, stop)`` into preallocated ``out``."""
+        start = max(0, start)
+        stop = min(self.header.rows, stop)
+        rows = max(0, stop - start)
+        if out.ndim != 2 or out.shape[0] < rows or out.shape[1] != self.header.cols:
+            raise ValueError(
+                f"output buffer of shape {out.shape} cannot hold {rows} rows "
+                f"of {self.header.cols} columns"
+            )
+        for index in self.blocks_for(start, stop):
+            fetched = self.fetch_block(index)
+            block = self.header.blocks[index]
+            lo = max(start, block.start_row)
+            self.decode_block_into(fetched, start, stop, out, out_offset=lo - start)
+        return out[:rows]
+
+    def read_rows(self, start: int, stop: int) -> np.ndarray:
+        """Fetch + decode rows ``[start, stop)`` into a fresh logical array."""
+        rows = max(0, min(self.header.rows, stop) - max(0, start))
+        out = np.empty((rows, self.header.cols), dtype=self.header.dtype)
+        return self.read_rows_into(start, stop, out)
+
+    def read_block(self, index: int) -> np.ndarray:
+        """Decode one whole block into a fresh logical array."""
+        block = self.header.blocks[index]
+        return self.read_rows(block.start_row, block.stop_row)
+
+    def read_columns(self, start: int, stop: int, columns: Sequence[int]) -> np.ndarray:
+        """Rows ``[start, stop)`` restricted to ``columns``.
+
+        On a column-major file only the named columns' segments are fetched
+        and decoded; on a row-major file the whole blocks are decoded and
+        sliced (correct, but reads every byte — the layout exists precisely
+        to avoid that).
+        """
+        start = max(0, start)
+        stop = min(self.header.rows, stop)
+        columns = [int(c) for c in columns]
+        for col in columns:
+            if not 0 <= col < self.header.cols:
+                raise IndexError(
+                    f"column {col} out of range for {self.header.cols} columns"
+                )
+        rows = max(0, stop - start)
+        out = np.empty((rows, len(columns)), dtype=self.header.dtype)
+        if rows == 0:
+            return out
+        if self.header.layout == "column":
+            for index in self.blocks_for(start, stop):
+                fetched = self.fetch_block(index, columns=columns)
+                block = self.header.blocks[index]
+                lo = max(start, block.start_row)
+                self.decode_block_into(fetched, start, stop, out, out_offset=lo - start)
+            return out
+        for index in self.blocks_for(start, stop):
+            block = self.header.blocks[index]
+            lo = max(start, block.start_row)
+            hi = min(stop, block.stop_row)
+            decoded = self.read_rows(lo, hi)
+            out[lo - start : hi - start] = decoded[:, columns]
+        return out
+
+    def compressed_bytes_for(self, start: int, stop: int) -> int:
+        """Coded bytes a full-width read of rows ``[start, stop)`` fetches."""
+        return sum(
+            self.header.blocks[index].coded_bytes
+            for index in self.blocks_for(start, stop)
+        )
+
+    def read_labels(self) -> Optional[np.ndarray]:
+        """Decode the label vector (``None`` for unlabelled files)."""
+        segment = self.header.label_segment
+        if segment is None:
+            return None
+        offset, coded, raw_bytes = segment
+        raw = self.codec.decode(self._pread(offset, coded), raw_bytes)
+        self.payload_bytes_read += coded
+        return np.frombuffer(raw, dtype=np.int64).copy()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the file descriptor."""
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+            self._fd = None
+
+    def __enter__(self) -> "BlockedMatrixReader":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        h = self.header
+        return (
+            f"BlockedMatrixReader(rows={h.rows}, cols={h.cols}, codec={h.codec!r}, "
+            f"block_rows={h.block_rows}, layout={h.layout!r}, path={str(self.path)!r})"
+        )

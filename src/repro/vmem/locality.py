@@ -234,6 +234,133 @@ class LocalityReport:
         return "random"
 
 
+def spatial_locality_degree(page_sequence: Sequence[PageId]) -> float:
+    """SLD: how close consecutive accesses are in the address space, in [0, 1].
+
+    Each consecutive pair contributes ``1 / (1 + |delta - 1|)`` where
+    ``delta`` is the page-id stride: a perfect forward scan (stride 1) scores
+    1.0, re-touching the same page (stride 0) scores 0.5, and far jumps decay
+    toward 0.  The mean over all pairs is the mapanalyzer-style spatial
+    locality degree: high SLD means OS readahead and block-granular fetch
+    both pay off.
+    """
+    if len(page_sequence) < 2:
+        return 1.0
+    total = 0.0
+    for previous, current in zip(page_sequence, page_sequence[1:]):
+        total += 1.0 / (1.0 + abs((current - previous) - 1))
+    return total / (len(page_sequence) - 1)
+
+
+def temporal_locality_degree(page_sequence: Sequence[PageId]) -> float:
+    """TLD: how soon pages are re-touched after first use, in [0, 1].
+
+    Every access contributes ``1 / (1 + d)`` where ``d`` is its LRU reuse
+    distance; first touches (infinite distance) contribute 0.  A tight inner
+    loop over a few pages scores near 1; a one-pass scan scores 0 — it has
+    *no* temporal reuse, which is exactly why scans want streaming eviction
+    rather than LRU retention.
+    """
+    if not page_sequence:
+        return 0.0
+    total = 0.0
+    for distance in reuse_distances(page_sequence):
+        if distance != INFINITE_DISTANCE:
+            total += 1.0 / (1.0 + distance)
+    return total / len(page_sequence)
+
+
+def roundtrip_intervals(
+    page_sequence: Sequence[PageId], cache_pages: int
+) -> List[int]:
+    """MRI: access-count gaps between a page's eviction and its re-fetch.
+
+    Simulates an LRU cache of ``cache_pages`` pages over the sequence and
+    records, for every miss on a *previously evicted* page, how many accesses
+    ago that page was evicted.  Short roundtrip intervals are the signature
+    of premature eviction — the cache is just slightly too small (or the
+    layout just slightly too scattered) for the reuse pattern, the
+    costliest regime for a paging system.
+    """
+    if cache_pages <= 0:
+        raise ValueError("cache_pages must be positive")
+    cache: "Dict[PageId, bool]" = {}  # insertion-ordered: LRU via re-insert
+    evicted_at: Dict[PageId, int] = {}
+    intervals: List[int] = []
+    for position, page in enumerate(page_sequence):
+        if page in cache:
+            del cache[page]  # re-insert below to refresh recency
+        else:
+            eviction = evicted_at.pop(page, None)
+            if eviction is not None:
+                intervals.append(position - eviction)
+            if len(cache) >= cache_pages:
+                victim = next(iter(cache))
+                del cache[victim]
+                evicted_at[victim] = position
+        cache[page] = True
+    return intervals
+
+
+@dataclass(frozen=True)
+class CacheFriendlinessReport:
+    """The mapanalyzer-style cache-friendliness scorecard of one access trace.
+
+    Combines the four metrics the block-size/layout advisor ranks candidate
+    encodings by: spatial locality (does the layout keep consecutive touches
+    adjacent?), temporal locality (is reuse captured while pages are still
+    resident?), the miss ratio at the cache size under study, and the mean
+    eviction-to-refetch roundtrip interval (are we evicting pages we are
+    just about to need again?).
+    """
+
+    spatial_locality: float
+    temporal_locality: float
+    miss_ratio: float
+    cache_pages: int
+    roundtrips: int
+    mean_roundtrip_interval: Optional[float]
+    total_page_accesses: int
+
+    @property
+    def score(self) -> float:
+        """Composite friendliness in [0, 1]: locality up, misses down.
+
+        Hit ratio carries half the weight (it is the end-to-end outcome);
+        spatial and temporal locality share the other half (they explain
+        *why* and generalise across nearby cache sizes).
+        """
+        hit = 1.0 - self.miss_ratio
+        return 0.5 * hit + 0.25 * self.spatial_locality + 0.25 * self.temporal_locality
+
+
+def cache_friendliness(
+    page_sequence: Sequence[PageId], cache_pages: int
+) -> CacheFriendlinessReport:
+    """Score ``page_sequence`` against an LRU cache of ``cache_pages`` pages."""
+    if cache_pages <= 0:
+        raise ValueError("cache_pages must be positive")
+    distances = reuse_distances(page_sequence)
+    total = len(page_sequence)
+    misses = sum(
+        1
+        for distance in distances
+        if distance == INFINITE_DISTANCE or distance >= cache_pages
+    )
+    intervals = roundtrip_intervals(page_sequence, cache_pages)
+    return CacheFriendlinessReport(
+        spatial_locality=spatial_locality_degree(page_sequence),
+        temporal_locality=temporal_locality_degree(page_sequence),
+        miss_ratio=(misses / total) if total else 0.0,
+        cache_pages=cache_pages,
+        roundtrips=len(intervals),
+        mean_roundtrip_interval=(
+            sum(intervals) / len(intervals) if intervals else None
+        ),
+        total_page_accesses=total,
+    )
+
+
 def analyze_trace(
     trace: AccessTrace,
     page_size: int = PAGE_SIZE_DEFAULT,

@@ -1,0 +1,89 @@
+"""Buffer-pool dtype discipline (lease reuse across mismatched geometry).
+
+``gather_into``/``decode_into`` copy with ``casting="unsafe"``: a float32
+matrix streamed through a float64 ring would *silently upcast* every pooled
+chunk in flight — the consumer would train on data the matrix never held.
+The pipeline must refuse a mismatched shared pool loudly instead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.chunks import ChunkBufferPool, open_chunk_stream
+from repro.api.sharded import ShardedMatrix, open_sharded_matrix, write_sharded_dataset
+
+
+@pytest.fixture()
+def float32_sharded(tmp_path, rng):
+    X = rng.standard_normal((120, 4)).astype(np.float32)
+    y = (rng.integers(0, 2, size=120)).astype(np.int64)
+    write_sharded_dataset(tmp_path / "f32", X, y, shard_rows=50)
+    return ShardedMatrix(tmp_path / "f32"), X, y
+
+
+class TestDtypeMismatchRefused:
+    def test_float32_matrix_through_float64_pool_rejected(self, float32_sharded):
+        matrix, X, y = float32_sharded
+        pool = ChunkBufferPool(buffers=2, chunk_rows=60, n_cols=4,
+                               dtype=np.float64, label_dtype=np.int64)
+        with pytest.raises(ValueError, match="dtype"):
+            open_chunk_stream(matrix, labels=matrix.lazy_labels, chunk_rows=30,
+                              align_shards=False, io_workers=2,
+                              buffer_pool=pool)
+        # The refused pool is untouched and reusable elsewhere.
+        assert pool.available == pool.buffers
+
+    def test_error_names_both_dtypes(self, float32_sharded):
+        matrix, _X, _y = float32_sharded
+        pool = ChunkBufferPool(buffers=2, chunk_rows=60, n_cols=4,
+                               dtype=np.float64)
+        with pytest.raises(ValueError, match="float64.*float32|float32.*float64"):
+            open_chunk_stream(matrix, chunk_rows=30, align_shards=False,
+                              io_workers=2, buffer_pool=pool)
+
+    def test_column_mismatch_rejected(self, float32_sharded):
+        matrix, _X, _y = float32_sharded
+        pool = ChunkBufferPool(buffers=2, chunk_rows=60, n_cols=8,
+                               dtype=np.float32)
+        with pytest.raises(ValueError, match="columns"):
+            open_chunk_stream(matrix, chunk_rows=30, align_shards=False,
+                              io_workers=2, buffer_pool=pool)
+
+    def test_undersized_buffers_rejected(self, float32_sharded):
+        matrix, _X, _y = float32_sharded
+        pool = ChunkBufferPool(buffers=2, chunk_rows=10, n_cols=4,
+                               dtype=np.float32)
+        with pytest.raises(ValueError, match="rows"):
+            open_chunk_stream(matrix, chunk_rows=30, align_shards=False,
+                              io_workers=2, buffer_pool=pool)
+
+    def test_compressed_stream_applies_same_guard(self, tmp_path, rng):
+        X = rng.integers(0, 4, size=(200, 4)).astype(np.float32)
+        write_sharded_dataset(tmp_path / "zip32", X, None, shard_rows=100,
+                              codec="zlib", block_rows=50)
+        matrix = open_sharded_matrix(tmp_path / "zip32")
+        pool = ChunkBufferPool(buffers=2, chunk_rows=60, n_cols=4,
+                               dtype=np.float64)
+        with pytest.raises(ValueError, match="dtype"):
+            open_chunk_stream(matrix, chunk_rows=50, io_workers=2,
+                              buffer_pool=pool)
+        matrix.close()
+
+
+class TestMatchingPoolStreams:
+    def test_float32_pool_preserves_dtype_bitwise(self, float32_sharded):
+        matrix, X, y = float32_sharded
+        pool = ChunkBufferPool(buffers=3, chunk_rows=30, n_cols=4,
+                               dtype=np.float32, label_dtype=np.int64)
+        with open_chunk_stream(matrix, labels=matrix.lazy_labels,
+                               chunk_rows=30, align_shards=False,
+                               io_workers=2, buffer_pool=pool) as stream:
+            for chunk in stream:
+                try:
+                    assert chunk.X.dtype == np.float32
+                    np.testing.assert_array_equal(
+                        chunk.X, X[chunk.start:chunk.stop]
+                    )
+                finally:
+                    chunk.release()
+        assert pool.available == pool.buffers

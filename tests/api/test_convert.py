@@ -1,0 +1,102 @@
+"""Tests for streaming dataset conversion between v1 and v2."""
+
+import numpy as np
+import pytest
+
+from repro.api.convert import convert_dataset, dataset_geometry
+from repro.api.sharded import open_sharded_matrix, read_manifest, write_sharded_dataset
+from repro.data.formats import write_binary_matrix
+
+
+@pytest.fixture()
+def source(tmp_path, rng):
+    X = rng.integers(0, 6, size=(1000, 8)).astype(np.float64)
+    y = rng.integers(0, 3, size=1000).astype(np.int64)
+    write_sharded_dataset(tmp_path / "v1", X, y, shard_rows=400)
+    return tmp_path, X, y
+
+
+class TestConvert:
+    def test_v1_directory_to_v2(self, source):
+        tmp_path, X, y = source
+        manifest = convert_dataset(tmp_path / "v1", tmp_path / "v2",
+                                   codec="zlib", block_rows=128)
+        assert manifest.codec == "zlib"
+        assert manifest.ratio > 1.0
+        matrix = open_sharded_matrix(tmp_path / "v2")
+        np.testing.assert_array_equal(matrix[:], X)
+        np.testing.assert_array_equal(matrix.lazy_labels[:], y)
+        matrix.close()
+
+    def test_v2_back_to_v1_round_trip(self, source):
+        tmp_path, X, y = source
+        convert_dataset(tmp_path / "v1", tmp_path / "v2", codec="zlib")
+        convert_dataset(tmp_path / "v2", tmp_path / "back", codec=None)
+        back = read_manifest(tmp_path / "back")
+        assert back.codec is None and back.version == 1
+        matrix = open_sharded_matrix(tmp_path / "back")
+        np.testing.assert_array_equal(matrix[:], X)
+        np.testing.assert_array_equal(matrix.lazy_labels[:], y)
+        matrix.close()
+
+    def test_single_file_source(self, source, tmp_path):
+        _tmp, X, y = source
+        write_binary_matrix(tmp_path / "one.m3", X, y)
+        manifest = convert_dataset(tmp_path / "one.m3", tmp_path / "from_file",
+                                   codec="zlib", shard_rows=300)
+        assert len(manifest.shards) == 4  # 1000 rows / 300
+        matrix = open_sharded_matrix(tmp_path / "from_file")
+        np.testing.assert_array_equal(matrix[:], X)
+        matrix.close()
+
+    def test_bounded_chunk_copy_is_exact(self, source):
+        tmp_path, X, y = source
+        # chunk_rows deliberately misaligned with shards and blocks.
+        convert_dataset(tmp_path / "v1", tmp_path / "v2", codec="zlib",
+                        block_rows=128, chunk_rows=77)
+        matrix = open_sharded_matrix(tmp_path / "v2")
+        np.testing.assert_array_equal(matrix[:], X)
+        np.testing.assert_array_equal(matrix.lazy_labels[:], y)
+        matrix.close()
+
+    def test_keeps_source_shard_height_by_default(self, source):
+        tmp_path, _X, _y = source
+        manifest = convert_dataset(tmp_path / "v1", tmp_path / "v2", codec="zlib")
+        assert max(s.rows for s in manifest.shards) == 400
+
+    def test_storage_dtype_and_layout_forwarded(self, source):
+        tmp_path, X, _y = source
+        manifest = convert_dataset(tmp_path / "v1", tmp_path / "v2",
+                                   codec="zlib", storage_dtype=np.float32,
+                                   layout="column")
+        assert manifest.layout == "column"
+        assert manifest.storage_dtype == np.dtype(np.float32)
+        matrix = open_sharded_matrix(tmp_path / "v2")
+        np.testing.assert_allclose(matrix[:], X, atol=1e-6)
+        matrix.close()
+
+    def test_refuses_self_and_occupied_destinations(self, source):
+        tmp_path, _X, _y = source
+        with pytest.raises(ValueError, match="itself"):
+            convert_dataset(tmp_path / "v1", tmp_path / "v1")
+        convert_dataset(tmp_path / "v1", tmp_path / "v2", codec="zlib")
+        with pytest.raises(ValueError, match="refusing"):
+            convert_dataset(tmp_path / "v1", tmp_path / "v2")
+
+    def test_missing_source_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            convert_dataset(tmp_path / "nope", tmp_path / "out")
+
+    def test_v1_knobs_without_codec_rejected(self, source):
+        tmp_path, _X, _y = source
+        with pytest.raises(ValueError, match="codec"):
+            convert_dataset(tmp_path / "v1", tmp_path / "out",
+                            codec=None, block_rows=64)
+
+    def test_dataset_geometry(self, source, tmp_path):
+        _tmp, X, y = source
+        rows, cols, dtype = dataset_geometry(_tmp / "v1")
+        assert (rows, cols) == (1000, 8)
+        assert dtype == np.dtype(np.float64)
+        write_binary_matrix(tmp_path / "g.m3", X[:10], y[:10])
+        assert dataset_geometry(tmp_path / "g.m3")[0] == 10

@@ -1,0 +1,160 @@
+"""Tests for compressed (v2) sharded datasets and manifest versioning."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.sharded import (
+    CompressedShardedMatrix,
+    ShardManifest,
+    ShardedMatrix,
+    open_sharded_matrix,
+    read_manifest,
+    write_sharded_dataset,
+)
+
+
+@pytest.fixture()
+def data(rng):
+    return rng.integers(0, 6, size=(1100, 10)).astype(np.float64)
+
+
+@pytest.fixture()
+def labels(rng):
+    return rng.integers(0, 4, size=1100).astype(np.int64)
+
+
+@pytest.fixture()
+def v2_dir(tmp_path, data, labels):
+    directory = tmp_path / "v2"
+    write_sharded_dataset(directory, data, labels, shard_rows=400,
+                          codec="zlib", block_rows=128)
+    return directory
+
+
+class TestWriteAndOpen:
+    def test_v1_manifest_unchanged_without_codec(self, tmp_path, data, labels):
+        directory = tmp_path / "v1"
+        write_sharded_dataset(directory, data, labels, shard_rows=400)
+        payload = json.loads((directory / "manifest.json").read_text())
+        assert payload["version"] == 1
+        assert "codec" not in payload
+        assert set(payload["shards"][0]) == {"filename", "start_row", "rows"}
+        assert isinstance(open_sharded_matrix(directory), ShardedMatrix)
+
+    def test_v2_round_trip_bit_identical(self, v2_dir, data, labels):
+        matrix = open_sharded_matrix(v2_dir)
+        assert isinstance(matrix, CompressedShardedMatrix)
+        assert matrix.is_compressed
+        np.testing.assert_array_equal(matrix[:], data)
+        np.testing.assert_array_equal(matrix.lazy_labels[:], labels)
+        matrix.close()
+
+    @pytest.mark.parametrize("codec,layout", [
+        ("none", "row"), ("zlib", "row"), ("zlib", "column"),
+    ])
+    def test_every_codec_layout_round_trips(self, tmp_path, data, labels,
+                                            codec, layout):
+        directory = tmp_path / f"{codec}-{layout}"
+        write_sharded_dataset(directory, data, labels, shard_rows=300,
+                              codec=codec, block_rows=100, layout=layout)
+        matrix = open_sharded_matrix(directory)
+        np.testing.assert_array_equal(matrix[:], data)
+        np.testing.assert_array_equal(matrix[123:456], data[123:456])
+        fancy = np.array([0, 13, 299, 300, 301, 1099])
+        np.testing.assert_array_equal(matrix[fancy], data[fancy])
+        matrix.close()
+
+    def test_float32_storage_close_to_source(self, tmp_path, rng):
+        data = rng.standard_normal((500, 8))
+        directory = tmp_path / "f32"
+        write_sharded_dataset(directory, data, None, shard_rows=250,
+                              codec="zlib", storage_dtype=np.float32)
+        matrix = open_sharded_matrix(directory)
+        assert matrix.dtype == np.float64
+        assert matrix.storage_dtype == np.float32
+        np.testing.assert_allclose(matrix[:], data, atol=1e-6)
+        matrix.close()
+
+    def test_compression_ratio_reported(self, v2_dir):
+        manifest = read_manifest(v2_dir)
+        assert manifest.version == 2
+        assert manifest.ratio > 1.0
+        for shard in manifest.shards:
+            assert shard.ratio > 1.0
+        matrix = open_sharded_matrix(v2_dir)
+        assert matrix.compressed_nbytes < matrix.nbytes
+        matrix.close()
+
+    def test_read_only(self, v2_dir):
+        matrix = open_sharded_matrix(v2_dir)
+        with pytest.raises((TypeError, ValueError)):
+            matrix[0] = 1.0
+        with pytest.raises(ValueError):
+            open_sharded_matrix(v2_dir, mode="r+")
+        matrix.close()
+
+    def test_block_cache_serves_repeat_random_access(self, v2_dir, data):
+        matrix = open_sharded_matrix(v2_dir)
+        np.testing.assert_array_equal(matrix[37], data[37])
+        misses = matrix.block_cache.misses
+        np.testing.assert_array_equal(matrix[38], data[38])  # same block
+        assert matrix.block_cache.misses == misses
+        assert matrix.block_cache.hits > 0
+        matrix.close()
+
+    def test_gather_into_bypasses_cache(self, v2_dir, data):
+        matrix = open_sharded_matrix(v2_dir)
+        out = np.empty((200, 10), dtype=np.float64)
+        matrix.gather_into(350, 550, out)  # straddles the 400-row shard edge
+        np.testing.assert_array_equal(out, data[350:550])
+        assert matrix.block_cache.nbytes == 0
+        matrix.close()
+
+    def test_fetch_then_decode_split(self, v2_dir, data):
+        matrix = open_sharded_matrix(v2_dir)
+        fetched = matrix.fetch_compressed(100, 300)
+        assert fetched.compressed_bytes > 0
+        out = np.empty((200, 10), dtype=np.float64)
+        matrix.decode_into(fetched, out)
+        np.testing.assert_array_equal(out, data[100:300])
+        matrix.close()
+
+
+class TestManifestVersioning:
+    def test_unknown_version_rejected_as_newer_repro(self, tmp_path, v2_dir):
+        payload = json.loads((v2_dir / "manifest.json").read_text())
+        payload["version"] = 7
+        with pytest.raises(ValueError, match="newer repro"):
+            ShardManifest.from_json(payload)
+
+    def test_unknown_version_names_supported_versions(self, v2_dir):
+        payload = json.loads((v2_dir / "manifest.json").read_text())
+        payload["version"] = 7
+        with pytest.raises(ValueError, match=r"1.*2|versions"):
+            ShardManifest.from_json(payload)
+
+    def test_v2_manifest_requires_codec(self, v2_dir):
+        payload = json.loads((v2_dir / "manifest.json").read_text())
+        del payload["codec"]
+        with pytest.raises(ValueError, match="codec"):
+            ShardManifest.from_json(payload)
+
+    def test_v1_class_refuses_v2_manifest(self, v2_dir):
+        with pytest.raises(ValueError, match="open_sharded_matrix"):
+            ShardedMatrix(v2_dir)
+
+    def test_mismatched_shard_header_rejected(self, tmp_path, data, labels):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        write_sharded_dataset(a, data, labels, shard_rows=400,
+                              codec="zlib", block_rows=128)
+        write_sharded_dataset(b, data, labels, shard_rows=400,
+                              codec="none", block_rows=128)
+        # Swap one shard file between codecs: the manifest promises zlib but
+        # the shard header says none.
+        shard = "shard-00001.m3b"
+        (a / shard).write_bytes((b / shard).read_bytes())
+        with pytest.raises(ValueError):
+            open_sharded_matrix(a)

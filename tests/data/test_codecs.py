@@ -1,0 +1,93 @@
+"""Tests for the block codec registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.codecs import (
+    CODEC_REGISTRY,
+    Codec,
+    CodecError,
+    NoneCodec,
+    ZlibCodec,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+
+
+class TestRegistry:
+    def test_builtin_codecs_registered(self):
+        assert "none" in available_codecs()
+        assert "zlib" in available_codecs()
+
+    def test_get_codec_by_name(self):
+        assert isinstance(get_codec("zlib"), ZlibCodec)
+        assert isinstance(get_codec("none"), NoneCodec)
+
+    def test_unknown_codec_rejected_with_choices(self):
+        with pytest.raises(ValueError, match="zstd-9000"):
+            get_codec("zstd-9000")
+        with pytest.raises(ValueError, match="zlib"):
+            get_codec("zstd-9000")
+
+    def test_register_custom_codec(self):
+        class ReverseCodec(Codec):
+            name = "reverse-test"
+
+            def encode(self, raw: bytes) -> bytes:
+                return raw[::-1]
+
+            def decode(self, coded: bytes, raw_size: int) -> bytes:
+                raw = coded[::-1]
+                self._check_size(raw, raw_size)
+                return raw
+
+        try:
+            register_codec(ReverseCodec())
+            codec = get_codec("reverse-test")
+            assert codec.decode(codec.encode(b"abcdef"), 6) == b"abcdef"
+        finally:
+            CODEC_REGISTRY.pop("reverse-test", None)
+
+    def test_nameless_codec_rejected(self):
+        class Nameless(Codec):
+            def encode(self, raw: bytes) -> bytes:  # pragma: no cover
+                return raw
+
+            def decode(self, coded: bytes, raw_size: int) -> bytes:  # pragma: no cover
+                return coded
+
+        with pytest.raises(ValueError, match="name"):
+            register_codec(Nameless())
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["none", "zlib"])
+    def test_bytes_round_trip(self, name):
+        codec = get_codec(name)
+        raw = bytes(range(256)) * 33
+        assert codec.decode(codec.encode(raw), len(raw)) == raw
+
+    @pytest.mark.parametrize("name", ["none", "zlib"])
+    def test_decode_into_buffer(self, name):
+        codec = get_codec(name)
+        raw = np.arange(512, dtype=np.float64).tobytes()
+        out = bytearray(len(raw))
+        codec.decode_into(codec.encode(raw), memoryview(out))
+        assert bytes(out) == raw
+
+    def test_zlib_compresses_redundant_data(self):
+        codec = get_codec("zlib")
+        raw = b"\x00" * 65536
+        assert len(codec.encode(raw)) < len(raw) // 10
+
+    def test_size_mismatch_rejected(self):
+        codec = get_codec("zlib")
+        coded = codec.encode(b"x" * 100)
+        with pytest.raises(CodecError, match="100"):
+            codec.decode(coded, 101)
+
+    def test_corrupt_payload_rejected(self):
+        codec = get_codec("zlib")
+        with pytest.raises(Exception):
+            codec.decode(b"definitely not zlib", 10)

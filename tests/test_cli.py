@@ -414,3 +414,74 @@ class TestServe:
                           "--io-workers", "4"])
         assert exit_code == 2
         assert "--io-workers does not apply to --server" in capsys.readouterr().err
+
+
+class TestConvertCommand:
+    @pytest.fixture()
+    def v1_dataset(self, tmp_path):
+        rng = np.random.default_rng(3)
+        X = rng.integers(0, 5, size=(600, 16)).astype(np.float64)
+        y = rng.integers(0, 3, size=600).astype(np.int64)
+        from repro.api.sharded import write_sharded_dataset
+
+        write_sharded_dataset(tmp_path / "v1", X, y, shard_rows=200)
+        return tmp_path, X, y
+
+    def test_convert_to_v2_and_info(self, v1_dataset, capsys):
+        tmp_path, X, y = v1_dataset
+        exit_code = main(["convert", str(tmp_path / "v1"), str(tmp_path / "v2"),
+                          "--codec", "zlib", "--block-rows", "64"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "zlib-compressed v2" in out and "block_rows=64" in out
+        assert main(["info", f"shard://{tmp_path / 'v2'}"]) == 0
+        info = capsys.readouterr().out
+        assert "codec" in info and "zlib" in info
+        assert "compression_ratio" in info and "shard_ratios" in info
+
+    def test_converted_data_round_trips(self, v1_dataset):
+        tmp_path, X, y = v1_dataset
+        assert main(["convert", str(tmp_path / "v1"), str(tmp_path / "v2")]) == 0
+        from repro.api.sharded import open_sharded_matrix
+
+        matrix = open_sharded_matrix(tmp_path / "v2")
+        np.testing.assert_array_equal(matrix[:], X)
+        matrix.close()
+
+    def test_convert_back_to_raw(self, v1_dataset, capsys):
+        tmp_path, X, _y = v1_dataset
+        assert main(["convert", str(tmp_path / "v1"), str(tmp_path / "v2")]) == 0
+        assert main(["convert", str(tmp_path / "v2"), str(tmp_path / "raw"),
+                     "--codec", "raw"]) == 0
+        assert "raw v1 shard(s)" in capsys.readouterr().out
+
+    def test_auto_block_reports_advice(self, v1_dataset, capsys):
+        tmp_path, _X, _y = v1_dataset
+        exit_code = main(["convert", str(tmp_path / "v1"), str(tmp_path / "auto"),
+                          "--auto-block", "--scan-columns", "0.1",
+                          "--cache-mb", "16"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "advisor:" in out and "layout=column" in out
+
+    def test_auto_block_conflicts_rejected(self, v1_dataset, capsys):
+        tmp_path, _X, _y = v1_dataset
+        assert main(["convert", str(tmp_path / "v1"), str(tmp_path / "x"),
+                     "--auto-block", "--block-rows", "64"]) == 2
+        assert "--auto-block" in capsys.readouterr().err
+        assert main(["convert", str(tmp_path / "v1"), str(tmp_path / "x"),
+                     "--auto-block", "--codec", "raw"]) == 2
+
+    def test_streaming_predict_reports_decode_line(self, v1_dataset, tmp_path, capsys):
+        tmp_dir, _X, _y = v1_dataset
+        assert main(["convert", str(tmp_dir / "v1"), str(tmp_dir / "v2")]) == 0
+        model_path = tmp_path / "model.json"
+        assert main(["train", f"shard://{tmp_dir / 'v2'}", "--algorithm",
+                     "logistic", "--iterations", "2", "--engine", "streaming",
+                     "--io-workers", "2", "--save-model", str(model_path)]) == 0
+        assert "compressed stream:" in capsys.readouterr().out
+        assert main(["predict", f"shard://{tmp_dir / 'v2'}", "--model",
+                     str(model_path), "--engine", "streaming",
+                     "--io-workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "compressed stream:" in out and "decode" in out
