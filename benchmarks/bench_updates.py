@@ -1,0 +1,251 @@
+"""Appendable datasets under load: mixed append/scan cost and delta training.
+
+Two acceptance bars for the appendable-dataset refactor:
+
+1. **Snapshot scans are (nearly) free under appends.**  A reader pinned to a
+   manifest generation scans its snapshot while a writer commits batch after
+   batch into the same directory; the scan may regress at most 10% against
+   the identical scan on a quiescent (static) dataset.  Generation isolation
+   means the reader never re-reads a manifest, never sees tail rewrites, and
+   never blocks on the appender's lock.
+2. **Delta training beats full refits.**  Catching a model up on an appended
+   delta (``partial_fit`` over only the new rows, the ``m3 traind`` loop)
+   must be >= 3x faster than refitting from scratch over the grown dataset —
+   the whole point of tailing generations instead of re-training per commit.
+
+As in ``bench_compression``, CI page caches make real reads free and real
+appends cheap, so the storage device is modelled explicitly: every gather
+charges ``SEEK_S + bytes / BANDWIDTH`` of ``time.sleep`` (GIL-releasing,
+like a blocking ``read(2)``).  Scan cost is then deterministic — dominated
+by the modelled device, not by CI jitter — and the delta/full ratio reflects
+the rows actually streamed.
+
+Writes ``BENCH_updates.json`` (consumed and validated by CI): scan walls and
+the mixed/static ratio, delta vs full-refit walls and the speedup, plus the
+bit-identity result for the snapshot scan under appends.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.api.chunks import open_chunk_stream, plan_chunks
+from repro.api.sharded import (
+    ShardAppender,
+    ShardedMatrix,
+    write_sharded_dataset,
+)
+from repro.ml import GaussianNaiveBayes
+
+ROWS = 6000
+COLS = 32
+SHARD_ROWS = 750      # 8 shards
+CHUNK_ROWS = 250
+APPEND_BATCHES = 6
+APPEND_ROWS = 250     # per batch
+DELTA_ROWS = 1000
+# Slow enough that the modelled stalls dominate the scan wall (~5 ms per
+# chunk): appender CPU/fsync jitter on the other thread then costs the
+# pinned reader well under the 10% bar.
+SEEK_S = 0.001
+BANDWIDTH = 15e6      # modelled device: ~15 MB/s (cold object store)
+
+
+class ThrottledMatrix(ShardedMatrix):
+    """Every gather pays the modelled device for the logical bytes."""
+
+    def _charge(self, rows: int) -> None:
+        time.sleep(SEEK_S + rows * self.manifest.cols * self.dtype.itemsize / BANDWIDTH)
+
+    def _gather_range(self, start, stop):
+        self._charge(max(0, min(stop, self.manifest.rows) - max(0, start)))
+        return super()._gather_range(start, stop)
+
+    def gather_into(self, start, stop, out):
+        self._charge(max(0, min(stop, self.manifest.rows) - max(0, start)))
+        return super().gather_into(start, stop, out)
+
+
+def _make(rows, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(rows, COLS))
+    y = (X @ np.linspace(-1.0, 1.0, COLS) > 0).astype(np.int64)
+    return X, y
+
+
+def _scan(matrix, labels) -> tuple[float, np.ndarray]:
+    """One full pass over ``matrix``; returns (wall_s, concatenated rows)."""
+    parts = []
+    began = time.perf_counter()
+    stream = open_chunk_stream(
+        matrix, labels=labels, chunk_rows=CHUNK_ROWS, io_workers=2
+    )
+    with stream:
+        for chunk in stream:
+            parts.append(np.array(chunk.X))
+            chunk.release()
+    wall = time.perf_counter() - began
+    return wall, np.concatenate(parts)
+
+
+def _assert_metrics_clean(payload: dict, prefix: str = "") -> None:
+    """No emitted metric may be NaN or negative, at any nesting level."""
+    for key, value in payload.items():
+        label = f"{prefix}{key}"
+        if isinstance(value, dict):
+            _assert_metrics_clean(value, prefix=f"{label}.")
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        elif isinstance(value, (int, float)):
+            assert not math.isnan(value), f"{label} is NaN"
+            assert value >= 0, f"{label} is negative: {value}"
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    """The same dataset in a static and an appendable-under-load copy."""
+    root = tmp_path_factory.mktemp("bench_updates")
+    X, y = _make(ROWS, seed=7)
+    static_dir = root / "static"
+    mixed_dir = root / "mixed"
+    write_sharded_dataset(static_dir, X, y, shard_rows=SHARD_ROWS)
+    write_sharded_dataset(mixed_dir, X, y, shard_rows=SHARD_ROWS)
+    return static_dir, mixed_dir, X, y
+
+
+@pytest.mark.benchmark(group="updates")
+def test_mixed_append_scan_and_delta_training(benchmark, workload):
+    static_dir, mixed_dir, X, y = workload
+
+    # -- 1. static baseline: the scan on a quiescent dataset -----------------
+    def static_scan():
+        with ThrottledMatrix(static_dir) as matrix:
+            return _scan(matrix, matrix.lazy_labels)
+
+    # -- 2. mixed: the same scan while a writer commits batches --------------
+    def mixed_scan():
+        with ThrottledMatrix(mixed_dir) as matrix:  # pins its generation
+            appender = ShardAppender(mixed_dir, shard_rows=SHARD_ROWS)
+            stop = threading.Event()
+            offset = [ROWS]
+
+            def writer():
+                for _ in range(APPEND_BATCHES):
+                    if stop.is_set():
+                        return
+                    Xb, yb = _make(APPEND_ROWS, seed=offset[0])
+                    appender.append(Xb, yb)
+                    offset[0] += APPEND_ROWS
+            thread = threading.Thread(target=writer, name="bench-appender")
+            thread.start()
+            try:
+                return _scan(matrix, matrix.lazy_labels)
+            finally:
+                stop.set()
+                thread.join(timeout=60.0)
+
+    def sweep():
+        results = {}
+        # Interleave the repeats so drift hits both variants equally;
+        # best-of-N on a modelled device is stable to well under 10%.
+        statics, mixeds = [], []
+        for _ in range(3):
+            statics.append(static_scan())
+            mixeds.append(mixed_scan())
+        results["static"] = min(statics, key=lambda r: r[0])
+        results["mixed"] = min(mixeds, key=lambda r: r[0])
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    static_s, static_rows = results["static"]
+    mixed_s, mixed_rows = results["mixed"]
+
+    # The pinned reader saw exactly its generation's rows, bit-identically,
+    # despite the appends landing mid-scan.
+    assert np.array_equal(static_rows, X)
+    assert np.array_equal(mixed_rows, X)
+
+    ratio = mixed_s / static_s if static_s > 0 else float("inf")
+    scan = {
+        "static_s": static_s,
+        "mixed_s": mixed_s,
+        "mixed_over_static": ratio,
+        "static_rows_per_s": ROWS / static_s if static_s > 0 else 0.0,
+        "mixed_rows_per_s": ROWS / mixed_s if mixed_s > 0 else 0.0,
+        "append_batches": APPEND_BATCHES,
+        "append_rows": APPEND_BATCHES * APPEND_ROWS,
+        "snapshot_bit_identical": bool(np.array_equal(mixed_rows, X)),
+    }
+    # Acceptance bar: appends may cost the pinned scan at most 10%.
+    assert ratio <= 1.10, scan
+
+    # -- 3. delta partial_fit vs full refit ----------------------------------
+    # The mixed directory has grown; train the delta the way m3 traind does
+    # (a row_range plan over the new generation) against a from-scratch
+    # refit over everything.
+    delta_dir = static_dir  # reuse the quiescent copy for determinism
+    Xd, yd = _make(DELTA_ROWS, seed=1234)
+    ShardAppender(delta_dir, shard_rows=SHARD_ROWS).append(Xd, yd)
+    classes = np.unique(y)
+    total = ROWS + DELTA_ROWS
+
+    def stream_fit(model, row_range):
+        with ThrottledMatrix(delta_dir) as matrix:
+            plan = plan_chunks(matrix, chunk_rows=CHUNK_ROWS, row_range=row_range)
+            stream = open_chunk_stream(
+                matrix, labels=matrix.lazy_labels, plan=plan, io_workers=2
+            )
+            began = time.perf_counter()
+            with stream:
+                for chunk in stream:
+                    try:
+                        model.partial_fit(chunk.X, chunk.y, classes=classes)
+                    finally:
+                        chunk.release()
+            return time.perf_counter() - began
+
+    # Warm the delta model to the seed rows off-clock (the served model has
+    # already seen them), then time only the catch-up.
+    delta_model = GaussianNaiveBayes().partial_fit(X, y, classes=classes)
+    delta_s = stream_fit(delta_model, (ROWS, total))
+    full_s = stream_fit(GaussianNaiveBayes(), (0, total))
+    speedup = full_s / delta_s if delta_s > 0 else float("inf")
+    train = {
+        "delta_s": delta_s,
+        "full_s": full_s,
+        "delta_speedup": speedup,
+        "delta_rows": DELTA_ROWS,
+        "total_rows": total,
+    }
+    # Acceptance bar: catching up on the delta beats refitting >= 3x.
+    assert speedup >= 3.0, train
+
+    payload = {
+        "workload": (
+            f"{ROWS} x {COLS} shard:// dataset, {APPEND_BATCHES} x "
+            f"{APPEND_ROWS}-row appends under a 2-reader scan, then a "
+            f"{DELTA_ROWS}-row delta catch-up vs full refit "
+            f"(modelled ~{BANDWIDTH / 1e6:.0f} MB/s device)"
+        ),
+        "rows": ROWS,
+        "chunk_rows": CHUNK_ROWS,
+        "scan": scan,
+        "train": train,
+    }
+    _assert_metrics_clean(payload)
+    Path("BENCH_updates.json").write_text(json.dumps(payload, indent=2) + "\n")
+    emit(
+        "Appendable datasets (mixed append/scan + delta training)",
+        f"scan: static {static_s * 1e3:.0f}ms, mixed {mixed_s * 1e3:.0f}ms "
+        f"({ratio:.3f}x, <= 1.10 required)\n"
+        f"train: delta {delta_s * 1e3:.0f}ms vs full {full_s * 1e3:.0f}ms "
+        f"({speedup:.1f}x, >= 3.0 required)",
+    )

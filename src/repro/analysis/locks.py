@@ -19,23 +19,31 @@ The registry is consumed twice:
 Ranks only need to be ordered, not dense — leave gaps so new locks can
 slot in between existing ones without renumbering.
 
-Current order (outermost first)::
+Current order (outermost first; renumbered in one commit when the
+appendable-dataset locks landed, per the ROADMAP's standing instruction)::
 
-    rank  5   repro.core.m3._DEFAULT_LOCK        default-engine singleton
-    rank 10   ModelServer._cond                  serving queue + dispatcher wakeup
-    rank 20   Session._lock                      dataset list + handle pool
-    rank 30   ModelRegistry._lock                hot-model publish/resolve
-    rank 35   _DecodePool.cond                   block-decode task queue
-    rank 40   _ReaderPoolState.cond              reorder buffer + reader accounting
-    rank 45   ReadaheadHinter._lock              madvise byte accounting
-    rank 50   BufferLease._lock                  per-lease refcount
-    rank 55   _BlockCache._lock                  decoded-block LRU (innermost)
+    rank  10   repro.core.m3._DEFAULT_LOCK        default-engine singleton
+    rank  20   ModelServer._cond                  serving queue + dispatcher wakeup
+    rank  30   Trainer._lock                      train->publish daemon state
+    rank  40   Session._lock                      dataset list + handle pool
+    rank  50   ModelRegistry._lock                hot-model publish/resolve
+    rank  60   ShardAppender._lock                tail-shard write + generation commit
+    rank  70   _DecodePool.cond                   block-decode task queue
+    rank  80   _ReaderPoolState.cond              reorder buffer + reader accounting
+    rank  90   ReadaheadHinter._lock              madvise byte accounting
+    rank 100   BufferLease._lock                  per-lease refcount
+    rank 110   _BlockCache._lock                  decoded-block LRU (innermost)
 
 The recorded nesting that motivates the order: a reader thread holding
-``_ReaderPoolState.cond`` (40) releases a superseded chunk's
-``BufferLease._lock`` (50); a dispatcher thread resolves models
-(``ModelRegistry._lock``, 30) and opens datasets (``Session._lock``, 20)
-while *not* holding ``ModelServer._cond`` (10).
+``_ReaderPoolState.cond`` (80) releases a superseded chunk's
+``BufferLease._lock`` (100); a dispatcher thread resolves models
+(``ModelRegistry._lock``, 50) and opens datasets (``Session._lock``, 40)
+while *not* holding ``ModelServer._cond`` (20).  The trainer daemon holds
+``Trainer._lock`` (30) while opening snapshot datasets (``Session._lock``,
+40) and publishing refreshed versions (``ModelRegistry._lock``, 50), so it
+must rank above the server condition but below both; the shard appender
+(60) is a near-leaf write lock that callers already holding session or
+registry locks may enter, but which never re-enters the session layer.
 """
 
 from __future__ import annotations
@@ -47,23 +55,32 @@ __all__ = ["LOCK_ORDER", "rank_of", "register_lock"]
 #: Dotted lock name -> rank.  Acquisitions must strictly increase in rank.
 LOCK_ORDER: Dict[str, int] = {
     # Outermost: the module-level default-engine singleton guard.
-    "repro.core.m3._DEFAULT_LOCK": 5,
+    "repro.core.m3._DEFAULT_LOCK": 10,
     # Serving layer.
-    "repro.serve.server.ModelServer._cond": 10,
-    "repro.api.session.Session._lock": 20,
-    "repro.serve.registry.ModelRegistry._lock": 30,
+    "repro.serve.server.ModelServer._cond": 20,
+    # The train->publish daemon: holds its own state lock while opening
+    # snapshot datasets (Session._lock, 40) and publishing refreshed model
+    # versions (ModelRegistry._lock, 50), so it ranks above the server
+    # condition and below both of those.
+    "repro.serve.trainer.Trainer._lock": 30,
+    "repro.api.session.Session._lock": 40,
+    "repro.serve.registry.ModelRegistry._lock": 50,
+    # The append path: serialises tail-shard writes and generation commits.
+    # Callers already holding session/registry locks may append (40/50 -> 60
+    # is increasing); the appender itself never re-enters the session layer.
+    "repro.api.sharded.ShardAppender._lock": 60,
     # Streaming pipeline.  The decode pool's condition ranks below the reader
     # pool's: a decode worker may post a finished chunk into the reorder
-    # buffer (35 -> 40 is increasing), while a reader holding the reorder
-    # cond may never submit decode work (40 -> 35 would invert the order).
-    "repro.api.chunks._DecodePool.cond": 35,
-    "repro.api.chunks._ReaderPoolState.cond": 40,
-    "repro.api.chunks.ReadaheadHinter._lock": 45,
+    # buffer (70 -> 80 is increasing), while a reader holding the reorder
+    # cond may never submit decode work (80 -> 70 would invert the order).
+    "repro.api.chunks._DecodePool.cond": 70,
+    "repro.api.chunks._ReaderPoolState.cond": 80,
+    "repro.api.chunks.ReadaheadHinter._lock": 90,
     # The per-lease refcount, taken while posting/releasing chunks.
-    "repro.api.chunks.BufferLease._lock": 50,
+    "repro.api.chunks.BufferLease._lock": 100,
     # Innermost library lock: the decoded-block LRU is a pure leaf — decoding
     # happens outside it and nothing is acquired while it is held.
-    "repro.api.sharded._BlockCache._lock": 55,
+    "repro.api.sharded._BlockCache._lock": 110,
     # Internal leaf locks of the instrumentation layer itself.  They guard
     # tracker bookkeeping, are never held across another acquisition, and
     # rank above everything so holding *any* library lock may enter them.

@@ -95,6 +95,18 @@ def shard_row_starts(matrix: Any) -> Tuple[int, ...]:
     return ()
 
 
+def matrix_generation(matrix: Any) -> Optional[int]:
+    """Manifest generation behind ``matrix`` (``None`` for unversioned storage).
+
+    Sharded matrices are immutable snapshots of one committed generation;
+    everything else (ndarray, plain memmap) has no generation to pin.
+    """
+    backing = _unwrap(matrix)
+    if isinstance(backing, (ShardedMatrix, CompressedShardedMatrix)):
+        return int(backing.generation)
+    return None
+
+
 def compressed_backing(matrix: Any) -> Optional[CompressedShardedMatrix]:
     """The :class:`CompressedShardedMatrix` behind ``matrix``, if any.
 
@@ -172,6 +184,13 @@ class ChunkPlan:
         Bytes per row (for I/O accounting).
     aligned:
         Whether bounds were split so no chunk crosses a shard boundary.
+    generation:
+        The manifest generation the plan was computed against, for sharded
+        matrices (``None`` for unversioned storage).  Executors refuse to run
+        a plan against a matrix of a different generation, so a stream is
+        provably reading the exact snapshot its bounds were derived from —
+        concurrent appends commit new generations and cannot shift rows under
+        an in-flight plan.
     """
 
     n_rows: int
@@ -180,6 +199,7 @@ class ChunkPlan:
     bounds: Tuple[Tuple[int, int], ...]
     row_bytes: int
     aligned: bool = False
+    generation: Optional[int] = None
 
     @property
     def num_chunks(self) -> int:
@@ -220,6 +240,7 @@ def plan_chunks(
     align_shards: bool = True,
     adaptive: Optional[bool] = None,
     target_chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    row_range: Optional[Tuple[int, int]] = None,
 ) -> ChunkPlan:
     """Build a :class:`ChunkPlan` for any 2-D matrix-like object.
 
@@ -238,24 +259,36 @@ def plan_chunks(
     adaptive:
         Force the doubling ramp on/off; defaults to on only when
         ``chunk_rows`` was auto-sized.
+    row_range:
+        Plan only rows ``[lo, hi)`` instead of the whole matrix.  Bounds
+        stay *absolute* row indices, so chunks slice the matrix (and the
+        full-length label vector) at their true positions — this is how the
+        trainer daemon scans exactly the delta rows a new generation
+        appended.  ``plan.n_rows`` still reports the full matrix height.
     """
     if not hasattr(matrix, "shape") or len(matrix.shape) != 2:
         raise ValueError("matrix must be 2-D")
     n_rows, n_cols = int(matrix.shape[0]), int(matrix.shape[1])
     row_bytes = n_cols * np.dtype(matrix.dtype).itemsize
+    lo, hi = (0, n_rows) if row_range is None else (int(row_range[0]), int(row_range[1]))
+    if not 0 <= lo <= hi <= n_rows:
+        raise ValueError(
+            f"row_range {row_range} out of bounds for a matrix of {n_rows} rows"
+        )
+    span = hi - lo
     if chunk_rows is None:
         chunk_rows = max(1, target_chunk_bytes // max(row_bytes, 1))
         if adaptive is None:
             adaptive = True
     elif chunk_rows <= 0:
         raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
-    chunk_rows = max(1, min(chunk_rows, max(n_rows, 1)))
+    chunk_rows = max(1, min(chunk_rows, max(span, 1)))
 
     if adaptive:
         initial_rows = max(1, min(chunk_rows, INITIAL_CHUNK_BYTES // max(row_bytes, 1)))
-        raw = _ramp_bounds(n_rows, chunk_rows, initial_rows)
+        raw = [(lo + a, lo + b) for a, b in _ramp_bounds(span, chunk_rows, initial_rows)]
     else:
-        raw = [(start, min(start + chunk_rows, n_rows)) for start in range(0, n_rows, chunk_rows)]
+        raw = [(start, min(start + chunk_rows, hi)) for start in range(lo, hi, chunk_rows)]
 
     starts = shard_row_starts(matrix) if align_shards else ()
     aligned = bool(starts)
@@ -277,6 +310,7 @@ def plan_chunks(
         bounds=tuple(bounds),
         row_bytes=row_bytes,
         aligned=aligned,
+        generation=matrix_generation(matrix),
     )
 
 
@@ -478,6 +512,20 @@ class ChunkIterator:
         self.plan = plan if plan is not None else plan_chunks(
             matrix, chunk_rows=chunk_rows, align_shards=align_shards
         )
+        # Snapshot binding: a plan computed against generation g must only
+        # ever run against a generation-g matrix.  Appends never mutate a
+        # committed generation, so matching generations guarantee every
+        # bound in the plan resolves to the same bytes it was derived from.
+        plan_gen = self.plan.generation
+        if plan_gen is not None:
+            live_gen = matrix_generation(matrix)
+            if live_gen is not None and live_gen != plan_gen:
+                raise ValueError(
+                    f"plan was computed against manifest generation {plan_gen} "
+                    f"but the matrix is a generation-{live_gen} snapshot; "
+                    f"re-plan against the refreshed handle (or open generation "
+                    f"{plan_gen} explicitly) before streaming"
+                )
         if labels is not None and len(labels) != self.plan.n_rows:
             raise ValueError(
                 f"labels have {len(labels)} entries but the plan covers "

@@ -24,7 +24,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.api.storage import StorageBackend, StorageHandle
+from repro.api.storage import StorageBackend, StorageHandle, parse_spec
 from repro.core.advice import AccessAdvice
 from repro.core.mmap_matrix import MmapMatrix
 from repro.vmem.trace import AccessTrace
@@ -153,6 +153,45 @@ class Dataset:
 
     def __array__(self, dtype=None) -> np.ndarray:
         return self.matrix.__array__(dtype)
+
+    # -- appending ----------------------------------------------------------
+
+    @property
+    def generation(self) -> Optional[int]:
+        """The manifest generation this handle is a snapshot of.
+
+        ``None`` for backends without generations (memory, mmap).  This
+        handle keeps serving exactly this generation's rows no matter how
+        many appends commit after it was opened; re-open (or
+        :meth:`Session.refresh`) to see newer rows.
+        """
+        value = self._handle.metadata.get("generation")
+        return None if value is None else int(value)
+
+    def append(self, X: np.ndarray, y: Optional[np.ndarray] = None) -> int:
+        """Append rows (and labels) to the *dataset*, not to this handle.
+
+        Commits one new manifest generation through the backend's append
+        path and returns its generation number.  This snapshot handle is
+        deliberately unaffected — readers mid-scan never see rows move
+        underneath them; open a fresh handle (``Session.refresh``) to
+        observe the appended rows.  Only generation-versioned backends
+        (``shard://``) support appending.
+        """
+        self._check_open()
+        append_fn = getattr(self.backend, "append", None)
+        if append_fn is None:
+            raise TypeError(
+                f"the {self.backend_name!r} backend does not support append; "
+                f"appendable datasets live on the shard:// backend"
+            )
+        location = self._handle.metadata.get("path")
+        if not location:
+            location = parse_spec(self.spec).location
+        # Append events are recorded into the handle's active trace (as
+        # WRITE records at logical matrix offsets), so the simulator can
+        # replay mixed read/append workloads from one trace.
+        return int(append_fn(location, X, y, trace=self.trace))
 
     # -- tracing -----------------------------------------------------------
 

@@ -319,6 +319,27 @@ class Session:
             self._pool.invalidate_location(parsed.scheme, parsed.location)
         return str(parsed)
 
+    def refresh(
+        self,
+        dataset: Union[Dataset, SpecLike],
+        close_previous: bool = False,
+    ) -> Dataset:
+        """Re-open a dataset at its latest committed generation.
+
+        Open handles pin the generation they were opened at (the handle
+        pool's fingerprint is the generation number, so a committed append
+        makes every pooled entry for the spec stale); ``refresh`` is the
+        explicit opt-in to the new rows — it returns a *new*
+        :class:`Dataset` snapshot of the latest generation.  The previous
+        handle keeps serving its own snapshot unless ``close_previous``.
+        """
+        self._check_open()
+        spec = dataset.spec if isinstance(dataset, Dataset) else dataset
+        refreshed = self.open(spec)
+        if close_previous and isinstance(dataset, Dataset):
+            dataset.close()
+        return refreshed
+
     def from_arrays(
         self,
         data: np.ndarray,
@@ -512,6 +533,7 @@ class Session:
         max_delay_ms: float = 0.0,
         workers: int = 1,
         max_pending: int = 1024,
+        registry: Optional[Any] = None,
     ) -> Any:
         """Stand up a request-level server for ``model_or_path``.
 
@@ -538,6 +560,11 @@ class Session:
         max_batch, max_delay_ms, workers, max_pending:
             Micro-batching and backpressure knobs — see
             :class:`~repro.serve.ModelServer`.
+        registry:
+            Optional :class:`~repro.serve.ModelRegistry` to publish into and
+            resolve from.  Pass the one a :class:`~repro.serve.Trainer`
+            publishes to and served traffic hot-swaps to each freshly
+            trained version; omitted, the server gets a private registry.
 
         Returns
         -------
@@ -553,7 +580,8 @@ class Session:
         resolved = self.default_engine if engine is None else resolve_engine(engine)
         # Publish (load + validate) before the server exists: a bad model
         # file must raise here, not after dispatcher threads were spawned.
-        registry = ModelRegistry()
+        if registry is None:
+            registry = ModelRegistry()
         registry.publish(name, model_or_path)
         server = ModelServer(
             registry=registry,

@@ -22,6 +22,15 @@ datasets at such a location.  Three backends ship with the library:
     matrix class, and the streaming pipeline decodes blocks on its compute
     pool.  Write one with ``session.create(spec, X, y, codec="zlib")`` or
     ``m3 convert``.
+``shard`` (appendable)
+    Sharded directories (v1 and v2) are also *appendable*: ``Dataset.append``
+    streams rows into an open tail shard and commits a new manifest
+    generation (``manifest.<gen>.json`` + ``CURRENT``, atomic renames), while
+    open handles keep serving the generation they were opened at — the handle
+    pool's freshness fingerprint is the manifest generation, so readers
+    mid-scan never see the manifest flip.  ``Session.refresh`` opts a handle
+    into the latest generation; ``m3 traind`` tails committed generations and
+    republishes freshly trained models.
 
 Locations are written as URI-style *specs* — ``"mmap:///data/train.m3"``,
 ``"shard:///data/train/"``, ``"memory://train"`` — or as bare filesystem
@@ -39,8 +48,12 @@ from typing import Any, Dict, Optional, Tuple, Type, Union
 import numpy as np
 
 from repro.api.sharded import (
+    CURRENT_NAME,
     MANIFEST_NAME,
+    ShardAppender,
     ShardedMatrix,
+    generation_manifest_name,
+    manifest_generation,
     open_sharded_matrix,
     read_manifest,
     write_sharded_dataset,
@@ -302,10 +315,14 @@ class ShardedBackend(StorageBackend):
     def __init__(self, default_shard_rows: Optional[int] = None) -> None:
         self.default_shard_rows = default_shard_rows
 
-    def open(self, location: str, mode: str = "r") -> StorageHandle:
+    def open(
+        self, location: str, mode: str = "r", generation: Optional[int] = None
+    ) -> StorageHandle:
         # Dispatches on the manifest: raw v1 directories open memmap-backed,
         # compressed v2 directories open as a CompressedShardedMatrix.
-        matrix = open_sharded_matrix(Path(location), mode=mode)
+        # ``generation`` pins the open to one committed manifest generation
+        # (None = latest); the matrix is a snapshot of that generation.
+        matrix = open_sharded_matrix(Path(location), mode=mode, generation=generation)
         metadata = {
             "backend": self.scheme,
             "path": str(Path(location)),
@@ -315,6 +332,7 @@ class ShardedBackend(StorageBackend):
             "has_labels": matrix.manifest.has_labels,
             "nbytes": matrix.nbytes,
             "num_shards": matrix.num_shards,
+            "generation": matrix.generation,
             # One file per shard: the parallel chunk pipeline sizes its
             # reader pool from this layout, and the readahead hinter's
             # posix_fadvise fallback targets these files directly.
@@ -385,6 +403,18 @@ class ShardedBackend(StorageBackend):
             "nbytes": manifest.rows * manifest.cols * manifest.dtype.itemsize,
             "num_shards": len(manifest.shards),
         }
+        if manifest.generation > 0 or manifest.tail_shard is not None:
+            # Appendable dataset: surface the generation protocol state.
+            tail = manifest.tail_shard
+            info.update(
+                {
+                    "generation": manifest.generation,
+                    "committed_rows": manifest.rows,
+                    "tail_shard": None if tail is None else tail.filename,
+                    "tail_rows": 0 if tail is None else tail.rows,
+                    "tail_sealed": tail is None,
+                }
+            )
         if manifest.codec is not None:
             info.update(
                 {
@@ -404,10 +434,48 @@ class ShardedBackend(StorageBackend):
         return info
 
     def exists(self, location: str) -> bool:
-        return (Path(location) / MANIFEST_NAME).is_file()
+        directory = Path(location)
+        return (directory / MANIFEST_NAME).is_file() or (
+            directory / CURRENT_NAME
+        ).is_file()
+
+    def append(
+        self,
+        location: str,
+        data: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        shard_rows: Optional[int] = None,
+        trace: Any = None,
+    ) -> int:
+        """Append rows to the dataset, committing one new generation.
+
+        Returns the committed generation number.  Open handles keep serving
+        the generation they were opened at; re-open (``Session.refresh``)
+        to see the new rows.  For sustained streams, hold a
+        :class:`~repro.api.sharded.ShardAppender` directly instead of
+        paying the manifest read per call.
+        """
+        appender = ShardAppender(
+            Path(location),
+            shard_rows=shard_rows or self.default_shard_rows,
+            trace=trace,
+        )
+        return appender.append(data, labels).generation
 
     def fingerprint(self, location: str) -> Any:
         directory = Path(location)
+        generation = manifest_generation(directory)
+        if generation is not None and generation > 0:
+            # Appendable dataset: the generation number *is* the freshness
+            # signal — committed generations are immutable, so the handle
+            # pool re-opens exactly when CURRENT advances.  The stat token
+            # of the (immutable) generation manifest guards against the
+            # directory being wholesale re-created at the same generation.
+            return (
+                "gen",
+                generation,
+                _stat_token(directory / generation_manifest_name(generation)),
+            )
         tokens = [_stat_token(directory / MANIFEST_NAME)]
         try:
             manifest = read_manifest(directory)

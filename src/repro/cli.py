@@ -157,9 +157,10 @@ def _cmd_info(args: argparse.Namespace) -> int:
     with Session() as session:
         info = session.info(args.dataset)
     preferred = ("backend", "path", "rows", "cols", "dtype", "has_labels",
-                 "nbytes", "file_bytes", "num_shards", "format_version",
-                 "codec", "block_rows", "layout", "storage_dtype",
-                 "compressed_bytes", "compression_ratio")
+                 "nbytes", "file_bytes", "num_shards", "generation",
+                 "committed_rows", "tail_shard", "tail_rows", "tail_sealed",
+                 "format_version", "codec", "block_rows", "layout",
+                 "storage_dtype", "compressed_bytes", "compression_ratio")
     ordered = [k for k in preferred if k in info]
     ordered += [k for k in info if k not in preferred]
     width = max(len(key) for key in ordered)
@@ -548,6 +549,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_traind(args: argparse.Namespace) -> int:
+    """The trainer daemon: tail committed generations, train deltas, publish.
+
+    Polls the appendable dataset's manifest; each newly committed generation
+    is caught up by streaming only its delta rows through ``partial_fit``,
+    after which the refreshed model is published as the next version (and
+    optionally saved as a servable JSON artifact).  ``--once`` runs a single
+    poll — the batch form, useful in pipelines and tests; without it the
+    daemon polls until interrupted.
+    """
+    from repro.ml import GaussianNaiveBayes, LogisticRegression, MiniBatchKMeans, SoftmaxRegression
+    from repro.ml.persistence import load_model, save_model
+    from repro.serve import Trainer
+
+    if args.model is not None:
+        model = load_model(args.model)
+        if not hasattr(model, "partial_fit"):
+            print(
+                f"{type(model).__name__} does not support partial_fit; "
+                f"the trainer daemon needs a streaming estimator",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.algorithm == "logistic":
+        model = LogisticRegression(solver="sgd")
+    elif args.algorithm == "softmax":
+        model = SoftmaxRegression(solver="sgd")
+    elif args.algorithm == "nb":
+        model = GaussianNaiveBayes()
+    else:
+        model = MiniBatchKMeans(n_clusters=args.clusters, seed=0)
+
+    def report(update) -> None:
+        rate = update.rows / update.train_s if update.train_s > 0 else float("inf")
+        print(
+            f"generation {update.generation}: trained {update.rows} delta "
+            f"row(s) in {update.chunks} chunk(s) ({update.train_s:.3f}s, "
+            f"{rate:.0f} rows/s), published {update.version.key}",
+            flush=True,
+        )
+        if args.save_model is not None:
+            save_model(args.save_model, update.version.model)
+            print(f"saved {update.version.key} to {args.save_model}", flush=True)
+
+    with Trainer(
+        args.dataset,
+        model,
+        name=args.name,
+        poll_s=args.poll,
+        chunk_rows=args.chunk_rows,
+        io_workers=args.io_workers,
+    ) as trainer:
+        if args.trained_rows:
+            # The model was fitted offline on the dataset's first N rows;
+            # start the cursor there instead of retraining from row 0.
+            trainer.mark_trained(args.trained_rows)
+        print(
+            f"tailing {trainer.spec.scheme}://{trainer.spec.location} with "
+            f"{type(model).__name__} as {args.name!r} "
+            f"(poll every {args.poll}s); Ctrl-C to stop",
+            file=sys.stderr,
+        )
+        try:
+            published = trainer.run(max_polls=1 if args.once else None, on_update=report)
+        except KeyboardInterrupt:
+            published = trainer.stats.updates
+            print("interrupted", file=sys.stderr)
+        summary = trainer.stats.as_dict()
+        print(
+            f"trainer: {summary['polls']} poll(s), {published} version(s) "
+            f"published, {summary['rows_trained']} row(s) trained in "
+            f"{summary['train_s']:.3f}s (caught up to generation "
+            f"{summary['last_generation']})",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_figure1a(args: argparse.Namespace) -> int:
     from repro.bench.figure1a import run_figure1a
     from repro.bench.reporting import format_table
@@ -809,6 +888,43 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--output", type=Path, default=None,
                        help="write JSONL responses to this file instead of stdout")
     serve.set_defaults(func=_cmd_serve)
+
+    traind = sub.add_parser(
+        "traind",
+        help="run the trainer daemon: tail an appendable dataset, train "
+             "deltas, publish model versions",
+    )
+    traind.add_argument("dataset", type=str,
+                        help="an appendable sharded dataset: path or shard:// spec")
+    traind.add_argument("--model", type=Path, default=None,
+                        help="saved model JSON to warm-start from (must "
+                             "support partial_fit); omitted, a fresh "
+                             "--algorithm model trains from row 0")
+    traind.add_argument("--algorithm",
+                        choices=["logistic", "softmax", "nb", "kmeans"],
+                        default="logistic",
+                        help="fresh streaming model to train when no --model "
+                             "is given")
+    traind.add_argument("--clusters", type=_positive_int, default=8,
+                        help="cluster count (with --algorithm kmeans)")
+    traind.add_argument("--name", type=str, default="default",
+                        help="registry name versions are published under")
+    traind.add_argument("--poll", type=float, default=0.5,
+                        help="seconds between manifest-generation polls")
+    traind.add_argument("--once", action="store_true",
+                        help="poll exactly once and exit (batch catch-up)")
+    traind.add_argument("--trained-rows", type=int, default=0,
+                        help="rows the warm-start model was already fitted "
+                             "on; the delta cursor starts there")
+    traind.add_argument("--save-model", type=Path, default=None,
+                        help="write each published version to this path as "
+                             "servable JSON ('m3 serve --model' picks it up)")
+    traind.add_argument("--chunk-rows", type=_positive_int, default=None,
+                        help="rows per training chunk (default: auto-sized)")
+    traind.add_argument("--io-workers", type=int, default=None,
+                        help="parallel readers for the delta scans "
+                             "(default: single-reader prefetch)")
+    traind.set_defaults(func=_cmd_traind)
 
     figure1a = sub.add_parser("figure1a", help="regenerate Figure 1a (runtime vs size)")
     figure1a.add_argument("--sizes", type=float, nargs="+", default=[10, 40, 70, 100, 130, 160, 190])

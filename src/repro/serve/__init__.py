@@ -13,6 +13,10 @@ regime.  The pieces:
   (queue-wait / batch / compute);
 * :class:`Serving` — a server bound to one published model, returned by
   :meth:`repro.api.Session.serve`;
+* :class:`Trainer` — the train side of the live loop: tails an appendable
+  ``shard://`` dataset's committed generations, runs ``partial_fit`` on the
+  delta rows, and publishes refreshed versions into the *same* registry the
+  server resolves from (the ``m3 traind`` daemon);
 * :class:`ServeResult` / :class:`ServeStats` — the request-level siblings of
   :class:`~repro.api.engines.PredictResult` and its pipeline accounting.
 
@@ -48,6 +52,7 @@ from repro.serve.server import (
     ServerSaturated,
     Serving,
 )
+from repro.serve.trainer import Trainer, TrainerStats, TrainUpdate
 
 __all__ = [
     "ModelRegistry",
@@ -59,4 +64,7 @@ __all__ = [
     "ServerClosed",
     "ServerSaturated",
     "DEFAULT_MODEL_NAME",
+    "Trainer",
+    "TrainerStats",
+    "TrainUpdate",
 ]

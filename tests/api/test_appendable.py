@@ -1,0 +1,338 @@
+"""The appendable-dataset stack: generations, the appender, and recovery.
+
+Covers the storage-layer contract the live train→publish loop rests on:
+
+* the generation protocol — ``manifest.<gen>.json`` + ``CURRENT`` committed
+  atomically, the bare ``manifest.json`` kept as a legacy mirror;
+* :class:`~repro.api.sharded.ShardAppender` — tail-shard growth, sealing at
+  ``shard_rows``, label sidecars (v1) and tail rewrites (v2);
+* snapshot isolation — open handles and pinned generation opens serve
+  exactly their generation's rows, bit-identical, no matter how many
+  appends commit after them;
+* crash recovery — orphan tail bytes no generation references are trimmed
+  on the next append, and committed readers never see them.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.api.chunks import matrix_generation, open_chunk_stream, plan_chunks
+from repro.api.sharded import (
+    CURRENT_NAME,
+    MANIFEST_NAME,
+    ShardAppender,
+    generation_manifest_name,
+    manifest_generation,
+    open_sharded_matrix,
+    read_manifest,
+    write_sharded_dataset,
+)
+from repro.api.storage import ShardedBackend
+from repro.data.formats import HEADER_SIZE
+
+CODECS = [None, "zlib"]
+
+
+def _make(rows: int, cols: int = 4, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal((rows, cols)),
+        rng.integers(0, 3, rows).astype(np.int64),
+    )
+
+
+def _write(directory: Path, X, y, codec, shard_rows=10):
+    write_sharded_dataset(directory, X, y, shard_rows=shard_rows, codec=codec)
+
+
+def _read_all(matrix) -> np.ndarray:
+    return np.array(matrix[:], copy=True)
+
+
+class TestGenerationProtocol:
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_static_dataset_is_generation_zero(self, tmp_path, codec):
+        X, y = _make(12)
+        _write(tmp_path / "ds", X, y, codec)
+        assert manifest_generation(tmp_path / "ds") == 0
+        assert not (tmp_path / "ds" / CURRENT_NAME).exists()
+        with open_sharded_matrix(tmp_path / "ds") as matrix:
+            assert matrix.generation == 0
+
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_append_commits_new_generation(self, tmp_path, codec):
+        d = tmp_path / "ds"
+        X, y = _make(12)
+        _write(d, X, y, codec)
+        X2, y2 = _make(7, seed=1)
+        appender = ShardAppender(d)
+        manifest = appender.append(X2, y2)
+        assert manifest.generation == 1
+        assert manifest.rows == 19
+        assert manifest_generation(d) == 1
+        # the committed generation file, the CURRENT pointer, and the mirror
+        assert (d / generation_manifest_name(1)).is_file()
+        assert (d / CURRENT_NAME).read_text().strip() == "1"
+        assert read_manifest(d, generation=None).generation == 1
+        # the legacy mirror tracks the latest generation
+        mirror = (d / MANIFEST_NAME).read_text()
+        assert '"generation": 1' in mirror
+
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_generation_zero_stays_pinnable_after_appends(self, tmp_path, codec):
+        d = tmp_path / "ds"
+        X, y = _make(12)
+        _write(d, X, y, codec)
+        ShardAppender(d).append(*_make(9, seed=3))
+        with open_sharded_matrix(d, generation=0) as matrix:
+            assert matrix.generation == 0
+            np.testing.assert_array_equal(_read_all(matrix), X)
+
+    def test_create_clears_stale_generation_state(self, tmp_path):
+        d = tmp_path / "ds"
+        X, y = _make(12)
+        _write(d, X, y, None)
+        ShardAppender(d).append(*_make(5, seed=2))
+        assert manifest_generation(d) == 1
+        # rewriting the dataset resets it to a static generation-0 layout
+        _write(d, X, y, None)
+        assert manifest_generation(d) == 0
+        assert not (d / CURRENT_NAME).exists()
+        assert not (d / "manifest.1.json").exists()
+
+    def test_zero_row_append_commits_nothing(self, tmp_path):
+        d = tmp_path / "ds"
+        _write(d, *_make(12), None)
+        manifest = ShardAppender(d).append(np.empty((0, 4)), np.empty(0, dtype=np.int64))
+        assert manifest.generation == 0
+        assert manifest_generation(d) == 0
+
+
+class TestShardAppender:
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_rows_append_bit_identical(self, tmp_path, codec):
+        d = tmp_path / "ds"
+        X, y = _make(12)
+        _write(d, X, y, codec)
+        X2, y2 = _make(25, seed=1)
+        ShardAppender(d).append(X2, y2)
+        with open_sharded_matrix(d) as matrix:
+            assert matrix.shape == (37, 4)
+            np.testing.assert_array_equal(_read_all(matrix)[:12], X)
+            np.testing.assert_array_equal(_read_all(matrix)[12:], X2)
+            labels = np.asarray(matrix.lazy_labels)
+            np.testing.assert_array_equal(labels, np.concatenate([y, y2]))
+
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_tail_seals_at_shard_rows(self, tmp_path, codec):
+        d = tmp_path / "ds"
+        _write(d, *_make(10), codec, shard_rows=10)  # one full, sealed shard
+        manifest = ShardAppender(d).append(*_make(15, seed=1))
+        sealed = [s for s in manifest.shards if s.sealed]
+        assert [s.rows for s in sealed] == [10, 10]
+        assert manifest.tail_shard is not None
+        assert manifest.tail_shard.rows == 5
+        # appending exactly up to the boundary seals the tail
+        manifest = ShardAppender(d).append(*_make(5, seed=2))
+        assert manifest.tail_shard is None
+        assert all(s.sealed and s.rows == 10 for s in manifest.shards)
+
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_consecutive_appends_extend_unsealed_tail(self, tmp_path, codec):
+        d = tmp_path / "ds"
+        _write(d, *_make(10), codec, shard_rows=10)
+        parts = [_make(3, seed=s) for s in (1, 2, 3)]
+        appender = ShardAppender(d)
+        for X, y in parts:
+            appender.append(X, y)
+        with open_sharded_matrix(d) as matrix:
+            got = _read_all(matrix)[10:]
+        np.testing.assert_array_equal(got, np.vstack([X for X, _ in parts]))
+
+    def test_appender_validates_shape(self, tmp_path):
+        d = tmp_path / "ds"
+        _write(d, *_make(10), None)
+        appender = ShardAppender(d)
+        with pytest.raises(ValueError, match="shape"):
+            appender.append(np.ones((3, 9)), np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError, match="label"):
+            appender.append(np.ones((3, 4)), np.zeros(2, dtype=np.int64))
+
+    def test_unlabelled_dataset_appends_without_labels(self, tmp_path):
+        d = tmp_path / "ds"
+        X, _ = _make(10)
+        write_sharded_dataset(d, X, None, shard_rows=8)
+        manifest = ShardAppender(d).append(_make(6, seed=1)[0])
+        assert manifest.rows == 16
+        assert not manifest.has_labels
+
+
+class TestSnapshotIsolation:
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_open_handle_pins_its_generation(self, tmp_path, codec):
+        d = tmp_path / "ds"
+        X, y = _make(12)
+        _write(d, X, y, codec)
+        with open_sharded_matrix(d) as snapshot:
+            before = _read_all(snapshot)
+            for seed in (1, 2, 3):
+                ShardAppender(d).append(*_make(8, seed=seed))
+                assert snapshot.shape == (12, 4)
+                np.testing.assert_array_equal(_read_all(snapshot), before)
+
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_every_generation_reopens_bit_identical(self, tmp_path, codec):
+        d = tmp_path / "ds"
+        _write(d, *_make(12), codec)
+        expected = {}
+        with open_sharded_matrix(d) as m:
+            expected[0] = _read_all(m)
+        for gen, seed in ((1, 5), (2, 6), (3, 7)):
+            ShardAppender(d).append(*_make(9, seed=seed))
+            with open_sharded_matrix(d) as m:
+                expected[gen] = _read_all(m)
+        for gen, want in expected.items():
+            with open_sharded_matrix(d, generation=gen) as m:
+                assert m.generation == gen
+                np.testing.assert_array_equal(_read_all(m), want)
+
+    def test_plan_binds_to_generation(self, tmp_path):
+        d = tmp_path / "ds"
+        _write(d, *_make(12), None)
+        with open_sharded_matrix(d) as old:
+            plan = plan_chunks(old, chunk_rows=5)
+            assert plan.generation == 0
+            assert matrix_generation(old) == 0
+        ShardAppender(d).append(*_make(8, seed=1))
+        with open_sharded_matrix(d) as fresh:
+            with pytest.raises(ValueError, match="generation"):
+                open_chunk_stream(fresh, plan=plan)
+        # ... but the old snapshot still streams the old plan
+        with open_sharded_matrix(d, generation=0) as pinned:
+            chunks = list(open_chunk_stream(pinned, plan=plan, prefetch=False))
+            assert sum(c.rows for c in chunks) == 12
+
+    def test_row_range_plan_covers_exactly_the_delta(self, tmp_path):
+        d = tmp_path / "ds"
+        X, y = _make(12)
+        _write(d, X, y, None)
+        X2, y2 = _make(8, seed=1)
+        ShardAppender(d).append(X2, y2)
+        with open_sharded_matrix(d) as m:
+            plan = plan_chunks(m, chunk_rows=3, row_range=(12, 20))
+            assert plan.bounds[0][0] == 12 and plan.bounds[-1][1] == 20
+            got = [np.array(c.X, copy=True) for c in open_chunk_stream(m, plan=plan, prefetch=False)]
+        np.testing.assert_array_equal(np.vstack(got), X2)
+
+    def test_row_range_validates_bounds(self, tmp_path):
+        d = tmp_path / "ds"
+        _write(d, *_make(12), None)
+        with open_sharded_matrix(d) as m:
+            with pytest.raises(ValueError, match="row_range"):
+                plan_chunks(m, row_range=(5, 99))
+
+
+class TestCrashRecovery:
+    def test_orphan_v1_tail_bytes_are_trimmed(self, tmp_path):
+        d = tmp_path / "ds"
+        _write(d, *_make(12), None, shard_rows=10)
+        X2, y2 = _make(4, seed=1)
+        manifest = ShardAppender(d).append(X2, y2)
+        tail = manifest.tail_shard
+        # the legacy 10+2 shards are sealed, so the append opened a new tail
+        assert tail is not None and tail.rows == 4
+        # simulate a crashed append: data + sidecar bytes landed, header rows
+        # were patched, but no manifest generation was committed
+        path = d / tail.filename
+        with open(path, "r+b") as handle:
+            handle.seek(0, 2)
+            handle.write(b"\x7f" * (3 * 4 * 8))
+        with open(d / (tail.filename + ".labels"), "r+b") as handle:
+            handle.seek(0, 2)
+            handle.write(b"\x01" * (3 * 8))
+        # a committed-generation reader is unaffected by the orphan bytes
+        with open_sharded_matrix(d) as matrix:
+            assert matrix.shape == (16, 4)
+            np.testing.assert_array_equal(_read_all(matrix)[12:], X2)
+        # the next appender trims the orphans before appending
+        X3, y3 = _make(2, seed=2)
+        ShardAppender(d).append(X3, y3)
+        assert path.stat().st_size == HEADER_SIZE + 6 * 4 * 8
+        with open_sharded_matrix(d) as matrix:
+            np.testing.assert_array_equal(_read_all(matrix)[16:], X3)
+
+    def test_recovery_reloads_v2_tail_buffer(self, tmp_path):
+        d = tmp_path / "ds"
+        _write(d, *_make(12), "zlib", shard_rows=10)
+        X2, y2 = _make(4, seed=1)
+        ShardAppender(d).append(X2, y2)
+        # a fresh appender (e.g. after a restart) must reload the committed
+        # tail rows so the next commit preserves them
+        X3, y3 = _make(3, seed=2)
+        ShardAppender(d).append(X3, y3)
+        with open_sharded_matrix(d) as matrix:
+            got = _read_all(matrix)
+        np.testing.assert_array_equal(got[12:16], X2)
+        np.testing.assert_array_equal(got[16:], X3)
+
+
+class TestSessionIntegration:
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_dataset_append_and_refresh(self, tmp_path, codec):
+        X, y = _make(30)
+        with Session() as session:
+            opts = {"shard_rows": 10}
+            if codec:
+                opts["codec"] = codec
+            spec = session.create(f"shard://{tmp_path / 'ds'}", X, y, **opts)
+            snap = session.open(spec)
+            assert snap.generation == 0
+            X2, y2 = _make(12, seed=1)
+            assert snap.append(X2, y2) == 1
+            # the appending handle still serves its own snapshot
+            assert snap.shape == (30, 4)
+            np.testing.assert_array_equal(np.asarray(snap.matrix[:]), X)
+            fresh = session.refresh(snap)
+            assert fresh.generation == 1
+            assert fresh.shape == (42, 4)
+            np.testing.assert_array_equal(np.asarray(fresh.matrix[30:]), X2)
+            # refresh with close_previous closes the stale handle
+            final = session.refresh(fresh, close_previous=True)
+            assert fresh.closed
+            final.close()
+            snap.close()
+
+    def test_fingerprint_tracks_generation(self, tmp_path):
+        d = tmp_path / "ds"
+        X, y = _make(12)
+        backend = ShardedBackend()
+        _write(d, X, y, None)
+        static = backend.fingerprint(str(d))
+        ShardAppender(d).append(*_make(5, seed=1))
+        gen1 = backend.fingerprint(str(d))
+        assert gen1 != static
+        assert gen1[0] == "gen" and gen1[1] == 1
+        ShardAppender(d).append(*_make(5, seed=2))
+        assert backend.fingerprint(str(d))[1] == 2
+
+    def test_memory_backend_rejects_append(self):
+        with Session() as session:
+            dataset = session.from_arrays(np.ones((4, 2)), name="static")
+            with pytest.raises(TypeError, match="append"):
+                dataset.append(np.ones((1, 2)))
+
+    def test_info_reports_generation_and_tail(self, tmp_path):
+        d = tmp_path / "ds"
+        _write(d, *_make(12), None, shard_rows=10)
+        backend = ShardedBackend()
+        assert "generation" not in backend.info(str(d))  # static dataset
+        ShardAppender(d).append(*_make(4, seed=1))
+        info = backend.info(str(d))
+        assert info["generation"] == 1
+        assert info["committed_rows"] == 16
+        assert info["tail_shard"] == "shard-00002.m3"
+        assert info["tail_rows"] == 4
+        assert info["tail_sealed"] is False
