@@ -1,0 +1,143 @@
+"""Fault-injection overhead: armed-but-silent plan vs the zero-cost gate.
+
+The injection sites are always compiled into the pipeline; robustness that
+only exists in a special build protects nothing.  What keeps that honest is
+the overhead budget measured here, in two configurations over the same
+on-disk streaming fit:
+
+* **disabled** — no plan active: each site costs one function call and a
+  ``None`` check (the zero-cost gate);
+* **armed** — every site armed with ``p=0``: the full plan path runs on
+  every check (lock, RNG draw, budget accounting) but never fires — the
+  worst case that is still a no-op.
+
+The acceptance bar from the robustness spec: the armed-but-silent fit stays
+within **1.03x** of the disabled fit.  Sites sit at block/lease/commit
+granularity — never per row — which is what makes this budget holdable.
+
+Writes ``BENCH_faults.json`` (consumed and validated by CI): wall times per
+configuration, the overhead ratio, and proof the armed run really consulted
+the plan (per-site check counts).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.api.dataset import Dataset
+from repro.api.engines import StreamingEngine
+from repro.api.sharded import ShardedMatrix, write_sharded_dataset
+from repro.api.storage import StorageHandle
+from repro.faults import FaultPlan, FaultRule, fault_sites, set_fault_plan
+from repro.ml import LogisticRegression
+
+ROWS = 16000
+COLS = 64
+SHARDS = 8
+CHUNK_ROWS = 900    # straddles the 2000-row shards: leases + gathers both hot
+EPOCHS = 2
+ROUNDS = 3          # best-of-N per configuration
+MAX_RATIO = 1.03    # acceptance bar: <= 1.03x the disabled wall time
+EPSILON_S = 0.050   # absolute slack so millisecond noise cannot flake the bar
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    rng = np.random.default_rng(42)
+    X = rng.normal(size=(ROWS, COLS))
+    y = (X @ rng.normal(size=COLS) > 0).astype(np.int64)
+    directory = tmp_path_factory.mktemp("bench_faults") / "shards"
+    write_sharded_dataset(directory, X, y, shard_rows=ROWS // SHARDS)
+    return directory
+
+
+def _open(directory) -> Dataset:
+    matrix = ShardedMatrix(directory)
+    return Dataset(
+        StorageHandle(matrix=matrix, labels=matrix.lazy_labels),
+        spec=f"shard://{directory}",
+    )
+
+
+def _time_fit(directory) -> float:
+    engine = StreamingEngine(chunk_rows=CHUNK_ROWS, io_workers=2, align_shards=False)
+    best = math.inf
+    for _ in range(ROUNDS):
+        dataset = _open(directory)
+        model = LogisticRegression(
+            max_iterations=EPOCHS, solver="sgd", chunk_size=CHUNK_ROWS, seed=0
+        )
+        began = time.perf_counter()
+        engine.fit(model, dataset)
+        best = min(best, time.perf_counter() - began)
+        dataset.close()
+    return best
+
+
+def _silent_plan() -> FaultPlan:
+    """Every site armed, probability zero: checks run, nothing ever fires."""
+    return FaultPlan(
+        [FaultRule(site=site, probability=0.0, count=None) for site in fault_sites()]
+    )
+
+
+@pytest.mark.benchmark(group="faults-overhead")
+def test_fault_sites_overhead_within_budget(benchmark, workload):
+    """An armed-but-silent fault plan stays within 1.03x of the gate."""
+    directory = workload
+
+    def sweep():
+        _time_fit(directory)  # warm the page cache untimed
+        disabled_s = _time_fit(directory)
+        plan = _silent_plan()
+        previous = set_fault_plan(plan)
+        try:
+            armed_s = _time_fit(directory)
+        finally:
+            set_fault_plan(previous)
+        return disabled_s, armed_s, plan.stats()
+
+    disabled_s, armed_s, site_stats = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    checks = sum(entry["checked"] for entry in site_stats.values())
+    fired = sum(entry["fired"] for entry in site_stats.values())
+    assert checks > 0, "the armed run never consulted the plan"
+    assert fired == 0, "a p=0 plan must never fire"
+
+    ratio = armed_s / disabled_s
+    payload = {
+        "rows": ROWS,
+        "cols": COLS,
+        "chunk_rows": CHUNK_ROWS,
+        "rounds": ROUNDS,
+        "max_ratio": MAX_RATIO,
+        "epsilon_s": EPSILON_S,
+        "disabled_fit_s": disabled_s,
+        "armed_fit_s": armed_s,
+        "overhead_ratio": ratio,
+        "site_checks": checks,
+        "sites_armed": len(site_stats),
+    }
+    for key, value in payload.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            assert not math.isnan(value), f"{key} is NaN"
+            assert value >= 0, f"{key} is negative: {value}"
+    Path("BENCH_faults.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit(
+        "Fault-injection site overhead (streaming fit)",
+        f"disabled {disabled_s:.3f}s  armed-silent {armed_s:.3f}s  "
+        f"ratio {ratio:.3f}x  ({checks} site checks, 0 fired)",
+    )
+
+    assert armed_s <= disabled_s * MAX_RATIO + EPSILON_S, (
+        f"armed-but-silent fit {armed_s:.3f}s exceeds {MAX_RATIO}x "
+        f"disabled fit {disabled_s:.3f}s"
+    )

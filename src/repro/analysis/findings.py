@@ -28,6 +28,10 @@ RULES: Dict[str, str] = {
         "api surface: names exported via __all__ must carry docstrings and "
         "complete type annotations"
     ),
+    "R005": (
+        "bounded waits: every Condition/Event .wait() must carry a timeout "
+        "(a missed notify must surface as a diagnostic, never a hang)"
+    ),
 }
 
 

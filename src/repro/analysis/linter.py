@@ -186,6 +186,8 @@ def lint_paths(
             findings.extend(rule_impls.check_r003(module))
         if "R004" in selected:
             findings.extend(rule_impls.check_r004(module, index))
+        if "R005" in selected:
+            findings.extend(rule_impls.check_r005(module))
 
     # The same definition can be reached through several exporting modules
     # (R004 re-export chasing) — keep one finding per distinct diagnostic.

@@ -86,6 +86,10 @@ LOCK_ORDER: Dict[str, int] = {
     # rank above everything so holding *any* library lock may enter them.
     "repro.analysis.runtime.LockOrderGraph._lock": 900,
     "repro.analysis.runtime.LeaseTracker._lock": 910,
+    # The fault-injection plan's accounting lock: sites fire while holding
+    # appender/trainer/pipeline locks, so — like the trackers above — it is
+    # a pure leaf ranked after everything in the library proper.
+    "repro.faults.FaultPlan._lock": 920,
 }
 
 

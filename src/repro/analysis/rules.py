@@ -1,4 +1,4 @@
-"""Rule implementations R001–R004 for the ``m3 lint`` static pass.
+"""Rule implementations R001–R005 for the ``m3 lint`` static pass.
 
 Each ``check_rNNN`` function takes a :class:`~repro.analysis.linter.ParsedModule`
 (whose AST nodes carry ``_lint_parent`` links) and returns a list of
@@ -17,7 +17,7 @@ from repro.analysis.findings import Finding
 from repro.analysis.linter import ParsedModule
 from repro.analysis.locks import LOCK_ORDER
 
-__all__ = ["check_r001", "check_r002", "check_r003", "check_r004"]
+__all__ = ["check_r001", "check_r002", "check_r003", "check_r004", "check_r005"]
 
 _LOCK_CTORS = {"Lock", "RLock", "Condition"}
 _LOCK_FACTORIES = {"make_lock", "make_rlock", "make_condition"}
@@ -898,4 +898,47 @@ def check_r004(
                             require_docstring=False,
                         )
                     )
+    return findings
+
+
+# -- R005: bounded waits ------------------------------------------------------
+
+
+def check_r005(module: ParsedModule) -> List[Finding]:
+    """Flag unbounded ``cond.wait()`` calls.
+
+    A ``Condition.wait()`` (or ``Event.wait()``) with neither a positional
+    timeout nor a ``timeout=`` keyword blocks forever if the matching
+    ``notify`` is lost — a producer that died with an exception, a shutdown
+    path that forgot one waiter.  Every wait in this codebase must carry a
+    deadline and re-check its predicate in a loop; a stalled site should
+    surface as a diagnostic error, never as a hang.
+    """
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "wait"):
+            continue
+        if node.args:
+            continue  # positional timeout — bounded
+        if any(kw.arg == "timeout" for kw in node.keywords):
+            continue
+        line = module.line(node.lineno)
+        if "# noqa" in line or module.suppressed(node.lineno, "R005"):
+            continue
+        findings.append(
+            Finding(
+                rule="R005",
+                path=str(module.path),
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    "unbounded .wait(): a missed notify hangs the thread "
+                    "forever — pass a timeout and re-check the predicate "
+                    "in a loop"
+                ),
+            )
+        )
     return findings

@@ -52,6 +52,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 import numpy as np
 
 from repro.analysis.runtime import LEASES, make_condition, make_lock
+from repro.faults import InjectedFault, maybe_fire, policy_for
 from repro.api.sharded import (
     CompressedRange,
     CompressedShardedMatrix,
@@ -67,6 +68,12 @@ INITIAL_CHUNK_BYTES = 1024 * 1024
 
 #: Maximum per-chunk timing samples kept in :class:`ChunkStreamStats`.
 MAX_TIMING_SAMPLES = 4096
+
+DEFAULT_STALL_TIMEOUT_S = 30.0
+"""How long a consumer waits on a missing chunk before declaring the stream
+stalled.  Generous — orders of magnitude above any healthy read — because its
+job is to convert a *dead* producer (hung device, wedged reader thread) into a
+diagnosable :class:`ChunkStreamError` instead of an eternal hang."""
 
 
 class ChunkStreamError(RuntimeError):
@@ -381,6 +388,12 @@ class ChunkStreamStats:
     hints_applied: int = 0
     #: ``dont_need`` hints applied behind the scan cursor (pages released).
     hints_released: int = 0
+    #: Read attempts that failed and were retried under the stream's
+    #: :class:`~repro.faults.RetryPolicy` (0 on a healthy device).
+    retries: int = 0
+    #: Retried errors that were injected by an active fault plan — lets a
+    #: chaos run tell deliberate faults apart from real device trouble.
+    faults_injected: int = 0
     #: Per-chunk ``(read_s, wait_s, compute_s)`` samples (capped).
     samples: List[Tuple[float, float, float]] = field(default_factory=list)
 
@@ -443,6 +456,8 @@ class ChunkStreamStats:
         self.compressed_bytes += other.compressed_bytes
         self.hints_applied += other.hints_applied
         self.hints_released += other.hints_released
+        self.retries += other.retries
+        self.faults_injected += other.faults_injected
         self.prefetched = self.prefetched or other.prefetched
         free = MAX_TIMING_SAMPLES - len(self.samples)
         if free > 0:
@@ -485,6 +500,8 @@ class ChunkStreamStats:
             "prefetched": self.prefetched,
             "hints_applied": self.hints_applied,
             "hints_released": self.hints_released,
+            "retries": self.retries,
+            "faults_injected": self.faults_injected,
         }
 
 
@@ -538,12 +555,25 @@ class ChunkIterator:
     def __iter__(self) -> "ChunkIterator":
         return self
 
+    def _on_retry(self, attempt: int, error: BaseException) -> None:
+        self.stats.retries += 1
+        if isinstance(error, InjectedFault):
+            self.stats.faults_injected += 1
+
     def _read(self, index: int, start: int, stop: int) -> Chunk:
         began = time.perf_counter()
-        X = self.matrix[start:stop]
-        y = None
-        if self.labels is not None:
-            y = np.asarray(self.labels[start:stop])
+
+        def attempt() -> Tuple[Any, Optional[np.ndarray]]:
+            maybe_fire("read.gather")
+            X = self.matrix[start:stop]
+            y = None
+            if self.labels is not None:
+                y = np.asarray(self.labels[start:stop])
+            return X, y
+
+        X, y = policy_for("read.gather").call(
+            attempt, site="read.gather", on_retry=self._on_retry
+        )
         read_s = time.perf_counter() - began
         return Chunk(index=index, start=start, stop=stop, X=X, y=y, read_s=read_s)
 
@@ -614,12 +644,23 @@ class PrefetchingChunkIterator:
     ``close()`` is what stops the producer thread early.
     """
 
-    def __init__(self, inner: ChunkIterator, depth: int = 2) -> None:
+    def __init__(
+        self,
+        inner: ChunkIterator,
+        depth: int = 2,
+        stall_timeout_s: Optional[float] = DEFAULT_STALL_TIMEOUT_S,
+    ) -> None:
         if depth < 1:
             raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+        if stall_timeout_s is not None and stall_timeout_s <= 0:
+            raise ValueError(
+                f"stall_timeout_s must be positive or None, got {stall_timeout_s}"
+            )
         self.inner = inner
         self.depth = depth
+        self.stall_timeout_s = stall_timeout_s
         self.stats = ChunkStreamStats(prefetched=True)
+        self._counters_folded = False
         self._queue: "queue.Queue" = queue.Queue(maxsize=depth)
         self._stop = threading.Event()
         self._last_yield: Optional[float] = None
@@ -678,7 +719,7 @@ class PrefetchingChunkIterator:
             raise StopIteration
         now = time.perf_counter()
         compute_s = now - self._last_yield if self._last_yield is not None else 0.0
-        item = self._queue.get()
+        item = self._get_next(now)
         wait_s = time.perf_counter() - now
         if isinstance(item, _EndOfStream):
             self.stats.record_trailing_compute(compute_s)
@@ -688,6 +729,7 @@ class PrefetchingChunkIterator:
             self._finished = True
             self._last_yield = None
             self._stop.set()  # producer already exited; unblocks close()
+            self._fold_counters()
             if item.error is not None:
                 raise ChunkStreamError(
                     f"chunk stream producer failed while reading "
@@ -699,6 +741,51 @@ class PrefetchingChunkIterator:
         )
         self._last_yield = time.perf_counter()
         return item
+
+    def _get_next(self, started: float) -> Any:
+        """Dequeue the next item, bounded by :attr:`stall_timeout_s`.
+
+        A producer that dies without posting its end-of-stream sentinel (or
+        wedges inside a read) surfaces here as a diagnosable
+        :class:`ChunkStreamError` instead of an eternal ``Queue.get``.
+        """
+        timeout = self.stall_timeout_s
+        while True:
+            try:
+                return self._queue.get(timeout=0.1)
+            except queue.Empty:
+                pass
+            alive = self._thread.is_alive()
+            waited = time.perf_counter() - started
+            if not alive or (timeout is not None and waited >= timeout):
+                self._finished = True
+                self._last_yield = None
+                self._stop.set()
+                self._fold_counters()
+                cause = (
+                    "producer thread exited without delivering a chunk or "
+                    "an end-of-stream sentinel"
+                    if not alive
+                    else f"no chunk arrived within stall_timeout_s={timeout}"
+                )
+                raise ChunkStreamError(
+                    f"chunk stream stalled after {waited:.1f}s: {cause} "
+                    f"(delivered {self.stats.chunks} of "
+                    f"{self.plan.num_chunks} planned chunk(s), producer "
+                    f"alive={alive})"
+                )
+
+    def _fold_counters(self) -> None:
+        """Fold the inner iterator's retry accounting into this stream's stats.
+
+        The producer thread records retries on ``inner.stats`` (it drives
+        ``inner._read`` directly); they belong to this stream's totals.
+        """
+        if self._counters_folded:
+            return
+        self._counters_folded = True
+        self.stats.retries += self.inner.stats.retries
+        self.stats.faults_injected += self.inner.stats.faults_injected
 
     def blocks(self) -> Iterator[Tuple[int, int, Any]]:
         """Iterate ``(start, stop, X)`` row blocks — the inference-side view.
@@ -732,6 +819,7 @@ class PrefetchingChunkIterator:
                 except queue.Empty:
                     break
             self._thread.join(timeout=5.0)
+            self._fold_counters()
         except Exception:  # noqa: BLE001 — shutdown teardown must stay silent
             pass
 
@@ -873,6 +961,7 @@ class ChunkBufferPool:
         Returns ``None`` instead of blocking forever when ``stop`` is set —
         a reader pool being closed must not deadlock on an exhausted ring.
         """
+        maybe_fire("pool.lease")
         while True:
             try:
                 lease = self._free.get(timeout=0.05)
@@ -1261,6 +1350,9 @@ class _ReaderPoolState:
         self.next_claim = 0
         self.pending_hints = 0
         self.live_workers = 0
+        #: Retry accounting (folded into the prefetcher's stats at the end).
+        self.retries = 0
+        self.faults_injected = 0
         #: The consumer is gone (finished or closing): late posts must drop
         #: their chunk and hand the lease back instead of parking it forever.
         self.draining = False
@@ -1292,7 +1384,13 @@ class _ReaderPoolState:
                     self.reader_log[reader].append((start, stop_row))
                 hinted = self.hinter.will_need(start, stop_row) if self.hinter is not None else 0
                 if self.decode_pool is not None:
-                    task = self.fetch_chunk(index, start, stop_row, hinted)
+                    # Retried as a unit: a failed lease or fetch releases
+                    # everything it held, so each attempt starts clean.
+                    task = policy_for("read.pread").call(
+                        lambda: self.fetch_chunk(index, start, stop_row, hinted),
+                        site="read.pread",
+                        on_retry=self._on_retry,
+                    )
                     acct["chunks"] += 1
                     acct["rows"] += stop_row - start
                     # Compressed readers account the bytes they actually
@@ -1301,7 +1399,11 @@ class _ReaderPoolState:
                     acct["read_s"] += task.read_s
                     self.decode_pool.submit(task)
                     continue
-                chunk = self.read_chunk(index, start, stop_row)
+                chunk = policy_for("read.gather").call(
+                    lambda: self.read_chunk(index, start, stop_row),
+                    site="read.gather",
+                    on_retry=self._on_retry,
+                )
                 acct["chunks"] += 1
                 acct["rows"] += chunk.rows
                 acct["bytes_read"] += chunk.rows * plan.row_bytes
@@ -1334,8 +1436,16 @@ class _ReaderPoolState:
             except Exception:  # noqa: BLE001 — interpreter-shutdown teardown
                 pass
 
+    def _on_retry(self, attempt: int, error: BaseException) -> None:
+        """Count one retried read attempt (runs on the failing reader thread)."""
+        with self.cond:
+            self.retries += 1
+            if isinstance(error, InjectedFault):
+                self.faults_injected += 1
+
     def read_chunk(self, index: int, start: int, stop: int) -> Chunk:
         """Materialise one chunk: zero-copy view when possible, pooled copy otherwise."""
+        maybe_fire("read.gather")
         matrix = self.inner.matrix
         labels = self.inner.labels
         began = time.perf_counter()
@@ -1481,6 +1591,7 @@ class ParallelPrefetcher:
         hints: bool = True,
         release_behind: Optional[bool] = None,
         decode_workers: Optional[int] = None,
+        stall_timeout_s: Optional[float] = DEFAULT_STALL_TIMEOUT_S,
     ) -> None:
         self.inner = inner
         plan = inner.plan
@@ -1490,6 +1601,11 @@ class ParallelPrefetcher:
             raise ValueError(f"io_workers must be >= 0, got {io_workers}")
         if depth is not None and depth < 1:
             raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+        if stall_timeout_s is not None and stall_timeout_s <= 0:
+            raise ValueError(
+                f"stall_timeout_s must be positive or None, got {stall_timeout_s}"
+            )
+        self.stall_timeout_s = stall_timeout_s
         if decode_workers is not None and decode_workers < 0:
             raise ValueError(f"decode_workers must be >= 0, got {decode_workers}")
         if not io_workers:  # None or 0: size the pool from storage topology
@@ -1688,6 +1804,9 @@ class ParallelPrefetcher:
         if self._expected >= plan.num_chunks:
             self._finish(compute_s)
             raise StopIteration
+        deadline = (
+            None if self.stall_timeout_s is None else now + self.stall_timeout_s
+        )
         with state.cond:
             while self._expected not in state.results:
                 # Readers wind down on error, but their in-flight chunks still
@@ -1704,6 +1823,8 @@ class ParallelPrefetcher:
                     if state.stop.is_set():
                         self._finish(compute_s)
                         raise StopIteration
+                if deadline is not None and time.perf_counter() >= deadline:
+                    raise self._stalled(compute_s)
                 state.cond.wait(timeout=0.05)
             chunk = state.results.pop(self._expected)
             self._expected += 1
@@ -1736,6 +1857,30 @@ class ParallelPrefetcher:
         self._last_yield = time.perf_counter()
         return chunk
 
+    def _stalled(self, compute_s: float) -> ChunkStreamError:
+        """Build the stall diagnostic (called with ``state.cond`` held).
+
+        Snapshots each reader's last-known claim and the reorder buffer's
+        contents *before* tearing the stream down, so the error names the
+        stalled site instead of just saying "timed out".
+        """
+        state = self._state
+        workers = state.live_workers
+        buffered = sorted(state.results)
+        per_reader = "; ".join(
+            f"reader {acct['reader']}: {acct['chunks']} chunk(s) read, "
+            f"last claim {log[-1] if log else None}"
+            for acct, log in zip(state.reader_stats, state.reader_log)
+        )
+        self._finish(compute_s)
+        return ChunkStreamError(
+            f"chunk stream stalled: chunk {self._expected} of "
+            f"{self.plan.num_chunks} planned chunk(s) did not arrive within "
+            f"stall_timeout_s={self.stall_timeout_s} (live readers: "
+            f"{workers}, buffered out-of-order chunks: {buffered}; "
+            f"{per_reader})"
+        )
+
     def _finish(self, trailing_compute_s: float) -> None:
         self.stats.record_trailing_compute(trailing_compute_s)
         self._finished = True
@@ -1757,13 +1902,18 @@ class ParallelPrefetcher:
             self._state.cond.notify_all()
 
     def _fold_hints(self) -> None:
+        """Fold trailing hint and retry accounting into the stream's stats."""
         if self._hints_folded:
             return
         self._hints_folded = True
         with self._state.cond:
             pending = self._state.pending_hints
             self._state.pending_hints = 0
+            retries = self._state.retries
+            faults = self._state.faults_injected
         self.stats.record_hints(pending)
+        self.stats.retries += retries
+        self.stats.faults_injected += faults
 
     def blocks(self) -> Iterator[Tuple[int, int, Any]]:
         """Iterate ``(start, stop, X)`` blocks, releasing each buffer afterwards.
@@ -1844,6 +1994,7 @@ def open_chunk_stream(
     parallel_depth: Optional[int] = None,
     release_behind: Optional[bool] = None,
     decode_workers: Optional[int] = None,
+    stall_timeout_s: Optional[float] = DEFAULT_STALL_TIMEOUT_S,
 ) -> "ChunkIterator | PrefetchingChunkIterator | ParallelPrefetcher":
     """Build a chunk stream in one call.
 
@@ -1869,7 +2020,10 @@ def open_chunk_stream(
             hints=hints,
             release_behind=release_behind,
             decode_workers=decode_workers,
+            stall_timeout_s=stall_timeout_s,
         )
     if not prefetch:
         return inner
-    return PrefetchingChunkIterator(inner, depth=prefetch_depth)
+    return PrefetchingChunkIterator(
+        inner, depth=prefetch_depth, stall_timeout_s=stall_timeout_s
+    )

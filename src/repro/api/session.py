@@ -26,7 +26,10 @@ backend and engine.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.faults import FaultPlan
 
 import numpy as np
 
@@ -191,6 +194,13 @@ class Session:
         dataset spec is hot (opened handles not yet all closed), further
         ``open`` calls share its backend handle instead of re-mapping files —
         the high-QPS serving path.  ``0`` disables pooling.
+    faults:
+        A fault-injection plan for this session — a
+        :class:`~repro.faults.FaultPlan`, a spec string such as
+        ``"read.pread:p=0.05:seed=7"``, or ``None`` (the default: inherit
+        whatever ``REPRO_FAULTS`` set process-wide).  Installed for the
+        session's lifetime and restored to the previous plan on
+        :meth:`close`.  See :mod:`repro.faults` for the site catalogue.
 
     Notes
     -----
@@ -210,6 +220,7 @@ class Session:
         config: Optional[M3Config] = None,
         engine: Union[str, ExecutionEngine, None] = None,
         handle_pool_size: int = 8,
+        faults: Union[str, "FaultPlan", None] = None,
     ) -> None:
         self.config = config or M3Config()
         self.default_engine = resolve_engine(engine)
@@ -220,6 +231,12 @@ class Session:
         self._datasets: list[Dataset] = []
         self._pool = HandlePool(handle_pool_size)
         self._closed = False
+        self._faults_installed = faults is not None
+        self._previous_faults: Union[str, "FaultPlan", None] = None
+        if faults is not None:
+            from repro.faults import set_fault_plan
+
+            self._previous_faults = set_fault_plan(faults)
 
     # -- backends ----------------------------------------------------------
 
@@ -623,6 +640,11 @@ class Session:
         with self._lock:
             self._datasets = []
             self._pool.close_idle()
+        if self._faults_installed:
+            from repro.faults import set_fault_plan
+
+            set_fault_plan(self._previous_faults)
+            self._faults_installed = False
 
     def __enter__(self) -> "Session":
         self._check_open()

@@ -36,6 +36,8 @@ import abc
 import zlib
 from typing import Dict, Tuple, Union
 
+from repro.faults import maybe_fire
+
 __all__ = [
     "Codec",
     "NoneCodec",
@@ -95,9 +97,11 @@ class NoneCodec(Codec):
         return bytes(data)
 
     def decode(self, payload: BytesLike, raw_bytes: int) -> bytes:
+        maybe_fire("decode.block", self.name)
         return self._check_size(bytes(payload), raw_bytes)
 
     def decode_into(self, payload: BytesLike, out: memoryview) -> int:
+        maybe_fire("decode.block", self.name)
         view = memoryview(payload)
         if len(view) != len(out):
             raise CodecError(
@@ -122,6 +126,7 @@ class ZlibCodec(Codec):
         return zlib.compress(bytes(data), self.level)
 
     def decode(self, payload: BytesLike, raw_bytes: int) -> bytes:
+        maybe_fire("decode.block", self.name)
         try:
             raw = zlib.decompress(bytes(payload))
         except zlib.error as error:

@@ -11,13 +11,24 @@ Layout::
 
     bytes 0..7     magic  b"M3BLOCKS"
     bytes 8..11    format version (uint32, little endian; currently 2)
-    bytes 12..15   reserved (uint32, zero)
+    bytes 12..15   CRC32 of the JSON header trailer (uint32; 0 in files
+                   written before checksums existed — those skip the check)
     bytes 16..23   header offset (uint64) — where the JSON header starts
     bytes 24..31   header length (uint64)
     bytes 32..     coded segments, tightly packed, in block order
     trailer        the JSON header itself (written last, Parquet-style, so
                    the writer can stream blocks without knowing their sizes
                    up front)
+
+The trailer CRC is what makes a *torn convert* detectable at open time:
+the prefix is rewritten last, so a crash mid-trailer leaves either the
+placeholder prefix (no header to find) or a prefix whose CRC does not
+match the bytes on disk — both refuse to open instead of serving garbage.
+Every coded segment additionally records a CRC32 of its payload in the
+header's segment table, verified before decode; corruption raises
+:class:`ChecksumError` naming the file, block and segment.  Files written
+before checksums existed carry three-element segment entries and are
+read without verification.
 
 The JSON header carries the geometry (``rows``/``cols``/``block_rows``), the
 codec and layout names, the *logical* dtype (what consumers see) and the
@@ -40,6 +51,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -47,6 +59,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.data.codecs import Codec, get_codec
+from repro.faults import InjectedFault, maybe_fire, should_fire
 
 BLOCKED_MAGIC = b"M3BLOCKS"
 BLOCKED_VERSION = 2
@@ -56,6 +69,27 @@ DEFAULT_BLOCK_BYTES = 1024 * 1024
 """Target raw bytes per block when no explicit ``block_rows`` is given."""
 
 LAYOUTS = ("row", "column")
+
+
+class ChecksumError(ValueError):
+    """Stored and computed CRCs disagree: the bytes on disk are corrupt.
+
+    The message always names the file, and — for segment checksums — the
+    block and segment, so a scrub (``m3 info --verify``) can report exactly
+    which blocks need re-converting.
+    """
+
+
+#: One segment of the block table: ``(file_offset, coded_bytes, raw_bytes,
+#: payload_crc32_or_None)``.  ``None`` marks files written before checksums.
+Segment = Tuple[int, int, int, Optional[int]]
+
+
+def _parse_segment(raw: Sequence[Any]) -> Segment:
+    """Normalise a JSON segment entry (3 legacy / 4 current elements)."""
+    offset, coded, raw_bytes = (int(raw[0]), int(raw[1]), int(raw[2]))
+    crc = int(raw[3]) if len(raw) > 3 and raw[3] is not None else None
+    return (offset, coded, raw_bytes, crc)
 
 
 def default_block_rows(cols: int, itemsize: int, target_bytes: int = DEFAULT_BLOCK_BYTES) -> int:
@@ -69,9 +103,10 @@ class BlockInfo:
 
     start_row: int
     rows: int
-    #: ``(file_offset, coded_bytes, raw_bytes)`` per segment — one segment for
-    #: the ``row`` layout, one per column for the ``column`` layout.
-    segments: Tuple[Tuple[int, int, int], ...]
+    #: ``(file_offset, coded_bytes, raw_bytes, payload_crc32)`` per segment —
+    #: one segment for the ``row`` layout, one per column for the ``column``
+    #: layout.  The CRC is ``None`` in files written before checksums.
+    segments: Tuple[Segment, ...]
 
     @property
     def stop_row(self) -> int:
@@ -98,7 +133,7 @@ class BlockedMatrixHeader:
     layout: str
     has_labels: bool
     blocks: Tuple[BlockInfo, ...]
-    label_segment: Optional[Tuple[int, int, int]]
+    label_segment: Optional[Segment]
     raw_bytes: int
     compressed_bytes: int
 
@@ -156,7 +191,7 @@ class BlockedMatrixWriter:
         self._pending: List[np.ndarray] = []
         self._pending_rows = 0
         self._labels: List[np.ndarray] = []
-        self._label_segment: Optional[Tuple[int, int, int]] = None
+        self._label_segment: Optional[Segment] = None
         self._handle = self.path.open("wb")
         # Placeholder prefix; finalize() rewrites it with the real header
         # offset once every segment has been written.
@@ -212,19 +247,19 @@ class BlockedMatrixWriter:
             return taken[0]
         return np.concatenate(taken, axis=0)
 
-    def _write_segment(self, raw: bytes) -> Tuple[int, int, int]:
+    def _write_segment(self, raw: bytes) -> Segment:
         payload = self.codec.encode(raw)
         offset = self._offset
         self._handle.write(payload)
         self._offset += len(payload)
         self.raw_bytes += len(raw)
         self.compressed_bytes += len(payload)
-        return (offset, len(payload), len(raw))
+        return (offset, len(payload), len(raw), zlib.crc32(payload))
 
     def _flush_block(self, rows: int) -> None:
         block = self._take_pending(rows)
         stored = np.ascontiguousarray(block, dtype=self.storage_dtype)
-        segments: List[Tuple[int, int, int]] = []
+        segments: List[Segment] = []
         if self.layout == "row":
             segments.append(self._write_segment(stored.tobytes()))
         else:
@@ -278,12 +313,36 @@ class BlockedMatrixWriter:
             "compressed_bytes": self.compressed_bytes,
         }
         payload = json.dumps(header).encode("utf-8")
+        trailer_crc = zlib.crc32(payload)
         header_offset = self._offset
+        if should_fire("write.trailer"):
+            # Simulate a torn convert: half the trailer lands (the rest is
+            # garbage) but the prefix still commits with the real CRC and
+            # length, exactly as a crash between two write() syscalls could
+            # leave the file.  The trailer CRC check rejects it at open.
+            torn = payload[: len(payload) // 2]
+            self._handle.write(torn + b"\x00" * (len(payload) - len(torn)))
+            self._handle.seek(0)
+            self._handle.write(
+                BLOCKED_PREFIX.pack(
+                    BLOCKED_MAGIC,
+                    BLOCKED_VERSION,
+                    trailer_crc,
+                    header_offset,
+                    len(payload),
+                )
+            )
+            self._handle.close()
+            raise InjectedFault("write.trailer", 1, str(self.path))
         self._handle.write(payload)
         self._handle.seek(0)
         self._handle.write(
             BLOCKED_PREFIX.pack(
-                BLOCKED_MAGIC, BLOCKED_VERSION, 0, header_offset, len(payload)
+                BLOCKED_MAGIC,
+                BLOCKED_VERSION,
+                trailer_crc,
+                header_offset,
+                len(payload),
             )
         )
         self._handle.close()
@@ -345,7 +404,7 @@ def read_blocked_header(path: Union[str, Path]) -> BlockedMatrixHeader:
                 f"expected at least a {BLOCKED_PREFIX_SIZE}-byte prefix, "
                 f"found {len(raw)} bytes"
             )
-        magic, version, _reserved, header_offset, header_len = BLOCKED_PREFIX.unpack(raw)
+        magic, version, trailer_crc, header_offset, header_len = BLOCKED_PREFIX.unpack(raw)
         if magic != BLOCKED_MAGIC:
             raise ValueError(
                 f"{path} is not an M3 blocked matrix file: expected magic "
@@ -365,6 +424,14 @@ def read_blocked_header(path: Union[str, Path]) -> BlockedMatrixHeader:
             )
         handle.seek(header_offset)
         payload = handle.read(header_len)
+    if trailer_crc != 0:
+        computed = zlib.crc32(payload)
+        if computed != trailer_crc:
+            raise ChecksumError(
+                f"{path}: header trailer CRC mismatch (stored "
+                f"{trailer_crc:#010x}, computed {computed:#010x}) — the file "
+                f"was torn mid-convert or corrupted on disk"
+            )
     try:
         parsed: Dict[str, Any] = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -373,7 +440,7 @@ def read_blocked_header(path: Union[str, Path]) -> BlockedMatrixHeader:
         BlockInfo(
             start_row=int(entry["start_row"]),
             rows=int(entry["rows"]),
-            segments=tuple(tuple(int(v) for v in seg) for seg in entry["segments"]),
+            segments=tuple(_parse_segment(seg) for seg in entry["segments"]),
         )
         for entry in parsed["blocks"]
     )
@@ -389,12 +456,12 @@ def read_blocked_header(path: Union[str, Path]) -> BlockedMatrixHeader:
         layout=_normalize_layout(str(parsed["layout"])),
         has_labels=bool(parsed["has_labels"]),
         blocks=blocks,
-        label_segment=tuple(int(v) for v in label_segment) if label_segment else None,
+        label_segment=_parse_segment(label_segment) if label_segment else None,
         raw_bytes=int(parsed["raw_bytes"]),
         compressed_bytes=int(parsed["compressed_bytes"]),
     )
     for block in header.blocks:
-        for offset, coded, _raw in block.segments:
+        for offset, coded, _raw, _crc in block.segments:
             if offset + coded > actual_bytes:
                 raise ValueError(
                     f"{path} is truncated: block at row {block.start_row} "
@@ -470,6 +537,7 @@ class BlockedMatrixReader:
         fd = self._fd
         if fd is None:
             raise RuntimeError(f"reader for {self.path} is closed")
+        maybe_fire("read.pread", str(self.path))
         payload = os.pread(fd, length, offset)
         if len(payload) != length:
             raise ValueError(
@@ -494,8 +562,10 @@ class BlockedMatrixReader:
         else:
             wanted = None
             segments = list(block.segments)
-        payloads = tuple(self._pread(offset, coded) for offset, coded, _ in segments)
-        fetched = sum(coded for _, coded, _ in segments)
+        payloads = tuple(
+            self._pread(segment[0], segment[1]) for segment in segments
+        )
+        fetched = sum(segment[1] for segment in segments)
         self.payload_bytes_read += fetched
         return BlockPayload(
             index=index, payloads=payloads, columns=wanted, compressed_bytes=fetched
@@ -503,9 +573,38 @@ class BlockedMatrixReader:
 
     # -- decode (CPU) --------------------------------------------------------
 
-    def _decode_segment(self, payload: bytes, raw_bytes: int) -> np.ndarray:
-        raw = self.codec.decode(payload, raw_bytes)
+    def _decode_segment(
+        self,
+        payload: bytes,
+        segment: Segment,
+        block_index: int,
+        segment_index: int,
+    ) -> np.ndarray:
+        self._verify_segment(payload, segment, block_index, segment_index)
+        raw = self.codec.decode(payload, segment[2])
         return np.frombuffer(raw, dtype=self.header.storage_dtype)
+
+    def _verify_segment(
+        self,
+        payload: bytes,
+        segment: Segment,
+        block_index: int,
+        segment_index: int,
+    ) -> None:
+        """CRC-check one coded payload before it reaches the codec.
+
+        Legacy entries (no stored CRC) skip verification; verifying the
+        *coded* bytes catches on-disk corruption before decode ever runs.
+        """
+        crc = segment[3]
+        if crc is None:
+            return
+        computed = zlib.crc32(payload)
+        if computed != crc:
+            raise ChecksumError(
+                f"{self.path}: block {block_index} segment {segment_index} "
+                f"CRC mismatch (stored {crc:#010x}, computed {computed:#010x})"
+            )
 
     def decode_block_into(
         self,
@@ -530,7 +629,7 @@ class BlockedMatrixReader:
         dest = out[out_offset : out_offset + (hi - lo)]
         if self.header.layout == "row":
             values = self._decode_segment(
-                fetched.payloads[0], block.segments[0][2]
+                fetched.payloads[0], block.segments[0], fetched.index, 0
             ).reshape(block.rows, self.header.cols)
             np.copyto(dest, values[local], casting="unsafe")
         else:
@@ -541,7 +640,9 @@ class BlockedMatrixReader:
             )
             for position, col in enumerate(columns):
                 segment = block.segments[col]
-                values = self._decode_segment(fetched.payloads[position], segment[2])
+                values = self._decode_segment(
+                    fetched.payloads[position], segment, fetched.index, col
+                )
                 target = position if fetched.columns is not None else col
                 np.copyto(dest[:, target], values[local], casting="unsafe")
 
@@ -622,8 +723,16 @@ class BlockedMatrixReader:
         segment = self.header.label_segment
         if segment is None:
             return None
-        offset, coded, raw_bytes = segment
-        raw = self.codec.decode(self._pread(offset, coded), raw_bytes)
+        offset, coded, raw_bytes, crc = segment
+        payload = self._pread(offset, coded)
+        if crc is not None:
+            computed = zlib.crc32(payload)
+            if computed != crc:
+                raise ChecksumError(
+                    f"{self.path}: label segment CRC mismatch (stored "
+                    f"{crc:#010x}, computed {computed:#010x})"
+                )
+        raw = self.codec.decode(payload, raw_bytes)
         self.payload_bytes_read += coded
         return np.frombuffer(raw, dtype=np.int64).copy()
 
@@ -650,3 +759,43 @@ class BlockedMatrixReader:
             f"BlockedMatrixReader(rows={h.rows}, cols={h.cols}, codec={h.codec!r}, "
             f"block_rows={h.block_rows}, layout={h.layout!r}, path={str(self.path)!r})"
         )
+
+
+def verify_blocked_file(path: Union[str, Path]) -> List[str]:
+    """Scrub every segment of a blocked file: fetch, CRC-check, decode.
+
+    Returns a list of human-readable problem strings (empty means clean).
+    The scrub keeps going after the first bad block so one pass reports
+    every corrupt region; errors that make the file unreadable at all
+    (bad magic, torn trailer) yield a single entry.
+    """
+    path = Path(path)
+    problems: List[str] = []
+    try:
+        reader = BlockedMatrixReader(path)
+    except (ChecksumError, ValueError, OSError) as error:
+        return [f"{path}: unreadable: {error}"]
+    with reader:
+        header = reader.header
+        for index, block in enumerate(header.blocks):
+            try:
+                fetched = reader.fetch_block(index)
+            except (ChecksumError, ValueError, OSError) as error:
+                problems.append(f"{path}: block {index}: fetch failed: {error}")
+                continue
+            for position, segment in enumerate(block.segments):
+                try:
+                    reader._decode_segment(
+                        fetched.payloads[position], segment, index, position
+                    )
+                except (ChecksumError, ValueError, OSError) as error:
+                    message = str(error)
+                    if str(path) not in message:
+                        message = f"{path}: {message}"
+                    problems.append(message)
+        if header.label_segment is not None:
+            try:
+                reader.read_labels()
+            except (ChecksumError, ValueError, OSError) as error:
+                problems.append(f"{path}: labels: {error}")
+    return problems

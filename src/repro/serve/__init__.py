@@ -46,6 +46,7 @@ from repro.serve.registry import ModelRegistry, ModelVersion
 from repro.serve.server import (
     DEFAULT_MODEL_NAME,
     ModelServer,
+    ServeError,
     ServeResult,
     ServeStats,
     ServerClosed,
@@ -59,6 +60,7 @@ __all__ = [
     "ModelVersion",
     "ModelServer",
     "Serving",
+    "ServeError",
     "ServeResult",
     "ServeStats",
     "ServerClosed",

@@ -38,7 +38,11 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.analysis.runtime import make_condition
+from repro.api.chunks import ChunkStreamError
 from repro.api.engines import ExecutionEngine, resolve_engine
+from repro.data.codecs import CodecError
+from repro.data.formats_v2 import ChecksumError
+from repro.faults import InjectedFault, RetriesExhausted, maybe_fire, policy_for
 from repro.serve.registry import ModelLike, ModelRegistry, ModelVersion
 
 #: Maximum per-request queue-wait samples kept for percentile reporting.
@@ -56,6 +60,18 @@ class ServerSaturated(RuntimeError):
 
     Raised by ``submit(block=False)`` immediately, or by a blocking submit
     whose ``timeout`` elapsed before queue space freed up.
+    """
+
+
+class ServeError(RuntimeError):
+    """A request's batch failed on the *serving pipeline*, not the model.
+
+    Device-level trouble — a failed read, an exhausted retry budget, a
+    checksum mismatch, an injected fault — fails only the affected batch's
+    futures with this typed error (chained ``from`` the underlying cause);
+    the server keeps dispatching every other request.  Model-level errors
+    (unknown model name, missing method, shape mismatch) keep their original
+    types so callers can tell their own bugs from infrastructure failures.
     """
 
 
@@ -129,6 +145,13 @@ class ServeStats:
     compute_s: float = 0.0
     errors: int = 0
     rejected: int = 0
+    #: Requests whose futures were failed by a dispatch error (a subset of
+    #: lifetime accounting ``errors`` counts the same way).
+    failed_requests: int = 0
+    #: Dispatch attempts that failed transiently and were retried.
+    retries: int = 0
+    #: Dispatch errors injected by an active fault plan.
+    faults_injected: int = 0
     wait_samples: List[float] = field(default_factory=list)
 
     def record_batch(
@@ -170,6 +193,9 @@ class ServeStats:
             "compute_s": self.compute_s,
             "errors": self.errors,
             "rejected": self.rejected,
+            "failed_requests": self.failed_requests,
+            "retries": self.retries,
+            "faults_injected": self.faults_injected,
         }
 
     def snapshot(self) -> "ServeStats":
@@ -183,6 +209,9 @@ class ServeStats:
             compute_s=self.compute_s,
             errors=self.errors,
             rejected=self.rejected,
+            failed_requests=self.failed_requests,
+            retries=self.retries,
+            faults_injected=self.faults_injected,
             wait_samples=list(self.wait_samples),
         )
 
@@ -412,9 +441,12 @@ class ModelServer:
             while not self._queue:
                 if self._closed:
                     return None, 0.0
-                # Untimed: every queue mutation and close() notifies under
-                # this lock, so idle dispatchers never need to poll.
-                self._cond.wait()
+                # Bounded: every queue mutation and close() notifies under
+                # this lock, so the timeout is pure insurance — a dispatcher
+                # that somehow missed its wakeup re-checks the exit
+                # conditions within a second instead of sleeping forever
+                # (an idle queue is a normal state, never an error).
+                self._cond.wait(timeout=1.0)
             head = self._queue.pop(0)
             self._cond.notify_all()  # queue space freed: wake submitters
             batch = [head]
@@ -430,6 +462,13 @@ class ModelServer:
                     break
                 self._cond.wait(timeout=remaining)
             return batch, time.perf_counter() - opened
+
+    def _count_retry(self, attempt: int, error: BaseException) -> None:
+        """Count one retried dispatch attempt (runs on a dispatcher thread)."""
+        with self._cond:
+            self._stats.retries += 1
+            if isinstance(error, InjectedFault):
+                self._stats.faults_injected += 1
 
     def _take_matching(  # lint: caller-holds-lock
         self, key: Tuple[str, str, int], batch: List[_Request], budget: int
@@ -458,15 +497,18 @@ class ModelServer:
         dispatched_at = time.perf_counter()
         waits = [dispatched_at - request.enqueued_at for request in batch]
         method = batch[0].method
-        try:
-            # Resolved once: every request in the batch is answered by this
-            # single immutable version, however many hot-swaps land meanwhile.
+        X = (
+            batch[0].rows
+            if len(batch) == 1
+            else np.concatenate([request.rows for request in batch], axis=0)
+        )
+
+        def attempt() -> Tuple[ModelVersion, np.ndarray, float]:
+            maybe_fire("serve.dispatch", batch[0].model)
+            # Resolved once per attempt: every request in the batch is
+            # answered by one immutable version, however many hot-swaps land
+            # meanwhile.
             resolved = self.registry.resolve(batch[0].model)
-            X = (
-                batch[0].rows
-                if len(batch) == 1
-                else np.concatenate([request.rows for request in batch], axis=0)
-            )
             began = time.perf_counter()
             predictions = np.asarray(
                 self.engine.serve_batch(resolved.model, X, method=method)
@@ -477,13 +519,37 @@ class ModelServer:
                     f"{method} returned {predictions.shape[0]} rows for a "
                     f"{X.shape[0]}-row batch"
                 )
+            return resolved, predictions, compute_s
+
+        try:
+            resolved, predictions, compute_s = policy_for("serve.dispatch").call(
+                attempt, site="serve.dispatch", on_retry=self._count_retry
+            )
         except BaseException as error:  # noqa: BLE001 — relayed per request
+            injected = isinstance(error, InjectedFault) or isinstance(
+                error.__cause__, InjectedFault
+            )
             with self._cond:
                 self._stats.errors += len(batch)
+                self._stats.failed_requests += len(batch)
+                if injected:
+                    self._stats.faults_injected += 1
+            relayed: BaseException = error
+            if isinstance(
+                error,
+                (OSError, RetriesExhausted, ChunkStreamError, ChecksumError, CodecError),
+            ):
+                # Pipeline trouble gets the typed wrapper; model-level errors
+                # (KeyError, TypeError, shape ValueError) keep their types.
+                relayed = ServeError(
+                    f"batch of {len(batch)} request(s) failed in the serving "
+                    f"pipeline: {error!r}"
+                )
+                relayed.__cause__ = error
             for request in batch:
                 if not request.future.set_running_or_notify_cancel():
                     continue
-                request.future.set_exception(error)
+                request.future.set_exception(relayed)
             return
         total_rows = int(X.shape[0])
         # Record before completing any future: a client that wakes from

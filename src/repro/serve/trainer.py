@@ -47,6 +47,7 @@ import numpy as np
 from repro.analysis.runtime import make_lock
 from repro.api.chunks import open_chunk_stream, plan_chunks
 from repro.api.sharded import ShardedLabels, manifest_generation
+from repro.faults import InjectedFault, maybe_fire, policy_for
 from repro.api.storage import parse_spec
 from repro.serve.registry import ModelRegistry, ModelVersion
 from repro.serve.server import DEFAULT_MODEL_NAME
@@ -88,6 +89,11 @@ class TrainerStats:
     train_s: float = 0.0
     last_generation: Optional[int] = None
     last_version: Optional[str] = None
+    #: Generation polls that failed transiently and were retried under the
+    #: ``trainer.poll`` retry budget.
+    retries: int = 0
+    #: Retried poll errors injected by an active fault plan.
+    faults_injected: int = 0
     history: List[TrainUpdate] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -100,6 +106,8 @@ class TrainerStats:
             "train_s": self.train_s,
             "last_generation": self.last_generation,
             "last_version": self.last_version,
+            "retries": self.retries,
+            "faults_injected": self.faults_injected,
         }
 
 
@@ -228,6 +236,22 @@ class Trainer:
             self.classes = np.unique(np.asarray(labels))
         return self.classes
 
+    def _read_generation(self) -> Optional[int]:
+        """One generation poll attempt (the ``trainer.poll`` injection site).
+
+        The site fires *before* :func:`manifest_generation` because that
+        helper deliberately swallows ``OSError`` (an absent ``CURRENT`` file
+        is a normal state, not a failure) — a fault injected inside it would
+        vanish instead of exercising the retry path.
+        """
+        maybe_fire("trainer.poll", str(self.spec.location))
+        return manifest_generation(self.spec.location)
+
+    def _on_retry(self, attempt: int, error: BaseException) -> None:  # lint: caller-holds-lock
+        self.stats.retries += 1
+        if isinstance(error, InjectedFault):
+            self.stats.faults_injected += 1
+
     def poll_once(self) -> Optional[TrainUpdate]:
         """One poll: train on any committed delta rows and publish.
 
@@ -243,7 +267,9 @@ class Trainer:
     def _poll_locked(self) -> Optional[TrainUpdate]:  # lint: caller-holds-lock
         self._check_open()
         self.stats.polls += 1
-        committed = manifest_generation(self.spec.location)
+        committed = policy_for("trainer.poll").call(
+            self._read_generation, site="trainer.poll", on_retry=self._on_retry
+        )
         if committed is None:
             return None  # dataset not created yet: keep polling
         if self._trained_generation is not None and committed == self._trained_generation:

@@ -1,0 +1,21 @@
+"""R005 positive fixture: unbounded waits that hang on a missed notify."""
+
+import threading
+
+
+class Mailbox:
+    """Waits forever for items — a lost notify deadlocks the consumer."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._items = []
+
+    def take(self):
+        with self._cond:
+            while not self._items:
+                self._cond.wait()  # no timeout: hangs if the producer died
+            return self._items.pop(0)
+
+
+def wait_for_event(event):
+    event.wait()  # no timeout: a crashed setter blocks this thread forever

@@ -1,0 +1,24 @@
+"""R005 negative fixture: every wait carries a deadline."""
+
+import threading
+
+
+class Mailbox:
+    """Bounded waits: a missed notify surfaces as a timeout, not a hang."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._items = []
+
+    def take(self, deadline_s):
+        with self._cond:
+            while not self._items:
+                if not self._cond.wait(timeout=0.1):
+                    deadline_s -= 0.1
+                    if deadline_s <= 0:
+                        raise TimeoutError("mailbox stalled")
+            return self._items.pop(0)
+
+
+def wait_for_event(event, poll_s):
+    event.wait(poll_s)  # positional timeout is bounded too

@@ -228,10 +228,16 @@ class TestPrefetchingChunkIterator:
                 ChunkIterator(ExplodingMatrix(), chunk_rows=4)
             ) as stream:
                 list(stream)
-        # The producer's original exception is the explicit cause, so the
-        # traceback shows both the consumer call site and the failing read.
-        assert isinstance(excinfo.value.__cause__, OSError)
-        assert "disk on fire" in str(excinfo.value.__cause__)
+        # The full causal chain survives: the stream error is chained to the
+        # exhausted retry budget, which is chained to the original OSError —
+        # the traceback shows the consumer call site, the retry policy that
+        # gave up, and the failing read.
+        from repro.faults import RetriesExhausted
+
+        exhausted = excinfo.value.__cause__
+        assert isinstance(exhausted, RetriesExhausted)
+        assert isinstance(exhausted.__cause__, OSError)
+        assert "disk on fire" in str(exhausted.__cause__)
 
     def test_next_after_error_raises_stop_iteration(self):
         class ExplodingMatrix:

@@ -325,7 +325,13 @@ class TestErrorPropagation:
                 ChunkIterator(self.ExplodingAfter(0), chunk_rows=5), io_workers=3
             ) as stream:
                 list(stream)
-        assert isinstance(excinfo.value.__cause__, OSError)
+        # The reader's retry budget is exhausted first; the original OSError
+        # stays reachable at the end of the causal chain.
+        from repro.faults import RetriesExhausted
+
+        exhausted = excinfo.value.__cause__
+        assert isinstance(exhausted, RetriesExhausted)
+        assert isinstance(exhausted.__cause__, OSError)
 
     def test_chunks_before_error_still_delivered_in_order(self):
         delivered = []

@@ -1,0 +1,22 @@
+"""Fault-suite fixtures: every test runs with a clean, scoped fault plan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def scoped_fault_plan():
+    """Disarm fault injection around each test and restore the prior plan.
+
+    The plan gate is process-global (that is the point — it must reach
+    reader threads and the appender without plumbing), so tests that arm
+    it must never leak arming into their neighbours.
+    """
+    previous = faults.set_fault_plan(None)
+    try:
+        yield
+    finally:
+        faults.set_fault_plan(previous)

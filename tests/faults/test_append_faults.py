@@ -1,0 +1,83 @@
+"""Appender commit-step faults: a crash at any commit point leaves the
+previous generation intact, and an unrecoverable tail refuses to open with
+the exact shard and committed row count named."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.sharded import (
+    ShardAppender,
+    manifest_generation,
+    open_sharded_matrix,
+    verify_dataset,
+    write_sharded_dataset,
+)
+from repro.faults import InjectedFault, set_fault_plan
+
+
+def _make(rows, cols=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal((rows, cols)),
+        rng.integers(0, 3, rows).astype(np.int64),
+    )
+
+
+def _dataset_with_tail(directory, codec=None):
+    """A dataset whose last shard is an unsealed, growing tail."""
+    X, y = _make(12)
+    write_sharded_dataset(directory, X, y, shard_rows=10, codec=codec)
+    X2, y2 = _make(5, seed=1)
+    ShardAppender(directory).append(X2, y2)
+    return directory
+
+
+class TestRecoveryRefusal:
+    def test_failed_tail_recovery_refuses_open(self, tmp_path):
+        d = _dataset_with_tail(tmp_path / "ds")
+        committed = manifest_generation(d)
+        set_fault_plan("append.recover")
+        with pytest.raises(RuntimeError, match="dataset needs manual repair") as excinfo:
+            ShardAppender(d)
+        set_fault_plan(None)
+        message = str(excinfo.value)
+        assert "shard-" in message and "committed=" in message
+        assert isinstance(excinfo.value.__cause__, InjectedFault)
+        # The refusal changed nothing: the dataset still opens read-only at
+        # the committed generation, and a later appender works normally.
+        assert manifest_generation(d) == committed
+        assert verify_dataset(d) == []
+        ShardAppender(d).append(*_make(3, seed=2))
+
+
+@pytest.mark.parametrize(
+    "site", ["append.pre_fsync", "append.pre_rename", "append.post_rename"]
+)
+@pytest.mark.parametrize("codec", [None, "zlib"])
+class TestCommitStepCrashes:
+    def test_crash_preserves_previous_generation(self, tmp_path, site, codec):
+        # Every site fires for both codecs: the manifest's atomic commit
+        # carries all three steps; v1 data writes add an in-place fsync.
+        d = _dataset_with_tail(tmp_path / "ds", codec=codec)
+        generation = manifest_generation(d)
+        with open_sharded_matrix(d) as matrix:
+            before = np.array(matrix[:], copy=True)
+
+        set_fault_plan(site)
+        with pytest.raises(OSError):
+            ShardAppender(d).append(*_make(4, seed=3))
+        set_fault_plan(None)
+
+        # Every commit step is crash-safe: the committed generation, its
+        # bytes, and the scrub are all untouched…
+        assert manifest_generation(d) == generation
+        with open_sharded_matrix(d) as matrix:
+            np.testing.assert_array_equal(np.array(matrix[:], copy=True), before)
+        assert verify_dataset(d) == []
+
+        # …and the next append recovers the tail and lands cleanly.
+        manifest = ShardAppender(d).append(*_make(4, seed=4))
+        assert manifest.rows == before.shape[0] + 4
+        assert verify_dataset(d) == []

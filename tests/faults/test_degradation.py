@@ -1,0 +1,101 @@
+"""Graceful serving degradation: dispatch faults fail only the affected
+requests, with a typed :class:`ServeError`, while the server keeps serving —
+and the failure accounting lands in :class:`ServeStats`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, InjectedFault, RetriesExhausted, set_fault_plan
+from repro.ml import LogisticRegression
+from repro.serve import ModelServer, ServeError
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(200, 6))
+    y = (X @ rng.normal(size=6) > 0).astype(np.int64)
+    return LogisticRegression(max_iterations=5).fit(X, y)
+
+
+def test_unlimited_dispatch_faults_fail_requests_not_server(fitted):
+    """``serve.dispatch:n=0`` exhausts every retry budget, so every request
+    fails with a ServeError chained to the injected cause — but the server
+    survives, and serves cleanly the instant the plan is disarmed."""
+    rng = np.random.default_rng(6)
+    X = rng.normal(size=(8, 6))
+    plan = FaultPlan.parse("serve.dispatch:n=0")
+    with ModelServer(max_batch=16, max_delay_ms=0.0) as server:
+        server.publish("default", fitted)
+        set_fault_plan(plan)
+        try:
+            for row in X[:4]:
+                with pytest.raises(ServeError) as excinfo:
+                    server.predict_one(row)
+                exhausted = excinfo.value.__cause__
+                assert isinstance(exhausted, RetriesExhausted)
+                assert isinstance(exhausted.__cause__, InjectedFault)
+        finally:
+            set_fault_plan(None)
+
+        # Degradation, not death: with the plan disarmed the same server
+        # answers immediately.
+        result = server.predict_many(X)
+        np.testing.assert_array_equal(result.predictions, fitted.predict(X))
+
+        stats = server.stats()
+        assert stats.failed_requests == 4
+        assert stats.errors >= 1
+        assert stats.faults_injected >= 4
+        assert stats.retries >= 4  # each failed dispatch retried first
+    assert plan.fires("serve.dispatch") > 0
+
+
+def test_partial_faults_fail_only_affected_requests(fitted):
+    """A bounded fault budget fails a prefix of the traffic; everything after
+    the budget drains is served normally — no request is lost or wedged."""
+    rng = np.random.default_rng(8)
+    X = rng.normal(size=(12, 6))
+    expected = fitted.predict(X)
+    with ModelServer(max_batch=1, max_delay_ms=0.0) as server:
+        server.publish("default", fitted)
+        # n=4 fires are consumed by the first failing dispatch's retries
+        # (default budget: 3 attempts), then one more on the next request.
+        set_fault_plan("serve.dispatch:n=4")
+        try:
+            outcomes = []
+            for index in range(len(X)):
+                try:
+                    outcomes.append(server.predict_one(X[index]).prediction)
+                except ServeError:
+                    outcomes.append(None)
+        finally:
+            set_fault_plan(None)
+        failed = [index for index, value in enumerate(outcomes) if value is None]
+        assert failed  # some requests were hit…
+        assert len(failed) < len(X)  # …but not all of them
+        for index, value in enumerate(outcomes):
+            if value is not None:
+                assert value == expected[index]
+        stats = server.stats()
+        assert stats.failed_requests == len(failed)
+
+
+def test_model_errors_stay_raw(fitted):
+    """Only *pipeline* failures wrap in ServeError; a caller bug (unknown
+    model name) surfaces as its natural exception type."""
+    rng = np.random.default_rng(9)
+    with ModelServer(max_batch=8) as server:
+        server.publish("default", fitted)
+        with pytest.raises(KeyError):
+            server.predict_one(rng.normal(size=6), model="nope")
+
+
+def test_stats_snapshot_includes_fault_counters(fitted):
+    with ModelServer(max_batch=8) as server:
+        server.publish("default", fitted)
+        summary = server.stats().as_dict()
+    for key in ("failed_requests", "retries", "faults_injected"):
+        assert summary[key] == 0

@@ -1,0 +1,122 @@
+"""Stall deadlines: a wedged producer or reader surfaces as a diagnostic
+:class:`ChunkStreamError` within ``stall_timeout_s`` — never a hang — and
+teardown afterwards leaks neither threads nor leases (suite guards)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.api.chunks import (
+    ChunkIterator,
+    ChunkStreamError,
+    ChunkStreamStats,
+    ParallelPrefetcher,
+    PrefetchingChunkIterator,
+    _ReaderPoolState,
+    open_chunk_stream,
+)
+
+
+class _WedgedIterator:
+    """An inner iterator whose reads block far longer than the deadline."""
+
+    def __init__(self, num_chunks=4, sleep_s=1.0):
+        matrix = np.zeros((num_chunks * 8, 2))
+        self._inner = ChunkIterator(matrix, chunk_rows=8)
+        self.plan = self._inner.plan
+        self.matrix = matrix
+        self.labels = None
+        self.stats = ChunkStreamStats()
+        self.sleep_s = sleep_s
+        self.closed = False
+
+    def _read(self, index, start, stop):
+        time.sleep(self.sleep_s)
+        return self._inner._read(index, start, stop)
+
+    def close(self):
+        self.closed = True
+
+
+class TestPrefetchingStall:
+    def test_stall_raises_diagnostic_within_deadline(self):
+        inner = _WedgedIterator(sleep_s=1.0)
+        stream = PrefetchingChunkIterator(inner, stall_timeout_s=0.15)
+        began = time.perf_counter()
+        with pytest.raises(ChunkStreamError, match="stalled") as excinfo:
+            next(stream)
+        waited = time.perf_counter() - began
+        assert waited < 0.9  # bounded by the deadline, not by the wedge
+        message = str(excinfo.value)
+        assert "stall_timeout_s=0.15" in message
+        assert "delivered 0 of 4 planned chunk(s)" in message
+        assert "producer alive=True" in message
+        # The stream is finished, not wedged: later pulls are clean.
+        with pytest.raises(StopIteration):
+            next(stream)
+        stream.close()
+
+    def test_invalid_timeout_rejected(self):
+        inner = _WedgedIterator()
+        with pytest.raises(ValueError, match="stall_timeout_s"):
+            PrefetchingChunkIterator(inner, stall_timeout_s=0.0)
+        inner._inner.close()
+
+    def test_no_timeout_means_unbounded_wait_allowed(self):
+        """``stall_timeout_s=None`` opts out (documented escape hatch) —
+        the stream still delivers once the slow read completes."""
+        inner = _WedgedIterator(num_chunks=1, sleep_s=0.2)
+        with PrefetchingChunkIterator(inner, stall_timeout_s=None) as stream:
+            chunk = next(stream)
+            assert chunk.rows == 8
+
+
+class TestParallelStall:
+    def test_stall_names_readers_and_buffered_chunks(self, monkeypatch):
+        original = _ReaderPoolState.read_chunk
+
+        def wedged(self, index, start, stop):
+            time.sleep(1.0)
+            return original(self, index, start, stop)
+
+        monkeypatch.setattr(_ReaderPoolState, "read_chunk", wedged)
+        matrix = np.zeros((64, 2))
+        stream = ParallelPrefetcher(
+            ChunkIterator(matrix, chunk_rows=8),
+            io_workers=2,
+            hints=False,
+            stall_timeout_s=0.15,
+        )
+        began = time.perf_counter()
+        with pytest.raises(ChunkStreamError, match="stalled") as excinfo:
+            next(stream)
+        assert time.perf_counter() - began < 0.9
+        message = str(excinfo.value)
+        assert "chunk 0 of 8 planned chunk(s)" in message
+        assert "live readers" in message
+        assert "reader 0" in message and "last claim" in message
+        stream.close()
+
+    def test_recovery_after_transient_slowness(self):
+        """A deadline comfortably above the read time never fires."""
+        matrix = np.arange(64.0).reshape(32, 2)
+        stream = open_chunk_stream(
+            matrix, chunk_rows=8, io_workers=2, hints=False, stall_timeout_s=5.0
+        )
+        rows = sum(chunk.rows for chunk in stream)
+        assert rows == 32
+        stream.close()
+
+    def test_open_chunk_stream_threads_timeout_through(self):
+        matrix = np.zeros((16, 2))
+        stream = open_chunk_stream(matrix, chunk_rows=8, stall_timeout_s=1.5)
+        assert stream.stall_timeout_s == 1.5
+        stream.close()
+        parallel = open_chunk_stream(
+            matrix, chunk_rows=8, io_workers=2, hints=False, stall_timeout_s=2.5
+        )
+        assert parallel.stall_timeout_s == 2.5
+        parallel.close()
