@@ -53,7 +53,10 @@ engine         fit                         predict
                                            micro-batching model server
                                            dispatching through the engine's
                                            ``serve_batch`` seam — see
-                                           *Serving requests* below
+                                           *Serving requests* below; the
+                                           socket/HTTP transport on the
+                                           same server (``m3 served``) is
+                                           *Serving over the network*
 =============  ==========================  ===============================
 
 The streaming engine additionally takes ``io_workers`` (the parallel reader
@@ -183,6 +186,55 @@ hot-swap mid-flight never tears a batch.  The daemon form is ``m3 serve
 --model model.json`` (JSONL requests on stdin, responses on stdout), and
 ``m3 predict --server`` routes a whole dataset row-by-row through the same
 server to demonstrate the equivalence.
+
+Serving over the network
+------------------------
+
+``repro.net`` puts a real socket transport on the same server.
+:class:`~repro.net.NetServer` wraps a ``ModelServer`` in an asyncio accept
+loop speaking two framings over keep-alive TCP connections — newline-delimited
+JSON (the *exact* codec the stdin loop uses, factored into
+``repro.net.protocol`` so the two paths cannot drift) and a minimal HTTP/1.1
+``POST /predict`` — auto-sniffed per connection, or forced with
+``mode="jsonl"`` / ``mode="http"``::
+
+    from repro.net import AdaptiveDelayController, NetClient, NetServer
+
+    controller = AdaptiveDelayController(max_batch=256, ceiling_ms=5.0)
+    server = ModelServer(max_batch=256, delay_controller=controller)
+    server.publish("default", model)
+    with NetServer(server, host="127.0.0.1", port=8443) as net:
+        with NetClient(net.host, net.port) as client:
+            future = client.submit(x)        # pipelined JSONL frames
+            result = future.result()         # one model version + latency split
+
+Backpressure maps straight onto the server's queue: when ``max_pending`` is
+full (or a connection exceeds ``max_inflight`` pipelined frames) the
+offending request is answered with a typed ``saturated`` error record —
+HTTP clients get a 429 — the connection stays open, and earlier requests
+still complete in order.  ``close()`` (or SIGTERM in the daemon) drains
+gracefully: intake stops, every in-flight request is answered by exactly one
+model version, then connections shut down.  The three transport stages are
+named fault sites (``net.accept`` / ``net.read`` / ``net.write``): an
+injected fault drops only its own connection, typed — never the listener.
+
+The :class:`~repro.net.AdaptiveDelayController` replaces hand-tuning
+``max_delay_ms`` for open-loop traffic: it EWMA-tracks wire inter-arrival
+gaps and sets the coalescing window to ``gap * (max_batch - 1)``, clamped
+to ``ceiling_ms`` — and *exactly 0* when arrivals are slow enough that
+waiting could not fill a worthwhile batch (or after ~1s idle), so bursts
+coalesce into full micro-batches while low-rate traffic pays nothing.
+``benchmarks/bench_net.py`` (→ ``BENCH_net.json``) drives open-loop Poisson
+and bursty arrivals over the socket: adaptive sustains >= 1.3x the
+throughput of per-request dispatch at high load, with low-load p50 within
+10% of a zero-delay server.
+
+The daemon form is ``m3 served --model model.json --port 8443`` (``--http``
+forces HTTP-only framing, ``--adaptive-delay`` / ``--adaptive-ceiling-ms``
+arm the controller, ``--max-inflight`` bounds per-connection pipelining;
+SIGTERM drains), and ``m3 predict --connect HOST:PORT`` routes a whole
+dataset through a remote server row by row — bit-identical to the scan
+path.
 
 Appending and live retraining
 -----------------------------
@@ -438,7 +490,37 @@ def main() -> None:
             f"{one.model_key} then hot-swapped to @{swapped.version}"
         )
 
-        # 10. Append and retrain live: the sharded dataset is appendable.
+        # 10. Put a network front end on it: NetServer speaks newline-
+        #     delimited JSON and HTTP POST over real keep-alive sockets
+        #     through the same codec as the stdin loop, and the adaptive
+        #     delay controller learns the batching window from wire
+        #     inter-arrival times (collapsing to 0 at low load).
+        from repro.net import AdaptiveDelayController, NetClient, NetServer
+        from repro.serve import ModelServer
+
+        controller = AdaptiveDelayController(max_batch=64, ceiling_ms=5.0)
+        model_server = ModelServer(max_batch=64, delay_controller=controller)
+        model_server.publish("default", streaming_clf)
+        with NetServer(model_server) as net:
+            with NetClient(net.host, net.port) as client:
+                wire_futures = [client.submit(X[i], request_id=i)
+                                for i in range(64)]
+                wire = [f.result(timeout=30.0) for f in wire_futures]
+            net_stats = net.stats()
+        model_server.close()
+        assert all(
+            w.predictions[0] == in_core_predictions[i]
+            for i, w in enumerate(wire)
+        ), "network serving must match in-core predict"
+        print(
+            f"network serving: {net_stats.requests} requests over "
+            f"{net_stats.connections} keep-alive connection(s) at "
+            f"{net.host}:{net.port}, adaptive window "
+            f"{controller.snapshot()['delay_ms']:.3f}ms — every wire answer "
+            f"matches in-core predict"
+        )
+
+        # 11. Append and retrain live: the sharded dataset is appendable.
         #     A handle opened now pins the current manifest generation; the
         #     append commits a new generation behind it; the trainer daemon
         #     tails the commit, partial_fits on only the delta rows, and
@@ -474,7 +556,7 @@ def main() -> None:
         )
         fresh.close()
 
-        # 11. Checking concurrency invariants: everything above leaned on
+        # 12. Checking concurrency invariants: everything above leaned on
         #     locks, bounded buffer rings, and reader threads.  Two tools
         #     keep that machinery honest.  `m3 lint src/repro` (or any
         #     path) statically checks lock-rank discipline, resource
@@ -500,7 +582,7 @@ def main() -> None:
         finally:
             GRAPH.clear()
 
-        # 12. Surviving faults: every block fetch, decode, lease, commit
+        # 13. Surviving faults: every block fetch, decode, lease, commit
         #     step and dispatch in the pipeline above carries a named fault
         #     injection site (`python -c "import repro.faults as f;
         #     print(f.fault_sites())"` lists them; src/repro/faults/README.md
@@ -539,7 +621,9 @@ def main() -> None:
             "quickstart finished: memory-mapped, in-memory, sharded and "
             "streaming training all agree — streaming serving matches "
             "in-core inference bit for bit, the model server answers "
-            "request-level traffic from the same session, appends retrain "
+            "request-level traffic from the same session — over stdin and "
+            "over real sockets alike, with an adaptively learned batching "
+            "window — appends retrain "
             "and republish live without disturbing pinned readers, the "
             "concurrency analyzer watches the locks that make it safe, and "
             "injected faults are absorbed by checksums, retries and bounded "

@@ -20,30 +20,38 @@ Ranks only need to be ordered, not dense — leave gaps so new locks can
 slot in between existing ones without renumbering.
 
 Current order (outermost first; renumbered in one commit when the
-appendable-dataset locks landed, per the ROADMAP's standing instruction)::
+network-serving locks landed, per the ROADMAP's standing instruction)::
 
     rank  10   repro.core.m3._DEFAULT_LOCK        default-engine singleton
-    rank  20   ModelServer._cond                  serving queue + dispatcher wakeup
-    rank  30   Trainer._lock                      train->publish daemon state
-    rank  40   Session._lock                      dataset list + handle pool
-    rank  50   ModelRegistry._lock                hot-model publish/resolve
-    rank  60   ShardAppender._lock                tail-shard write + generation commit
-    rank  70   _DecodePool.cond                   block-decode task queue
-    rank  80   _ReaderPoolState.cond              reorder buffer + reader accounting
-    rank  90   ReadaheadHinter._lock              madvise byte accounting
-    rank 100   BufferLease._lock                  per-lease refcount
-    rank 110   _BlockCache._lock                  decoded-block LRU (innermost)
+    rank  20   NetServer._lock                    socket front-end accounting
+    rank  30   NetClient._lock                    client write path + pending queue
+    rank  40   ModelServer._cond                  serving queue + dispatcher wakeup
+    rank  50   AdaptiveDelayController._lock      arrival-rate EWMA state
+    rank  60   Trainer._lock                      train->publish daemon state
+    rank  70   Session._lock                      dataset list + handle pool
+    rank  80   ModelRegistry._lock                hot-model publish/resolve
+    rank  90   ShardAppender._lock                tail-shard write + generation commit
+    rank 100   _DecodePool.cond                   block-decode task queue
+    rank 110   _ReaderPoolState.cond              reorder buffer + reader accounting
+    rank 120   ReadaheadHinter._lock              madvise byte accounting
+    rank 130   BufferLease._lock                  per-lease refcount
+    rank 140   _BlockCache._lock                  decoded-block LRU (innermost)
 
 The recorded nesting that motivates the order: a reader thread holding
-``_ReaderPoolState.cond`` (80) releases a superseded chunk's
-``BufferLease._lock`` (100); a dispatcher thread resolves models
-(``ModelRegistry._lock``, 50) and opens datasets (``Session._lock``, 40)
-while *not* holding ``ModelServer._cond`` (20).  The trainer daemon holds
-``Trainer._lock`` (30) while opening snapshot datasets (``Session._lock``,
-40) and publishing refreshed versions (``ModelRegistry._lock``, 50), so it
+``_ReaderPoolState.cond`` (110) releases a superseded chunk's
+``BufferLease._lock`` (130); a dispatcher thread resolves models
+(``ModelRegistry._lock``, 80) and opens datasets (``Session._lock``, 70)
+while *not* holding ``ModelServer._cond`` (40).  The trainer daemon holds
+``Trainer._lock`` (60) while opening snapshot datasets (``Session._lock``,
+70) and publishing refreshed versions (``ModelRegistry._lock``, 80), so it
 must rank above the server condition but below both; the shard appender
-(60) is a near-leaf write lock that callers already holding session or
+(90) is a near-leaf write lock that callers already holding session or
 registry locks may enter, but which never re-enters the session layer.
+The network front end sits *outside* the serving core: ``NetServer._lock``
+(20) guards transport accounting only and is never held across a
+``submit``; ``ModelServer.submit`` holding ``_cond`` (40) records arrivals
+on the delay controller (50), so the controller ranks just inside the
+server condition.
 """
 
 from __future__ import annotations
@@ -56,31 +64,43 @@ __all__ = ["LOCK_ORDER", "rank_of", "register_lock"]
 LOCK_ORDER: Dict[str, int] = {
     # Outermost: the module-level default-engine singleton guard.
     "repro.core.m3._DEFAULT_LOCK": 10,
+    # Network front end.  The transport accounting lock is held only for
+    # counter updates on the event-loop thread and by stats() readers; it
+    # is never held across a ModelServer.submit, but ranking it outside the
+    # serving core keeps that the checked invariant rather than a comment.
+    "repro.net.server.NetServer._lock": 20,
+    # The client's write path: serialises request framing + the pending
+    # deque against the reader thread.  Touches no server-side lock.
+    "repro.net.client.NetClient._lock": 30,
     # Serving layer.
-    "repro.serve.server.ModelServer._cond": 20,
+    "repro.serve.server.ModelServer._cond": 40,
+    # The adaptive-delay controller: submit records arrivals while holding
+    # ModelServer._cond (40 -> 50 is increasing); the controller itself is
+    # a leaf of the serving layer and never acquires anything.
+    "repro.net.controller.AdaptiveDelayController._lock": 50,
     # The train->publish daemon: holds its own state lock while opening
-    # snapshot datasets (Session._lock, 40) and publishing refreshed model
-    # versions (ModelRegistry._lock, 50), so it ranks above the server
+    # snapshot datasets (Session._lock, 70) and publishing refreshed model
+    # versions (ModelRegistry._lock, 80), so it ranks above the server
     # condition and below both of those.
-    "repro.serve.trainer.Trainer._lock": 30,
-    "repro.api.session.Session._lock": 40,
-    "repro.serve.registry.ModelRegistry._lock": 50,
+    "repro.serve.trainer.Trainer._lock": 60,
+    "repro.api.session.Session._lock": 70,
+    "repro.serve.registry.ModelRegistry._lock": 80,
     # The append path: serialises tail-shard writes and generation commits.
-    # Callers already holding session/registry locks may append (40/50 -> 60
+    # Callers already holding session/registry locks may append (70/80 -> 90
     # is increasing); the appender itself never re-enters the session layer.
-    "repro.api.sharded.ShardAppender._lock": 60,
+    "repro.api.sharded.ShardAppender._lock": 90,
     # Streaming pipeline.  The decode pool's condition ranks below the reader
     # pool's: a decode worker may post a finished chunk into the reorder
-    # buffer (70 -> 80 is increasing), while a reader holding the reorder
-    # cond may never submit decode work (80 -> 70 would invert the order).
-    "repro.api.chunks._DecodePool.cond": 70,
-    "repro.api.chunks._ReaderPoolState.cond": 80,
-    "repro.api.chunks.ReadaheadHinter._lock": 90,
+    # buffer (100 -> 110 is increasing), while a reader holding the reorder
+    # cond may never submit decode work (110 -> 100 would invert the order).
+    "repro.api.chunks._DecodePool.cond": 100,
+    "repro.api.chunks._ReaderPoolState.cond": 110,
+    "repro.api.chunks.ReadaheadHinter._lock": 120,
     # The per-lease refcount, taken while posting/releasing chunks.
-    "repro.api.chunks.BufferLease._lock": 100,
+    "repro.api.chunks.BufferLease._lock": 130,
     # Innermost library lock: the decoded-block LRU is a pure leaf — decoding
     # happens outside it and nothing is acquired while it is held.
-    "repro.api.sharded._BlockCache._lock": 110,
+    "repro.api.sharded._BlockCache._lock": 140,
     # Internal leaf locks of the instrumentation layer itself.  They guard
     # tracker bookkeeping, are never held across another acquisition, and
     # rank above everything so holding *any* library lock may enter them.

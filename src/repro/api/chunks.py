@@ -1664,8 +1664,8 @@ class ParallelPrefetcher:
         self._decode_pool: Optional[_DecodePool] = None
         if self.compressed is not None and plan.num_chunks > 0:
             # idle_exit reads two plain attributes without taking state.cond,
-            # so a decode worker holding its own cond (rank 35) never touches
-            # the reorder cond (rank 40) just to decide whether to exit.
+            # so a decode worker holding its own cond (rank 100) never touches
+            # the reorder cond (rank 110) just to decide whether to exit.
             self._decode_pool = _DecodePool(
                 self.decode_workers,
                 idle_exit=lambda: state.stop.is_set() and state.live_workers == 0,

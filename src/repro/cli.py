@@ -33,7 +33,17 @@ reproduction entry points:
   hot-model registry and answer JSONL predict requests from stdin (or
   ``--input``), coalescing concurrent requests into micro-batches
   (``--max-batch``, ``--max-delay-ms``, ``--workers``); responses carry the
-  serving model version and per-request queue-wait/compute latency.
+  serving model version and per-request queue-wait/compute latency.  Frames
+  travel through the same ``repro.net.protocol`` codec as the TCP front
+  end, so the stdin and socket paths cannot drift.
+* ``m3 served`` — the network serving daemon: the same registry and
+  micro-batcher behind a TCP listener speaking JSONL and HTTP/1.1
+  ``POST /predict`` (``--mode auto`` sniffs both on one port); ``--port 0``
+  binds an ephemeral port (printed to stderr), ``--adaptive-delay`` learns
+  the coalesce window from the observed arrival rate instead of a fixed
+  ``--max-delay-ms``, and SIGTERM/SIGINT trigger a graceful drain: stop
+  accepting, answer every in-flight request, then shut down.
+  ``m3 predict --connect HOST:PORT`` is the matching client path.
 * ``m3 figure1a`` / ``m3 figure1b`` / ``m3 table1`` / ``m3 utilization`` —
   regenerate the paper's figures and table as plain-text tables.
 * ``m3 lint`` — the static half of ``repro.analysis``: project-specific
@@ -51,7 +61,7 @@ import argparse
 import sys
 import tempfile
 from pathlib import Path
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
@@ -80,6 +90,20 @@ def _non_negative_int(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be a non-negative integer, got {value}")
     return value
+
+
+def _hostport(text: str) -> "Tuple[str, int]":
+    """Parse ``HOST:PORT`` for ``--connect`` (argparse type)."""
+    host, separator, port_text = text.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not separator or not host or not 0 < port < 65536:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT with a port in 1-65535, got {text!r}"
+        )
+    return host, port
 
 
 def _overlap_text(io_overlap) -> str:
@@ -409,11 +433,92 @@ def _predict_via_server(session, dataset, model, method: str, args) -> "Any":
     return predictions
 
 
+def _predict_via_connect(dataset, method: str, args) -> "Any":
+    """Route every dataset row through a remote ``m3 served`` daemon.
+
+    The network counterpart of ``--server``: each row becomes one
+    pipelined request over a keep-alive JSONL connection, so the remote
+    micro-batcher coalesces them exactly as it would any other client's
+    traffic — and the gathered predictions are identical to the scan's.
+    """
+    import time
+
+    from repro.net import NetClient
+
+    host, port = args.connect
+    X = dataset.matrix
+    n_rows = int(X.shape[0])
+    began = time.perf_counter()
+    with NetClient(host, port) as client:
+        futures = [
+            client.submit(np.asarray(X[i : i + 1]), method=method)
+            for i in range(n_rows)
+        ]
+        pieces = [future.result(timeout=client.timeout_s) for future in futures]
+    elapsed = time.perf_counter() - began
+    predictions = (
+        np.concatenate([piece.predictions for piece in pieces], axis=0)
+        if pieces
+        else np.empty((0,), dtype=np.float64)
+    )
+    rate = n_rows / elapsed if elapsed > 0 else float("inf")
+    model_key = pieces[-1].model_key if pieces else "-"
+    print(
+        f"served {n_rows} predictions ({method}) by {host}:{port} "
+        f"({model_key}) in {elapsed:.2f}s (network client, "
+        f"{dataset.backend_name} backend, {rate:.0f} rows/s)"
+    )
+    return predictions
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     from repro.api import Session
     from repro.ml import load_model
 
     if _streaming_flags_misused(args):
+        return 2
+    if args.connect is not None:
+        if args.server:
+            print(
+                "error: --connect and --server are mutually exclusive (one "
+                "routes requests to a remote daemon, the other runs an "
+                "in-process server)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.model is not None:
+            print(
+                "error: --model does not apply to --connect (the serving "
+                "daemon already holds the model)",
+                file=sys.stderr,
+            )
+            return 2
+        for flag, value in (
+            ("--chunk-rows", args.chunk_rows),
+            ("--io-workers", args.io_workers),
+            ("--compute-workers", args.compute_workers),
+        ):
+            if value is not None:
+                print(
+                    f"error: {flag} does not apply to --connect (the remote "
+                    f"daemon owns the serving knobs)",
+                    file=sys.stderr,
+                )
+                return 2
+        method = "predict_proba" if args.proba else "predict"
+        with Session() as session:
+            dataset = session.open(args.dataset)
+            predictions = _predict_via_connect(dataset, method, args)
+        if args.output is not None:
+            np.save(args.output, predictions)
+            print(f"wrote predictions to {args.output}")
+        return 0
+    if args.model is None:
+        print(
+            "error: --model is required (or --connect HOST:PORT to use a "
+            "remote serving daemon)",
+            file=sys.stderr,
+        )
         return 2
     if args.server:
         # The server path dispatches micro-batches, not a chunked scan: the
@@ -485,25 +590,6 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_serve_request(line: str, default_method: str):
-    """One JSONL request line -> (id, rows, method).
-
-    Accepts a bare JSON array (one row, or a batch of rows) or an object
-    ``{"id": ..., "x": <row or rows>, "method": ...}``.
-    """
-    import json
-
-    payload = json.loads(line)
-    if isinstance(payload, list):
-        return None, payload, default_method
-    if isinstance(payload, dict) and "x" in payload:
-        return payload.get("id"), payload["x"], payload.get("method", default_method)
-    raise ValueError(
-        "a request line must be a JSON array of features or an object with "
-        "an 'x' field"
-    )
-
-
 def _cmd_serve(args: argparse.Namespace) -> int:
     """The serving daemon: a JSONL request/response loop over a ModelServer.
 
@@ -512,10 +598,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     Requests are submitted asynchronously, so concurrent lines coalesce into
     micro-batches exactly as concurrent network clients would; completed
     responses are flushed as soon as every earlier request has completed.
+    The frames travel through :mod:`repro.net.protocol` — the same codec
+    the TCP front end (``m3 served``) speaks — so the stdin and socket
+    paths cannot drift.
     """
-    import json
     from collections import deque
 
+    from repro.net import protocol
     from repro.serve import ModelRegistry, ModelServer
 
     default_method = "predict_proba" if args.proba else "predict"
@@ -527,18 +616,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     def respond(request_id, future) -> None:
         error = future.exception()
         if error is not None:
-            payload = {"id": request_id, "error": str(error)}
+            payload = protocol.error_record(error, request_id)
         else:
-            result = future.result()
-            payload = {
-                "id": request_id,
-                "predictions": np.asarray(result.predictions).tolist(),
-                "model": result.model_key,
-                "queue_wait_ms": result.queue_wait_s * 1e3,
-                "compute_ms": result.compute_s * 1e3,
-                "batch_rows": result.batch_rows,
-            }
-        print(json.dumps(payload), file=sink, flush=True)
+            payload = protocol.response_record(future.result(), request_id)
+        print(protocol.encode_record(payload), file=sink, flush=True)
 
     served = 0
     try:
@@ -562,14 +643,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 if not line:
                     continue
                 try:
-                    request_id, rows, method = _parse_serve_request(line, default_method)
-                    pending.append((request_id, server.submit(rows, method=method)))
+                    request = protocol.parse_request_line(
+                        line, default_method=default_method
+                    )
+                    pending.append(
+                        (
+                            request.id,
+                            server.submit(
+                                request.rows,
+                                method=request.method,
+                                model=request.model,
+                            ),
+                        )
+                    )
                 except Exception as error:  # noqa: BLE001 — reported per line
                     # Flush responses in order before reporting the bad line.
                     while pending:
                         respond(*pending.popleft())
                         served += 1
-                    print(json.dumps({"id": None, "error": str(error)}), file=sink, flush=True)
+                    print(
+                        protocol.encode_record(protocol.error_record(error, None)),
+                        file=sink,
+                        flush=True,
+                    )
                     continue
                 # Emit every response that is ready behind the head, keeping
                 # request order without stalling the submit loop.
@@ -586,6 +682,89 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if sink is not sys.stdout:
             sink.close()
     print(f"served {served} request(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_served(args: argparse.Namespace) -> int:
+    """The network serving daemon: the TCP front end over a ModelServer.
+
+    Binds a listener (``--port 0`` picks an ephemeral port; the bound
+    address is printed to stderr), speaks newline-delimited JSON and
+    HTTP/1.1 ``POST /predict`` through the shared :mod:`repro.net.protocol`
+    codec, and drains gracefully on SIGTERM/SIGINT: stop accepting, answer
+    every in-flight request, then shut the dispatchers down.
+    """
+    import signal
+    import threading
+
+    from repro.net import AdaptiveDelayController, NetServer
+    from repro.serve import ModelRegistry, ModelServer
+
+    default_method = "predict_proba" if args.proba else "predict"
+    registry = ModelRegistry()
+    version = registry.publish("default", args.model)
+    controller = None
+    if args.adaptive_delay:
+        controller = AdaptiveDelayController(
+            max_batch=args.max_batch, ceiling_ms=args.adaptive_ceiling_ms
+        )
+    server = ModelServer(
+        registry=registry,
+        engine=args.engine,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        delay_controller=controller,
+    )
+    net = NetServer(
+        server,
+        host=args.host,
+        port=args.port,
+        mode=args.mode,
+        default_method=default_method,
+        max_inflight=args.max_inflight,
+    )
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda _signum, _frame: net.request_shutdown())
+    delay_text = (
+        f"adaptive (ceiling {args.adaptive_ceiling_ms}ms)"
+        if controller is not None
+        else f"{args.max_delay_ms}ms"
+    )
+    print(
+        f"serving {type(version.model).__name__} as {version.key} on "
+        f"{net.host}:{net.port} (mode={args.mode}, max_batch={args.max_batch}, "
+        f"max_delay={delay_text}, workers={args.workers}); "
+        f"JSONL or HTTP POST /predict; SIGTERM drains",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        net.serve_forever()
+    finally:
+        net.close()
+        summary = net.stats().as_dict()
+        print(
+            f"net: {summary['connections']} connection(s), "
+            f"{summary['requests']} requests, {summary['responses']} responses, "
+            f"{summary['errors']} errors ({summary['saturated']} saturated), "
+            f"{summary['dropped_connections']} dropped connection(s)",
+            file=sys.stderr,
+        )
+        if controller is not None:
+            snap = controller.snapshot()
+            gap = snap["gap_ewma_ms"]
+            gap_text = "n/a (idle)" if gap != gap else f"{gap:.3f}ms"
+            print(
+                f"adaptive delay: learned window {snap['delay_ms']:.3f}ms "
+                f"(inter-arrival EWMA {gap_text}, "
+                f"ceiling {snap['ceiling_ms']:.1f}ms)",
+                file=sys.stderr,
+            )
+        _print_serve_stats(server.stats())
+    print("drained and closed", file=sys.stderr)
     return 0
 
 
@@ -865,8 +1044,15 @@ def build_parser() -> argparse.ArgumentParser:
     predict = sub.add_parser("predict", help="serve a saved model's predictions")
     predict.add_argument("dataset", type=str,
                          help="a dataset: path or URI spec (mmap://, shard://)")
-    predict.add_argument("--model", type=Path, required=True,
-                         help="saved model JSON (from 'm3 train --save-model')")
+    predict.add_argument("--model", type=Path, default=None,
+                         help="saved model JSON (from 'm3 train --save-model'); "
+                              "required unless --connect routes to a remote "
+                              "daemon that already holds the model")
+    predict.add_argument("--connect", type=_hostport, default=None,
+                         metavar="HOST:PORT",
+                         help="route every row as a pipelined JSONL request "
+                              "through a running 'm3 served' daemon instead "
+                              "of predicting in-process")
     predict.add_argument("--engine", choices=["local", "simulated", "streaming"],
                          default="local",
                          help="execution engine; 'streaming' predicts chunk by "
@@ -931,6 +1117,55 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--output", type=Path, default=None,
                        help="write JSONL responses to this file instead of stdout")
     serve.set_defaults(func=_cmd_serve)
+
+    served = sub.add_parser(
+        "served",
+        help="run the network serving daemon: JSONL/HTTP predict requests "
+             "over TCP, graceful drain on SIGTERM",
+    )
+    served.add_argument("--model", type=Path, required=True,
+                        help="saved model JSON (from 'm3 train --save-model') "
+                             "published into the hot-model registry")
+    served.add_argument("--host", type=str, default="127.0.0.1",
+                        help="bind address")
+    served.add_argument("--port", type=_non_negative_int, default=0,
+                        help="TCP port (0 = pick an ephemeral port; the bound "
+                             "address is printed to stderr)")
+    served.add_argument("--mode", choices=["auto", "jsonl", "http"],
+                        default="auto",
+                        help="wire framing; 'auto' sniffs JSONL vs HTTP per "
+                             "connection, so one port serves both")
+    served.add_argument("--http", action="store_const", const="http",
+                        dest="mode", help="shorthand for --mode http")
+    served.add_argument("--engine", choices=["local", "streaming"],
+                        default="local",
+                        help="engine whose serve_batch computes each "
+                             "micro-batch")
+    served.add_argument("--max-batch", type=_positive_int, default=256,
+                        help="rows per coalesced micro-batch")
+    served.add_argument("--max-delay-ms", type=float, default=0.0,
+                        help="fixed coalesce window for underfull "
+                             "micro-batches; 0 = dispatch immediately")
+    served.add_argument("--adaptive-delay", action="store_true",
+                        help="learn the coalesce window from the observed "
+                             "arrival rate (EWMA inter-arrival estimate, "
+                             "clamped to --adaptive-ceiling-ms, exactly 0 at "
+                             "low load) instead of the fixed --max-delay-ms")
+    served.add_argument("--adaptive-ceiling-ms", type=float, default=5.0,
+                        help="upper clamp on the learned delay — the "
+                             "worst-case latency tax under --adaptive-delay")
+    served.add_argument("--workers", type=_positive_int, default=1,
+                        help="dispatcher threads")
+    served.add_argument("--max-pending", type=_positive_int, default=1024,
+                        help="bounded request-queue depth (requests beyond it "
+                             "get a typed 'saturated' error / HTTP 429)")
+    served.add_argument("--max-inflight", type=_positive_int, default=256,
+                        help="per-connection cap on unanswered requests "
+                             "before TCP backpressure pushes back")
+    served.add_argument("--proba", action="store_true",
+                        help="default to predict_proba for requests that "
+                             "name no method")
+    served.set_defaults(func=_cmd_served)
 
     traind = sub.add_parser(
         "traind",

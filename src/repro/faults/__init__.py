@@ -102,6 +102,18 @@ SITES: Dict[str, str] = {
     ),
     "trainer.poll": "Trainer manifest-generation poll of an appendable dataset",
     "serve.dispatch": "ModelServer micro-batch dispatch",
+    "net.accept": (
+        "NetServer connection accept — the new connection drops before any "
+        "request is read"
+    ),
+    "net.read": (
+        "NetServer request read — the connection dies mid-read, as a reset "
+        "or torn frame would"
+    ),
+    "net.write": (
+        "NetServer response write — the response is lost after compute, as "
+        "a broken pipe would"
+    ),
     "write.trailer": (
         "BlockedMatrixWriter.finalize — torn trailer write (partial JSON "
         "header lands, prefix still commits)"

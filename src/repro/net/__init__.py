@@ -1,0 +1,35 @@
+"""``repro.net`` — the network serving front end.
+
+Puts a wire on :class:`~repro.serve.server.ModelServer`:
+
+* :class:`NetServer` — an asyncio TCP listener speaking newline-delimited
+  JSON and minimal HTTP/1.1 POST (``mode="auto"`` sniffs per connection),
+  with keep-alive connections, per-connection backpressure, typed wire
+  errors (HTTP 429 for saturation), and graceful drain on
+  ``close()``/SIGTERM.
+* :class:`NetClient` — the pipelining keep-alive client (JSONL futures,
+  or synchronous HTTP round trips) used by tests, benchmarks and
+  ``m3 predict --connect``.
+* :class:`AdaptiveDelayController` — learns ``max_delay_ms`` from the
+  observed arrival rate (EWMA inter-arrival estimate, clamped to a
+  ceiling, exactly zero at low load) so open-loop bursts coalesce into
+  full micro-batches without taxing idle traffic.
+* :mod:`repro.net.protocol` — the shared request/response codec, also
+  driving ``m3 serve``'s stdin loop so the stdin and socket paths cannot
+  drift.
+"""
+
+from repro.net.client import NetClient, NetResult
+from repro.net.controller import AdaptiveDelayController
+from repro.net.protocol import ProtocolError, RemoteError
+from repro.net.server import NetServer, NetStats
+
+__all__ = [
+    "AdaptiveDelayController",
+    "NetClient",
+    "NetResult",
+    "NetServer",
+    "NetStats",
+    "ProtocolError",
+    "RemoteError",
+]

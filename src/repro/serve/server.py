@@ -272,6 +272,14 @@ class ModelServer:
     max_pending:
         Bounded queue depth in *requests*; beyond it ``submit`` blocks
         (backpressure) or raises :class:`ServerSaturated`.
+    delay_controller:
+        Optional adaptive replacement for ``max_delay_ms`` — an object
+        with ``record_arrival()`` and ``delay_s()`` (duck-typed so this
+        module needs no import of :mod:`repro.net`; in practice a
+        :class:`repro.net.AdaptiveDelayController`).  Every accepted
+        ``submit`` records an arrival, and each dispatcher reads the
+        learned window when it opens a batch, so the coalesce delay
+        tracks the observed arrival rate instead of a constant.
     session:
         Optional :class:`~repro.api.Session` used to resolve dataset specs
         passed to :meth:`predict_many`; its handle pool keeps repeated opens
@@ -288,6 +296,7 @@ class ModelServer:
         workers: int = 1,
         max_pending: int = 1024,
         session: Optional[Any] = None,
+        delay_controller: Optional[Any] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -302,6 +311,7 @@ class ModelServer:
         self.max_batch = max_batch
         self.max_delay_s = max_delay_ms / 1000.0
         self.max_pending = max_pending
+        self.delay_controller = delay_controller
         self._session = session
         self._owns_session = session is None
         self._cond = make_condition("repro.serve.server.ModelServer._cond")
@@ -357,6 +367,10 @@ class ModelServer:
         if not method or method.startswith("_"):
             raise ValueError(f"invalid prediction method {method!r}")
         request = _Request(self._as_rows(rows), model, method)
+        if self.delay_controller is not None:
+            # Offered arrivals, counted before backpressure: a saturated
+            # burst is exactly when the learned window should be widest.
+            self.delay_controller.record_arrival()
         deadline = None if timeout is None else time.perf_counter() + timeout
         with self._cond:
             if self._closed:
@@ -452,7 +466,15 @@ class ModelServer:
             batch = [head]
             rows = head.n_rows
             opened = time.perf_counter()
-            deadline = opened + self.max_delay_s
+            # Adaptive mode reads the learned window as the batch opens
+            # (controller lock ranks inside this condition); fixed mode
+            # keeps the constructor constant.
+            delay_s = (
+                self.max_delay_s
+                if self.delay_controller is None
+                else self.delay_controller.delay_s()
+            )
+            deadline = opened + delay_s
             while rows < self.max_batch:
                 rows += self._take_matching(head.key, batch, self.max_batch - rows)
                 if rows >= self.max_batch:
@@ -594,11 +616,15 @@ class ModelServer:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def close(self) -> None:
-        """Stop intake, drain queued requests, join the dispatchers.
+    def drain(self) -> None:
+        """Stop intake, serve every queued request, join the dispatchers.
 
-        Idempotent.  Requests already queued are still served (their futures
-        complete); new ``submit`` calls raise :class:`ServerClosed`.
+        The graceful half of :meth:`close` (idempotent, like it): after it
+        returns, every request accepted before the drain began has a
+        completed future, no dispatcher thread is running, and new
+        ``submit`` calls raise :class:`ServerClosed`.  The network front
+        end calls this after it stops accepting connections and before it
+        drops its transports, so in-flight clients get their answers.
         """
         with self._cond:
             if self._closed:
@@ -615,6 +641,11 @@ class ModelServer:
         for request in leftovers:
             if request.future.set_running_or_notify_cancel():
                 request.future.set_exception(ServerClosed("server is closed"))
+
+    def close(self) -> None:
+        """Drain (stop intake, flush queued requests, join dispatchers) and
+        release the server's owned session.  Idempotent."""
+        self.drain()
         if self._owns_session and self._session is not None:
             self._session.close()
             self._session = None

@@ -189,9 +189,9 @@ class TestFactories:
         try:
             server_cond = make_condition("repro.serve.server.ModelServer._cond")
             lease_lock = make_lock("repro.api.chunks.BufferLease._lock")
-            assert server_cond._lock.rank == 20
-            assert lease_lock.rank == 100
-            with server_cond:  # rank 20 then 100: the declared nesting order
+            assert server_cond._lock.rank == 40
+            assert lease_lock.rank == 130
+            with server_cond:  # rank 40 then 130: the declared nesting order
                 with lease_lock:
                     pass
         finally:

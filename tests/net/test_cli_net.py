@@ -1,0 +1,199 @@
+"""CLI wiring for the network front end: m3 served and m3 predict --connect."""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.formats import open_binary_matrix
+from repro.data.writers import write_infimnist_dataset
+from repro.ml import load_model
+from repro.net import NetClient, NetServer
+from repro.serve import ModelRegistry, ModelServer
+
+
+@pytest.fixture(scope="module")
+def trained(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli_net")
+    dataset = root / "served.m3"
+    write_infimnist_dataset(dataset, num_examples=120, seed=5)
+    model_path = root / "model.json"
+    assert main(["train", str(dataset), "--algorithm", "logistic",
+                 "--iterations", "2", "--save-model", str(model_path)]) == 0
+    return dataset, model_path
+
+
+class TestParserWiring:
+    def test_served_defaults(self):
+        args = build_parser().parse_args(["served", "--model", "m.json"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.mode == "auto"
+        assert args.max_batch == 256
+        assert args.max_delay_ms == 0.0
+        assert args.adaptive_delay is False
+        assert args.adaptive_ceiling_ms == 5.0
+        assert args.workers == 1
+        assert args.max_pending == 1024
+        assert args.max_inflight == 256
+
+    def test_http_flag_forces_http_mode(self):
+        args = build_parser().parse_args(["served", "--model", "m.json", "--http"])
+        assert args.mode == "http"
+
+    def test_connect_parses_host_and_port(self):
+        args = build_parser().parse_args(
+            ["predict", "data.m3", "--connect", "10.0.0.7:9000"]
+        )
+        assert args.connect == ("10.0.0.7", 9000)
+
+    @pytest.mark.parametrize("bad", ["localhost", "host:0", "host:70000",
+                                     "host:http", ":8000"])
+    def test_malformed_hostport_rejected(self, bad, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict", "data.m3", "--connect", bad])
+        assert "HOST:PORT" in capsys.readouterr().err
+
+
+class TestPredictConnectValidation:
+    def test_connect_conflicts_with_server(self, trained, capsys):
+        dataset, model_path = trained
+        code = main(["predict", str(dataset), "--connect", "127.0.0.1:9",
+                     "--server", "--model", str(model_path)])
+        assert code == 2
+        assert "--connect" in capsys.readouterr().err
+
+    def test_model_does_not_apply_to_connect(self, trained, capsys):
+        dataset, model_path = trained
+        code = main(["predict", str(dataset), "--connect", "127.0.0.1:9",
+                     "--model", str(model_path)])
+        assert code == 2
+        assert "does not apply to --connect" in capsys.readouterr().err
+
+    def test_scan_knobs_do_not_apply_to_connect(self, trained, capsys):
+        dataset, _ = trained
+        code = main(["predict", str(dataset), "--connect", "127.0.0.1:9",
+                     "--engine", "streaming", "--io-workers", "4"])
+        assert code == 2
+        assert "does not apply to --connect" in capsys.readouterr().err
+
+    def test_model_required_without_connect(self, trained, capsys):
+        dataset, _ = trained
+        code = main(["predict", str(dataset)])
+        assert code == 2
+        assert "--model is required" in capsys.readouterr().err
+
+
+def _serving_net(model_path, **net_kwargs):
+    registry = ModelRegistry()
+    registry.publish("default", str(model_path))
+    server = ModelServer(registry=registry, max_batch=32, max_delay_ms=1.0)
+    return NetServer(server, **net_kwargs), server
+
+
+class TestPredictConnect:
+    def test_connect_matches_the_scan_path(self, trained, tmp_path, capsys):
+        dataset, model_path = trained
+        scan_out = tmp_path / "scan.npy"
+        served_out = tmp_path / "served.npy"
+        assert main(["predict", str(dataset), "--model", str(model_path),
+                     "--output", str(scan_out)]) == 0
+        net, server = _serving_net(model_path)
+        try:
+            code = main(["predict", str(dataset),
+                         "--connect", f"{net.host}:{net.port}",
+                         "--output", str(served_out)])
+        finally:
+            net.close()
+            server.close()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "network client" in out
+        assert f"by {net.host}:{net.port}" in out
+        np.testing.assert_array_equal(np.load(served_out), np.load(scan_out))
+
+
+class TestStdinSocketNoDrift:
+    def test_same_lines_same_records(self, trained, tmp_path):
+        """The stdin loop and the socket path speak one codec: identical
+        request lines produce identical response records."""
+        import socket
+
+        dataset, model_path = trained
+        matrix, _, _ = open_binary_matrix(dataset)
+        lines = [json.dumps(list(map(float, np.asarray(matrix[i]))))
+                 for i in range(2)]
+        lines += [json.dumps({"id": i, "x": list(map(float, np.asarray(matrix[i])))})
+                  for i in (2, 3)]
+
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("\n".join(lines) + "\n")
+        responses_path = tmp_path / "responses.jsonl"
+        assert main(["serve", "--model", str(model_path),
+                     "--input", str(requests),
+                     "--output", str(responses_path)]) == 0
+        stdin_records = [json.loads(line) for line in
+                         responses_path.read_text().splitlines()]
+
+        net, server = _serving_net(model_path)
+        try:
+            with socket.create_connection((net.host, net.port), timeout=10) as sock:
+                reader = sock.makefile("rb")
+                sock.sendall(("\n".join(lines) + "\n").encode())
+                socket_records = [json.loads(reader.readline()) for _ in lines]
+        finally:
+            net.close()
+            server.close()
+
+        assert len(stdin_records) == len(socket_records) == 4
+        for stdin_record, socket_record in zip(stdin_records, socket_records):
+            assert stdin_record["predictions"] == socket_record["predictions"]
+            assert stdin_record["model"] == socket_record["model"]
+            assert stdin_record["id"] == socket_record["id"]
+            assert set(stdin_record) == set(socket_record)
+
+
+class TestServedEndToEnd:
+    def test_served_banner_sigterm_drain(self, trained):
+        dataset, model_path = trained
+        matrix, _, _ = open_binary_matrix(dataset)
+        expected = load_model(model_path).predict(np.asarray(matrix[:6]))
+        src_root = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src_root) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "served",
+             "--model", str(model_path), "--port", "0",
+             "--adaptive-delay", "--max-batch", "32"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            banner = proc.stderr.readline()
+            match = re.search(r" on ([\d.]+):(\d+) \(", banner)
+            assert match, f"no address in banner: {banner!r}"
+            host, port = match.group(1), int(match.group(2))
+            assert "max_delay=adaptive (ceiling 5.0ms)" in banner
+            assert "SIGTERM drains" in banner
+            with NetClient(host, port, timeout_s=15.0) as client:
+                futures = [client.submit(np.asarray(matrix[i]), request_id=i)
+                           for i in range(6)]
+                results = [future.result(timeout=30.0) for future in futures]
+            served = np.concatenate([r.predictions for r in results])
+            np.testing.assert_array_equal(served, expected)
+            proc.send_signal(signal.SIGTERM)
+            _out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10)
+        assert proc.returncode == 0, err
+        assert "net: 1 connection(s), 6 requests, 6 responses" in err
+        assert "adaptive delay: learned window" in err
+        assert "drained and closed" in err

@@ -1,0 +1,151 @@
+"""Tests for the adaptive micro-batch delay controller."""
+
+import math
+
+import pytest
+
+from repro.net import AdaptiveDelayController
+from repro.net.controller import MAX_OBSERVED_GAP_S
+
+
+def _feed(controller, gaps, start=100.0):
+    """Drive a deterministic arrival schedule (one arrival per gap edge)."""
+    now = start
+    controller.record_arrival(now=now)
+    for gap in gaps:
+        now += gap
+        controller.record_arrival(now=now)
+    return now
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            AdaptiveDelayController(max_batch=0)
+        with pytest.raises(ValueError, match="ceiling_ms"):
+            AdaptiveDelayController(ceiling_ms=-1.0)
+        with pytest.raises(ValueError, match="alpha"):
+            AdaptiveDelayController(alpha=0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            AdaptiveDelayController(alpha=1.5)
+        with pytest.raises(ValueError, match="min_gain"):
+            AdaptiveDelayController(min_gain=0.0)
+
+
+class TestDelayLearning:
+    def test_no_observations_means_zero_delay(self):
+        controller = AdaptiveDelayController()
+        assert controller.delay_s() == 0.0
+
+    def test_single_arrival_is_not_a_rate(self):
+        controller = AdaptiveDelayController()
+        controller.record_arrival(now=100.0)
+        assert controller.delay_s() == 0.0
+
+    def test_steady_fast_traffic_learns_the_fill_window(self):
+        # 50 microsecond gaps, max_batch=64: filling the rest of a batch
+        # takes 63 * 50us = 3.15ms, inside the 5ms ceiling.
+        controller = AdaptiveDelayController(max_batch=64, ceiling_ms=5.0)
+        _feed(controller, [50e-6] * 20)
+        assert controller.delay_s() == pytest.approx(63 * 50e-6)
+        assert controller.delay_ms == pytest.approx(3.15)
+
+    def test_ceiling_clamps_the_window(self):
+        # 1ms gaps would ask for 63ms of coalescing; the ceiling wins.
+        controller = AdaptiveDelayController(max_batch=64, ceiling_ms=5.0,
+                                             min_gain=2.0)
+        _feed(controller, [1e-3] * 20)
+        assert controller.delay_s() == pytest.approx(5e-3)
+
+    def test_low_load_collapses_to_exactly_zero(self):
+        # 4ms gaps against a 5ms ceiling: ceiling/gap = 1.25 < min_gain=2,
+        # so waiting buys nothing and the window is exactly 0.
+        controller = AdaptiveDelayController(max_batch=64, ceiling_ms=5.0,
+                                             min_gain=2.0)
+        _feed(controller, [4e-3] * 10)
+        assert controller.delay_s() == 0.0
+
+    def test_min_gain_boundary_is_inclusive(self):
+        # ceiling/gap exactly == min_gain keeps the window on.
+        controller = AdaptiveDelayController(max_batch=64, ceiling_ms=5.0,
+                                             min_gain=2.0)
+        _feed(controller, [2.5e-3] * 10)
+        assert controller.delay_s() > 0.0
+
+    def test_zero_ceiling_disables_the_window(self):
+        controller = AdaptiveDelayController(max_batch=64, ceiling_ms=0.0)
+        _feed(controller, [50e-6] * 10)
+        assert controller.delay_s() == 0.0
+
+    def test_max_batch_one_never_waits(self):
+        controller = AdaptiveDelayController(max_batch=1, ceiling_ms=5.0)
+        _feed(controller, [50e-6] * 10)
+        assert controller.delay_s() == 0.0
+
+    def test_back_to_back_timestamps_mean_no_window(self):
+        controller = AdaptiveDelayController(max_batch=64, ceiling_ms=5.0)
+        _feed(controller, [0.0] * 10)
+        assert controller.delay_s() == 0.0
+
+    def test_clock_skew_sample_is_ignored(self):
+        controller = AdaptiveDelayController(max_batch=64, ceiling_ms=5.0)
+        controller.record_arrival(now=100.0)
+        controller.record_arrival(now=99.0)  # negative gap: dropped
+        assert math.isnan(controller.snapshot()["gap_ewma_ms"])
+
+
+class TestIdleReset:
+    def test_idle_pause_forgets_the_old_rate(self):
+        controller = AdaptiveDelayController(max_batch=64, ceiling_ms=5.0)
+        end = _feed(controller, [50e-6] * 20)
+        assert controller.delay_s() > 0.0
+        controller.record_arrival(now=end + MAX_OBSERVED_GAP_S + 1.0)
+        assert controller.delay_s() == 0.0
+        assert math.isnan(controller.snapshot()["gap_ewma_ms"])
+
+    def test_burst_after_idle_is_measured_fresh(self):
+        controller = AdaptiveDelayController(max_batch=64, ceiling_ms=5.0)
+        end = _feed(controller, [4e-3] * 10)  # slow traffic: window off
+        # After a lunch break, a fast burst re-learns within the burst.
+        _feed(controller, [50e-6] * 20, start=end + 10.0)
+        assert controller.delay_s() == pytest.approx(63 * 50e-6, rel=0.05)
+
+
+class TestEwma:
+    def test_rate_shift_converges(self):
+        controller = AdaptiveDelayController(max_batch=256, ceiling_ms=50.0,
+                                             alpha=0.2)
+        end = _feed(controller, [1e-3] * 30)
+        before = controller.snapshot()["gap_ewma_ms"]
+        assert before == pytest.approx(1.0, rel=0.01)
+        _feed(controller, [100e-6] * 50, start=end + 100e-6)
+        after = controller.snapshot()["gap_ewma_ms"]
+        assert after == pytest.approx(0.1, rel=0.05)
+
+    def test_first_gap_seeds_the_estimate(self):
+        controller = AdaptiveDelayController(alpha=0.2)
+        _feed(controller, [2e-3])
+        assert controller.snapshot()["gap_ewma_ms"] == pytest.approx(2.0)
+
+
+class TestIntrospection:
+    def test_snapshot_fields(self):
+        controller = AdaptiveDelayController(max_batch=64, ceiling_ms=5.0)
+        _feed(controller, [1e-3] * 4)
+        snap = controller.snapshot()
+        assert snap["arrivals"] == 5.0
+        assert snap["gap_ewma_ms"] == pytest.approx(1.0)
+        assert snap["ceiling_ms"] == pytest.approx(5.0)
+        assert snap["delay_ms"] == controller.delay_ms
+
+    def test_repr_mentions_the_learned_delay(self):
+        controller = AdaptiveDelayController(max_batch=64, ceiling_ms=5.0)
+        assert "delay_ms=0.000" in repr(controller)
+
+    def test_wall_clock_default_timestamps_work(self):
+        # No injected `now`: exercise the perf_counter path.
+        controller = AdaptiveDelayController()
+        for _ in range(3):
+            controller.record_arrival()
+        assert controller.snapshot()["arrivals"] == 3.0
+        assert controller.delay_s() >= 0.0
